@@ -1,0 +1,174 @@
+//! Single- and multi-source breadth-first search (Corollary 1.2).
+//!
+//! The synchronous algorithm is the classical event-driven BFS of Section 4.1: at
+//! pulse `p` the nodes at distance `p` from the closest source send "join" proposals
+//! to their neighbors; a node adopts the first proposal it receives. The proposal's
+//! correctness depends entirely on the synchronous schedule, which is exactly what the
+//! synchronizer guarantees in the asynchronous model.
+
+use crate::runner::{run_synchronized, RunnerError};
+use ds_graph::{Graph, NodeId};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::event_driven::{EventDriven, PulseCtx};
+use ds_netsim::metrics::RunMetrics;
+use ds_sync::synchronizer::SynchronizerConfig;
+use std::collections::BTreeMap;
+
+/// Per-node output of the BFS: distance to the closest source and the BFS-tree
+/// parent (`None` for sources).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsOutput {
+    /// Hop distance to the closest source.
+    pub distance: u64,
+    /// Parent towards the closest source (`None` for sources).
+    pub parent: Option<NodeId>,
+}
+
+/// Per-node multi-source BFS algorithm state.
+#[derive(Clone, Debug)]
+pub struct BfsAlgorithm {
+    me: NodeId,
+    is_source: bool,
+    neighbors: Vec<NodeId>,
+    output: Option<BfsOutput>,
+}
+
+impl BfsAlgorithm {
+    /// Creates the instance for node `me` with the given source set.
+    pub fn new(graph: &Graph, me: NodeId, sources: &[NodeId]) -> Self {
+        BfsAlgorithm {
+            me,
+            is_source: sources.contains(&me),
+            neighbors: graph.neighbors(me).to_vec(),
+            output: None,
+        }
+    }
+}
+
+impl EventDriven for BfsAlgorithm {
+    /// The hop count carried by a "join" proposal.
+    type Msg = u64;
+    type Output = BfsOutput;
+
+    fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+        if self.is_source {
+            self.output = Some(BfsOutput { distance: 0, parent: None });
+            for &u in &self.neighbors {
+                ctx.send(u, 1);
+            }
+        }
+    }
+
+    fn on_pulse(&mut self, received: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+        if self.output.is_some() {
+            return;
+        }
+        if let Some(&(from, dist)) = received.first() {
+            self.output = Some(BfsOutput { distance: dist, parent: Some(from) });
+            for &u in &self.neighbors {
+                if u != from {
+                    ctx.send(u, dist + 1);
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<BfsOutput> {
+        self.output
+    }
+}
+
+/// Result of a synchronized asynchronous BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsReport {
+    /// Per-node outputs.
+    pub outputs: BTreeMap<NodeId, BfsOutput>,
+    /// Metrics of the asynchronous run.
+    pub metrics: RunMetrics,
+}
+
+/// Runs a single-source BFS asynchronously via the deterministic synchronizer
+/// (Corollary 1.2: `Õ(D)` time and `Õ(m)` messages).
+///
+/// # Errors
+///
+/// Returns an error if the simulation fails or the graph is disconnected.
+pub fn run_synchronized_bfs(
+    graph: &Graph,
+    source: NodeId,
+    delay: DelayModel,
+) -> Result<BfsReport, RunnerError> {
+    run_synchronized_multi_bfs(graph, &[source], delay)
+}
+
+/// Runs a multi-source BFS asynchronously via the deterministic synchronizer: every
+/// node learns its distance to the closest source (Theorem 4.24).
+///
+/// # Errors
+///
+/// Returns an error if the simulation fails or the graph is disconnected.
+pub fn run_synchronized_multi_bfs(
+    graph: &Graph,
+    sources: &[NodeId],
+    delay: DelayModel,
+) -> Result<BfsReport, RunnerError> {
+    let d1 = ds_graph::metrics::max_distance_to_sources(graph, sources)
+        .expect("BFS requires a connected graph");
+    let cfg = SynchronizerConfig::build(graph, (d1 as u64 + 1).max(1));
+    let run = run_synchronized(graph, delay, cfg, |v| BfsAlgorithm::new(graph, v, sources))?;
+    let outputs = run
+        .outputs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.map(|o| (NodeId(i), o)))
+        .collect();
+    Ok(BfsReport { outputs, metrics: run.metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::metrics;
+
+    #[test]
+    fn synchronized_single_source_bfs_is_exact() {
+        let graph = Graph::grid(4, 4);
+        let report = run_synchronized_bfs(&graph, NodeId(0), DelayModel::jitter(11)).unwrap();
+        let dist = metrics::bfs_distances(&graph, NodeId(0));
+        for v in graph.nodes() {
+            assert_eq!(report.outputs[&v].distance, dist[v.index()].unwrap() as u64);
+        }
+        assert_eq!(report.outputs[&NodeId(15)].distance, 6);
+    }
+
+    #[test]
+    fn synchronized_multi_source_bfs_takes_closest_source() {
+        let graph = Graph::path(10);
+        let sources = [NodeId(0), NodeId(9)];
+        let report = run_synchronized_multi_bfs(&graph, &sources, DelayModel::slow_cut(4)).unwrap();
+        let dist = metrics::multi_source_distances(&graph, &sources);
+        for v in graph.nodes() {
+            assert_eq!(report.outputs[&v].distance, dist[v.index()].unwrap() as u64);
+        }
+    }
+
+    #[test]
+    fn bfs_parents_form_shortest_path_edges() {
+        let graph = Graph::random_connected(20, 0.15, 9);
+        let report = run_synchronized_bfs(&graph, NodeId(3), DelayModel::uniform()).unwrap();
+        let dist = metrics::bfs_distances(&graph, NodeId(3));
+        for v in graph.nodes() {
+            let out = report.outputs[&v];
+            match out.parent {
+                None => assert_eq!(out.distance, 0),
+                Some(p) => {
+                    assert!(graph.has_edge(v, p));
+                    assert_eq!(
+                        dist[p.index()].unwrap() as u64 + 1,
+                        dist[v.index()].unwrap() as u64
+                    );
+                }
+            }
+        }
+    }
+}

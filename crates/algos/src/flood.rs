@@ -1,0 +1,86 @@
+//! Single-source flooding/broadcast: the simplest event-driven workload.
+//!
+//! A designated source floods a value through the network; every node outputs the
+//! value together with the hop count at which it was first reached. In the
+//! synchronous execution the hop count equals the node's distance from the source.
+
+use ds_graph::{Graph, NodeId};
+use ds_netsim::event_driven::{EventDriven, PulseCtx};
+
+/// Per-node flooding algorithm state.
+#[derive(Clone, Debug)]
+pub struct FloodAlgorithm {
+    me: NodeId,
+    source: NodeId,
+    value: u64,
+    neighbors: Vec<NodeId>,
+    output: Option<(u64, u64)>,
+}
+
+impl FloodAlgorithm {
+    /// Creates the instance for node `me`; `source` floods `value`.
+    pub fn new(graph: &Graph, me: NodeId, source: NodeId, value: u64) -> Self {
+        FloodAlgorithm { me, source, value, neighbors: graph.neighbors(me).to_vec(), output: None }
+    }
+}
+
+impl EventDriven for FloodAlgorithm {
+    /// `(value, hops)`.
+    type Msg = (u64, u64);
+    /// `(value, hops at which it was first received)`.
+    type Output = (u64, u64);
+
+    fn on_init(&mut self, ctx: &mut PulseCtx<Self::Msg>) {
+        if self.me == self.source {
+            self.output = Some((self.value, 0));
+            for &u in &self.neighbors {
+                ctx.send(u, (self.value, 1));
+            }
+        }
+    }
+
+    fn on_pulse(&mut self, received: &[(NodeId, Self::Msg)], ctx: &mut PulseCtx<Self::Msg>) {
+        if self.output.is_some() {
+            return;
+        }
+        if let Some(&(_, (value, hops))) = received.first() {
+            self.output = Some((value, hops));
+            for &u in &self.neighbors {
+                ctx.send(u, (value, hops + 1));
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::metrics;
+    use ds_netsim::sync_engine::run_sync;
+
+    #[test]
+    fn synchronous_flood_reports_distances() {
+        let graph = Graph::grid(3, 3);
+        let report =
+            run_sync(&graph, |v| FloodAlgorithm::new(&graph, v, NodeId(0), 7), 100).unwrap();
+        let dist = metrics::bfs_distances(&graph, NodeId(0));
+        for v in graph.nodes() {
+            let (value, hops) = report.nodes[v.index()].output().unwrap();
+            assert_eq!(value, 7);
+            assert_eq!(hops, dist[v.index()].unwrap() as u64);
+        }
+        assert_eq!(report.rounds_to_output, Some(4));
+    }
+
+    #[test]
+    fn message_complexity_is_linear_in_edges() {
+        let graph = Graph::random_connected(30, 0.15, 2);
+        let report =
+            run_sync(&graph, |v| FloodAlgorithm::new(&graph, v, NodeId(0), 1), 100).unwrap();
+        assert!(report.messages <= 2 * graph.edge_count() as u64);
+    }
+}

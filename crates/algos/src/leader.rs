@@ -1,0 +1,217 @@
+//! Deterministic leader election (Corollary 1.3).
+//!
+//! The Section 6 algorithm runs in epochs `i = 1, 2, …`, building a sparse
+//! `2^i`-cover per epoch, convergecasting the minimum candidate identifier inside
+//! every cluster, and terminating at the epoch whose clusters contain the whole
+//! graph. Here the layered sparse cover is precomputed (exactly as for the
+//! synchronizer itself), so the algorithm reduces to the *final* epoch: a
+//! convergecast and broadcast of the minimum identifier in every cluster of a cover
+//! whose radius is at least the diameter — every such cluster contains all nodes, so
+//! every node learns the globally minimal identifier. This keeps the `Õ(D)` time and
+//! `Õ(m)` message complexity of the corollary; DESIGN.md §3 records the
+//! simplification.
+
+use crate::runner::{run_synchronized, RunnerError};
+use ds_covers::SparseCover;
+use ds_graph::{Graph, NodeId};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::event_driven::{EventDriven, PulseCtx};
+use ds_netsim::metrics::RunMetrics;
+use ds_sync::synchronizer::SynchronizerConfig;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Messages of the leader-election algorithm, all scoped to one cluster of the cover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaderMsg {
+    /// Convergecast: minimum candidate identifier in the sender's cluster subtree.
+    Up { cluster: u32, best: u64 },
+    /// Broadcast: the cluster-wide minimum identifier.
+    Down { cluster: u32, leader: u64 },
+}
+
+/// Per-cluster convergecast state.
+#[derive(Clone, Debug)]
+struct ClusterState {
+    children_left: usize,
+    best: u64,
+    sent_up: bool,
+}
+
+/// Per-node leader-election algorithm state.
+#[derive(Clone, Debug)]
+pub struct LeaderElection {
+    me: NodeId,
+    cover: Arc<SparseCover>,
+    clusters: BTreeMap<u32, ClusterState>,
+    member_pending: usize,
+    leader: Option<u64>,
+    output: Option<NodeId>,
+}
+
+impl LeaderElection {
+    /// Creates the instance for node `me`, using a cover whose every cluster spans the
+    /// whole graph (any cover of radius at least the diameter).
+    pub fn new(me: NodeId, cover: Arc<SparseCover>) -> Self {
+        let mut clusters = BTreeMap::new();
+        for &cid in cover.tree_clusters_of(me) {
+            let cluster = cover.cluster(cid);
+            let is_member = cover.clusters_of(me).contains(&cid);
+            clusters.insert(
+                cid.0 as u32,
+                ClusterState {
+                    children_left: cluster.children_of(me).len(),
+                    best: if is_member { me.index() as u64 } else { u64::MAX },
+                    sent_up: false,
+                },
+            );
+        }
+        let member_pending = cover.clusters_of(me).len();
+        LeaderElection { me, cover, clusters, member_pending, leader: None, output: None }
+    }
+
+    fn try_advance(&mut self, cluster: u32, ctx: &mut PulseCtx<LeaderMsg>) {
+        let cid = ds_covers::ClusterId(cluster as usize);
+        let c = self.cover.cluster(cid);
+        let Some(state) = self.clusters.get_mut(&cluster) else { return };
+        if state.sent_up || state.children_left > 0 {
+            return;
+        }
+        state.sent_up = true;
+        let best = state.best;
+        match c.parent_of(self.me) {
+            Some(parent) => ctx.send(parent, LeaderMsg::Up { cluster, best }),
+            None => self.complete_cluster(cluster, best, ctx),
+        }
+    }
+
+    fn complete_cluster(&mut self, cluster: u32, leader: u64, ctx: &mut PulseCtx<LeaderMsg>) {
+        let cid = ds_covers::ClusterId(cluster as usize);
+        let c = self.cover.cluster(cid);
+        for &child in c.children_of(self.me) {
+            ctx.send(child, LeaderMsg::Down { cluster, leader });
+        }
+        if self.cover.clusters_of(self.me).contains(&cid) {
+            self.leader = Some(self.leader.map_or(leader, |l| l.min(leader)));
+            self.member_pending = self.member_pending.saturating_sub(1);
+            if self.member_pending == 0 {
+                self.output = Some(NodeId(self.leader.expect("at least one cluster result") as usize));
+            }
+        }
+    }
+}
+
+impl EventDriven for LeaderElection {
+    type Msg = LeaderMsg;
+    /// The elected leader's identifier.
+    type Output = NodeId;
+
+    fn on_init(&mut self, ctx: &mut PulseCtx<LeaderMsg>) {
+        let clusters: Vec<u32> = self.clusters.keys().copied().collect();
+        for cluster in clusters {
+            self.try_advance(cluster, ctx);
+        }
+    }
+
+    fn on_pulse(&mut self, received: &[(NodeId, LeaderMsg)], ctx: &mut PulseCtx<LeaderMsg>) {
+        for &(_, msg) in received {
+            match msg {
+                LeaderMsg::Up { cluster, best } => {
+                    if let Some(state) = self.clusters.get_mut(&cluster) {
+                        state.best = state.best.min(best);
+                        state.children_left = state.children_left.saturating_sub(1);
+                    }
+                    self.try_advance(cluster, ctx);
+                }
+                LeaderMsg::Down { cluster, leader } => {
+                    self.complete_cluster(cluster, leader, ctx);
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<NodeId> {
+        self.output
+    }
+}
+
+/// Result of a synchronized leader-election run.
+#[derive(Clone, Debug)]
+pub struct LeaderReport {
+    /// The elected leader (identical at every node).
+    pub leader: NodeId,
+    /// Per-node outputs (for completeness; all equal to `leader`).
+    pub outputs: Vec<Option<NodeId>>,
+    /// Metrics of the asynchronous run.
+    pub metrics: RunMetrics,
+}
+
+/// Elects a leader asynchronously and deterministically (Corollary 1.3): every node
+/// learns the minimum identifier in `Õ(D)` time using `Õ(m)` messages.
+///
+/// # Errors
+///
+/// Returns an error if the simulation fails.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or disconnected.
+pub fn run_synchronized_leader_election(
+    graph: &Graph,
+    delay: DelayModel,
+) -> Result<LeaderReport, RunnerError> {
+    let diameter = ds_graph::metrics::diameter(graph).expect("leader election requires connectivity");
+    let cover = Arc::new(ds_covers::builder::build_sparse_cover(graph, diameter.max(1)));
+    // The convergecast+broadcast takes at most 2 · (tree height) + 1 pulses.
+    let t_bound = (2 * cover.max_height() as u64 + 2).max(1);
+    let cfg = SynchronizerConfig::build(graph, t_bound);
+    let run = run_synchronized(graph, delay, cfg, |v| LeaderElection::new(v, cover.clone()))?;
+    let leader = run
+        .outputs
+        .iter()
+        .flatten()
+        .copied()
+        .next()
+        .expect("every node elects a leader");
+    Ok(LeaderReport { leader, outputs: run.outputs, metrics: run.metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_netsim::sync_engine::run_sync;
+
+    fn universal_cover(graph: &Graph) -> Arc<SparseCover> {
+        let d = ds_graph::metrics::diameter(graph).unwrap().max(1);
+        Arc::new(ds_covers::builder::build_sparse_cover(graph, d))
+    }
+
+    #[test]
+    fn synchronous_leader_election_elects_minimum_id() {
+        let graph = Graph::random_connected(25, 0.1, 3);
+        let cover = universal_cover(&graph);
+        let report = run_sync(&graph, |v| LeaderElection::new(v, cover.clone()), 10_000).unwrap();
+        for out in report.outputs() {
+            assert_eq!(out, Some(NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_near_linear() {
+        let graph = Graph::grid(5, 5);
+        let cover = universal_cover(&graph);
+        let report = run_sync(&graph, |v| LeaderElection::new(v, cover.clone()), 10_000).unwrap();
+        let n = graph.node_count() as u64;
+        let log_n = (graph.node_count() as f64).log2().ceil() as u64 + 1;
+        // Two messages per cluster-tree edge, O(log n) clusters per node.
+        assert!(report.messages <= 4 * n * log_n, "messages = {}", report.messages);
+    }
+
+    #[test]
+    fn asynchronous_leader_election_matches_corollary() {
+        let graph = Graph::clustered_ring(3, 3);
+        let report = run_synchronized_leader_election(&graph, DelayModel::jitter(8)).unwrap();
+        assert_eq!(report.leader, NodeId(0));
+        assert!(report.outputs.iter().all(|o| *o == Some(NodeId(0))));
+    }
+}

@@ -1,0 +1,17 @@
+//! Event-driven synchronous algorithms and their synchronized asynchronous versions:
+//! the applications of Section 6 of the paper.
+//!
+//! * [`flood`] — single-source broadcast (the simplest event-driven workload, used by
+//!   the overhead experiments).
+//! * [`bfs`] — single- and multi-source breadth-first search (Corollary 1.2).
+//! * [`leader`] — cover-based leader election (Corollary 1.3).
+//! * [`mst`] — minimum spanning tree by filtering convergecast (Corollary 1.4; see
+//!   DESIGN.md §3 for the substitution of Elkin's CONGEST algorithm).
+//! * [`runner`] — helpers that run an algorithm synchronously (ground truth) and
+//!   through the deterministic synchronizer asynchronously, and compare the two.
+
+pub mod bfs;
+pub mod flood;
+pub mod leader;
+pub mod mst;
+pub mod runner;

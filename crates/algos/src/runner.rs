@@ -1,0 +1,160 @@
+//! Helpers for running an event-driven algorithm synchronously and asynchronously
+//! (through the deterministic synchronizer), and comparing the two executions.
+
+use ds_graph::{Graph, NodeId};
+use ds_netsim::async_engine::{run_async, SimError, SimLimits};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::event_driven::EventDriven;
+use ds_netsim::metrics::RunMetrics;
+use ds_netsim::sync_engine::run_sync;
+use ds_sync::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
+use std::fmt;
+use std::sync::Arc;
+
+/// Combined report of a synchronous ground-truth run and a synchronized asynchronous
+/// run of the same algorithm.
+#[derive(Clone, Debug)]
+pub struct ComparisonReport<O> {
+    /// Synchronous round complexity `T(A)` (rounds to quiescence).
+    pub sync_rounds: u64,
+    /// Synchronous message complexity `M(A)`.
+    pub sync_messages: u64,
+    /// Per-node outputs of the synchronous run.
+    pub sync_outputs: Vec<Option<O>>,
+    /// Per-node outputs of the synchronized asynchronous run.
+    pub async_outputs: Vec<Option<O>>,
+    /// Metrics of the asynchronous run (time, messages by class, acknowledgments).
+    pub async_metrics: RunMetrics,
+    /// Ordering violations recorded by the synchronizer (must be zero).
+    pub ordering_violations: u64,
+}
+
+impl<O: PartialEq> ComparisonReport<O> {
+    /// Whether the synchronized execution reproduced the synchronous outputs exactly.
+    pub fn outputs_match(&self) -> bool {
+        self.sync_outputs == self.async_outputs && self.ordering_violations == 0
+    }
+
+    /// Time overhead factor: asynchronous time-to-output divided by `T(A)`.
+    pub fn time_overhead(&self) -> Option<f64> {
+        let t = self.async_metrics.time_to_output?;
+        Some(t / self.sync_rounds.max(1) as f64)
+    }
+
+    /// Message overhead factor: total asynchronous messages divided by `M(A)`.
+    pub fn message_overhead(&self) -> f64 {
+        self.async_metrics.total_messages() as f64 / self.sync_messages.max(1) as f64
+    }
+}
+
+/// Errors from the comparison runners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunnerError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<SimError> for RunnerError {
+    fn from(e: SimError) -> Self {
+        RunnerError::Sim(e)
+    }
+}
+
+/// Runs `make_alg` synchronously to obtain the ground truth and `T(A)`/`M(A)`, then
+/// runs it through the deterministic synchronizer under `delay`, and returns both.
+///
+/// # Errors
+///
+/// Returns an error if either simulation fails (non-neighbor send, round or event
+/// budget exceeded).
+pub fn compare_runs<A, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    mut make_alg: F,
+) -> Result<ComparisonReport<A::Output>, RunnerError>
+where
+    A: EventDriven,
+    F: FnMut(NodeId) -> A,
+{
+    let sync = run_sync(graph, &mut make_alg, 1_000_000)?;
+    let t_bound = sync.rounds_to_quiescence.max(1);
+    let cfg = SynchronizerConfig::build(graph, t_bound);
+    let report = run_synchronized(graph, delay, cfg, &mut make_alg)?;
+    Ok(ComparisonReport {
+        sync_rounds: sync.rounds_to_quiescence,
+        sync_messages: sync.messages,
+        sync_outputs: sync.outputs(),
+        async_outputs: report.outputs,
+        async_metrics: report.metrics,
+        ordering_violations: report.ordering_violations,
+    })
+}
+
+/// Result of running an algorithm through the deterministic synchronizer.
+#[derive(Clone, Debug)]
+pub struct SynchronizedRun<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<Option<O>>,
+    /// Metrics of the asynchronous run.
+    pub metrics: RunMetrics,
+    /// Ordering violations recorded by the synchronizer (must be zero).
+    pub ordering_violations: u64,
+}
+
+/// Runs an event-driven algorithm through the deterministic synchronizer under the
+/// given delay adversary, with an explicit configuration.
+///
+/// # Errors
+///
+/// Returns an error if the simulation fails.
+pub fn run_synchronized<A, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    cfg: Arc<SynchronizerConfig>,
+    mut make_alg: F,
+) -> Result<SynchronizedRun<A::Output>, RunnerError>
+where
+    A: EventDriven,
+    F: FnMut(NodeId) -> A,
+{
+    let report = run_async(
+        graph,
+        delay,
+        |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()),
+        SimLimits::default(),
+    )?;
+    let outputs = collect_outputs(&report.nodes);
+    Ok(SynchronizedRun {
+        outputs: outputs.outputs,
+        metrics: report.metrics,
+        ordering_violations: outputs.ordering_violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::FloodAlgorithm;
+
+    #[test]
+    fn compare_runs_reports_matching_outputs_for_flooding() {
+        let graph = Graph::grid(3, 4);
+        let report =
+            compare_runs(&graph, DelayModel::jitter(3), |v| FloodAlgorithm::new(&graph, v, NodeId(0), 42))
+                .expect("runs succeed");
+        assert!(report.outputs_match());
+        assert!(report.sync_rounds >= 5);
+        assert!(report.message_overhead() >= 1.0);
+        assert!(report.time_overhead().is_some());
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks: one per reproduced quantity that is fast enough to run
+//! repeatedly (cover construction, registration-abstraction round trips, and a full
+//! synchronized BFS on a small graph). The larger sweeps live in the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ds_algos::bfs::run_synchronized_bfs;
+use ds_covers::builder::build_sparse_cover;
+use ds_graph::{Graph, NodeId};
+use ds_netsim::delay::DelayModel;
+use ds_sync::registration::{RegistrationInstance, TreePosition};
+
+fn bench_cover_construction(c: &mut Criterion) {
+    let graph = Graph::random_connected(64, 0.05, 3);
+    c.bench_function("sparse_cover_d4_n64", |b| {
+        b.iter(|| build_sparse_cover(&graph, 4));
+    });
+}
+
+fn bench_registration_roundtrip(c: &mut Criterion) {
+    // One register/deregister cycle on a path cluster tree of depth 32, driven
+    // directly (Lemma 3.4: O(h) messages).
+    c.bench_function("registration_roundtrip_depth32", |b| {
+        b.iter_batched(
+            || {
+                (0..33usize)
+                    .map(|v| {
+                        RegistrationInstance::new(TreePosition {
+                            parent: if v == 0 { None } else { Some(NodeId(v - 1)) },
+                            children: if v == 32 { vec![] } else { vec![NodeId(v + 1)] },
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |mut nodes| {
+                use ds_sync::registration::{RegAction, RegMsg};
+                let mut queue: Vec<(usize, usize, RegMsg)> = Vec::new();
+                let mut actions = Vec::new();
+                nodes[32].register(&mut actions);
+                let mut apply = |from: usize, acts: Vec<RegAction>, queue: &mut Vec<(usize, usize, RegMsg)>| {
+                    for a in acts {
+                        if let RegAction::Send { to, msg } = a {
+                            queue.push((from, to.index(), msg));
+                        }
+                    }
+                };
+                apply(32, actions, &mut queue);
+                let mut deregistered = false;
+                loop {
+                    if queue.is_empty() {
+                        if deregistered {
+                            break;
+                        }
+                        deregistered = true;
+                        let mut acts = Vec::new();
+                        nodes[32].deregister(&mut acts);
+                        apply(32, acts, &mut queue);
+                        continue;
+                    }
+                    let (from, to, msg) = queue.remove(0);
+                    let mut acts = Vec::new();
+                    nodes[to].on_message(NodeId(from), msg, &mut acts);
+                    apply(to, acts, &mut queue);
+                }
+                nodes
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_synchronized_bfs(c: &mut Criterion) {
+    let graph = Graph::grid(5, 5);
+    let mut group = c.benchmark_group("synchronized_bfs");
+    group.sample_size(10);
+    group.bench_function("grid5x5_jitter", |b| {
+        b.iter(|| run_synchronized_bfs(&graph, NodeId(0), DelayModel::jitter(1)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover_construction, bench_registration_roundtrip, bench_synchronized_bfs);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E8 — robustness against delay adversaries.
+fn main() {
+    let rows = ds_bench::experiment_adversaries(40);
+    ds_bench::print_table("E8: adversarial delay models (synchronized BFS)", &rows);
+}

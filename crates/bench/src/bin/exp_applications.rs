@@ -1,0 +1,5 @@
+//! E3/E4/E5 — asynchronous BFS, leader election and MST (Corollaries 1.2-1.4).
+fn main() {
+    let rows = ds_bench::experiment_applications(&[16, 32, 48, 64], 7);
+    ds_bench::print_table("E3-E5: applications (BFS, leader election, MST)", &rows);
+}

@@ -1,0 +1,5 @@
+//! E2 — comparison against Awerbuch's alpha and beta synchronizers (Appendix A).
+fn main() {
+    let rows = ds_bench::experiment_baselines(&[16, 36, 64, 100], 7);
+    ds_bench::print_table("E2: alpha / beta / deterministic synchronizer on flooding", &rows);
+}

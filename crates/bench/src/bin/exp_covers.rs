@@ -1,0 +1,5 @@
+//! E6 — sparse cover quality (Definition 2.1 / Theorem 4.21).
+fn main() {
+    let rows = ds_bench::experiment_covers(&[32, 64, 128]);
+    ds_bench::print_table("E6: sparse cover quality per layer", &rows);
+}

@@ -1,0 +1,5 @@
+//! E1 — synchronizer time/message overheads (Theorem 1.1 / 5.3).
+fn main() {
+    let rows = ds_bench::experiment_overhead(&[16, 36, 64, 100, 144], 7);
+    ds_bench::print_table("E1: deterministic synchronizer overheads (single-source BFS)", &rows);
+}

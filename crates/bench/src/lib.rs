@@ -1,0 +1,273 @@
+//! Experiment harness reproducing the paper's complexity claims (see DESIGN.md §4 and
+//! EXPERIMENTS.md).
+//!
+//! Each experiment runs a workload over a parameter sweep, prints one table row per
+//! parameter point, and returns the rows so that tests and the captured logs in
+//! EXPERIMENTS.md stay consistent. The paper has no numbered tables or figures (it is
+//! a theory paper), so every experiment targets a theorem: the quantities of interest
+//! are time and message *overhead factors* and their growth with `n`.
+
+use ds_algos::bfs::BfsAlgorithm;
+use ds_algos::flood::FloodAlgorithm;
+use ds_algos::leader::run_synchronized_leader_election;
+use ds_algos::mst::run_synchronized_mst;
+use ds_algos::runner::compare_runs;
+use ds_covers::builder::build_layered_sparse_cover;
+use ds_covers::stats::layered_stats;
+use ds_graph::weights::{minimum_spanning_tree, EdgeWeights};
+use ds_graph::{metrics, Graph, NodeId};
+use ds_netsim::async_engine::{run_async, SimLimits};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::sync_engine::run_sync;
+use ds_sync::alpha::AlphaSynchronizer;
+use ds_sync::beta::{BetaSynchronizer, SpanningTree};
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Label of the parameter point (graph family, size, adversary, ...).
+    pub label: String,
+    /// Named measurements, printed in order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl Row {
+    /// Looks up a measurement by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+}
+
+/// Prints a table of rows with a header derived from the first row.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("== {title}");
+    if let Some(first) = rows.first() {
+        let header: Vec<String> = first.values.iter().map(|(k, _)| format!("{k:>12}")).collect();
+        println!("{:<28} {}", "workload", header.join(" "));
+    }
+    for row in rows {
+        let cells: Vec<String> = row.values.iter().map(|(_, v)| format!("{v:>12.2}")).collect();
+        println!("{:<28} {}", row.label, cells.join(" "));
+    }
+    println!();
+}
+
+/// The graph families used by the sweeps.
+pub fn graph_suite(sizes: &[usize]) -> Vec<(String, Graph)> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.push((format!("path/{n}"), Graph::path(n)));
+        let side = (n as f64).sqrt().round().max(2.0) as usize;
+        out.push((format!("grid/{}", side * side), Graph::grid(side, side)));
+        out.push((
+            format!("random/{n}"),
+            Graph::random_connected(n, (3.0 / n as f64).min(1.0), n as u64),
+        ));
+    }
+    out
+}
+
+/// E1 — Theorem 1.1 / 5.3: time and message overheads of the deterministic
+/// synchronizer on single-source BFS, across graph families and sizes.
+pub fn experiment_overhead(sizes: &[usize], delay_seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (label, graph) in graph_suite(sizes) {
+        let report = compare_runs(&graph, DelayModel::jitter(delay_seed), |v| {
+            BfsAlgorithm::new(&graph, v, &[NodeId(0)])
+        })
+        .expect("comparison run");
+        let n = graph.node_count() as f64;
+        rows.push(Row {
+            label,
+            values: vec![
+                ("match", if report.outputs_match() { 1.0 } else { 0.0 }),
+                ("n", n),
+                ("m", graph.edge_count() as f64),
+                ("T(A)", report.sync_rounds as f64),
+                ("M(A)", report.sync_messages as f64),
+                ("asyncT", report.async_metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("asyncM", report.async_metrics.total_messages() as f64),
+                ("timeOvh", report.time_overhead().unwrap_or(f64::NAN)),
+                ("msgOvh", report.message_overhead()),
+                ("msg/(m·lg²n)", report.async_metrics.total_messages() as f64
+                    / (graph.edge_count() as f64 * n.log2().powi(2))),
+            ],
+        });
+    }
+    rows
+}
+
+/// E2 — Appendix A comparison: α, β and the deterministic synchronizer on the same
+/// flooding workload.
+pub fn experiment_baselines(sizes: &[usize], delay_seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let side = (n as f64).sqrt().round().max(2.0) as usize;
+        let graph = Graph::grid(side, side);
+        let source = NodeId(0);
+        let make = |v: NodeId| FloodAlgorithm::new(&graph, v, source, 1);
+        let sync = run_sync(&graph, make, 100_000).expect("sync run");
+        let t = sync.rounds_to_quiescence;
+        let delay = DelayModel::jitter(delay_seed);
+
+        let alpha = run_async(
+            &graph,
+            delay.clone(),
+            |v| AlphaSynchronizer::new(&graph, v, make(v), t),
+            SimLimits::default(),
+        )
+        .expect("alpha run");
+        let tree = SpanningTree::bfs(&graph, source);
+        let beta = run_async(
+            &graph,
+            delay.clone(),
+            |v| BetaSynchronizer::new(tree.clone(), v, make(v), t),
+            SimLimits::default(),
+        )
+        .expect("beta run");
+        let det = compare_runs(&graph, delay, make).expect("det run");
+        assert!(det.outputs_match());
+
+        rows.push(Row {
+            label: format!("grid/{}", side * side),
+            values: vec![
+                ("n", graph.node_count() as f64),
+                ("T(A)", t as f64),
+                ("M(A)", sync.messages as f64),
+                ("alphaM", alpha.metrics.total_messages() as f64),
+                ("betaM", beta.metrics.total_messages() as f64),
+                ("detM", det.async_metrics.total_messages() as f64),
+                ("alphaT", alpha.metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("betaT", beta.metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("detT", det.async_metrics.time_to_output.unwrap_or(f64::NAN)),
+            ],
+        });
+    }
+    rows
+}
+
+/// E3/E4/E5 — the Section 6 applications: asynchronous BFS, leader election and MST,
+/// with their time and message costs next to `D`, `m` and `n`.
+pub fn experiment_applications(sizes: &[usize], delay_seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let graph = Graph::random_connected(n, (3.0 / n as f64).min(1.0), n as u64 + 7);
+        let d = metrics::diameter(&graph).unwrap() as f64;
+        let delay = DelayModel::jitter(delay_seed);
+
+        let bfs = ds_algos::bfs::run_synchronized_bfs(&graph, NodeId(0), delay.clone()).unwrap();
+        let le = run_synchronized_leader_election(&graph, delay.clone()).unwrap();
+        let weights = EdgeWeights::random_distinct(&graph, n as u64);
+        let mst = run_synchronized_mst(&graph, &weights, delay).unwrap();
+        let reference = minimum_spanning_tree(&graph, &weights);
+        assert_eq!(mst.tree_edges.len(), reference.len());
+
+        rows.push(Row {
+            label: format!("random/{n}"),
+            values: vec![
+                ("n", n as f64),
+                ("m", graph.edge_count() as f64),
+                ("D", d),
+                ("bfsT", bfs.metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("bfsM", bfs.metrics.total_messages() as f64),
+                ("leT", le.metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("leM", le.metrics.total_messages() as f64),
+                ("mstT", mst.metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("mstM", mst.metrics.total_messages() as f64),
+            ],
+        });
+    }
+    rows
+}
+
+/// E6 — sparse-cover quality (Definition 2.1 / Theorem 4.21): membership, stretch and
+/// edge load per layer.
+pub fn experiment_covers(sizes: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let graph = Graph::random_connected(n, (3.0 / n as f64).min(1.0), 3 * n as u64);
+        let d = metrics::diameter(&graph).unwrap().max(1);
+        let layered = build_layered_sparse_cover(&graph, d);
+        for stats in layered_stats(&graph, &layered) {
+            rows.push(Row {
+                label: format!("random/{n} d={}", stats.radius),
+                values: vec![
+                    ("n", n as f64),
+                    ("clusters", stats.clusters as f64),
+                    ("maxMember", stats.max_membership as f64),
+                    ("avgMember", stats.avg_membership),
+                    ("treeHeight", stats.max_tree_height as f64),
+                    ("stretch", stats.stretch),
+                    ("edgeLoad", stats.max_edge_load as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E8 — robustness: the synchronized BFS under every delay adversary; outputs must
+/// match the synchronous run in every case.
+pub fn experiment_adversaries(n: usize) -> Vec<Row> {
+    let graph = Graph::random_connected(n, (3.0 / n as f64).min(1.0), 11);
+    let mut rows = Vec::new();
+    for delay in DelayModel::standard_suite(5) {
+        let report = compare_runs(&graph, delay.clone(), |v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+            .expect("run");
+        assert!(report.outputs_match(), "{delay:?}");
+        rows.push(Row {
+            label: format!("{delay:?}"),
+            values: vec![
+                ("match", 1.0),
+                ("asyncT", report.async_metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("asyncM", report.async_metrics.total_messages() as f64),
+                ("timeOvh", report.time_overhead().unwrap_or(f64::NAN)),
+                ("msgOvh", report.message_overhead()),
+            ],
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_rows_have_matching_outputs_and_bounded_overhead() {
+        let rows = experiment_overhead(&[16], 1);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.value("msgOvh").unwrap() >= 1.0);
+            assert!(row.value("timeOvh").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn baseline_rows_show_alpha_paying_per_pulse_edges() {
+        let rows = experiment_baselines(&[16], 2);
+        let row = &rows[0];
+        // α sends Θ(m) safety messages per pulse, so with T ≈ 2·diameter pulses its
+        // message count must exceed the algorithm's own by a large factor.
+        assert!(row.value("alphaM").unwrap() > 4.0 * row.value("M(A)").unwrap());
+    }
+
+    #[test]
+    fn cover_rows_report_valid_statistics() {
+        let rows = experiment_covers(&[20]);
+        assert!(!rows.is_empty());
+        for row in rows {
+            assert!(row.value("maxMember").unwrap() >= 1.0);
+            // Stretch can drop below 1 when the layer's radius exceeds the graph
+            // diameter (the tree is then shallower than the radius).
+            assert!(row.value("stretch").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn adversary_rows_always_match() {
+        for row in experiment_adversaries(18) {
+            assert_eq!(row.value("match"), Some(1.0));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Awerbuch's α synchronizer (Appendix A): the trivial pulse-generation scheme.
+//!
+//! Every node generates every pulse `1, 2, 3, …`. A node is *safe* for pulse `p` once
+//! all its pulse-`p` algorithm messages have been acknowledged; it then tells all its
+//! neighbors, and it generates pulse `p + 1` once it is safe for `p` and has heard
+//! that every neighbor is safe for `p`. The time overhead is `O(1)` per pulse but the
+//! message overhead is `Θ(m)` per pulse — the baseline the paper's synchronizer
+//! improves on.
+
+use ds_graph::{Graph, NodeId};
+use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
+use ds_netsim::metrics::MessageClass;
+use ds_netsim::protocol::{Ctx, Protocol};
+use std::collections::BTreeMap;
+
+/// Messages of the α synchronizer.
+#[derive(Clone, Debug)]
+pub enum AlphaMsg<M> {
+    /// An algorithm message of pulse `pulse`.
+    Alg { pulse: u64, payload: M },
+    /// Acknowledgment of an algorithm message of pulse `pulse`.
+    Ack { pulse: u64 },
+    /// The sender is safe for pulse `pulse`.
+    Safe { pulse: u64 },
+}
+
+/// Per-node α synchronizer wrapping an event-driven algorithm.
+#[derive(Debug)]
+pub struct AlphaSynchronizer<A: EventDriven> {
+    me: NodeId,
+    neighbors: Vec<NodeId>,
+    alg: A,
+    max_pulse: u64,
+    /// The pulse whose messages this node has already sent.
+    current: u64,
+    /// Outstanding acknowledgments per pulse.
+    unacked: BTreeMap<u64, usize>,
+    /// Neighbors' safety notifications per pulse.
+    neighbor_safe: BTreeMap<u64, usize>,
+    /// Whether this node has announced its own safety for a pulse.
+    announced: BTreeMap<u64, bool>,
+    /// Algorithm messages received, keyed by the sender's pulse.
+    received: BTreeMap<u64, Vec<(NodeId, A::Msg)>>,
+    /// Whether this node sent any algorithm messages at each pulse.
+    sent_at: BTreeMap<u64, bool>,
+}
+
+impl<A: EventDriven> AlphaSynchronizer<A> {
+    /// Creates the α synchronizer instance for node `me`, simulating `max_pulse`
+    /// pulses of `alg`.
+    pub fn new(graph: &Graph, me: NodeId, alg: A, max_pulse: u64) -> Self {
+        AlphaSynchronizer {
+            me,
+            neighbors: graph.neighbors(me).to_vec(),
+            alg,
+            max_pulse,
+            current: 0,
+            unacked: BTreeMap::new(),
+            neighbor_safe: BTreeMap::new(),
+            announced: BTreeMap::new(),
+            received: BTreeMap::new(),
+            sent_at: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped algorithm (for extracting outputs).
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    fn dispatch(&mut self, pulse: u64, outbox: Vec<(NodeId, A::Msg)>, ctx: &mut Ctx<AlphaMsg<A::Msg>>) {
+        self.sent_at.insert(pulse, !outbox.is_empty());
+        *self.unacked.entry(pulse).or_insert(0) += outbox.len();
+        for (to, payload) in outbox {
+            ctx.send_with(to, AlphaMsg::Alg { pulse, payload }, pulse, MessageClass::Algorithm);
+        }
+        self.try_announce(pulse, ctx);
+    }
+
+    fn try_announce(&mut self, pulse: u64, ctx: &mut Ctx<AlphaMsg<A::Msg>>) {
+        if self.announced.get(&pulse).copied().unwrap_or(false) {
+            return;
+        }
+        if self.unacked.get(&pulse).copied().unwrap_or(0) > 0 {
+            return;
+        }
+        self.announced.insert(pulse, true);
+        for &u in &self.neighbors {
+            ctx.send_with(u, AlphaMsg::Safe { pulse }, pulse, MessageClass::Control);
+        }
+        self.try_advance(ctx);
+    }
+
+    fn try_advance(&mut self, ctx: &mut Ctx<AlphaMsg<A::Msg>>) {
+        loop {
+            let p = self.current;
+            if p >= self.max_pulse {
+                return;
+            }
+            let own_safe = self.announced.get(&p).copied().unwrap_or(false);
+            let all_neighbors =
+                self.neighbor_safe.get(&p).copied().unwrap_or(0) == self.neighbors.len();
+            if !(own_safe && all_neighbors) {
+                return;
+            }
+            // Generate pulse p + 1.
+            self.current = p + 1;
+            let mut batch = self.received.remove(&p).unwrap_or_default();
+            let triggered = !batch.is_empty() || self.sent_at.get(&p).copied().unwrap_or(false);
+            let outbox = if triggered {
+                canonical_batch(&mut batch);
+                let mut pctx = PulseCtx::new(self.me);
+                self.alg.on_pulse(&batch, &mut pctx);
+                pctx.take_outbox()
+            } else {
+                Vec::new()
+            };
+            self.dispatch(p + 1, outbox, ctx);
+        }
+    }
+}
+
+impl<A: EventDriven> Protocol for AlphaSynchronizer<A> {
+    type Message = AlphaMsg<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self::Message>) {
+        let mut pctx = PulseCtx::new(self.me);
+        self.alg.on_init(&mut pctx);
+        let outbox = pctx.take_outbox();
+        self.dispatch(0, outbox, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>) {
+        match msg {
+            AlphaMsg::Alg { pulse, payload } => {
+                self.received.entry(pulse).or_default().push((from, payload));
+                ctx.send_with(from, AlphaMsg::Ack { pulse }, pulse, MessageClass::Control);
+            }
+            AlphaMsg::Ack { pulse } => {
+                if let Some(c) = self.unacked.get_mut(&pulse) {
+                    *c = c.saturating_sub(1);
+                }
+                self.try_announce(pulse, ctx);
+            }
+            AlphaMsg::Safe { pulse } => {
+                *self.neighbor_safe.entry(pulse).or_insert(0) += 1;
+                self.try_advance(ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.alg.output().is_some()
+    }
+}

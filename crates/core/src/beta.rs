@@ -1,0 +1,194 @@
+//! Awerbuch's β synchronizer (Appendix A): per-pulse convergecast and broadcast on a
+//! global spanning tree.
+//!
+//! After sending its pulse-`p` messages and collecting their acknowledgments, each
+//! node reports readiness up a (precomputed) rooted BFS spanning tree; once the whole
+//! tree is ready the root broadcasts the next pulse. The message overhead per pulse is
+//! `Θ(n)` and the time overhead per pulse is `Θ(D)` — the other classical baseline.
+//!
+//! The spanning tree is provided as initialization data (computing it is the
+//! β synchronizer's initialization phase, which Appendix A accounts separately).
+
+use ds_graph::{metrics, Graph, NodeId};
+use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
+use ds_netsim::metrics::MessageClass;
+use ds_netsim::protocol::{Ctx, Protocol};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The shared spanning-tree structure used by the β synchronizer.
+#[derive(Clone, Debug)]
+pub struct SpanningTree {
+    /// The root of the tree.
+    pub root: NodeId,
+    /// Parent of each node (`None` for the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Children of each node.
+    pub children: Vec<Vec<NodeId>>,
+}
+
+impl SpanningTree {
+    /// Builds a BFS spanning tree of `graph` rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn bfs(graph: &Graph, root: NodeId) -> Arc<Self> {
+        let parent = metrics::bfs_tree(graph, root);
+        assert!(
+            graph.nodes().all(|v| v == root || parent[v.index()].is_some()),
+            "β synchronizer requires a connected graph"
+        );
+        let mut children = vec![Vec::new(); graph.node_count()];
+        for v in graph.nodes() {
+            if let Some(p) = parent[v.index()] {
+                children[p.index()].push(v);
+            }
+        }
+        Arc::new(SpanningTree { root, parent, children })
+    }
+}
+
+/// Messages of the β synchronizer.
+#[derive(Clone, Debug)]
+pub enum BetaMsg<M> {
+    /// An algorithm message of pulse `pulse`.
+    Alg { pulse: u64, payload: M },
+    /// Acknowledgment of an algorithm message.
+    Ack { pulse: u64 },
+    /// Convergecast: the sender's subtree is safe for pulse `pulse`.
+    Ready { pulse: u64 },
+    /// Broadcast: the whole network is safe for `pulse`; generate pulse `pulse + 1`.
+    NextPulse { pulse: u64 },
+}
+
+/// Per-node β synchronizer wrapping an event-driven algorithm.
+#[derive(Debug)]
+pub struct BetaSynchronizer<A: EventDriven> {
+    me: NodeId,
+    tree: Arc<SpanningTree>,
+    alg: A,
+    max_pulse: u64,
+    current: u64,
+    unacked: usize,
+    children_ready: usize,
+    received: BTreeMap<u64, Vec<(NodeId, A::Msg)>>,
+    sent_at_current: bool,
+    reported: bool,
+}
+
+impl<A: EventDriven> BetaSynchronizer<A> {
+    /// Creates the β synchronizer instance for node `me`.
+    pub fn new(tree: Arc<SpanningTree>, me: NodeId, alg: A, max_pulse: u64) -> Self {
+        BetaSynchronizer {
+            me,
+            tree,
+            alg,
+            max_pulse,
+            current: 0,
+            unacked: 0,
+            children_ready: 0,
+            received: BTreeMap::new(),
+            sent_at_current: false,
+            reported: false,
+        }
+    }
+
+    /// The wrapped algorithm (for extracting outputs).
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    fn dispatch(&mut self, pulse: u64, outbox: Vec<(NodeId, A::Msg)>, ctx: &mut Ctx<BetaMsg<A::Msg>>) {
+        self.sent_at_current = !outbox.is_empty();
+        self.unacked = outbox.len();
+        self.children_ready = 0;
+        self.reported = false;
+        for (to, payload) in outbox {
+            ctx.send_with(to, BetaMsg::Alg { pulse, payload }, pulse, MessageClass::Algorithm);
+        }
+        self.try_report(ctx);
+    }
+
+    fn try_report(&mut self, ctx: &mut Ctx<BetaMsg<A::Msg>>) {
+        if self.reported || self.unacked > 0 {
+            return;
+        }
+        if self.children_ready < self.tree.children[self.me.index()].len() {
+            return;
+        }
+        self.reported = true;
+        match self.tree.parent[self.me.index()] {
+            Some(parent) => {
+                ctx.send_with(parent, BetaMsg::Ready { pulse: self.current }, self.current, MessageClass::Control);
+            }
+            None => self.broadcast_next(ctx),
+        }
+    }
+
+    fn broadcast_next(&mut self, ctx: &mut Ctx<BetaMsg<A::Msg>>) {
+        let pulse = self.current;
+        for &c in &self.tree.children[self.me.index()].clone() {
+            ctx.send_with(c, BetaMsg::NextPulse { pulse }, pulse, MessageClass::Control);
+        }
+        self.advance(ctx);
+    }
+
+    fn advance(&mut self, ctx: &mut Ctx<BetaMsg<A::Msg>>) {
+        let p = self.current;
+        if p >= self.max_pulse {
+            return;
+        }
+        self.current = p + 1;
+        let mut batch = self.received.remove(&p).unwrap_or_default();
+        let triggered = !batch.is_empty() || self.sent_at_current;
+        let outbox = if triggered {
+            canonical_batch(&mut batch);
+            let mut pctx = PulseCtx::new(self.me);
+            self.alg.on_pulse(&batch, &mut pctx);
+            pctx.take_outbox()
+        } else {
+            Vec::new()
+        };
+        self.dispatch(p + 1, outbox, ctx);
+    }
+}
+
+impl<A: EventDriven> Protocol for BetaSynchronizer<A> {
+    type Message = BetaMsg<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self::Message>) {
+        let mut pctx = PulseCtx::new(self.me);
+        self.alg.on_init(&mut pctx);
+        let outbox = pctx.take_outbox();
+        self.dispatch(0, outbox, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>) {
+        match msg {
+            BetaMsg::Alg { pulse, payload } => {
+                self.received.entry(pulse).or_default().push((from, payload));
+                ctx.send_with(from, BetaMsg::Ack { pulse }, pulse, MessageClass::Control);
+            }
+            BetaMsg::Ack { pulse: _ } => {
+                self.unacked = self.unacked.saturating_sub(1);
+                self.try_report(ctx);
+            }
+            BetaMsg::Ready { pulse: _ } => {
+                self.children_ready += 1;
+                self.try_report(ctx);
+            }
+            BetaMsg::NextPulse { pulse: _ } => {
+                // Forward the broadcast and advance.
+                for &c in &self.tree.children[self.me.index()].clone() {
+                    ctx.send_with(c, BetaMsg::NextPulse { pulse: self.current }, self.current, MessageClass::Control);
+                }
+                self.advance(ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.alg.output().is_some()
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's primary contribution: a deterministic distributed synchronizer with
+//! polylogarithmic time and message complexity overheads, plus the classical α and β
+//! baselines of Awerbuch.
+//!
+//! * [`pulse`] — pulse levels, `prev(·)` and stage bookkeeping (Definitions 4.3–4.5).
+//! * [`registration`] — the cluster registration abstraction (Section 3.2).
+//! * [`synchronizer`] — the deterministic synchronizer for event-driven algorithms
+//!   (Sections 4–5, Theorems 5.2–5.5).
+//! * [`alpha`], [`beta`] — the classical baselines (Appendix A), used for the
+//!   overhead-comparison experiments.
+//! * [`event_driven`] — re-export of the event-driven algorithm interface from
+//!   `ds-netsim`, so downstream crates only need this crate.
+//!
+//! # Example
+//!
+//! Wrap a synchronous flooding algorithm and run it asynchronously; see
+//! `examples/quickstart.rs` in the repository root for a complete program.
+
+pub mod alpha;
+pub mod beta;
+pub mod pulse;
+pub mod registration;
+pub mod synchronizer;
+
+/// Re-export of the event-driven algorithm interface.
+pub mod event_driven {
+    pub use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
+}
+
+pub use synchronizer::{collect_outputs, DetSynchronizer, SyncMsg, SynchronizerConfig};

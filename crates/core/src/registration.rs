@@ -1,0 +1,470 @@
+//! The cluster registration abstraction of Section 3.2.
+//!
+//! Within one cluster tree and one stage, nodes *register* before performing a piece
+//! of work, *deregister* once done, and then wait for a `Go-Ahead` from the cluster.
+//! The two guarantees (Lemmas 3.4 and 3.5) are:
+//!
+//! 1. when a node receives its Go-Ahead, every node that registered before this node
+//!    deregistered has already deregistered, and
+//! 2. once no more registrations happen and all registered nodes have deregistered,
+//!    every registered node receives its Go-Ahead within `O(h)` time, spending only
+//!    messages proportional to the registrations.
+//!
+//! The implementation follows the paper: registration marks the tree path to the
+//! root *dirty* (procedure `R`), deregistration converts dirty edges to *waiting*
+//! (procedure `D`), and the root propagates Go-Aheads down waiting edges
+//! (procedure `G`).
+//!
+//! [`RegistrationInstance`] is a pure node-local state machine: it consumes local
+//! commands ([`RegistrationInstance::register`], [`RegistrationInstance::deregister`])
+//! and peer messages ([`RegistrationInstance::on_message`]), and emits
+//! [`RegAction`]s — messages to tree neighbors plus local notifications — which the
+//! embedding protocol (the synchronizer) routes over the network. One instance exists
+//! per (cluster, stage) pair per node, created lazily.
+
+use ds_graph::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Messages exchanged between cluster-tree neighbors by the registration abstraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegMsg {
+    /// Child → parent: "I marked our edge dirty; run `R` and tell me when the path to
+    /// the root is dirty."
+    RegisterUp,
+    /// Parent → child: "`R` is complete here (the path from me to the root is dirty)."
+    RegisterDone,
+    /// Child → parent: "our edge is no longer dirty but waiting; run `D`."
+    DeregisterUp,
+    /// Parent → child over a waiting edge: the Go-Ahead (procedure `G`).
+    GoAheadDown,
+}
+
+/// Local effects produced by the state machine for the embedding protocol to act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegAction {
+    /// Send `msg` to the cluster-tree neighbor `to`.
+    Send { to: NodeId, msg: RegMsg },
+    /// This node's own registration is confirmed (the path to the root is dirty).
+    Registered,
+    /// This node received the Go-Ahead it was waiting for after deregistering.
+    Free,
+}
+
+/// The role of the local node within one cluster tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreePosition {
+    /// Parent in the cluster tree (`None` for the cluster root).
+    pub parent: Option<NodeId>,
+    /// Children in the cluster tree.
+    pub children: Vec<NodeId>,
+}
+
+/// Edge marks as seen from the node above the edge (for child edges) or below it (for
+/// the parent edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum EdgeMark {
+    #[default]
+    Clean,
+    Dirty,
+    Waiting,
+}
+
+/// Per-node state of the registration abstraction for one (cluster, stage).
+#[derive(Clone, Debug)]
+pub struct RegistrationInstance {
+    position: TreePosition,
+    /// Whether the path from this node to the root is known to be fully dirty.
+    finished: bool,
+    /// This node's own lifecycle.
+    registered: bool,
+    deregistered: bool,
+    free: bool,
+    /// Mark of the edge to the parent, from this node's point of view.
+    parent_edge: EdgeMark,
+    /// Marks of the edges to the children, from this node's point of view.
+    child_edges: BTreeMap<NodeId, EdgeMark>,
+    /// Children whose `R` invocation is waiting for this node to become finished.
+    r_waiters: BTreeSet<NodeId>,
+    /// Whether this node's own registration is waiting for the parent's `R`.
+    own_r_pending: bool,
+    /// Whether a `RegisterUp` has been sent and not yet answered.
+    awaiting_parent: bool,
+}
+
+impl RegistrationInstance {
+    /// Creates the instance for a node at the given tree position. The cluster root
+    /// (no parent) starts out `finished`, as in the paper.
+    pub fn new(position: TreePosition) -> Self {
+        let finished = position.parent.is_none();
+        let child_edges = position.children.iter().map(|&c| (c, EdgeMark::Clean)).collect();
+        RegistrationInstance {
+            position,
+            finished,
+            registered: false,
+            deregistered: false,
+            free: false,
+            parent_edge: EdgeMark::Clean,
+            child_edges,
+            r_waiters: BTreeSet::new(),
+            own_r_pending: false,
+            awaiting_parent: false,
+        }
+    }
+
+    /// Whether this node's registration has been confirmed.
+    pub fn is_registered(&self) -> bool {
+        self.registered
+    }
+
+    /// Whether this node has deregistered.
+    pub fn is_deregistered(&self) -> bool {
+        self.deregistered
+    }
+
+    /// Whether this node has received its Go-Ahead.
+    pub fn is_free(&self) -> bool {
+        self.free
+    }
+
+    /// Starts this node's registration (procedure `R`). Idempotent.
+    pub fn register(&mut self, actions: &mut Vec<RegAction>) {
+        if self.registered || self.own_r_pending {
+            return;
+        }
+        self.own_r_pending = true;
+        self.invoke_r(actions);
+    }
+
+    /// Deregisters this node (procedure `D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has not completed registration, or deregisters twice: the
+    /// synchronizer always registers, waits for confirmation, then deregisters once.
+    pub fn deregister(&mut self, actions: &mut Vec<RegAction>) {
+        assert!(self.registered, "deregister requires a confirmed registration");
+        assert!(!self.deregistered, "deregister is one-shot per instance");
+        self.registered = false;
+        self.deregistered = true;
+        self.invoke_d(actions);
+    }
+
+    /// Handles a registration message from the cluster-tree neighbor `from`.
+    pub fn on_message(&mut self, from: NodeId, msg: RegMsg, actions: &mut Vec<RegAction>) {
+        match msg {
+            RegMsg::RegisterUp => {
+                self.child_edges.insert(from, EdgeMark::Dirty);
+                self.r_waiters.insert(from);
+                self.invoke_r(actions);
+            }
+            RegMsg::RegisterDone => {
+                self.awaiting_parent = false;
+                self.complete_r(actions);
+            }
+            RegMsg::DeregisterUp => {
+                self.child_edges.insert(from, EdgeMark::Waiting);
+                if self.position.parent.is_none() {
+                    self.maybe_issue_goahead(actions);
+                } else {
+                    self.invoke_d(actions);
+                }
+            }
+            RegMsg::GoAheadDown => {
+                self.parent_edge = EdgeMark::Clean;
+                self.receive_goahead(actions);
+            }
+        }
+    }
+
+    /// Procedure `R` at this node.
+    fn invoke_r(&mut self, actions: &mut Vec<RegAction>) {
+        if self.finished {
+            self.complete_r(actions);
+            return;
+        }
+        let parent = self
+            .position
+            .parent
+            .expect("only the root is finished from the start");
+        if self.parent_edge != EdgeMark::Dirty {
+            self.parent_edge = EdgeMark::Dirty;
+        }
+        if !self.awaiting_parent {
+            self.awaiting_parent = true;
+            actions.push(RegAction::Send { to: parent, msg: RegMsg::RegisterUp });
+        }
+    }
+
+    /// This node has become finished: complete all pending `R` invocations.
+    fn complete_r(&mut self, actions: &mut Vec<RegAction>) {
+        self.finished = true;
+        if self.own_r_pending {
+            self.own_r_pending = false;
+            self.registered = true;
+            actions.push(RegAction::Registered);
+        }
+        for child in std::mem::take(&mut self.r_waiters) {
+            actions.push(RegAction::Send { to: child, msg: RegMsg::RegisterDone });
+        }
+    }
+
+    /// Procedure `D` at this node.
+    fn invoke_d(&mut self, actions: &mut Vec<RegAction>) {
+        if self.child_edges.values().any(|&m| m == EdgeMark::Dirty) {
+            return;
+        }
+        if self.registered {
+            return;
+        }
+        match self.position.parent {
+            None => self.maybe_issue_goahead(actions),
+            Some(parent) => {
+                if self.parent_edge == EdgeMark::Dirty {
+                    self.parent_edge = EdgeMark::Waiting;
+                    self.finished = false;
+                    actions.push(RegAction::Send { to: parent, msg: RegMsg::DeregisterUp });
+                } else if self.deregistered && !self.free && self.parent_edge == EdgeMark::Clean {
+                    // The node deregistered without ever dirtying its parent edge
+                    // (possible only if it was already finished through another
+                    // registration wave that has since been fully resolved). Nothing
+                    // upstream tracks it, so it frees itself.
+                    self.free = true;
+                    actions.push(RegAction::Free);
+                }
+            }
+        }
+    }
+
+    /// Procedure `G` at this node: consume and forward the Go-Ahead.
+    fn receive_goahead(&mut self, actions: &mut Vec<RegAction>) {
+        if self.deregistered && !self.free {
+            self.free = true;
+            actions.push(RegAction::Free);
+        }
+        let waiting_children: Vec<NodeId> = self
+            .child_edges
+            .iter()
+            .filter(|(_, &m)| m == EdgeMark::Waiting)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in waiting_children {
+            self.child_edges.insert(c, EdgeMark::Clean);
+            actions.push(RegAction::Send { to: c, msg: RegMsg::GoAheadDown });
+        }
+    }
+
+    /// At the root: issue a Go-Ahead if no child edge is dirty.
+    fn maybe_issue_goahead(&mut self, actions: &mut Vec<RegAction>) {
+        debug_assert!(self.position.parent.is_none());
+        if self.child_edges.values().any(|&m| m == EdgeMark::Dirty) {
+            return;
+        }
+        self.receive_goahead(actions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny sequential harness that delivers registration messages between the
+    /// node-local instances of one cluster tree, in FIFO order, and records local
+    /// notifications. Used to unit-test the state machine without the full simulator
+    /// (the simulator-level tests live in the synchronizer integration tests).
+    struct Harness {
+        nodes: BTreeMap<NodeId, RegistrationInstance>,
+        inbox: Vec<(NodeId, NodeId, RegMsg)>,
+        registered: BTreeSet<NodeId>,
+        freed: Vec<NodeId>,
+        messages: usize,
+    }
+
+    impl Harness {
+        fn new(parents: &[(usize, Option<usize>)]) -> Self {
+            let mut children: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+            for &(v, p) in parents {
+                if let Some(p) = p {
+                    children.entry(p).or_default().push(NodeId(v));
+                }
+            }
+            let nodes = parents
+                .iter()
+                .map(|&(v, p)| {
+                    let pos = TreePosition {
+                        parent: p.map(NodeId),
+                        children: children.get(&v).cloned().unwrap_or_default(),
+                    };
+                    (NodeId(v), RegistrationInstance::new(pos))
+                })
+                .collect();
+            Harness {
+                nodes,
+                inbox: Vec::new(),
+                registered: BTreeSet::new(),
+                freed: Vec::new(),
+                messages: 0,
+            }
+        }
+
+        fn apply(&mut self, node: NodeId, actions: Vec<RegAction>) {
+            for a in actions {
+                match a {
+                    RegAction::Send { to, msg } => {
+                        self.messages += 1;
+                        self.inbox.push((node, to, msg));
+                    }
+                    RegAction::Registered => {
+                        self.registered.insert(node);
+                    }
+                    RegAction::Free => self.freed.push(node),
+                }
+            }
+        }
+
+        fn register(&mut self, v: usize) {
+            let mut actions = Vec::new();
+            self.nodes.get_mut(&NodeId(v)).unwrap().register(&mut actions);
+            self.apply(NodeId(v), actions);
+        }
+
+        fn deregister(&mut self, v: usize) {
+            let mut actions = Vec::new();
+            self.nodes.get_mut(&NodeId(v)).unwrap().deregister(&mut actions);
+            self.apply(NodeId(v), actions);
+        }
+
+        /// Delivers queued messages until quiescence.
+        fn drain(&mut self) {
+            while !self.inbox.is_empty() {
+                let (from, to, msg) = self.inbox.remove(0);
+                let mut actions = Vec::new();
+                self.nodes.get_mut(&to).unwrap().on_message(from, msg, &mut actions);
+                self.apply(to, actions);
+            }
+        }
+    }
+
+    /// Path tree 0 (root) - 1 - 2 - 3.
+    fn path_tree() -> Harness {
+        Harness::new(&[(0, None), (1, Some(0)), (2, Some(1)), (3, Some(2))])
+    }
+
+    #[test]
+    fn single_registration_roundtrip() {
+        let mut h = path_tree();
+        h.register(3);
+        h.drain();
+        assert!(h.registered.contains(&NodeId(3)));
+        assert!(h.freed.is_empty());
+        h.deregister(3);
+        h.drain();
+        assert_eq!(h.freed, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn root_registration_is_immediate() {
+        let mut h = path_tree();
+        h.register(0);
+        assert!(h.registered.contains(&NodeId(0)));
+        h.deregister(0);
+        h.drain();
+        assert_eq!(h.freed, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn go_ahead_waits_for_all_registered_nodes() {
+        let mut h = path_tree();
+        h.register(2);
+        h.register(3);
+        h.drain();
+        assert!(h.registered.contains(&NodeId(2)) && h.registered.contains(&NodeId(3)));
+        // Deregister only node 3: node 2's registration keeps the path dirty, so no
+        // Go-Ahead may be issued (register guarantee 1).
+        h.deregister(3);
+        h.drain();
+        assert!(h.freed.is_empty());
+        h.deregister(2);
+        h.drain();
+        let mut freed = h.freed.clone();
+        freed.sort();
+        assert_eq!(freed, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn registration_after_goahead_starts_a_new_wave() {
+        let mut h = path_tree();
+        h.register(3);
+        h.drain();
+        h.deregister(3);
+        h.drain();
+        assert_eq!(h.freed, vec![NodeId(3)]);
+        // A different node registers afterwards; it must get its own confirmation and
+        // (after deregistering) its own Go-Ahead.
+        h.register(2);
+        h.drain();
+        assert!(h.registered.contains(&NodeId(2)));
+        h.deregister(2);
+        h.drain();
+        assert_eq!(h.freed, vec![NodeId(3), NodeId(2)]);
+    }
+
+    #[test]
+    fn overlapping_registrations_on_a_star() {
+        // Root 0 with children 1, 2, 3.
+        let mut h = Harness::new(&[(0, None), (1, Some(0)), (2, Some(0)), (3, Some(0))]);
+        h.register(1);
+        h.register(2);
+        h.register(3);
+        h.drain();
+        h.deregister(2);
+        h.drain();
+        assert!(h.freed.is_empty(), "nodes 1 and 3 are still registered");
+        h.deregister(1);
+        h.deregister(3);
+        h.drain();
+        let mut freed = h.freed.clone();
+        freed.sort();
+        assert_eq!(freed, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn message_cost_is_proportional_to_path_length() {
+        // Register guarantee 1: registration and deregistration of a node at depth h
+        // cost O(h) messages; with a single registrant on a path of depth 3 the whole
+        // cycle (register, deregister, go-ahead) uses at most 3 messages per phase.
+        let mut h = path_tree();
+        h.register(3);
+        h.drain();
+        let after_register = h.messages;
+        assert!(after_register <= 2 * 3, "registration used {after_register} messages");
+        h.deregister(3);
+        h.drain();
+        assert!(h.messages - after_register <= 2 * 3);
+    }
+
+    #[test]
+    fn intermediate_nodes_piggyback_on_existing_dirty_paths() {
+        let mut h = path_tree();
+        h.register(3);
+        h.drain();
+        let before = h.messages;
+        // Node 1 lies on the already-dirty path, so its registration completes with no
+        // additional messages up the tree.
+        h.register(1);
+        assert!(h.registered.contains(&NodeId(1)));
+        assert_eq!(h.messages, before);
+        h.deregister(1);
+        h.deregister(3);
+        h.drain();
+        let mut freed = h.freed.clone();
+        freed.sort();
+        assert_eq!(freed, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "confirmed registration")]
+    fn deregister_without_registration_panics() {
+        let mut h = path_tree();
+        h.deregister(2);
+    }
+}

@@ -1,0 +1,1041 @@
+//! The deterministic distributed synchronizer (Sections 4 and 5 of the paper).
+//!
+//! [`DetSynchronizer`] wraps an event-driven synchronous algorithm
+//! ([`EventDriven`]) and runs it in the asynchronous model with polylogarithmic time
+//! and message overheads, given a layered sparse cover (the Theorem 5.3 setting).
+//!
+//! # How it works
+//!
+//! Every physical node simulates *virtual nodes* `(v, p)` — one for each pulse `p`
+//! at which `v` sends algorithm messages. Virtual nodes form an *execution forest*:
+//! the parent of `(v, p)` is a virtual node of pulse `p − 1` from which `v` received
+//! a triggering message (or `(v, p − 1)` itself). The synchronizer ensures that a
+//! node evaluates the algorithm's pulse-`p` behavior only when it is guaranteed to
+//! have received *all* pulse-`≤ p − 1` algorithm messages destined to it (Lemma 5.1),
+//! so the asynchronous execution produces exactly the synchronous execution's
+//! messages and outputs (Theorem 5.2).
+//!
+//! The guarantee is enforced stage by stage. For each pulse `p ≥ 1`:
+//!
+//! * nodes between pulses `prev(prev(p))` and `p` collect *`p`-safety* of their
+//!   execution subtrees (all relevant descendants have sent their messages and had
+//!   them confirmed) via a convergecast along the execution forest,
+//! * *anchor* nodes of pulse `prev(prev(p))` register in every cluster of the
+//!   `2^{ℓ(p)+5}`-cover containing them (using the Section 3.2 registration
+//!   abstraction) once they are `prev(p)`-safe, withholding their own `prev(p)`-safety
+//!   report until the registration is confirmed, and deregister once `p`-safe,
+//! * cluster roots issue `Go-Ahead(p)`s once all registered anchors have
+//!   deregistered; anchors that have collected Go-Aheads from all their clusters
+//!   release pulse `p` down the execution forest, and pulse-`p − 1` virtual nodes
+//!   forward the release to the recipients of their messages,
+//! * stages anchored at pulse 0 (`prev(prev(p)) = 0`, the multi-source base case of
+//!   Section 4.2) use full-cluster barriers instead of the registration abstraction:
+//!   initiators may send only after a cluster-wide "all initiators present" barrier,
+//!   and `Go-Ahead(p)` is broadcast once every initiator in the cluster is `p`-safe.
+//!
+//! # Deviations from the paper
+//!
+//! DESIGN.md §3 records two deliberate deviations, both conservative: the safety
+//! definition is the well-founded variant needed for general (non-BFS) event-driven
+//! algorithms, and anchors register whenever they have any execution-tree child
+//! (the paper's `prev(p)`-emptiness test is not evaluable at that moment for general
+//! algorithms). Both keep the correctness invariants; the measured overheads remain
+//! polylogarithmic (see EXPERIMENTS.md).
+
+use crate::pulse;
+use crate::registration::{RegAction, RegMsg, RegistrationInstance, TreePosition};
+use ds_covers::builder::build_synchronizer_cover;
+use ds_covers::{ClusterId, LayeredSparseCover};
+use ds_graph::{metrics, Graph, NodeId};
+use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
+use ds_netsim::metrics::MessageClass;
+use ds_netsim::protocol::{Ctx, Protocol};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Messages exchanged by the synchronizer. `M` is the wrapped algorithm's message
+/// type.
+#[derive(Clone, Debug)]
+pub enum SyncMsg<M> {
+    /// An algorithm message sent by the sender's virtual node of pulse `pulse`.
+    Alg { pulse: u64, payload: M },
+    /// Receipt confirmation for an algorithm message of pulse `pulse`.
+    AlgAck { pulse: u64 },
+    /// The sender was triggered at pulse `pulse` and reports whether it created a
+    /// virtual node and whether the recipient's pulse-`pulse − 1` virtual node was
+    /// chosen as its parent.
+    Decision { pulse: u64, created: bool, chosen_parent: bool },
+    /// Safety report: the sender's virtual node of pulse `sender_pulse` reports that
+    /// its subtree is `stage`-safe to its execution-tree parent.
+    Safe { stage: u64, sender_pulse: u64 },
+    /// Go-Ahead for `stage` travelling down the execution tree, from the sender's
+    /// virtual node of pulse `sender_pulse` to the recipient's virtual node of pulse
+    /// `sender_pulse + 1`.
+    GoAheadExec { stage: u64, sender_pulse: u64 },
+    /// Go-Ahead for `stage` forwarded by a pulse-`stage − 1` virtual node to a
+    /// recipient of its algorithm messages: the recipient may now evaluate pulse
+    /// `stage`.
+    GoAheadRecipient { stage: u64 },
+    /// A registration-abstraction message for (stage, cluster).
+    Reg { stage: u64, cluster: u32, msg: RegMsg },
+    /// Base-stage barrier, phase A (all initiators present), travelling up/down the
+    /// cluster tree of cluster `cluster` in cover layer `cover_idx`.
+    BarrierAUp { cover_idx: u32, cluster: u32 },
+    /// Phase A completion broadcast.
+    BarrierADown { cover_idx: u32, cluster: u32 },
+    /// Base-stage barrier, phase B (all initiators `stage`-safe), travelling up.
+    BarrierBUp { stage: u64, cluster: u32 },
+    /// Phase B completion broadcast: the cluster's Go-Ahead for the base stage.
+    BarrierBDown { stage: u64, cluster: u32 },
+}
+
+/// Precomputed per-stage data.
+#[derive(Clone, Debug)]
+struct StageInfo {
+    prev: u64,
+    prev_prev: u64,
+    cover_idx: usize,
+}
+
+/// Shared configuration of a synchronizer run: the pulse bound, the layered sparse
+/// cover, and precomputed stage tables.
+#[derive(Clone, Debug)]
+pub struct SynchronizerConfig {
+    /// Upper bound on the wrapped algorithm's synchronous time complexity `T(A)`.
+    pub max_pulse: u64,
+    /// The layered sparse cover used by all stages.
+    pub covers: LayeredSparseCover,
+    stages: Vec<StageInfo>,
+    base_cover_levels: Vec<usize>,
+}
+
+impl SynchronizerConfig {
+    /// Builds a configuration for `graph`, constructing the layered sparse cover
+    /// internally (the "without being given a cover" setting; the construction is
+    /// centralized, see DESIGN.md §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or disconnected, or `max_pulse == 0`.
+    pub fn build(graph: &Graph, max_pulse: u64) -> Arc<Self> {
+        assert!(max_pulse > 0, "the pulse bound must be positive");
+        let diameter = metrics::diameter(graph).expect("synchronizer requires a connected graph");
+        let covers = build_synchronizer_cover(graph, max_pulse as usize, diameter.max(1));
+        Self::with_covers(covers, max_pulse)
+    }
+
+    /// Builds a configuration from an existing layered sparse cover (the Theorem 5.3
+    /// "given a layered sparse `O(T(A))`-cover" setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_pulse == 0`.
+    pub fn with_covers(covers: LayeredSparseCover, max_pulse: u64) -> Arc<Self> {
+        assert!(max_pulse > 0, "the pulse bound must be positive");
+        let mut stages = Vec::with_capacity(max_pulse as usize + 1);
+        stages.push(StageInfo { prev: 0, prev_prev: 0, cover_idx: 0 }); // unused slot 0
+        let mut base_levels = BTreeSet::new();
+        for p in 1..=max_pulse {
+            let radius = 1usize << pulse::cover_exponent(p).min(60);
+            let cover_idx = (0..covers.layers())
+                .find(|&j| covers.level(j).radius >= radius)
+                .unwrap_or(covers.layers() - 1);
+            let info = StageInfo { prev: pulse::prev(p), prev_prev: pulse::prev_prev(p), cover_idx };
+            if info.prev_prev == 0 {
+                base_levels.insert(cover_idx);
+            }
+            stages.push(info);
+        }
+        Arc::new(SynchronizerConfig {
+            max_pulse,
+            covers,
+            stages,
+            base_cover_levels: base_levels.into_iter().collect(),
+        })
+    }
+
+    fn stage(&self, p: u64) -> &StageInfo {
+        &self.stages[p as usize]
+    }
+
+    /// The cover layer index used by stage `p`.
+    fn cover_idx(&self, p: u64) -> usize {
+        self.stage(p).cover_idx
+    }
+
+    /// Base stages (anchored at pulse 0) up to the pulse bound.
+    fn base_stages(&self) -> impl Iterator<Item = u64> + '_ {
+        (1..=self.max_pulse).filter(|&p| self.stage(p).prev_prev == 0)
+    }
+
+    /// Stages `p` with `prev(p) == s` (their registration is triggered by `s`-safety).
+    fn stages_with_prev(&self, s: u64) -> Vec<u64> {
+        (1..=self.max_pulse)
+            .filter(|&p| self.stage(p).prev == s && self.stage(p).prev_prev != 0)
+            .collect()
+    }
+
+    /// Stages tracked (safety-wise) by a virtual node of pulse `q`.
+    fn stages_tracked(&self, q: u64) -> Vec<u64> {
+        (q.max(1)..=self.max_pulse)
+            .filter(|&s| self.stage(s).prev_prev <= q && q <= s - 1)
+            .collect()
+    }
+
+    /// Tree position of node `v` in cluster `cluster` of cover layer `cover_idx`.
+    fn tree_position(&self, cover_idx: usize, cluster: ClusterId, v: NodeId) -> TreePosition {
+        let c = self.covers.level(cover_idx).cluster(cluster);
+        TreePosition { parent: c.parent_of(v), children: c.children_of(v).to_vec() }
+    }
+}
+
+/// Per-stage safety state at one virtual node.
+#[derive(Clone, Debug, Default)]
+struct VStage {
+    safe_children: BTreeSet<NodeId>,
+    safe_self_child: bool,
+    subtree_safe: bool,
+    reported_up: bool,
+    gate_pending: usize,
+    gate_started: bool,
+}
+
+/// Anchor bookkeeping for one stage anchored at this virtual node.
+#[derive(Clone, Debug)]
+struct AnchorStage {
+    clusters: Vec<ClusterId>,
+    registered: usize,
+    deregistered: bool,
+    dereg_requested: bool,
+    freed: usize,
+    goahead_done: bool,
+}
+
+/// One virtual node `(v, pulse)`.
+#[derive(Clone, Debug)]
+struct VNode<M> {
+    pulse: u64,
+    parent_remote: Option<NodeId>,
+    self_parent: bool,
+    sent_all: bool,
+    recipients: Vec<NodeId>,
+    messages_sent: usize,
+    unacked: usize,
+    undecided: usize,
+    children_remote: BTreeSet<NodeId>,
+    child_self: bool,
+    complete: bool,
+    goaheads: BTreeSet<u64>,
+    stages: BTreeMap<u64, VStage>,
+    anchored: BTreeMap<u64, AnchorStage>,
+    pending_sends: Vec<(NodeId, M)>,
+}
+
+impl<M> VNode<M> {
+    fn has_children(&self) -> bool {
+        self.child_self || !self.children_remote.is_empty()
+    }
+}
+
+/// Barrier state for one (cover layer, cluster): phase A.
+#[derive(Clone, Debug)]
+struct BarrierA {
+    children_left: BTreeSet<NodeId>,
+    sent_up: bool,
+}
+
+/// Barrier state for one (stage, cluster): phase B.
+#[derive(Clone, Debug)]
+struct BarrierB {
+    children_left: BTreeSet<NodeId>,
+    sent_up: bool,
+}
+
+/// Internal work items, processed by [`DetSynchronizer::drain_work`].
+#[derive(Clone, Debug)]
+enum Work {
+    RecomputeComplete(u64),
+    RecomputeStage(u64, u64),
+    GoAhead(u64, u64),
+    ReportSafeInternal { parent_pulse: u64, stage: u64 },
+    TryProcess,
+    BarrierBCheck(u64),
+}
+
+/// The synchronizer protocol run by every node: wraps one instance of the event-driven
+/// algorithm `A` and simulates it in the asynchronous model.
+#[derive(Debug)]
+pub struct DetSynchronizer<A: EventDriven> {
+    me: NodeId,
+    cfg: Arc<SynchronizerConfig>,
+    alg: A,
+    /// Algorithm messages received, keyed by the *sender's* pulse.
+    received: BTreeMap<u64, Vec<(NodeId, A::Msg)>>,
+    /// Pulses at which this node has been triggered but not yet processed.
+    pending_triggers: BTreeSet<u64>,
+    processed: BTreeSet<u64>,
+    last_processed: Option<u64>,
+    /// Stages for which this physical node has received a recipient-level Go-Ahead.
+    goahead_recv: BTreeSet<u64>,
+    vnodes: BTreeMap<u64, VNode<A::Msg>>,
+    reg: BTreeMap<(u64, u32), RegistrationInstance>,
+    barrier_a: BTreeMap<(u32, u32), BarrierA>,
+    barrier_b: BTreeMap<(u64, u32), BarrierB>,
+    /// Phase-A confirmations still missing before pulse-0 messages may be sent.
+    init_barrier_pending: usize,
+    /// Phase-B confirmations received per base stage.
+    base_goahead_recv: BTreeMap<u64, usize>,
+    is_initiator: bool,
+    work: VecDeque<Work>,
+    /// Diagnostic: algorithm messages that arrived out of pulse order (must stay 0).
+    ordering_violations: u64,
+}
+
+type SCtx<A> = Ctx<SyncMsg<<A as EventDriven>::Msg>>;
+
+impl<A: EventDriven> DetSynchronizer<A> {
+    /// Creates the synchronizer instance for node `me`, wrapping `alg`.
+    pub fn new(me: NodeId, alg: A, cfg: Arc<SynchronizerConfig>) -> Self {
+        DetSynchronizer {
+            me,
+            cfg,
+            alg,
+            received: BTreeMap::new(),
+            pending_triggers: BTreeSet::new(),
+            processed: BTreeSet::new(),
+            last_processed: None,
+            goahead_recv: BTreeSet::new(),
+            vnodes: BTreeMap::new(),
+            reg: BTreeMap::new(),
+            barrier_a: BTreeMap::new(),
+            barrier_b: BTreeMap::new(),
+            init_barrier_pending: 0,
+            base_goahead_recv: BTreeMap::new(),
+            is_initiator: false,
+            work: VecDeque::new(),
+            ordering_violations: 0,
+        }
+    }
+
+    /// The wrapped algorithm instance (for extracting outputs after a run).
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// Number of algorithm messages that arrived out of pulse order (0 in a correct
+    /// execution; exposed for the test suite).
+    pub fn ordering_violations(&self) -> u64 {
+        self.ordering_violations
+    }
+
+    // ----- helpers ---------------------------------------------------------------
+
+    fn send(&self, ctx: &mut SCtx<A>, to: NodeId, msg: SyncMsg<A::Msg>, prio: u64, class: MessageClass) {
+        ctx.send_with(to, msg, prio, class);
+    }
+
+    fn member_clusters(&self, stage: u64) -> Vec<ClusterId> {
+        let idx = self.cfg.cover_idx(stage);
+        self.cfg.covers.level(idx).clusters_of(self.me).to_vec()
+    }
+
+    fn reg_instance(&mut self, stage: u64, cluster: ClusterId) -> &mut RegistrationInstance {
+        let cfg = Arc::clone(&self.cfg);
+        let me = self.me;
+        self.reg.entry((stage, cluster.0 as u32)).or_insert_with(|| {
+            let idx = cfg.cover_idx(stage);
+            RegistrationInstance::new(cfg.tree_position(idx, cluster, me))
+        })
+    }
+
+    fn handle_reg_actions(
+        &mut self,
+        ctx: &mut SCtx<A>,
+        stage: u64,
+        cluster: ClusterId,
+        actions: Vec<RegAction>,
+    ) {
+        for a in actions {
+            match a {
+                RegAction::Send { to, msg } => {
+                    self.send(
+                        ctx,
+                        to,
+                        SyncMsg::Reg { stage, cluster: cluster.0 as u32, msg },
+                        stage,
+                        MessageClass::Control,
+                    );
+                }
+                RegAction::Registered => self.on_registration_confirmed(stage),
+                RegAction::Free => self.on_registration_free(stage),
+            }
+        }
+    }
+
+    fn on_registration_confirmed(&mut self, stage: u64) {
+        let anchor_pulse = self.cfg.stage(stage).prev_prev;
+        let gate_stage = self.cfg.stage(stage).prev;
+        let mut fully_registered = false;
+        if let Some(v) = self.vnodes.get_mut(&anchor_pulse) {
+            if let Some(a) = v.anchored.get_mut(&stage) {
+                a.registered += 1;
+                fully_registered = a.registered == a.clusters.len();
+            }
+            let st = v.stages.entry(gate_stage).or_default();
+            if st.gate_pending > 0 {
+                st.gate_pending -= 1;
+            }
+        }
+        self.work.push_back(Work::RecomputeStage(anchor_pulse, gate_stage));
+        if fully_registered {
+            // A deregistration may have been requested while registrations were in
+            // flight; re-evaluate the anchor's own stage safety to trigger it.
+            self.work.push_back(Work::RecomputeStage(anchor_pulse, stage));
+        }
+    }
+
+    fn on_registration_free(&mut self, stage: u64) {
+        let anchor_pulse = self.cfg.stage(stage).prev_prev;
+        let mut done = false;
+        if let Some(v) = self.vnodes.get_mut(&anchor_pulse) {
+            if let Some(a) = v.anchored.get_mut(&stage) {
+                a.freed += 1;
+                if a.deregistered && a.freed == a.clusters.len() && !a.goahead_done {
+                    a.goahead_done = true;
+                    done = true;
+                }
+            }
+        }
+        if done {
+            self.work.push_back(Work::GoAhead(anchor_pulse, stage));
+        }
+    }
+
+    // ----- pulse processing -------------------------------------------------------
+
+    fn try_process(&mut self, ctx: &mut SCtx<A>) {
+        loop {
+            let Some(&p) = self.pending_triggers.iter().next() else { return };
+            if p > self.cfg.max_pulse {
+                // The configured bound was too small; stop simulating further pulses.
+                return;
+            }
+            if !self.goahead_recv.contains(&p) {
+                return;
+            }
+            self.pending_triggers.remove(&p);
+            self.process_pulse(ctx, p);
+        }
+    }
+
+    fn process_pulse(&mut self, ctx: &mut SCtx<A>, p: u64) {
+        debug_assert!(!self.processed.contains(&p));
+        let mut batch = self.received.remove(&(p - 1)).unwrap_or_default();
+        canonical_batch(&mut batch);
+        let mut senders: Vec<NodeId> = batch.iter().map(|(s, _)| *s).collect();
+        senders.dedup();
+
+        let mut pctx = PulseCtx::new(self.me);
+        self.alg.on_pulse(&batch, &mut pctx);
+        let outbox = pctx.take_outbox();
+        let created = !outbox.is_empty();
+        let self_parent_available = self.vnodes.contains_key(&(p - 1));
+
+        // Notify every pulse-(p-1) sender of the decision.
+        let chosen_remote = if created && !self_parent_available { senders.first().copied() } else { None };
+        for &s in &senders {
+            let msg = SyncMsg::Decision { pulse: p, created, chosen_parent: Some(s) == chosen_remote };
+            self.send(ctx, s, msg, p, MessageClass::Control);
+        }
+
+        if created {
+            let mut recipients: Vec<NodeId> = outbox.iter().map(|(to, _)| *to).collect();
+            recipients.sort();
+            recipients.dedup();
+            let vnode = VNode {
+                pulse: p,
+                parent_remote: chosen_remote,
+                self_parent: self_parent_available,
+                sent_all: true,
+                recipients: recipients.clone(),
+                messages_sent: outbox.len(),
+                unacked: outbox.len(),
+                undecided: recipients.len() + 1,
+                children_remote: BTreeSet::new(),
+                child_self: false,
+                complete: false,
+                goaheads: BTreeSet::new(),
+                stages: BTreeMap::new(),
+                anchored: BTreeMap::new(),
+                pending_sends: Vec::new(),
+            };
+            self.vnodes.insert(p, vnode);
+            for (to, payload) in outbox {
+                self.send(ctx, to, SyncMsg::Alg { pulse: p, payload }, p, MessageClass::Algorithm);
+            }
+            // Having sent at pulse p, this node is triggered at pulse p + 1.
+            self.pending_triggers.insert(p + 1);
+        }
+
+        // Resolve the self-decision at the pulse-(p-1) virtual node.
+        let mut parent_goaheads: Vec<u64> = Vec::new();
+        if let Some(parent) = self.vnodes.get_mut(&(p - 1)) {
+            parent.undecided = parent.undecided.saturating_sub(1);
+            if created && self_parent_available {
+                parent.child_self = true;
+                parent_goaheads = parent.goaheads.iter().copied().filter(|&s| s >= p + 1).collect();
+            }
+            self.work.push_back(Work::RecomputeComplete(p - 1));
+        }
+        for s in parent_goaheads {
+            self.work.push_back(Work::GoAhead(p, s));
+        }
+
+        self.processed.insert(p);
+        self.last_processed = Some(p);
+        if created {
+            // Newly created virtual nodes may already be safe for near stages.
+            for s in self.cfg.stages_tracked(p) {
+                self.work.push_back(Work::RecomputeStage(p, s));
+            }
+        }
+    }
+
+    // ----- safety machinery -------------------------------------------------------
+
+    fn recompute_complete(&mut self, q: u64) {
+        let Some(v) = self.vnodes.get_mut(&q) else { return };
+        let complete = v.sent_all && v.unacked == 0 && v.undecided == 0;
+        if complete && !v.complete {
+            v.complete = true;
+            for s in self.cfg.stages_tracked(q) {
+                self.work.push_back(Work::RecomputeStage(q, s));
+            }
+        } else if !complete {
+            // An ack may still flip pulse-(s-1) safety even before completeness.
+            for s in self.cfg.stages_tracked(q) {
+                if q == s - 1 {
+                    self.work.push_back(Work::RecomputeStage(q, s));
+                }
+            }
+        }
+    }
+
+    fn recompute_stage(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
+        if s == 0 || s > self.cfg.max_pulse {
+            return;
+        }
+        let info_prev = self.cfg.stage(s).prev;
+        let info_anchor = self.cfg.stage(s).prev_prev;
+        if q < info_anchor || q > s - 1 {
+            return;
+        }
+        // Phase 1: determine whether the subtree just became s-safe, under a scoped
+        // borrow of the virtual node.
+        let became_safe;
+        let has_children;
+        {
+            let Some(v) = self.vnodes.get_mut(&q) else { return };
+            let safe = if q == s - 1 {
+                v.sent_all && v.unacked == 0
+            } else {
+                let st = v.stages.entry(s).or_default();
+                v.complete
+                    && (!v.child_self || st.safe_self_child)
+                    && v.children_remote.iter().all(|c| st.safe_children.contains(c))
+            };
+            let st = v.stages.entry(s).or_default();
+            if !safe || st.subtree_safe {
+                return;
+            }
+            st.subtree_safe = true;
+            became_safe = true;
+            has_children = v.has_children();
+        }
+        debug_assert!(became_safe);
+
+        // Phase 2: if this virtual node is the anchor of stages whose registration is
+        // triggered by s-safety (q == prev(s) > 0), start those registrations and gate
+        // the upward report on their confirmation.
+        if q == info_prev && q > 0 {
+            let gate_stages: Vec<u64> = self.cfg.stages_with_prev(s);
+            if has_children && !gate_stages.is_empty() {
+                let mut plan: Vec<(u64, ClusterId)> = Vec::new();
+                for &p in &gate_stages {
+                    for c in self.member_clusters(p) {
+                        plan.push((p, c));
+                    }
+                }
+                let already_started = {
+                    let v = self.vnodes.get_mut(&q).expect("vnode exists");
+                    let st = v.stages.entry(s).or_default();
+                    let started = st.gate_started;
+                    if !started {
+                        st.gate_started = true;
+                        st.gate_pending = plan.len();
+                        for &p in &gate_stages {
+                            let clusters: Vec<ClusterId> =
+                                plan.iter().filter(|(pp, _)| *pp == p).map(|(_, c)| *c).collect();
+                            v.anchored.entry(p).or_insert(AnchorStage {
+                                clusters,
+                                registered: 0,
+                                deregistered: false,
+                                dereg_requested: false,
+                                freed: 0,
+                                goahead_done: false,
+                            });
+                        }
+                    }
+                    started
+                };
+                if !already_started {
+                    for (p, c) in plan {
+                        let mut actions = Vec::new();
+                        self.reg_instance(p, c).register(&mut actions);
+                        self.handle_reg_actions(ctx, p, c, actions);
+                    }
+                }
+            }
+        }
+
+        // Phase 3: if this virtual node is the anchor of stage s itself, s-safety is
+        // the deregistration trigger (or, for base stages, the phase-B contribution).
+        if q == info_anchor {
+            if info_anchor == 0 && self.cfg.stage(s).prev_prev == 0 {
+                self.work.push_back(Work::BarrierBCheck(s));
+            }
+            let mut dereg_plan: Vec<(u64, ClusterId)> = Vec::new();
+            if let Some(v) = self.vnodes.get_mut(&q) {
+                if let Some(a) = v.anchored.get_mut(&s) {
+                    a.dereg_requested = true;
+                    if a.registered == a.clusters.len() && !a.deregistered {
+                        a.deregistered = true;
+                        dereg_plan = a.clusters.iter().map(|&c| (s, c)).collect();
+                    }
+                }
+            }
+            for (p, c) in dereg_plan {
+                let mut actions = Vec::new();
+                self.reg_instance(p, c).deregister(&mut actions);
+                self.handle_reg_actions(ctx, p, c, actions);
+            }
+        }
+
+        // Phase 4: report s-safety to the execution-tree parent (gated).
+        if q > info_anchor {
+            self.flush_safety_report(ctx, q, s);
+        }
+    }
+
+    /// Sends the `Safe(s)` report of the virtual node of pulse `q` to its parent, if
+    /// the subtree is safe and the registration gate has cleared.
+    fn flush_safety_report(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
+        let (report_remote, report_self) = {
+            let Some(v) = self.vnodes.get_mut(&q) else { return };
+            let st = v.stages.entry(s).or_default();
+            if !st.subtree_safe || st.reported_up || st.gate_pending > 0 {
+                return;
+            }
+            st.reported_up = true;
+            (v.parent_remote, v.self_parent)
+        };
+        if let Some(parent) = report_remote {
+            self.send(ctx, parent, SyncMsg::Safe { stage: s, sender_pulse: q }, s, MessageClass::Control);
+        } else if report_self {
+            self.work.push_back(Work::ReportSafeInternal { parent_pulse: q - 1, stage: s });
+        }
+    }
+
+    /// Handles a pending deregistration that was blocked on outstanding registrations,
+    /// and pending safety reports blocked on the gate. Re-driven from the work queue.
+    fn maybe_flush_anchor(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
+        let mut dereg_plan: Vec<(u64, ClusterId)> = Vec::new();
+        if let Some(v) = self.vnodes.get_mut(&q) {
+            if let Some(a) = v.anchored.get_mut(&s) {
+                if a.dereg_requested && a.registered == a.clusters.len() && !a.deregistered {
+                    a.deregistered = true;
+                    dereg_plan = a.clusters.iter().map(|&c| (s, c)).collect();
+                }
+            }
+        }
+        for (p, c) in dereg_plan {
+            let mut actions = Vec::new();
+            self.reg_instance(p, c).deregister(&mut actions);
+            self.handle_reg_actions(ctx, p, c, actions);
+        }
+    }
+
+    // ----- go-aheads ----------------------------------------------------------------
+
+    fn record_goahead(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
+        let (forward_children, forward_recipients, self_child) = {
+            let Some(v) = self.vnodes.get_mut(&q) else { return };
+            if v.goaheads.contains(&s) {
+                return;
+            }
+            v.goaheads.insert(s);
+            let children: Vec<NodeId> = if s >= q + 2 {
+                v.children_remote.iter().copied().collect()
+            } else {
+                Vec::new()
+            };
+            let recipients: Vec<NodeId> =
+                if q + 1 == s { v.recipients.clone() } else { Vec::new() };
+            (children, recipients, v.child_self && s >= q + 2)
+        };
+        for c in forward_children {
+            self.send(ctx, c, SyncMsg::GoAheadExec { stage: s, sender_pulse: q }, s, MessageClass::Control);
+        }
+        if self_child {
+            self.work.push_back(Work::GoAhead(q + 1, s));
+        }
+        if !forward_recipients.is_empty() || q + 1 == s {
+            for r in forward_recipients {
+                self.send(ctx, r, SyncMsg::GoAheadRecipient { stage: s }, s, MessageClass::Control);
+            }
+            self.goahead_recv.insert(s);
+            self.work.push_back(Work::TryProcess);
+        }
+    }
+
+    // ----- base-stage barriers -------------------------------------------------------
+
+    fn barrier_a_key(&self, cover_idx: usize, cluster: ClusterId) -> (u32, u32) {
+        (cover_idx as u32, cluster.0 as u32)
+    }
+
+    fn setup_barriers(&mut self, ctx: &mut SCtx<A>) {
+        let cfg = Arc::clone(&self.cfg);
+        // Phase A: one barrier per (base cover level, cluster tree containing me).
+        for &idx in &cfg.base_cover_levels {
+            let cover = cfg.covers.level(idx);
+            for &cid in cover.tree_clusters_of(self.me) {
+                let cluster = cover.cluster(cid);
+                let children: BTreeSet<NodeId> = cluster.children_of(self.me).iter().copied().collect();
+                self.barrier_a
+                    .insert(self.barrier_a_key(idx, cid), BarrierA { children_left: children, sent_up: false });
+            }
+            if self.is_initiator {
+                self.init_barrier_pending += cover.clusters_of(self.me).len();
+            }
+        }
+        // Phase B: one barrier per (base stage, cluster tree containing me).
+        let base_stages: Vec<u64> = cfg.base_stages().collect();
+        for &stage in &base_stages {
+            let idx = cfg.cover_idx(stage);
+            let cover = cfg.covers.level(idx);
+            for &cid in cover.tree_clusters_of(self.me) {
+                let cluster = cover.cluster(cid);
+                let children: BTreeSet<NodeId> = cluster.children_of(self.me).iter().copied().collect();
+                self.barrier_b
+                    .insert((stage, cid.0 as u32), BarrierB { children_left: children, sent_up: false });
+            }
+            self.base_goahead_recv.insert(stage, 0);
+        }
+        // Kick off phase A at the leaves (and trivially-complete roots).
+        let a_keys: Vec<(u32, u32)> = self.barrier_a.keys().copied().collect();
+        for key in a_keys {
+            self.barrier_a_try_advance(ctx, key);
+        }
+        // Kick off phase B where this node has nothing to wait for.
+        for &stage in &base_stages {
+            self.work.push_back(Work::BarrierBCheck(stage));
+        }
+        if self.is_initiator && self.init_barrier_pending == 0 {
+            self.release_initiator_sends(ctx);
+        }
+    }
+
+    fn barrier_a_try_advance(&mut self, ctx: &mut SCtx<A>, key: (u32, u32)) {
+        let cfg = Arc::clone(&self.cfg);
+        let (idx, cid) = (key.0 as usize, ClusterId(key.1 as usize));
+        let cover = cfg.covers.level(idx);
+        let cluster = cover.cluster(cid);
+        let Some(state) = self.barrier_a.get_mut(&key) else { return };
+        if state.sent_up || !state.children_left.is_empty() {
+            return;
+        }
+        state.sent_up = true;
+        match cluster.parent_of(self.me) {
+            Some(parent) => {
+                self.send(ctx, parent, SyncMsg::BarrierAUp { cover_idx: key.0, cluster: key.1 }, 0, MessageClass::Control);
+            }
+            None => self.barrier_a_complete(ctx, key),
+        }
+    }
+
+    /// Phase A complete at the root (or received from the parent): deliver locally and
+    /// broadcast down the cluster tree.
+    fn barrier_a_complete(&mut self, ctx: &mut SCtx<A>, key: (u32, u32)) {
+        let cfg = Arc::clone(&self.cfg);
+        let (idx, cid) = (key.0 as usize, ClusterId(key.1 as usize));
+        let cover = cfg.covers.level(idx);
+        let cluster = cover.cluster(cid);
+        for &c in cluster.children_of(self.me) {
+            self.send(ctx, c, SyncMsg::BarrierADown { cover_idx: key.0, cluster: key.1 }, 0, MessageClass::Control);
+        }
+        if self.is_initiator && cover.clusters_of(self.me).contains(&cid) {
+            self.init_barrier_pending = self.init_barrier_pending.saturating_sub(1);
+            if self.init_barrier_pending == 0 {
+                self.release_initiator_sends(ctx);
+            }
+        }
+    }
+
+    fn release_initiator_sends(&mut self, ctx: &mut SCtx<A>) {
+        let Some(v) = self.vnodes.get_mut(&0) else { return };
+        if v.sent_all {
+            return;
+        }
+        v.sent_all = true;
+        let sends = std::mem::take(&mut v.pending_sends);
+        for (to, payload) in sends {
+            self.send(ctx, to, SyncMsg::Alg { pulse: 0, payload }, 0, MessageClass::Algorithm);
+        }
+        self.work.push_back(Work::RecomputeComplete(0));
+        for s in self.cfg.stages_tracked(0) {
+            self.work.push_back(Work::RecomputeStage(0, s));
+        }
+    }
+
+    /// Re-evaluates this node's phase-B contributions for base stage `stage`.
+    fn barrier_b_check(&mut self, ctx: &mut SCtx<A>, stage: u64) {
+        let cfg = Arc::clone(&self.cfg);
+        let idx = cfg.cover_idx(stage);
+        let cover = cfg.covers.level(idx);
+        let my_safe = if self.is_initiator {
+            self.vnodes
+                .get(&0)
+                .map(|v| v.stages.get(&stage).map(|st| st.subtree_safe).unwrap_or(false))
+                .unwrap_or(false)
+        } else {
+            true
+        };
+        let tree_clusters: Vec<ClusterId> = cover.tree_clusters_of(self.me).to_vec();
+        for cid in tree_clusters {
+            let key = (stage, cid.0 as u32);
+            let member = cover.clusters_of(self.me).contains(&cid);
+            let gate_on_safety = self.is_initiator && member;
+            let ready = {
+                let Some(state) = self.barrier_b.get_mut(&key) else { continue };
+                if state.sent_up || !state.children_left.is_empty() {
+                    continue;
+                }
+                if gate_on_safety && !my_safe {
+                    continue;
+                }
+                state.sent_up = true;
+                true
+            };
+            if ready {
+                let cluster = cover.cluster(cid);
+                match cluster.parent_of(self.me) {
+                    Some(parent) => {
+                        self.send(ctx, parent, SyncMsg::BarrierBUp { stage, cluster: key.1 }, stage, MessageClass::Control);
+                    }
+                    None => self.barrier_b_complete(ctx, stage, cid),
+                }
+            }
+        }
+    }
+
+    /// Phase B complete for (stage, cluster): broadcast the base-stage Go-Ahead down
+    /// the cluster tree and count it locally if this node is an initiator member.
+    fn barrier_b_complete(&mut self, ctx: &mut SCtx<A>, stage: u64, cid: ClusterId) {
+        let cfg = Arc::clone(&self.cfg);
+        let idx = cfg.cover_idx(stage);
+        let cover = cfg.covers.level(idx);
+        let cluster = cover.cluster(cid);
+        for &c in cluster.children_of(self.me) {
+            self.send(ctx, c, SyncMsg::BarrierBDown { stage, cluster: cid.0 as u32 }, stage, MessageClass::Control);
+        }
+        if self.is_initiator && cover.clusters_of(self.me).contains(&cid) {
+            let needed = cover.clusters_of(self.me).len();
+            let counter = self.base_goahead_recv.entry(stage).or_insert(0);
+            *counter += 1;
+            if *counter == needed {
+                self.work.push_back(Work::GoAhead(0, stage));
+            }
+        }
+    }
+
+    // ----- work queue ------------------------------------------------------------------
+
+    fn drain_work(&mut self, ctx: &mut SCtx<A>) {
+        let mut guard = 0u64;
+        while let Some(item) = self.work.pop_front() {
+            guard += 1;
+            assert!(
+                guard < 10_000_000,
+                "synchronizer work queue failed to quiesce (internal error)"
+            );
+            match item {
+                Work::RecomputeComplete(q) => self.recompute_complete(q),
+                Work::RecomputeStage(q, s) => {
+                    self.maybe_flush_anchor(ctx, q, s);
+                    self.recompute_stage(ctx, q, s);
+                    self.flush_safety_report(ctx, q, s);
+                }
+                Work::GoAhead(q, s) => self.record_goahead(ctx, q, s),
+                Work::ReportSafeInternal { parent_pulse, stage } => {
+                    if let Some(v) = self.vnodes.get_mut(&parent_pulse) {
+                        v.stages.entry(stage).or_default().safe_self_child = true;
+                    }
+                    self.work.push_back(Work::RecomputeStage(parent_pulse, stage));
+                }
+                Work::TryProcess => self.try_process(ctx),
+                Work::BarrierBCheck(stage) => self.barrier_b_check(ctx, stage),
+            }
+        }
+    }
+}
+
+impl<A: EventDriven> Protocol for DetSynchronizer<A> {
+    type Message = SyncMsg<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self::Message>) {
+        // Evaluate the algorithm's initialization; initiators get a pulse-0 virtual
+        // node whose sends are held back until the phase-A barriers complete.
+        let mut pctx = PulseCtx::new(self.me);
+        self.alg.on_init(&mut pctx);
+        let outbox = pctx.take_outbox();
+        self.is_initiator = !outbox.is_empty();
+        if self.is_initiator {
+            let mut recipients: Vec<NodeId> = outbox.iter().map(|(to, _)| *to).collect();
+            recipients.sort();
+            recipients.dedup();
+            let vnode = VNode {
+                pulse: 0,
+                parent_remote: None,
+                self_parent: false,
+                sent_all: false,
+                recipients: recipients.clone(),
+                messages_sent: outbox.len(),
+                unacked: outbox.len(),
+                undecided: recipients.len() + 1,
+                children_remote: BTreeSet::new(),
+                child_self: false,
+                complete: false,
+                goaheads: BTreeSet::new(),
+                stages: BTreeMap::new(),
+                anchored: BTreeMap::new(),
+                pending_sends: outbox,
+            };
+            self.vnodes.insert(0, vnode);
+            self.processed.insert(0);
+            self.last_processed = Some(0);
+            self.pending_triggers.insert(1);
+        }
+        self.setup_barriers(ctx);
+        self.drain_work(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>) {
+        match msg {
+            SyncMsg::Alg { pulse, payload } => {
+                if let Some(&done) = self.processed.iter().next_back() {
+                    if pulse + 1 <= done && !self.processed.contains(&(pulse + 1)) {
+                        self.ordering_violations += 1;
+                    }
+                }
+                self.received.entry(pulse).or_default().push((from, payload));
+                self.send(ctx, from, SyncMsg::AlgAck { pulse }, pulse, MessageClass::Control);
+                if !self.processed.contains(&(pulse + 1)) {
+                    self.pending_triggers.insert(pulse + 1);
+                }
+                self.work.push_back(Work::TryProcess);
+            }
+            SyncMsg::AlgAck { pulse } => {
+                if let Some(v) = self.vnodes.get_mut(&pulse) {
+                    v.unacked = v.unacked.saturating_sub(1);
+                }
+                self.work.push_back(Work::RecomputeComplete(pulse));
+            }
+            SyncMsg::Decision { pulse, created, chosen_parent } => {
+                let mut forward: Vec<u64> = Vec::new();
+                if let Some(v) = self.vnodes.get_mut(&(pulse - 1)) {
+                    v.undecided = v.undecided.saturating_sub(1);
+                    if created && chosen_parent {
+                        v.children_remote.insert(from);
+                        forward = v.goaheads.iter().copied().filter(|&s| s >= pulse + 1).collect();
+                    }
+                }
+                for s in forward {
+                    self.send(
+                        ctx,
+                        from,
+                        SyncMsg::GoAheadExec { stage: s, sender_pulse: pulse - 1 },
+                        s,
+                        MessageClass::Control,
+                    );
+                }
+                self.work.push_back(Work::RecomputeComplete(pulse - 1));
+            }
+            SyncMsg::Safe { stage, sender_pulse } => {
+                let parent_pulse = sender_pulse - 1;
+                if let Some(v) = self.vnodes.get_mut(&parent_pulse) {
+                    v.stages.entry(stage).or_default().safe_children.insert(from);
+                }
+                self.work.push_back(Work::RecomputeStage(parent_pulse, stage));
+            }
+            SyncMsg::GoAheadExec { stage, sender_pulse } => {
+                self.work.push_back(Work::GoAhead(sender_pulse + 1, stage));
+            }
+            SyncMsg::GoAheadRecipient { stage } => {
+                self.goahead_recv.insert(stage);
+                self.work.push_back(Work::TryProcess);
+            }
+            SyncMsg::Reg { stage, cluster, msg } => {
+                let cid = ClusterId(cluster as usize);
+                let mut actions = Vec::new();
+                self.reg_instance(stage, cid).on_message(from, msg, &mut actions);
+                self.handle_reg_actions(ctx, stage, cid, actions);
+            }
+            SyncMsg::BarrierAUp { cover_idx, cluster } => {
+                let key = (cover_idx, cluster);
+                let complete_at_root = {
+                    let Some(state) = self.barrier_a.get_mut(&key) else { return };
+                    state.children_left.remove(&from);
+                    state.children_left.is_empty() && !state.sent_up
+                };
+                if complete_at_root {
+                    self.barrier_a_try_advance(ctx, key);
+                }
+            }
+            SyncMsg::BarrierADown { cover_idx, cluster } => {
+                self.barrier_a_complete(ctx, (cover_idx, cluster));
+            }
+            SyncMsg::BarrierBUp { stage, cluster } => {
+                if let Some(state) = self.barrier_b.get_mut(&(stage, cluster)) {
+                    state.children_left.remove(&from);
+                }
+                self.work.push_back(Work::BarrierBCheck(stage));
+            }
+            SyncMsg::BarrierBDown { stage, cluster } => {
+                self.barrier_b_complete(ctx, stage, ClusterId(cluster as usize));
+            }
+        }
+        self.drain_work(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.alg.output().is_some()
+    }
+}
+
+/// Convenience report of a synchronized run: outputs plus diagnostics.
+#[derive(Clone, Debug)]
+pub struct SynchronizedOutputs<O> {
+    /// Per-node outputs of the wrapped algorithm.
+    pub outputs: Vec<Option<O>>,
+    /// Total ordering violations observed (0 in a correct run).
+    pub ordering_violations: u64,
+}
+
+/// Extracts per-node outputs from a finished asynchronous run of the synchronizer.
+pub fn collect_outputs<A: EventDriven>(nodes: &[DetSynchronizer<A>]) -> SynchronizedOutputs<A::Output> {
+    SynchronizedOutputs {
+        outputs: nodes.iter().map(|n| n.algorithm().output()).collect(),
+        ordering_violations: nodes.iter().map(|n| n.ordering_violations()).sum(),
+    }
+}

@@ -1,0 +1,167 @@
+//! Construction of sparse `d`-covers and layered covers (Theorem 4.21 interface).
+//!
+//! A sparse `d`-cover is obtained from a `(2d)`-separated weak-diameter network
+//! decomposition by expanding every cluster to its `d`-neighborhood: clusters of the
+//! same color stay disjoint (their pairwise distance exceeds `2d`), so every node is a
+//! member of at most one cluster per color, i.e. of `O(log n)` clusters; and the
+//! cluster that contains a node `v` of color `c` contains all of `B(v, d)`.
+//!
+//! Every cluster carries a rooted *cluster tree*: the union of shortest paths (in `G`)
+//! from the members to the carving center. Nodes on those paths that are not members
+//! act as Steiner nodes, exactly as in the paper's Theorem 4.20 trees.
+
+use crate::decomposition::build_decomposition;
+use crate::{Cluster, ClusterId, LayeredSparseCover, SparseCover};
+use ds_graph::{metrics, Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// Builds a sparse `d`-cover of `graph` (Definition 2.1).
+///
+/// # Panics
+///
+/// Panics if the graph is empty or `d == 0`.
+pub fn build_sparse_cover(graph: &Graph, d: usize) -> SparseCover {
+    assert!(d >= 1, "cover radius must be at least 1");
+    assert!(graph.node_count() > 0, "cover requires a non-empty graph");
+    let decomposition = build_decomposition(graph, 2 * d);
+    let mut clusters = Vec::new();
+
+    for (_color, dc) in decomposition.clusters() {
+        // Expand the carved cluster by its d-neighborhood.
+        let dist_to_cluster = metrics::multi_source_distances(graph, &dc.members);
+        let members: Vec<NodeId> = graph
+            .nodes()
+            .filter(|v| matches!(dist_to_cluster[v.index()], Some(x) if x <= d))
+            .collect();
+
+        // Cluster tree: union of BFS-tree paths from every member to the center.
+        let bfs_parent = metrics::bfs_tree(graph, dc.center);
+        let mut parent: BTreeMap<NodeId, Option<NodeId>> = BTreeMap::new();
+        parent.insert(dc.center, None);
+        for &member in &members {
+            let mut v = member;
+            while !parent.contains_key(&v) {
+                let p = bfs_parent[v.index()]
+                    .expect("members are connected to the center in a connected graph");
+                parent.insert(v, Some(p));
+                v = p;
+            }
+        }
+
+        let id = ClusterId(clusters.len());
+        clusters.push(Cluster::from_parents(id, dc.center, members, parent));
+    }
+
+    SparseCover::new(d, clusters, graph.node_count())
+}
+
+/// Builds a layered sparse cover: sparse `2^j`-covers for `j ∈ {0, …, ⌈log₂ max_radius⌉}`.
+///
+/// The top layer always has radius at least `max_radius`, so
+/// [`LayeredSparseCover::cover_for_radius`] succeeds for every `d ≤ max_radius`.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or `max_radius == 0`.
+pub fn build_layered_sparse_cover(graph: &Graph, max_radius: usize) -> LayeredSparseCover {
+    assert!(max_radius >= 1, "max_radius must be at least 1");
+    let top = (max_radius as f64).log2().ceil() as usize;
+    let covers = (0..=top)
+        .map(|j| build_sparse_cover(graph, 1usize << j))
+        .collect();
+    LayeredSparseCover::new(covers)
+}
+
+/// Builds the layered cover a synchronizer needs for an algorithm whose time
+/// complexity is at most `time_bound` on a graph of diameter at most `diameter_bound`:
+/// layers up to radius `2^6 · max(time_bound, 1)`, but never less than the diameter
+/// (so the top layer always has a cluster containing the whole graph).
+pub fn build_synchronizer_cover(
+    graph: &Graph,
+    time_bound: usize,
+    diameter_bound: usize,
+) -> LayeredSparseCover {
+    let needed = 64 * time_bound.max(1);
+    build_layered_sparse_cover(graph, needed.max(diameter_bound).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_satisfies_definition_on_varied_graphs() {
+        for graph in [
+            Graph::path(12),
+            Graph::cycle(9),
+            Graph::grid(4, 5),
+            Graph::random_connected(30, 0.1, 5),
+        ] {
+            for d in [1, 2, 4] {
+                let cover = build_sparse_cover(&graph, d);
+                cover.validate(&graph).expect("definition 2.1 holds");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_is_logarithmic() {
+        let graph = Graph::random_connected(60, 0.07, 2);
+        let cover = build_sparse_cover(&graph, 2);
+        let log_n = (graph.node_count() as f64).log2().ceil() as usize;
+        assert!(
+            cover.max_membership() <= log_n + 1,
+            "membership {} exceeds {}",
+            cover.max_membership(),
+            log_n + 1
+        );
+    }
+
+    #[test]
+    fn tree_height_is_bounded_by_radius_times_log() {
+        let graph = Graph::grid(6, 6);
+        let d = 2;
+        let cover = build_sparse_cover(&graph, d);
+        let log_n = (graph.node_count() as f64).log2().ceil() as usize;
+        // Carving radius ≤ 2d·log n plus the d-expansion.
+        let bound = 2 * d * log_n + d;
+        assert!(cover.max_height() <= bound, "height {} > {}", cover.max_height(), bound);
+    }
+
+    #[test]
+    fn cover_with_radius_at_least_diameter_has_a_universal_cluster() {
+        let graph = Graph::grid(4, 4);
+        let d = ds_graph::metrics::diameter(&graph).unwrap();
+        let cover = build_sparse_cover(&graph, d);
+        assert!(cover
+            .clusters
+            .iter()
+            .any(|c| c.member_count() == graph.node_count()));
+    }
+
+    #[test]
+    fn layered_cover_levels_all_validate() {
+        let graph = Graph::random_connected(24, 0.12, 9);
+        let layered = build_layered_sparse_cover(&graph, 8);
+        assert_eq!(layered.layers(), 4);
+        for cover in layered.iter() {
+            cover.validate(&graph).expect("every layer is a valid cover");
+        }
+    }
+
+    #[test]
+    fn synchronizer_cover_reaches_the_diameter() {
+        let graph = Graph::path(20);
+        let diameter = ds_graph::metrics::diameter(&graph).unwrap();
+        let layered = build_synchronizer_cover(&graph, 1, diameter);
+        assert!(layered.cover_for_radius(diameter).radius >= diameter);
+    }
+
+    #[test]
+    fn single_node_graph_has_trivial_cover() {
+        let graph = Graph::new(1);
+        let cover = build_sparse_cover(&graph, 1);
+        assert_eq!(cover.cluster_count(), 1);
+        cover.validate(&graph).unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! `k`-separated weak-diameter network decomposition (Definition 4.19).
+//!
+//! The paper uses the Rozhon–Ghaffari decomposition (Theorem 4.20). We implement a
+//! deterministic *ball-carving* decomposition with the same interface and the same
+//! flavor of guarantees:
+//!
+//! * `O(log n)` color classes,
+//! * clusters of the same color are at pairwise distance `> k` in `G`,
+//! * every cluster has weak radius `O(k · log n)` around its center (so weak diameter
+//!   `O(k · log n)`).
+//!
+//! The construction is centralized (it looks at the whole graph); the synchronizer
+//! consumes only the resulting structure, exactly as in the "given a layered sparse
+//! cover" setting of Theorem 5.3. See DESIGN.md §3 for the substitution note.
+
+use ds_graph::{metrics, Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// One cluster of a network decomposition: a set of member nodes together with the
+/// center and weak radius used to carve it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecompCluster {
+    /// The carving center; all members are within `weak_radius` of it in `G`.
+    pub center: NodeId,
+    /// The member nodes (sorted ascending).
+    pub members: Vec<NodeId>,
+    /// Maximum distance (in `G`) from the center to a member.
+    pub weak_radius: usize,
+}
+
+/// A `k`-separated weak-diameter network decomposition: a partition of `V` into color
+/// classes, each consisting of clusters at pairwise distance `> separation`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkDecomposition {
+    /// The separation parameter `k`.
+    pub separation: usize,
+    /// Clusters per color class.
+    pub colors: Vec<Vec<DecompCluster>>,
+}
+
+impl NetworkDecomposition {
+    /// Number of color classes.
+    pub fn color_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Iterates over `(color, cluster)` pairs.
+    pub fn clusters(&self) -> impl Iterator<Item = (usize, &DecompCluster)> {
+        self.colors
+            .iter()
+            .enumerate()
+            .flat_map(|(c, list)| list.iter().map(move |cl| (c, cl)))
+    }
+
+    /// Checks the decomposition invariants: every node in exactly one cluster,
+    /// same-color clusters more than `separation` apart, members within the recorded
+    /// weak radius of their center.
+    pub fn check(&self, graph: &Graph) -> bool {
+        let mut assigned = vec![0usize; graph.node_count()];
+        for (_, cluster) in self.clusters() {
+            let dist = metrics::bfs_distances(graph, cluster.center);
+            for &v in &cluster.members {
+                assigned[v.index()] += 1;
+                match dist[v.index()] {
+                    Some(d) if d <= cluster.weak_radius => {}
+                    _ => return false,
+                }
+            }
+        }
+        if assigned.iter().any(|&c| c != 1) {
+            return false;
+        }
+        for color in &self.colors {
+            for (i, a) in color.iter().enumerate() {
+                for b in color.iter().skip(i + 1) {
+                    let dist = metrics::multi_source_distances(graph, &a.members);
+                    let min = b
+                        .members
+                        .iter()
+                        .filter_map(|&v| dist[v.index()])
+                        .min()
+                        .unwrap_or(usize::MAX);
+                    if min <= self.separation {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Builds a `separation`-separated weak-diameter network decomposition of `graph` by
+/// deterministic ball carving.
+///
+/// The number of colors is at most `⌈log₂ n⌉ + 1` and every cluster has weak radius
+/// at most `separation · ⌈log₂ n⌉` around its center.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn build_decomposition(graph: &Graph, separation: usize) -> NetworkDecomposition {
+    assert!(graph.node_count() > 0, "decomposition requires a non-empty graph");
+    let step = separation.max(1);
+    let mut alive: BTreeSet<NodeId> = graph.nodes().collect();
+    let mut colors: Vec<Vec<DecompCluster>> = Vec::new();
+
+    while !alive.is_empty() {
+        let mut remaining: BTreeSet<NodeId> = alive.clone();
+        let mut this_color: Vec<DecompCluster> = Vec::new();
+
+        while let Some(&center) = remaining.iter().next() {
+            let dist = metrics::bfs_distances(graph, center);
+            // Count remaining nodes within radius j·step for growing j until the ball
+            // stops doubling.
+            let count_within = |r: usize, remaining: &BTreeSet<NodeId>| {
+                remaining
+                    .iter()
+                    .filter(|v| matches!(dist[v.index()], Some(d) if d <= r))
+                    .count()
+            };
+            let mut j = 0usize;
+            loop {
+                let inner = count_within(j * step, &remaining).max(1);
+                let outer = count_within((j + 1) * step, &remaining);
+                if outer <= 2 * inner {
+                    break;
+                }
+                j += 1;
+            }
+            let inner_radius = j * step;
+            let outer_radius = (j + 1) * step;
+            let members: Vec<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|v| matches!(dist[v.index()], Some(d) if d <= inner_radius))
+                .collect();
+            let removed: Vec<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|v| matches!(dist[v.index()], Some(d) if d <= outer_radius))
+                .collect();
+            for &v in &removed {
+                remaining.remove(&v);
+            }
+            for &v in &members {
+                alive.remove(&v);
+            }
+            let weak_radius = members
+                .iter()
+                .filter_map(|&v| dist[v.index()])
+                .max()
+                .unwrap_or(0);
+            this_color.push(DecompCluster { center, members, weak_radius });
+        }
+
+        colors.push(this_color);
+    }
+
+    NetworkDecomposition { separation, colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_covers_every_node_exactly_once() {
+        for graph in [
+            Graph::path(17),
+            Graph::grid(5, 5),
+            Graph::cycle(12),
+            Graph::random_connected(40, 0.08, 3),
+        ] {
+            let d = build_decomposition(&graph, 2);
+            assert!(d.check(&graph), "invariants hold");
+            let total: usize = d.clusters().map(|(_, c)| c.members.len()).sum();
+            assert_eq!(total, graph.node_count());
+        }
+    }
+
+    #[test]
+    fn color_count_is_logarithmic() {
+        let graph = Graph::random_connected(64, 0.05, 1);
+        let d = build_decomposition(&graph, 4);
+        // ⌈log₂ 64⌉ + 1 = 7
+        assert!(d.color_count() <= 7, "got {} colors", d.color_count());
+    }
+
+    #[test]
+    fn weak_radius_is_bounded() {
+        let graph = Graph::grid(6, 6);
+        let sep = 3;
+        let d = build_decomposition(&graph, sep);
+        let log_n = (graph.node_count() as f64).log2().ceil() as usize;
+        for (_, c) in d.clusters() {
+            assert!(
+                c.weak_radius <= sep * log_n,
+                "weak radius {} exceeds {}",
+                c.weak_radius,
+                sep * log_n
+            );
+        }
+    }
+
+    #[test]
+    fn separation_one_on_a_path_gives_separated_segments() {
+        let graph = Graph::path(10);
+        let d = build_decomposition(&graph, 1);
+        assert!(d.check(&graph));
+    }
+
+    #[test]
+    fn huge_separation_yields_single_cluster() {
+        let graph = Graph::grid(4, 4);
+        let d = build_decomposition(&graph, 100);
+        assert_eq!(d.color_count(), 1);
+        assert_eq!(d.colors[0].len(), 1);
+        assert_eq!(d.colors[0][0].members.len(), 16);
+    }
+}

@@ -1,0 +1,227 @@
+//! Low-diameter partitions: disjoint connected clusters covering all nodes.
+//!
+//! These are the structures underlying Awerbuch's γ synchronizer (Appendix A): apply
+//! the β scheme (convergecast/broadcast on a spanning tree) inside each cluster and
+//! the α scheme between neighboring clusters, over one *preferred* edge per adjacent
+//! cluster pair.
+
+use ds_graph::{Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A partition of the node set into disjoint connected clusters, each with a rooted
+/// spanning tree of logarithmic depth, plus one preferred edge per pair of adjacent
+/// clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowDiameterPartition {
+    /// Cluster index of every node.
+    pub cluster_of: Vec<usize>,
+    /// Root of every cluster's spanning tree.
+    pub roots: Vec<NodeId>,
+    /// Tree parent of every node (`None` for cluster roots).
+    pub parent: Vec<Option<NodeId>>,
+    /// Tree children of every node.
+    pub children: Vec<Vec<NodeId>>,
+    /// Depth of every node in its cluster tree.
+    pub depth: Vec<usize>,
+    /// One preferred edge `(u, v)` for every pair of adjacent clusters, with
+    /// `cluster_of[u] < cluster_of[v]`.
+    pub preferred_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl LowDiameterPartition {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Height of the tallest cluster tree.
+    pub fn max_height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The preferred edges incident to `v` (one per neighboring cluster pair that
+    /// chose an edge at `v`).
+    pub fn preferred_edges_at(&self, v: NodeId) -> Vec<NodeId> {
+        self.preferred_edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == v {
+                    Some(b)
+                } else if b == v {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Checks the partition invariants against `graph`.
+    pub fn check(&self, graph: &Graph) -> bool {
+        if self.cluster_of.len() != graph.node_count() {
+            return false;
+        }
+        // Tree edges exist and point within the same cluster.
+        for v in graph.nodes() {
+            if let Some(p) = self.parent[v.index()] {
+                if !graph.has_edge(v, p) || self.cluster_of[v.index()] != self.cluster_of[p.index()] {
+                    return false;
+                }
+            } else if self.roots[self.cluster_of[v.index()]] != v {
+                return false;
+            }
+        }
+        // Every preferred edge joins two distinct adjacent clusters.
+        for &(u, v) in &self.preferred_edges {
+            if !graph.has_edge(u, v) || self.cluster_of[u.index()] == self.cluster_of[v.index()] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds a low-diameter partition by deterministic ball carving in the remaining
+/// graph: every cluster is connected, and its tree depth is at most `⌈log₂ n⌉` (the
+/// ball stops growing once it no longer doubles).
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+pub fn build_partition(graph: &Graph) -> LowDiameterPartition {
+    let n = graph.node_count();
+    assert!(n > 0, "partition requires a non-empty graph");
+    let mut unassigned: BTreeSet<NodeId> = graph.nodes().collect();
+    let mut cluster_of = vec![usize::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut depth = vec![0usize; n];
+    let mut roots = Vec::new();
+
+    while let Some(&center) = unassigned.iter().next() {
+        let cluster_index = roots.len();
+        // Grow a BFS ball inside the unassigned subgraph while it keeps doubling.
+        let mut layers: Vec<Vec<NodeId>> = vec![vec![center]];
+        let mut in_ball: BTreeSet<NodeId> = BTreeSet::from([center]);
+        let mut ball_parent: BTreeMap<NodeId, Option<NodeId>> = BTreeMap::new();
+        ball_parent.insert(center, None);
+        loop {
+            let mut next = Vec::new();
+            for &v in layers.last().expect("at least one layer") {
+                for &u in graph.neighbors(v) {
+                    if unassigned.contains(&u) && !in_ball.contains(&u) {
+                        in_ball.insert(u);
+                        ball_parent.insert(u, Some(v));
+                        next.push(u);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            let prev_size = in_ball.len() - next.len();
+            layers.push(next);
+            // Stop once the ball no longer doubles.
+            if in_ball.len() <= 2 * prev_size {
+                break;
+            }
+        }
+        for (d, layer) in layers.iter().enumerate() {
+            for &v in layer {
+                cluster_of[v.index()] = cluster_index;
+                parent[v.index()] = ball_parent[&v];
+                depth[v.index()] = d;
+                unassigned.remove(&v);
+            }
+        }
+        roots.push(center);
+    }
+
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in graph.nodes() {
+        if let Some(p) = parent[v.index()] {
+            children[p.index()].push(v);
+        }
+    }
+
+    // One preferred edge per pair of adjacent clusters: the lexicographically smallest.
+    let mut preferred: BTreeMap<(usize, usize), (NodeId, NodeId)> = BTreeMap::new();
+    for (_, u, v) in graph.edges() {
+        let (cu, cv) = (cluster_of[u.index()], cluster_of[v.index()]);
+        if cu == cv {
+            continue;
+        }
+        let key = (cu.min(cv), cu.max(cv));
+        let candidate = if cu < cv { (u, v) } else { (v, u) };
+        preferred
+            .entry(key)
+            .and_modify(|e| {
+                if candidate < *e {
+                    *e = candidate;
+                }
+            })
+            .or_insert(candidate);
+    }
+
+    LowDiameterPartition {
+        cluster_of,
+        roots,
+        parent,
+        children,
+        depth,
+        preferred_edges: preferred.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_nodes_and_checks_out() {
+        for graph in [
+            Graph::path(15),
+            Graph::grid(5, 4),
+            Graph::cycle(11),
+            Graph::random_connected(50, 0.06, 4),
+            Graph::clustered_ring(4, 4),
+        ] {
+            let p = build_partition(&graph);
+            assert!(p.check(&graph));
+            assert!(p.cluster_of.iter().all(|&c| c != usize::MAX));
+        }
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let graph = Graph::random_connected(100, 0.04, 8);
+        let p = build_partition(&graph);
+        let bound = (graph.node_count() as f64).log2().ceil() as usize + 1;
+        assert!(p.max_height() <= bound, "height {} > {}", p.max_height(), bound);
+    }
+
+    #[test]
+    fn complete_graph_is_one_cluster() {
+        let graph = Graph::complete(8);
+        let p = build_partition(&graph);
+        assert_eq!(p.cluster_count(), 1);
+        assert!(p.preferred_edges.is_empty());
+    }
+
+    #[test]
+    fn path_partition_preferred_edges_join_adjacent_segments() {
+        let graph = Graph::path(16);
+        let p = build_partition(&graph);
+        assert!(p.cluster_count() >= 2);
+        assert_eq!(p.preferred_edges.len(), p.cluster_count() - 1);
+        assert!(p.check(&graph));
+    }
+
+    #[test]
+    fn preferred_edges_at_lists_counterparts() {
+        let graph = Graph::path(16);
+        let p = build_partition(&graph);
+        let (u, v) = p.preferred_edges[0];
+        assert!(p.preferred_edges_at(u).contains(&v));
+        assert!(p.preferred_edges_at(v).contains(&u));
+    }
+}

@@ -1,0 +1,295 @@
+//! Deterministic graph generators.
+//!
+//! Every generator is deterministic: the random families take an explicit seed and use
+//! a local PRNG, so experiments are reproducible bit-for-bit. All generated graphs are
+//! connected (the model assumes a connected network).
+
+use crate::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+impl Graph {
+    /// Path graph `0 - 1 - ... - (n-1)`. Diameter `n - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn path(n: usize) -> Graph {
+        assert!(n > 0, "path requires at least one node");
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i)).expect("path edges are simple");
+        }
+        g
+    }
+
+    /// Cycle graph on `n >= 3` nodes. Diameter `n / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Graph {
+        assert!(n >= 3, "cycle requires at least three nodes");
+        let mut g = Graph::path(n);
+        g.add_edge(NodeId(n - 1), NodeId(0)).expect("closing edge is new");
+        g
+    }
+
+    /// Star graph: node 0 connected to all others. Diameter 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> Graph {
+        assert!(n > 0, "star requires at least one node");
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(NodeId(0), NodeId(i)).expect("star edges are simple");
+        }
+        g
+    }
+
+    /// Complete graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete(n: usize) -> Graph {
+        assert!(n > 0, "complete graph requires at least one node");
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId(i), NodeId(j)).expect("complete edges are simple");
+            }
+        }
+        g
+    }
+
+    /// `rows x cols` grid graph. Diameter `rows + cols - 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(rows: usize, cols: usize) -> Graph {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let idx = |r: usize, c: usize| NodeId(r * cols + c);
+        let mut g = Graph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    g.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edge");
+                }
+                if r + 1 < rows {
+                    g.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edge");
+                }
+            }
+        }
+        g
+    }
+
+    /// Complete binary tree with `n` nodes (node `i` has children `2i+1`, `2i+2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn binary_tree(n: usize) -> Graph {
+        assert!(n > 0, "binary tree requires at least one node");
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(NodeId((i - 1) / 2), NodeId(i)).expect("tree edge");
+        }
+        g
+    }
+
+    /// Barbell graph: two cliques of size `k` joined by a path of `bridge` extra nodes.
+    ///
+    /// Useful as a low-conductance instance: the bridge is a message bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn barbell(k: usize, bridge: usize) -> Graph {
+        assert!(k >= 2, "barbell cliques need at least two nodes");
+        let n = 2 * k + bridge;
+        let mut g = Graph::new(n);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                g.add_edge(NodeId(i), NodeId(j)).expect("clique edge");
+                g.add_edge(NodeId(k + bridge + i), NodeId(k + bridge + j)).expect("clique edge");
+            }
+        }
+        // Path through the bridge nodes, connecting node k-1 to node k+bridge.
+        let mut prev = NodeId(k - 1);
+        for b in 0..bridge {
+            let cur = NodeId(k + b);
+            g.add_edge(prev, cur).expect("bridge edge");
+            prev = cur;
+        }
+        g.add_edge(prev, NodeId(k + bridge)).expect("bridge edge");
+        g
+    }
+
+    /// Connected Erdős–Rényi-style random graph: a random spanning tree plus each
+    /// remaining pair independently with probability `p`.
+    ///
+    /// Deterministic for a fixed `(n, p, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `p` is not in `[0, 1]`.
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+        assert!(n > 0, "random graph requires at least one node");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        // Random spanning tree: attach node i to a uniformly random earlier node.
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            g.add_edge(NodeId(parent), NodeId(i)).expect("tree edge");
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !g.has_edge(NodeId(i), NodeId(j)) && rng.gen_bool(p) {
+                    g.add_edge(NodeId(i), NodeId(j)).expect("extra edge");
+                }
+            }
+        }
+        g
+    }
+
+    /// Caterpillar graph: a spine path of `spine` nodes, each with `legs` pendant
+    /// nodes. Large diameter with many low-degree leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spine == 0`.
+    pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+        assert!(spine > 0, "caterpillar requires a non-empty spine");
+        let n = spine * (1 + legs);
+        let mut g = Graph::new(n);
+        for s in 1..spine {
+            g.add_edge(NodeId(s - 1), NodeId(s)).expect("spine edge");
+        }
+        let mut next = spine;
+        for s in 0..spine {
+            for _ in 0..legs {
+                g.add_edge(NodeId(s), NodeId(next)).expect("leg edge");
+                next += 1;
+            }
+        }
+        g
+    }
+
+    /// A ring of `clusters` cliques of size `k`, adjacent cliques joined by one edge.
+    ///
+    /// Models a "γ-synchronizer friendly" topology: small-diameter clusters connected
+    /// by sparse inter-cluster edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters < 3` or `k == 0`.
+    pub fn clustered_ring(clusters: usize, k: usize) -> Graph {
+        assert!(clusters >= 3, "clustered ring requires at least three clusters");
+        assert!(k > 0, "cluster size must be positive");
+        let n = clusters * k;
+        let mut g = Graph::new(n);
+        for c in 0..clusters {
+            let base = c * k;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    g.add_edge(NodeId(base + i), NodeId(base + j)).expect("clique edge");
+                }
+            }
+            let next_base = ((c + 1) % clusters) * k;
+            g.add_edge(NodeId(base), NodeId(next_base)).expect("ring edge");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn path_shape() {
+        let g = Graph::path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(metrics::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = Graph::cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(metrics::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        let g = Graph::star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(metrics::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(metrics::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = Graph::grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(metrics::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn binary_tree_is_a_tree() {
+        let g = Graph::binary_tree(15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(metrics::is_connected(&g));
+        assert_eq!(metrics::diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn barbell_is_connected_with_bottleneck() {
+        let g = Graph::barbell(4, 3);
+        assert!(metrics::is_connected(&g));
+        assert_eq!(g.node_count(), 11);
+        // clique edges: 2 * C(4,2) = 12, bridge edges: 4
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let a = Graph::random_connected(40, 0.05, 7);
+        let b = Graph::random_connected(40, 0.05, 7);
+        let c = Graph::random_connected(40, 0.05, 8);
+        assert_eq!(a, b);
+        assert!(metrics::is_connected(&a));
+        assert!(a.edge_count() >= 39);
+        // Different seeds almost surely differ.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = Graph::caterpillar(5, 2);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn clustered_ring_counts() {
+        let g = Graph::clustered_ring(4, 3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 4 * 3 + 4);
+        assert!(metrics::is_connected(&g));
+    }
+}

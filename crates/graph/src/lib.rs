@@ -1,0 +1,294 @@
+//! Graph substrate for the synchronizer reproduction.
+//!
+//! The network of the CONGEST model is an undirected, connected graph `G = (V, E)`.
+//! This crate provides:
+//!
+//! * [`Graph`] — an adjacency-list representation with stable edge indices,
+//! * [`generators`] — deterministic graph families used throughout the experiments,
+//! * [`metrics`] — distances, eccentricities, diameter, connectivity,
+//! * [`weights`] — edge weights and a reference (centralized) minimum spanning tree,
+//!   used to validate the distributed MST application.
+//!
+//! Everything here is *centralized* helper code: the distributed algorithms
+//! themselves live in `ds-sync` / `ds-algos` and only ever access local
+//! information, as the model requires. The centralized code is used to construct
+//! inputs and to check outputs.
+
+pub mod generators;
+pub mod metrics;
+pub mod weights;
+
+use std::fmt;
+
+/// Identifier of a node (processor) in the network.
+///
+/// Node identifiers are dense indices `0..n`. The paper assumes `O(log n)`-bit unique
+/// identifiers; dense indices satisfy that and keep the simulator simple. Algorithms
+/// that need *arbitrary* comparable identifiers (e.g. leader election) treat the
+/// numeric value as the identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Index of an undirected edge in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An undirected graph with `n` nodes and a stable list of edges.
+///
+/// Nodes are `NodeId(0) .. NodeId(n-1)`. Edges are stored once (with endpoints in
+/// ascending order) and also expanded into per-node adjacency lists. Self-loops and
+/// parallel edges are rejected.
+///
+/// ```
+/// use ds_graph::{Graph, NodeId};
+/// let g = Graph::path(4);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.has_edge(NodeId(1), NodeId(2)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+/// Error returned by [`Graph::add_edge`] and the checked constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was `>= node_count`.
+    NodeOutOfRange { node: NodeId, node_count: usize },
+    /// The two endpoints are equal.
+    SelfLoop { node: NodeId },
+    /// The edge already exists.
+    DuplicateEdge { u: NodeId, v: NodeId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a self-loop, or an
+    /// edge appears twice.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds an undirected edge, returning its new [`EdgeId`].
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphError`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        let n = self.node_count();
+        for node in [u, v] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node, node_count: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        let id = EdgeId(self.edges.len());
+        self.edges.push((a, b));
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        Ok(id)
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterator over all undirected edges, endpoints in ascending order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i), u, v))
+    }
+
+    /// Endpoints of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Neighbors of a node, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Returns `true` if the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return false;
+        }
+        let (small, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adjacency[small.index()].contains(&other)
+    }
+
+    /// Finds the edge index of `{u, v}`, if present.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges
+            .iter()
+            .position(|&(x, y)| (x, y) == (a, b))
+            .map(EdgeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 5);
+    }
+
+    #[test]
+    fn add_edge_updates_adjacency_both_ways() {
+        let mut g = Graph::new(3);
+        let e = g.add_edge(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(e, EdgeId(0));
+        assert_eq!(g.endpoints(e), (NodeId(0), NodeId(2)));
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0)]);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop { node: NodeId(1) })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(5)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_in_either_direction() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(
+            g.add_edge(NodeId(1), NodeId(0)),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_between_finds_edges_regardless_of_order() {
+        let g = Graph::path(4);
+        assert_eq!(g.edge_between(NodeId(2), NodeId(1)), g.edge_between(NodeId(1), NodeId(2)));
+        assert!(g.edge_between(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let g = Graph::from_edges(3, [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+}

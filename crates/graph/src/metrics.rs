@@ -1,0 +1,152 @@
+//! Centralized graph metrics: BFS distances, eccentricity, diameter, connectivity.
+//!
+//! These are reference computations used to construct experiment inputs and to check
+//! the outputs of the distributed algorithms; they are not part of the distributed
+//! model.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distances (in hops) from `source` to every node; `None` for unreachable nodes.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    multi_source_distances(graph, std::slice::from_ref(&source))
+}
+
+/// Distances (in hops) from the *closest* node of `sources`; `None` if unreachable.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an out-of-range node.
+pub fn multi_source_distances(graph: &Graph, sources: &[NodeId]) -> Vec<Option<usize>> {
+    assert!(!sources.is_empty(), "at least one source is required");
+    let mut dist = vec![None; graph.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s.index() < graph.node_count(), "source out of range");
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued nodes have distances");
+        for &u in graph.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between two nodes, if connected.
+pub fn distance(graph: &Graph, u: NodeId, v: NodeId) -> Option<usize> {
+    bfs_distances(graph, u)[v.index()]
+}
+
+/// Eccentricity of a node: the largest distance from it, if the graph is connected.
+pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<usize> {
+    bfs_distances(graph, v).into_iter().try_fold(0, |acc, d| d.map(|d| acc.max(d)))
+}
+
+/// Diameter of the graph (`None` if disconnected or empty).
+pub fn diameter(graph: &Graph) -> Option<usize> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in graph.nodes() {
+        best = best.max(eccentricity(graph, v)?);
+    }
+    Some(best)
+}
+
+/// Largest distance from the closest source, over all nodes (the paper's `D_1`).
+///
+/// Returns `None` if some node is unreachable from every source.
+pub fn max_distance_to_sources(graph: &Graph, sources: &[NodeId]) -> Option<usize> {
+    multi_source_distances(graph, sources)
+        .into_iter()
+        .try_fold(0, |acc, d| d.map(|d| acc.max(d)))
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.node_count() == 0 {
+        return true;
+    }
+    bfs_distances(graph, NodeId(0)).iter().all(Option::is_some)
+}
+
+/// A BFS tree: for each node, its parent towards the source (`None` for the source
+/// itself and for unreachable nodes).
+pub fn bfs_tree(graph: &Graph, source: NodeId) -> Vec<Option<NodeId>> {
+    let mut parent = vec![None; graph.node_count()];
+    let mut visited = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for &u in graph.neighbors(v) {
+            if !visited[u.index()] {
+                visited[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = Graph::path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn multi_source_takes_closest() {
+        let g = Graph::path(6);
+        let d = multi_source_distances(&g, &[NodeId(0), NodeId(5)]);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(2), Some(1), Some(0)]);
+        assert_eq!(max_distance_to_sources(&g, &[NodeId(0), NodeId(5)]), Some(2));
+    }
+
+    #[test]
+    fn diameter_of_grid() {
+        assert_eq!(diameter(&Graph::grid(4, 4)), Some(6));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let g = Graph::new(3);
+        assert!(!is_connected(&g));
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn bfs_tree_parents_point_towards_source() {
+        let g = Graph::grid(3, 3);
+        let parent = bfs_tree(&g, NodeId(0));
+        let dist = bfs_distances(&g, NodeId(0));
+        assert_eq!(parent[0], None);
+        for v in g.nodes().skip(1) {
+            let p = parent[v.index()].expect("connected");
+            assert_eq!(dist[p.index()].unwrap() + 1, dist[v.index()].unwrap());
+            assert!(g.has_edge(p, v));
+        }
+    }
+
+    #[test]
+    fn eccentricity_matches_diameter_on_path_endpoints() {
+        let g = Graph::path(7);
+        assert_eq!(eccentricity(&g, NodeId(0)), Some(6));
+        assert_eq!(eccentricity(&g, NodeId(3)), Some(3));
+    }
+}

@@ -1,0 +1,222 @@
+//! Edge weights and a centralized reference MST (Kruskal).
+//!
+//! The distributed MST application (Corollary 1.4) is checked against
+//! [`minimum_spanning_tree`]. Weights are unique by construction in the generators so
+//! that the MST is unique and the comparison is exact.
+
+use crate::{EdgeId, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Edge weights indexed by [`EdgeId`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeWeights {
+    weights: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// Creates weights from a vector aligned with the graph's edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the number of edges.
+    pub fn from_vec(graph: &Graph, weights: Vec<u64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            graph.edge_count(),
+            "one weight per edge is required"
+        );
+        EdgeWeights { weights }
+    }
+
+    /// Assigns *distinct* pseudo-random weights (a random permutation of `1..=m`),
+    /// guaranteeing a unique MST. Deterministic for a fixed seed.
+    pub fn random_distinct(graph: &Graph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights: Vec<u64> = (1..=graph.edge_count() as u64).collect();
+        weights.shuffle(&mut rng);
+        EdgeWeights { weights }
+    }
+
+    /// Weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e.index()]
+    }
+
+    /// Number of weighted edges.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no weights.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Union-find (disjoint set union) over node indices, used by Kruskal and by tests.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of the set containing `x`.
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Kruskal's MST. Returns the set of edge ids in the minimum spanning forest,
+/// sorted ascending. For a connected graph this is a spanning tree of `n - 1` edges.
+pub fn minimum_spanning_tree(graph: &Graph, weights: &EdgeWeights) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = graph.edges().map(|(e, _, _)| e).collect();
+    order.sort_by_key(|&e| (weights.weight(e), e.index()));
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut tree = Vec::new();
+    for e in order {
+        let (u, v) = graph.endpoints(e);
+        if uf.union(u.index(), v.index()) {
+            tree.push(e);
+        }
+    }
+    tree.sort_by_key(|e| e.index());
+    tree
+}
+
+/// Total weight of a set of edges.
+pub fn total_weight(weights: &EdgeWeights, edges: &[EdgeId]) -> u64 {
+    edges.iter().map(|&e| weights.weight(e)).sum()
+}
+
+/// Checks that `edges` forms a spanning tree of the (connected) graph.
+pub fn is_spanning_tree(graph: &Graph, edges: &[EdgeId]) -> bool {
+    if graph.node_count() == 0 {
+        return edges.is_empty();
+    }
+    if edges.len() != graph.node_count() - 1 {
+        return false;
+    }
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut merges = 0;
+    for &e in edges {
+        let (u, v) = graph.endpoints(e);
+        if uf.union(u.index(), v.index()) {
+            merges += 1;
+        } else {
+            return false; // cycle
+        }
+    }
+    merges == graph.node_count() - 1
+}
+
+/// Convenience: which endpoint of edge `e` is `v`'s counterpart.
+///
+/// # Panics
+///
+/// Panics if `v` is not an endpoint of `e`.
+pub fn other_endpoint(graph: &Graph, e: EdgeId, v: NodeId) -> NodeId {
+    let (a, b) = graph.endpoints(e);
+    if v == a {
+        b
+    } else if v == b {
+        a
+    } else {
+        panic!("{v} is not an endpoint of edge {e:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kruskal_on_square_with_diagonal() {
+        // Square 0-1-2-3 with diagonal 0-2; weights make the diagonal cheap.
+        let mut g = Graph::new(4);
+        let e01 = g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        let e12 = g.add_edge(NodeId(1), NodeId(2)).unwrap();
+        let e23 = g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        let e30 = g.add_edge(NodeId(3), NodeId(0)).unwrap();
+        let e02 = g.add_edge(NodeId(0), NodeId(2)).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![5, 4, 3, 2, 1]);
+        let mst = minimum_spanning_tree(&g, &w);
+        // Kruskal picks 0-2 (w=1), 3-0 (w=2), then skips 2-3 (cycle) and takes 1-2 (w=4).
+        assert_eq!(mst, vec![e12, e30, e02]);
+        assert!(is_spanning_tree(&g, &mst));
+        assert_eq!(total_weight(&w, &mst), 7);
+        assert!(!is_spanning_tree(&g, &[e01, e12, e02]));
+        let _ = e23;
+    }
+
+    #[test]
+    fn mst_of_tree_is_the_tree_itself() {
+        let g = Graph::binary_tree(10);
+        let w = EdgeWeights::random_distinct(&g, 3);
+        let mst = minimum_spanning_tree(&g, &w);
+        assert_eq!(mst.len(), 9);
+        assert!(is_spanning_tree(&g, &mst));
+    }
+
+    #[test]
+    fn random_distinct_weights_are_a_permutation() {
+        let g = Graph::complete(6);
+        let w = EdgeWeights::random_distinct(&g, 11);
+        let mut seen: Vec<u64> = (0..w.len()).map(|i| w.weight(EdgeId(i))).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_find_merges_and_detects_cycles() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 3));
+        assert_eq!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn other_endpoint_returns_counterpart() {
+        let g = Graph::path(3);
+        let e = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(other_endpoint(&g, e, NodeId(1)), NodeId(2));
+        assert_eq!(other_endpoint(&g, e, NodeId(2)), NodeId(1));
+    }
+}

@@ -1,0 +1,512 @@
+//! Discrete-event simulator of the asynchronous message-passing model.
+//!
+//! The engine implements the model of Section 1.1 and Appendix B:
+//!
+//! * every message injected into a link is delivered after an adversarially chosen
+//!   delay of at most one time unit `τ` ([`crate::delay::DelayModel`]),
+//! * a node may have at most one un-acknowledged message per outgoing link; further
+//!   messages queue locally and are injected when the acknowledgment returns (the
+//!   acknowledgment discipline of Appendix B, which removes simultaneous-injection
+//!   ambiguity and lets congestion cost time, as Lemma 2.2 requires),
+//! * when several messages are queued on the same link they are transmitted in order
+//!   of ascending priority (lowest stage first, Lemma 2.5), ties broken FIFO,
+//! * time complexity is the completion time divided by `τ`; message complexity counts
+//!   every injected message, with link acknowledgments reported separately.
+
+use crate::delay::DelayModel;
+use crate::metrics::{MessageClass, RunMetrics};
+use crate::protocol::{Ctx, Protocol};
+use crate::TICKS_PER_UNIT;
+use ds_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::fmt;
+
+/// Errors reported by the simulation engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A protocol attempted to send to a node that is not its neighbor.
+    NotNeighbor { from: NodeId, to: NodeId },
+    /// The asynchronous run exceeded the configured event budget (likely livelock).
+    EventLimitExceeded { limit: u64 },
+    /// The synchronous run exceeded the configured round budget.
+    RoundLimitExceeded { limit: u64 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotNeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbor {to}")
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "asynchronous run exceeded the event limit of {limit}")
+            }
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "synchronous run exceeded the round limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Safety limits for a simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Maximum number of message-delivery events before the run is aborted.
+    pub max_events: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits { max_events: 50_000_000 }
+    }
+}
+
+/// Result of an asynchronous run.
+#[derive(Debug)]
+pub struct AsyncReport<P> {
+    /// Time and message accounting.
+    pub metrics: RunMetrics,
+    /// The per-node protocol instances after the run (holding outputs and state).
+    pub nodes: Vec<P>,
+}
+
+#[derive(Debug)]
+struct QueuedMessage<M> {
+    priority: u64,
+    seq: u64,
+    msg: M,
+    class: MessageClass,
+}
+
+#[derive(Debug, Default)]
+struct LinkState<M> {
+    /// Whether a message is currently in flight (awaiting acknowledgment).
+    in_flight: bool,
+    /// Messages waiting for the link, keyed by (priority, arrival sequence).
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Payloads of queued messages, keyed by sequence number.
+    payloads: BTreeMap<u64, QueuedMessage<M>>,
+}
+
+impl<M> LinkState<M> {
+    fn new() -> Self {
+        LinkState { in_flight: false, queue: BinaryHeap::new(), payloads: BTreeMap::new() }
+    }
+
+    fn push(&mut self, q: QueuedMessage<M>) {
+        self.queue.push(Reverse((q.priority, q.seq)));
+        self.payloads.insert(q.seq, q);
+    }
+
+    fn pop(&mut self) -> Option<QueuedMessage<M>> {
+        let Reverse((_, seq)) = self.queue.pop()?;
+        self.payloads.remove(&seq)
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Ack { link_from: NodeId, link_to: NodeId },
+}
+
+struct Engine<'a, P: Protocol> {
+    graph: &'a Graph,
+    delay: DelayModel,
+    nodes: Vec<P>,
+    links: BTreeMap<(usize, usize), LinkState<P::Message>>,
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    event_payloads: BTreeMap<u64, EventKind<P::Message>>,
+    now: u64,
+    seq: u64,
+    metrics: RunMetrics,
+    done_flags: Vec<bool>,
+    done_count: usize,
+    time_all_done: Option<u64>,
+}
+
+impl<'a, P: Protocol> Engine<'a, P> {
+    fn schedule(&mut self, at: u64, kind: EventKind<P::Message>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse((at, seq)));
+        self.event_payloads.insert(seq, kind);
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    fn try_inject(&mut self, from: NodeId, to: NodeId) {
+        let link = self
+            .links
+            .entry((from.index(), to.index()))
+            .or_insert_with(LinkState::new);
+        if link.in_flight {
+            return;
+        }
+        let Some(q) = link.pop() else { return };
+        link.in_flight = true;
+        let delay = self.delay.delay_ticks(from, to, q.seq);
+        let at = self.now + delay;
+        self.schedule(at, EventKind::Deliver { from, to, msg: q.msg });
+    }
+
+    fn dispatch_outbox(&mut self, from: NodeId, ctx: &mut Ctx<P::Message>) -> Result<(), SimError> {
+        let outbox = ctx.take_outbox();
+        let mut touched: VecDeque<NodeId> = VecDeque::new();
+        for out in outbox {
+            if !self.graph.has_edge(from, out.to) {
+                return Err(SimError::NotNeighbor { from, to: out.to });
+            }
+            self.metrics.record_message(out.class);
+            let seq = self.next_seq();
+            let link = self
+                .links
+                .entry((from.index(), out.to.index()))
+                .or_insert_with(LinkState::new);
+            link.push(QueuedMessage { priority: out.priority, seq, msg: out.msg, class: out.class });
+            touched.push_back(out.to);
+        }
+        while let Some(to) = touched.pop_front() {
+            self.try_inject(from, to);
+        }
+        Ok(())
+    }
+
+    fn update_done(&mut self, node: NodeId) {
+        if !self.done_flags[node.index()] && self.nodes[node.index()].is_done() {
+            self.done_flags[node.index()] = true;
+            self.done_count += 1;
+            if self.done_count == self.nodes.len() && self.time_all_done.is_none() {
+                self.time_all_done = Some(self.now);
+            }
+        }
+    }
+}
+
+/// Runs an asynchronous protocol on `graph` under the delay adversary `delay`.
+///
+/// `make` constructs the per-node protocol instance.
+///
+/// # Errors
+///
+/// * [`SimError::NotNeighbor`] if a protocol sends to a non-neighbor.
+/// * [`SimError::EventLimitExceeded`] if the run exceeds `limits.max_events`
+///   deliveries (protection against livelocked protocols).
+pub fn run_async<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    mut make: F,
+    limits: SimLimits,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let n = graph.node_count();
+    let mut engine = Engine {
+        graph,
+        delay,
+        nodes: graph.nodes().map(&mut make).collect(),
+        links: BTreeMap::new(),
+        events: BinaryHeap::new(),
+        event_payloads: BTreeMap::new(),
+        now: 0,
+        seq: 0,
+        metrics: RunMetrics::default(),
+        done_flags: vec![false; n],
+        done_count: 0,
+        time_all_done: None,
+    };
+
+    // Time 0: start every node.
+    for v in graph.nodes() {
+        let mut ctx = Ctx::new(v);
+        engine.nodes[v.index()].on_start(&mut ctx);
+        engine.dispatch_outbox(v, &mut ctx)?;
+        engine.update_done(v);
+    }
+
+    let mut deliveries: u64 = 0;
+    while let Some(Reverse((time, seq))) = engine.events.pop() {
+        engine.now = time;
+        let kind = engine
+            .event_payloads
+            .remove(&seq)
+            .expect("scheduled events always carry a payload");
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                deliveries += 1;
+                if deliveries > limits.max_events {
+                    return Err(SimError::EventLimitExceeded { limit: limits.max_events });
+                }
+                engine.metrics.events += 1;
+                // Deliver to the protocol.
+                let mut ctx = Ctx::new(to);
+                engine.nodes[to.index()].on_message(from, msg, &mut ctx);
+                engine.dispatch_outbox(to, &mut ctx)?;
+                engine.update_done(to);
+                // Send the link-level acknowledgment back to the sender.
+                engine.metrics.acks += 1;
+                let ack_seq = engine.next_seq();
+                let ack_delay = engine.delay.delay_ticks(to, from, ack_seq);
+                let at = engine.now + ack_delay;
+                engine.schedule(at, EventKind::Ack { link_from: from, link_to: to });
+            }
+            EventKind::Ack { link_from, link_to } => {
+                if let Some(link) = engine.links.get_mut(&(link_from.index(), link_to.index())) {
+                    link.in_flight = false;
+                }
+                engine.try_inject(link_from, link_to);
+            }
+        }
+    }
+
+    engine.metrics.time_to_output =
+        engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
+    engine.metrics.time_to_quiescence = engine.now as f64 / TICKS_PER_UNIT as f64;
+
+    Ok(AsyncReport { metrics: engine.metrics, nodes: engine.nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asynchronous flooding: node 0 floods a token; each node records the hop count
+    /// of the first copy it receives (which may exceed the true distance under
+    /// adversarial delays — flooding is not a correct BFS, which is the point of the
+    /// synchronizer).
+    #[derive(Debug)]
+    struct Flood {
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        hops: Option<u64>,
+    }
+
+    impl Flood {
+        fn new(graph: &Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me).to_vec(), hops: None }
+        }
+    }
+
+    impl Protocol for Flood {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            if self.me == NodeId(0) {
+                self.hops = Some(0);
+                for &u in &self.neighbors.clone() {
+                    ctx.send(u, 1);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+            if self.hops.is_none() {
+                self.hops = Some(msg);
+                for &u in &self.neighbors.clone() {
+                    ctx.send(u, msg + 1);
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.hops.is_some()
+        }
+    }
+
+    #[test]
+    fn flood_reaches_every_node_under_every_adversary() {
+        let g = Graph::grid(4, 4);
+        for delay in DelayModel::standard_suite(5) {
+            let report =
+                run_async(&g, delay.clone(), |v| Flood::new(&g, v), SimLimits::default()).unwrap();
+            assert!(
+                report.nodes.iter().all(|n| n.hops.is_some()),
+                "all nodes reached under {delay:?}"
+            );
+            assert!(report.metrics.time_to_output.is_some());
+            assert!(report.metrics.total_messages() > 0);
+            assert_eq!(report.metrics.acks, report.metrics.events);
+        }
+    }
+
+    #[test]
+    fn uniform_delay_flood_time_matches_distance_bound() {
+        let g = Graph::path(8);
+        let report =
+            run_async(&g, DelayModel::uniform(), |v| Flood::new(&g, v), SimLimits::default())
+                .unwrap();
+        // Under uniform unit delays every hop costs exactly one unit, so the last
+        // node (distance 7) is done at time 7.
+        let t = report.metrics.time_to_output.unwrap();
+        assert!((t - 7.0).abs() < 1e-9, "time was {t}");
+    }
+
+    #[test]
+    fn adversarial_delays_can_mislead_naive_flooding() {
+        // On a cycle, make links incident to low-index nodes slow: the token then
+        // reaches the far side the "long way around" first, giving wrong hop counts.
+        // This demonstrates why a synchronizer is needed at all.
+        let g = Graph::cycle(8);
+        let report = run_async(
+            &g,
+            DelayModel::slow_cut(4),
+            |v| Flood::new(&g, v),
+            SimLimits::default(),
+        )
+        .unwrap();
+        let hops: Vec<u64> = report.nodes.iter().map(|n| n.hops.unwrap()).collect();
+        let true_dist = ds_graph::metrics::bfs_distances(&g, NodeId(0));
+        let mismatches = hops
+            .iter()
+            .zip(true_dist.iter())
+            .filter(|(h, d)| **h != d.unwrap() as u64)
+            .count();
+        assert!(mismatches > 0, "expected the adversary to distort naive flooding");
+    }
+
+    #[test]
+    fn ack_discipline_serializes_a_link() {
+        /// Node 0 sends `k` messages to node 1 at start; node 1 counts arrivals.
+        #[derive(Debug)]
+        struct Burst {
+            me: NodeId,
+            received: u64,
+        }
+        impl Protocol for Burst {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                if self.me == NodeId(0) {
+                    for _ in 0..5 {
+                        ctx.send(NodeId(1), ());
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Ctx<()>) {
+                self.received += 1;
+            }
+            fn is_done(&self) -> bool {
+                self.me == NodeId(0) || self.received == 5
+            }
+        }
+        let g = Graph::path(2);
+        let report = run_async(
+            &g,
+            DelayModel::uniform(),
+            |me| Burst { me, received: 0 },
+            SimLimits::default(),
+        )
+        .unwrap();
+        // Each of the 5 messages must wait for the previous message's ack: delivery i
+        // completes at time 2i+1, so the last arrives at time 9.
+        let t = report.metrics.time_to_output.unwrap();
+        assert!((t - 9.0).abs() < 1e-9, "time was {t}");
+        assert_eq!(report.metrics.total_messages(), 5);
+    }
+
+    #[test]
+    fn priorities_order_queued_messages() {
+        /// Node 0 queues a low-priority then a high-priority message; node 1 records
+        /// the arrival order.
+        #[derive(Debug)]
+        struct Prio {
+            me: NodeId,
+            order: Vec<u8>,
+        }
+        impl Protocol for Prio {
+            type Message = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<u8>) {
+                if self.me == NodeId(0) {
+                    ctx.send_with(NodeId(1), 9, 9, MessageClass::Algorithm);
+                    ctx.send_with(NodeId(1), 1, 1, MessageClass::Algorithm);
+                    ctx.send_with(NodeId(1), 5, 5, MessageClass::Algorithm);
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, msg: u8, _ctx: &mut Ctx<u8>) {
+                self.order.push(msg);
+            }
+            fn is_done(&self) -> bool {
+                self.me == NodeId(0) || self.order.len() == 3
+            }
+        }
+        let g = Graph::path(2);
+        let report = run_async(
+            &g,
+            DelayModel::uniform(),
+            |me| Prio { me, order: Vec::new() },
+            SimLimits::default(),
+        )
+        .unwrap();
+        // All three messages are queued before the link transmits, so they are
+        // delivered in ascending priority order regardless of send order.
+        assert_eq!(report.nodes[1].order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn event_limit_aborts_livelock() {
+        #[derive(Debug)]
+        struct PingPong {
+            me: NodeId,
+        }
+        impl Protocol for PingPong {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                if self.me == NodeId(0) {
+                    ctx.send(NodeId(1), ());
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _msg: (), ctx: &mut Ctx<()>) {
+                ctx.send(from, ());
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = Graph::path(2);
+        let err = run_async(
+            &g,
+            DelayModel::uniform(),
+            |me| PingPong { me },
+            SimLimits { max_events: 100 },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_is_rejected() {
+        #[derive(Debug)]
+        struct Bad {
+            me: NodeId,
+        }
+        impl Protocol for Bad {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                if self.me == NodeId(0) {
+                    ctx.send(NodeId(2), ());
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<()>) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = Graph::path(3);
+        let err = run_async(
+            &g,
+            DelayModel::uniform(),
+            |me| Bad { me },
+            SimLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NotNeighbor { from: NodeId(0), to: NodeId(2) });
+    }
+}

@@ -1,0 +1,180 @@
+//! Adversarial message-delay models for the asynchronous engine.
+//!
+//! The asynchronous model bounds every message delay by an unknown time unit `τ`
+//! (Section 1.1). Algorithms must be correct for *every* delay assignment; the delay
+//! model plays the role of the adversary in the simulation. All models are
+//! deterministic for a fixed seed, so experiments are reproducible.
+
+use crate::TICKS_PER_UNIT;
+use ds_graph::NodeId;
+
+/// A deterministic adversary assigning a delay (in ticks, `1..=TICKS_PER_UNIT`) to
+/// each transmitted message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly `τ` (the synchronous-looking worst case).
+    Uniform,
+    /// Every message takes a pseudo-random delay in `[min_ticks, τ]`, derived from a
+    /// seed and the message's (source, destination, sequence number).
+    Jitter { seed: u64, min_ticks: u64 },
+    /// Links incident to nodes with index `< slow_below` are slow (`τ`), all other
+    /// links are fast (1 tick). Models a cut of congested links.
+    SlowCut { slow_below: usize },
+    /// Delay alternates between fast and slow per message sequence number: messages
+    /// whose sequence number is divisible by `period` take `τ`, others take 1 tick.
+    /// Models bursty congestion.
+    Bursty { period: u64 },
+}
+
+impl DelayModel {
+    /// Adversary where every message takes the full time unit.
+    pub fn uniform() -> Self {
+        DelayModel::Uniform
+    }
+
+    /// Seeded pseudo-random jitter in `[1, τ]`.
+    pub fn jitter(seed: u64) -> Self {
+        DelayModel::Jitter { seed, min_ticks: 1 }
+    }
+
+    /// Seeded pseudo-random jitter in `[min_fraction · τ, τ]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_fraction` is not in `(0, 1]`.
+    pub fn jitter_at_least(seed: u64, min_fraction: f64) -> Self {
+        assert!(
+            min_fraction > 0.0 && min_fraction <= 1.0,
+            "min_fraction must be in (0, 1]"
+        );
+        DelayModel::Jitter {
+            seed,
+            min_ticks: ((TICKS_PER_UNIT as f64) * min_fraction).ceil().max(1.0) as u64,
+        }
+    }
+
+    /// Links incident to low-index nodes are slow; the rest are fast.
+    pub fn slow_cut(slow_below: usize) -> Self {
+        DelayModel::SlowCut { slow_below }
+    }
+
+    /// Every `period`-th message (by global sequence number) is slow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn bursty(period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        DelayModel::Bursty { period }
+    }
+
+    /// Delay in ticks for a message from `from` to `to` with global sequence
+    /// number `seq`. Always in `1..=TICKS_PER_UNIT`.
+    pub fn delay_ticks(&self, from: NodeId, to: NodeId, seq: u64) -> u64 {
+        let d = match *self {
+            DelayModel::Uniform => TICKS_PER_UNIT,
+            DelayModel::Jitter { seed, min_ticks } => {
+                let h = splitmix(seed ^ mix3(from.index() as u64, to.index() as u64, seq));
+                min_ticks + h % (TICKS_PER_UNIT - min_ticks + 1)
+            }
+            DelayModel::SlowCut { slow_below } => {
+                if from.index() < slow_below || to.index() < slow_below {
+                    TICKS_PER_UNIT
+                } else {
+                    1
+                }
+            }
+            DelayModel::Bursty { period } => {
+                if seq % period == 0 {
+                    TICKS_PER_UNIT
+                } else {
+                    1
+                }
+            }
+        };
+        d.clamp(1, TICKS_PER_UNIT)
+    }
+
+    /// The standard set of adversaries exercised by the integration tests and the
+    /// robustness experiment (E8 in DESIGN.md).
+    pub fn standard_suite(seed: u64) -> Vec<DelayModel> {
+        vec![
+            DelayModel::uniform(),
+            DelayModel::jitter(seed),
+            DelayModel::jitter_at_least(seed.wrapping_add(1), 0.5),
+            DelayModel::slow_cut(3),
+            DelayModel::bursty(3),
+        ]
+    }
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    splitmix(a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.rotate_left(17) ^ c.rotate_left(43))
+}
+
+/// SplitMix64 finalizer: a small, dependency-free deterministic hash.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_always_max() {
+        let d = DelayModel::uniform();
+        for seq in 0..10 {
+            assert_eq!(d.delay_ticks(NodeId(0), NodeId(1), seq), TICKS_PER_UNIT);
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let d = DelayModel::jitter(42);
+        for seq in 0..200 {
+            let x = d.delay_ticks(NodeId(3), NodeId(7), seq);
+            assert!((1..=TICKS_PER_UNIT).contains(&x));
+            assert_eq!(x, d.delay_ticks(NodeId(3), NodeId(7), seq));
+        }
+    }
+
+    #[test]
+    fn jitter_at_least_respects_floor() {
+        let d = DelayModel::jitter_at_least(1, 0.5);
+        for seq in 0..200 {
+            assert!(d.delay_ticks(NodeId(0), NodeId(1), seq) >= TICKS_PER_UNIT / 2);
+        }
+    }
+
+    #[test]
+    fn slow_cut_distinguishes_links() {
+        let d = DelayModel::slow_cut(2);
+        assert_eq!(d.delay_ticks(NodeId(1), NodeId(5), 0), TICKS_PER_UNIT);
+        assert_eq!(d.delay_ticks(NodeId(5), NodeId(6), 0), 1);
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let d = DelayModel::bursty(2);
+        assert_eq!(d.delay_ticks(NodeId(0), NodeId(1), 0), TICKS_PER_UNIT);
+        assert_eq!(d.delay_ticks(NodeId(0), NodeId(1), 1), 1);
+    }
+
+    #[test]
+    fn standard_suite_is_nonempty_and_valid() {
+        for d in DelayModel::standard_suite(9) {
+            let x = d.delay_ticks(NodeId(0), NodeId(1), 7);
+            assert!((1..=TICKS_PER_UNIT).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_fraction")]
+    fn jitter_at_least_rejects_zero() {
+        let _ = DelayModel::jitter_at_least(0, 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Interface of *event-driven synchronous algorithms* — the class of algorithms the
+//! synchronizer accepts (Appendix B, second interpretation).
+//!
+//! An event-driven algorithm never refers to round numbers. A node acts only when it
+//! is *triggered*: at pulse `p ≥ 1` a node is triggered if it received messages sent
+//! at pulse `p − 1` or itself sent messages at pulse `p − 1`. Pulse-0 messages come
+//! from initiators via [`EventDriven::on_init`].
+//!
+//! The same object runs unchanged
+//!
+//! * under the synchronous engine ([`crate::sync_engine::run_sync`]), which defines
+//!   the ground-truth execution and the complexities `T(A)` and `M(A)`, and
+//! * inside any synchronizer from `ds-sync`, which simulates it in the asynchronous
+//!   model.
+
+use ds_graph::NodeId;
+use std::fmt;
+
+/// Context handed to an event-driven algorithm during one pulse: collects the
+/// messages to be sent at this pulse.
+#[derive(Debug)]
+pub struct PulseCtx<M> {
+    me: NodeId,
+    outbox: Vec<(NodeId, M)>,
+}
+
+impl<M> PulseCtx<M> {
+    /// Creates a context for node `me`.
+    pub fn new(me: NodeId) -> Self {
+        PulseCtx { me, outbox: Vec::new() }
+    }
+
+    /// The local node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Queues a message to neighbor `to` for this pulse.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Number of messages queued during this pulse.
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Drains the queued messages (used by the engines).
+    pub fn take_outbox(&mut self) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// A node-local event-driven synchronous algorithm.
+pub trait EventDriven {
+    /// Message type exchanged between nodes.
+    type Msg: Clone + fmt::Debug;
+    /// Per-node output type; outputs are compared between the synchronous ground
+    /// truth and synchronized asynchronous runs.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Invoked once at the very beginning. Initiators queue their pulse-0 messages
+    /// here; non-initiators typically do nothing.
+    fn on_init(&mut self, ctx: &mut PulseCtx<Self::Msg>);
+
+    /// Invoked at pulse `p ≥ 1` when this node was triggered: `received` holds the
+    /// messages sent to it at pulse `p − 1` (sorted by sender identifier; empty if
+    /// the trigger was only the node's own pulse-`p − 1` sends). Messages queued on
+    /// `ctx` are the node's pulse-`p` messages.
+    fn on_pulse(&mut self, received: &[(NodeId, Self::Msg)], ctx: &mut PulseCtx<Self::Msg>);
+
+    /// The node's output, once produced.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Sorts a pulse's received batch into the canonical delivery order (by sender, then
+/// by insertion order), so that synchronous and synchronized executions present the
+/// same batch to the algorithm.
+pub fn canonical_batch<M: Clone>(batch: &mut Vec<(NodeId, M)>) {
+    batch.sort_by_key(|(from, _)| *from);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_ctx_collects_sends() {
+        let mut ctx: PulseCtx<&'static str> = PulseCtx::new(NodeId(0));
+        ctx.send(NodeId(1), "a");
+        ctx.send(NodeId(2), "b");
+        assert_eq!(ctx.queued(), 2);
+        assert_eq!(ctx.take_outbox().len(), 2);
+        assert_eq!(ctx.queued(), 0);
+    }
+
+    #[test]
+    fn canonical_batch_sorts_by_sender() {
+        let mut batch = vec![(NodeId(5), 1u8), (NodeId(2), 2), (NodeId(9), 3), (NodeId(2), 4)];
+        canonical_batch(&mut batch);
+        assert_eq!(
+            batch.iter().map(|(n, _)| n.index()).collect::<Vec<_>>(),
+            vec![2, 2, 5, 9]
+        );
+        // Stable: equal senders keep insertion order.
+        assert_eq!(batch[0].1, 2);
+        assert_eq!(batch[1].1, 4);
+    }
+}

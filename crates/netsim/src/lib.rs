@@ -1,0 +1,44 @@
+//! Simulation substrate for the synchronizer reproduction.
+//!
+//! The paper works with two models of distributed message passing (Section 1.1 and
+//! Appendix B):
+//!
+//! * the **synchronous** model, in which computation proceeds in lock-step rounds and
+//!   all messages sent in a round arrive by its end, and
+//! * the **asynchronous** model, in which every message is delayed adversarially by
+//!   at most one (unknown) time unit `τ`, and time complexity is measured as the
+//!   worst-case completion time divided by `τ`.
+//!
+//! This crate implements both as deterministic discrete-event simulators:
+//!
+//! * [`event_driven`] defines the interface of *event-driven synchronous algorithms*
+//!   (the class of algorithms the synchronizer accepts, Appendix B's second
+//!   interpretation),
+//! * [`sync_engine`] runs such an algorithm in lock-step rounds and reports its
+//!   synchronous time and message complexities `T(A)` and `M(A)`,
+//! * [`protocol`] defines the interface of asynchronous protocols,
+//! * [`async_engine`] runs an asynchronous protocol under a configurable
+//!   [`delay::DelayModel`], enforcing the acknowledgment discipline of Appendix B
+//!   (one un-acknowledged message per link) and the lowest-stage-first scheduling of
+//!   Lemma 2.5 / Corollary 2.3,
+//! * [`metrics`] collects time and message accounting for both engines.
+
+pub mod async_engine;
+pub mod delay;
+pub mod event_driven;
+pub mod metrics;
+pub mod protocol;
+pub mod sync_engine;
+
+pub use async_engine::{run_async, AsyncReport, SimError, SimLimits};
+pub use delay::DelayModel;
+pub use event_driven::{EventDriven, PulseCtx};
+pub use metrics::{MessageClass, RunMetrics};
+pub use protocol::{Ctx, Protocol};
+pub use sync_engine::{run_sync, SyncReport};
+
+/// Number of simulator ticks per asynchronous time unit `τ`.
+///
+/// Delays are integers in `[1, TICKS_PER_UNIT]`; reported times are normalized by
+/// this constant, so a reported time of `t` means `t · τ` as in the paper.
+pub const TICKS_PER_UNIT: u64 = 1000;

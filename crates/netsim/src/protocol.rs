@@ -1,0 +1,113 @@
+//! Interface of asynchronous protocols run by the [`crate::async_engine`].
+
+use crate::metrics::MessageClass;
+use ds_graph::NodeId;
+use std::fmt;
+
+/// A node-local asynchronous protocol.
+///
+/// Every node of the network runs one instance. The engine calls [`Protocol::on_start`]
+/// once at time 0 and [`Protocol::on_message`] for every delivered message. The
+/// protocol reacts by queueing outgoing messages on the [`Ctx`].
+///
+/// Protocols must be *event driven*: they cannot observe simulated time (there is no
+/// clock access), matching the asynchronous model of the paper.
+pub trait Protocol {
+    /// The message type exchanged between nodes.
+    type Message: Clone + fmt::Debug;
+
+    /// Invoked once per node at the start of the execution.
+    fn on_start(&mut self, ctx: &mut Ctx<Self::Message>);
+
+    /// Invoked when a message from `from` is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>);
+
+    /// Whether this node has produced its final output.
+    ///
+    /// Used only for the time-to-output measurement (the paper's notion of time
+    /// complexity: the time until all nodes generate their output). Nodes may keep
+    /// exchanging auxiliary messages afterwards.
+    fn is_done(&self) -> bool;
+}
+
+/// An outgoing message queued by a protocol.
+#[derive(Clone, Debug)]
+pub struct Outgoing<M> {
+    /// Destination node (must be a neighbor of the sender).
+    pub to: NodeId,
+    /// Message payload.
+    pub msg: M,
+    /// Scheduling priority; when several messages are queued on the same link the
+    /// engine transmits lower priorities first (Lemma 2.5: lower stages first), then
+    /// FIFO. Plain protocols can leave this at 0.
+    pub priority: u64,
+    /// Accounting class of the message.
+    pub class: MessageClass,
+}
+
+/// Per-activation context handed to a protocol: identifies the local node and
+/// collects outgoing messages.
+#[derive(Debug)]
+pub struct Ctx<M> {
+    me: NodeId,
+    outbox: Vec<Outgoing<M>>,
+}
+
+impl<M> Ctx<M> {
+    /// Creates a context for node `me` with an empty outbox.
+    pub fn new(me: NodeId) -> Self {
+        Ctx { me, outbox: Vec::new() }
+    }
+
+    /// The local node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Queues an algorithm-class message with default priority.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.send_with(to, msg, 0, MessageClass::Algorithm);
+    }
+
+    /// Queues a control-class message with default priority.
+    pub fn send_control(&mut self, to: NodeId, msg: M) {
+        self.send_with(to, msg, 0, MessageClass::Control);
+    }
+
+    /// Queues a message with an explicit priority and accounting class.
+    pub fn send_with(&mut self, to: NodeId, msg: M, priority: u64, class: MessageClass) {
+        self.outbox.push(Outgoing { to, msg, priority, class });
+    }
+
+    /// Number of messages queued so far in this activation.
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Drains the queued messages (used by the engine).
+    pub fn take_outbox(&mut self) -> Vec<Outgoing<M>> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_collects_messages_in_order() {
+        let mut ctx: Ctx<u32> = Ctx::new(NodeId(3));
+        assert_eq!(ctx.me(), NodeId(3));
+        ctx.send(NodeId(1), 10);
+        ctx.send_control(NodeId(2), 20);
+        ctx.send_with(NodeId(1), 30, 7, MessageClass::Control);
+        assert_eq!(ctx.queued(), 3);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].to, NodeId(1));
+        assert_eq!(out[0].class, MessageClass::Algorithm);
+        assert_eq!(out[1].class, MessageClass::Control);
+        assert_eq!(out[2].priority, 7);
+        assert_eq!(ctx.queued(), 0);
+    }
+}

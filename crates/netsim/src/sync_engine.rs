@@ -1,0 +1,275 @@
+//! Lock-step synchronous executor for event-driven algorithms.
+//!
+//! This engine defines the ground-truth execution of an algorithm `A` and measures
+//! its synchronous complexities: the number of rounds `T(A)` and the number of
+//! messages `M(A)`.
+
+use crate::async_engine::SimError;
+use crate::event_driven::{canonical_batch, EventDriven, PulseCtx};
+use crate::metrics::{MessageClass, RunMetrics};
+use ds_graph::{Graph, NodeId};
+
+/// Result of a synchronous run.
+#[derive(Debug)]
+pub struct SyncReport<A: EventDriven> {
+    /// Round at which the last node produced its output (`T(A)` in the paper);
+    /// `None` if some node never produced an output.
+    pub rounds_to_output: Option<u64>,
+    /// Rounds until the network became quiescent (no pending messages).
+    pub rounds_to_quiescence: u64,
+    /// Total number of algorithm messages (`M(A)` in the paper).
+    pub messages: u64,
+    /// Standardized metrics (for uniform reporting next to asynchronous runs).
+    pub metrics: RunMetrics,
+    /// The per-node algorithm instances after the run (holding outputs and state).
+    pub nodes: Vec<A>,
+}
+
+impl<A: EventDriven> SyncReport<A> {
+    /// Collects the per-node outputs, `None` where a node produced none.
+    pub fn outputs(&self) -> Vec<Option<A::Output>> {
+        self.nodes.iter().map(|n| n.output()).collect()
+    }
+}
+
+/// Runs the event-driven algorithm synchronously.
+///
+/// `make` constructs the per-node instance. The run stops when no messages are in
+/// flight, or fails with [`SimError::RoundLimitExceeded`] after `max_rounds`.
+///
+/// # Errors
+///
+/// * [`SimError::NotNeighbor`] if an algorithm sends to a non-neighbor.
+/// * [`SimError::RoundLimitExceeded`] if the algorithm does not quiesce in time.
+pub fn run_sync<A, F>(graph: &Graph, mut make: F, max_rounds: u64) -> Result<SyncReport<A>, SimError>
+where
+    A: EventDriven,
+    F: FnMut(NodeId) -> A,
+{
+    let n = graph.node_count();
+    let mut nodes: Vec<A> = graph.nodes().map(&mut make).collect();
+    let mut metrics = RunMetrics::default();
+    let mut messages: u64 = 0;
+
+    // Messages to be delivered at the *next* pulse, per recipient.
+    let mut inbox: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+    // Whether the node sent messages at the previous pulse (self-trigger).
+    let mut sent_prev: Vec<bool> = vec![false; n];
+
+    let deliver = |from: NodeId,
+                       outbox: Vec<(NodeId, A::Msg)>,
+                       inbox: &mut Vec<Vec<(NodeId, A::Msg)>>,
+                       sent_prev: &mut Vec<bool>,
+                       messages: &mut u64,
+                       metrics: &mut RunMetrics|
+     -> Result<(), SimError> {
+        for (to, msg) in outbox {
+            if !graph.has_edge(from, to) {
+                return Err(SimError::NotNeighbor { from, to });
+            }
+            *messages += 1;
+            metrics.record_message(MessageClass::Algorithm);
+            inbox[to.index()].push((from, msg));
+            sent_prev[from.index()] = true;
+        }
+        Ok(())
+    };
+
+    // Pulse 0: initiators inject their messages.
+    for v in graph.nodes() {
+        let mut ctx = PulseCtx::new(v);
+        nodes[v.index()].on_init(&mut ctx);
+        let outbox = ctx.take_outbox();
+        deliver(v, outbox, &mut inbox, &mut sent_prev, &mut messages, &mut metrics)?;
+    }
+
+    let mut rounds_to_output = all_done_round(&nodes, 0);
+    let mut round: u64 = 0;
+
+    loop {
+        let any_pending = inbox.iter().any(|b| !b.is_empty()) || sent_prev.iter().any(|&s| s);
+        if !any_pending {
+            break;
+        }
+        round += 1;
+        if round > max_rounds {
+            return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+        }
+
+        let delivered: Vec<Vec<(NodeId, A::Msg)>> = std::mem::replace(&mut inbox, vec![Vec::new(); n]);
+        let triggered_by_send: Vec<bool> = std::mem::replace(&mut sent_prev, vec![false; n]);
+
+        for v in graph.nodes() {
+            let mut batch = delivered[v.index()].clone();
+            let triggered = !batch.is_empty() || triggered_by_send[v.index()];
+            if !triggered {
+                continue;
+            }
+            canonical_batch(&mut batch);
+            let mut ctx = PulseCtx::new(v);
+            nodes[v.index()].on_pulse(&batch, &mut ctx);
+            let outbox = ctx.take_outbox();
+            deliver(v, outbox, &mut inbox, &mut sent_prev, &mut messages, &mut metrics)?;
+        }
+
+        if rounds_to_output.is_none() {
+            rounds_to_output = all_done_round(&nodes, round);
+        }
+    }
+
+    metrics.time_to_output = rounds_to_output.map(|r| r as f64);
+    metrics.time_to_quiescence = round as f64;
+    metrics.events = messages;
+
+    Ok(SyncReport {
+        rounds_to_output,
+        rounds_to_quiescence: round,
+        messages,
+        metrics,
+        nodes,
+    })
+}
+
+fn all_done_round<A: EventDriven>(nodes: &[A], round: u64) -> Option<u64> {
+    if nodes.iter().all(|n| n.output().is_some()) {
+        Some(round)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal flooding algorithm used to exercise the engine: node 0 floods a hop
+    /// counter, every node outputs the hop count of the first copy it sees. In the
+    /// synchronous model the first copy arrives along a shortest path, so the output
+    /// equals the distance from node 0.
+    #[derive(Debug)]
+    struct Flood {
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        seen_at: Option<u64>,
+    }
+
+    impl Flood {
+        fn new(graph: &Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me).to_vec(), seen_at: None }
+        }
+    }
+
+    impl EventDriven for Flood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+            if self.me == NodeId(0) {
+                self.seen_at = Some(0);
+                for &u in &self.neighbors {
+                    ctx.send(u, 1);
+                }
+            }
+        }
+
+        fn on_pulse(&mut self, received: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+            if let Some(&(_, hops)) = received.first() {
+                if self.seen_at.is_none() {
+                    self.seen_at = Some(hops);
+                    for &u in &self.neighbors {
+                        ctx.send(u, hops + 1);
+                    }
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.seen_at
+        }
+    }
+
+    #[test]
+    fn flood_on_path_takes_diameter_rounds() {
+        let g = Graph::path(6);
+        let report = run_sync(&g, |v| Flood::new(&g, v), 100).unwrap();
+        assert_eq!(report.rounds_to_output, Some(5));
+        // Pulse numbers equal distances from node 0 on a path.
+        let outputs = report.outputs();
+        for (i, o) in outputs.iter().enumerate() {
+            assert_eq!(*o, Some(i as u64));
+        }
+        // Each internal node forwards to both neighbors once: messages bounded by 2m.
+        assert!(report.messages <= 2 * g.edge_count() as u64);
+    }
+
+    #[test]
+    fn flood_on_star_takes_two_rounds_of_activity() {
+        let g = Graph::star(5);
+        let report = run_sync(&g, |v| Flood::new(&g, v), 100).unwrap();
+        assert_eq!(report.rounds_to_output, Some(1));
+        assert!(report.rounds_to_quiescence >= 1);
+    }
+
+    #[test]
+    fn quiescence_follows_output_on_a_path() {
+        // On a path of 4 nodes the last node (distance 3) outputs at round 3 and then
+        // forwards once more, so the network quiesces one round later.
+        let g = Graph::path(4);
+        let report = run_sync(&g, |v| Flood::new(&g, v), 100).unwrap();
+        assert_eq!(report.rounds_to_output, Some(3));
+        assert_eq!(report.rounds_to_quiescence, 4);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        // An algorithm that ping-pongs forever between nodes 0 and 1.
+        #[derive(Debug)]
+        struct PingPong {
+            me: NodeId,
+        }
+        impl EventDriven for PingPong {
+            type Msg = ();
+            type Output = ();
+            fn on_init(&mut self, ctx: &mut PulseCtx<()>) {
+                if self.me == NodeId(0) {
+                    ctx.send(NodeId(1), ());
+                }
+            }
+            fn on_pulse(&mut self, received: &[(NodeId, ())], ctx: &mut PulseCtx<()>) {
+                if let Some(&(from, _)) = received.first() {
+                    ctx.send(from, ());
+                }
+            }
+            fn output(&self) -> Option<()> {
+                None
+            }
+        }
+        let g = Graph::path(2);
+        let err = run_sync(&g, |me| PingPong { me }, 10).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { limit: 10 }));
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_is_rejected() {
+        #[derive(Debug)]
+        struct Bad {
+            me: NodeId,
+        }
+        impl EventDriven for Bad {
+            type Msg = ();
+            type Output = ();
+            fn on_init(&mut self, ctx: &mut PulseCtx<()>) {
+                if self.me == NodeId(0) {
+                    ctx.send(NodeId(3), ());
+                }
+            }
+            fn on_pulse(&mut self, _: &[(NodeId, ())], _: &mut PulseCtx<()>) {}
+            fn output(&self) -> Option<()> {
+                Some(())
+            }
+        }
+        let g = Graph::path(4);
+        let err = run_sync(&g, |me| Bad { me }, 10).unwrap_err();
+        assert!(matches!(err, SimError::NotNeighbor { from: NodeId(0), to: NodeId(3) }));
+    }
+}

@@ -1,0 +1,36 @@
+//! Leader election in an asynchronous network of clustered data centers
+//! (Corollary 1.3): every node deterministically learns the identifier of the elected
+//! leader, under several adversarial delay schedules.
+//!
+//! ```text
+//! cargo run --example leader_election
+//! ```
+
+use det_synchronizer::prelude::*;
+
+fn main() {
+    // Six "data centers" of eight tightly-connected machines each, arranged in a ring
+    // with single links between neighboring centers — a topology where naive flooding
+    // is badly distorted by slow inter-center links.
+    let graph = Graph::clustered_ring(6, 8);
+    println!(
+        "electing a leader among {} nodes ({} links)",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    for delay in DelayModel::standard_suite(7) {
+        let report = run_synchronized_leader_election(&graph, delay.clone())
+            .expect("leader election run");
+        assert!(report.outputs.iter().all(|o| *o == Some(report.leader)));
+        println!(
+            "  adversary {:<28} leader = node {:<3} time = {:>7.2}  msgs = {:>7}",
+            format!("{delay:?}"),
+            report.leader,
+            report.metrics.time_to_output.unwrap_or(f64::NAN),
+            report.metrics.total_messages()
+        );
+    }
+
+    println!("\nevery adversary produced the same leader at every node");
+}

@@ -1,0 +1,50 @@
+//! # det-synchronizer
+//!
+//! Façade crate for the reproduction of *"A Near-Optimal Deterministic Distributed
+//! Synchronizer"* (Ghaffari & Trygub, PODC 2023).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a discrete-event simulator of the asynchronous CONGEST message-passing model
+//!   with adversarial message delays and the acknowledgment discipline the paper
+//!   assumes ([`netsim`]),
+//! * a synchronous round-based executor for event-driven algorithms ([`netsim`]),
+//! * deterministic sparse covers and network decompositions ([`covers`]),
+//! * the paper's core contribution: a deterministic synchronizer with polylogarithmic
+//!   time and message overheads, together with the α/β/γ baselines ([`sync`]),
+//! * the applications of Section 6: asynchronous deterministic BFS, leader election
+//!   and MST ([`algos`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use det_synchronizer::prelude::*;
+//!
+//! // Build a small network and a single-source BFS algorithm.
+//! let graph = Graph::grid(4, 4);
+//! let report = run_synchronized_bfs(&graph, NodeId(0), DelayModel::uniform())
+//!     .expect("bfs run");
+//! assert_eq!(report.outputs[&NodeId(15)].distance, 6);
+//! ```
+//!
+//! See `examples/` for complete programs and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! mapping from the paper's theorems to code and measurements.
+
+pub use ds_algos as algos;
+pub use ds_covers as covers;
+pub use ds_graph as graph;
+pub use ds_netsim as netsim;
+pub use ds_sync as sync;
+
+pub mod prelude {
+    //! Convenient re-exports for examples and downstream users.
+    pub use ds_algos::bfs::{run_synchronized_bfs, run_synchronized_multi_bfs, BfsOutput};
+    pub use ds_algos::leader::run_synchronized_leader_election;
+    pub use ds_algos::mst::run_synchronized_mst;
+    pub use ds_covers::{LayeredSparseCover, SparseCover};
+    pub use ds_graph::{Graph, NodeId};
+    pub use ds_netsim::delay::DelayModel;
+    pub use ds_netsim::metrics::RunMetrics;
+    pub use ds_sync::event_driven::EventDriven;
+    pub use ds_sync::synchronizer::{DetSynchronizer, SynchronizerConfig};
+}

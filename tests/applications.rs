@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the Section 6 applications, run end to end through
+//! the deterministic synchronizer under every delay adversary.
+
+use det_synchronizer::algos::flood::FloodAlgorithm;
+use det_synchronizer::algos::runner::compare_runs;
+use det_synchronizer::graph::metrics;
+use det_synchronizer::graph::weights::{minimum_spanning_tree, EdgeWeights};
+use det_synchronizer::prelude::*;
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", Graph::path(16)),
+        ("cycle", Graph::cycle(14)),
+        ("grid", Graph::grid(5, 5)),
+        ("caterpillar", Graph::caterpillar(6, 2)),
+        ("random", Graph::random_connected(28, 0.1, 13)),
+        ("clustered-ring", Graph::clustered_ring(4, 4)),
+    ]
+}
+
+#[test]
+fn flooding_matches_synchronous_execution_under_every_adversary() {
+    for (name, graph) in workloads() {
+        for delay in DelayModel::standard_suite(3) {
+            let report =
+                compare_runs(&graph, delay.clone(), |v| FloodAlgorithm::new(&graph, v, NodeId(0), 5))
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.outputs_match(), "{name} under {delay:?}");
+        }
+    }
+}
+
+#[test]
+fn single_source_bfs_distances_are_exact_on_all_workloads() {
+    for (name, graph) in workloads() {
+        let report = run_synchronized_bfs(&graph, NodeId(0), DelayModel::jitter(17))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let dist = metrics::bfs_distances(&graph, NodeId(0));
+        for v in graph.nodes() {
+            assert_eq!(
+                report.outputs[&v].distance,
+                dist[v.index()].unwrap() as u64,
+                "{name}, node {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_source_bfs_matches_closest_source_distances() {
+    let graph = Graph::grid(6, 6);
+    let sources = [NodeId(0), NodeId(35), NodeId(17)];
+    for delay in DelayModel::standard_suite(5) {
+        let report = run_synchronized_multi_bfs(&graph, &sources, delay.clone()).unwrap();
+        let dist = metrics::multi_source_distances(&graph, &sources);
+        for v in graph.nodes() {
+            assert_eq!(report.outputs[&v].distance, dist[v.index()].unwrap() as u64);
+        }
+    }
+}
+
+#[test]
+fn leader_election_elects_global_minimum_on_all_workloads() {
+    for (name, graph) in workloads() {
+        let report = run_synchronized_leader_election(&graph, DelayModel::bursty(2))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.leader, NodeId(0), "{name}");
+        assert!(report.outputs.iter().all(|o| *o == Some(NodeId(0))), "{name}");
+    }
+}
+
+#[test]
+fn mst_matches_kruskal_on_weighted_workloads() {
+    for (name, graph) in [
+        ("random", Graph::random_connected(20, 0.15, 21)),
+        ("grid", Graph::grid(4, 5)),
+        ("clustered-ring", Graph::clustered_ring(3, 4)),
+    ] {
+        let weights = EdgeWeights::random_distinct(&graph, 31);
+        let report = run_synchronized_mst(&graph, &weights, DelayModel::slow_cut(5))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut expected: Vec<(NodeId, NodeId)> = minimum_spanning_tree(&graph, &weights)
+            .into_iter()
+            .map(|e| graph.endpoints(e))
+            .collect();
+        expected.sort();
+        assert_eq!(report.tree_edges, expected, "{name}");
+    }
+}
+
+#[test]
+fn bfs_message_complexity_stays_near_linear_in_edges() {
+    // Corollary 1.2: Õ(m) messages. The polylog factor on these sizes stays well
+    // below log²(n)·64; the precise scaling is reported by the experiment harness.
+    let graph = Graph::random_connected(48, 0.08, 8);
+    let report = run_synchronized_bfs(&graph, NodeId(0), DelayModel::uniform()).unwrap();
+    let m = graph.edge_count() as f64;
+    let n = graph.node_count() as f64;
+    let bound = 64.0 * m * n.log2().powi(2);
+    assert!(
+        (report.metrics.total_messages() as f64) < bound,
+        "messages {} exceed Õ(m) budget {}",
+        report.metrics.total_messages(),
+        bound
+    );
+}

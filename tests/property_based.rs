@@ -1,0 +1,75 @@
+//! Property-based tests: on randomly generated connected graphs, source sets, and
+//! delay adversaries, the synchronized asynchronous execution must reproduce the
+//! synchronous execution exactly, and the sparse-cover invariants must hold.
+
+use det_synchronizer::algos::bfs::BfsAlgorithm;
+use det_synchronizer::algos::runner::compare_runs;
+use det_synchronizer::covers::builder::build_sparse_cover;
+use det_synchronizer::graph::metrics;
+use det_synchronizer::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (4usize..28, 0u64..1000).prop_map(|(n, seed)| {
+        let p = 2.5 / n as f64;
+        Graph::random_connected(n, p.min(1.0), seed)
+    })
+}
+
+fn arbitrary_delay() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        Just(DelayModel::uniform()),
+        (0u64..100).prop_map(DelayModel::jitter),
+        (1usize..6).prop_map(DelayModel::slow_cut),
+        (1u64..5).prop_map(DelayModel::bursty),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn synchronized_bfs_equals_synchronous_bfs(
+        graph in arbitrary_graph(),
+        delay in arbitrary_delay(),
+        source_pick in 0usize..1000,
+    ) {
+        let source = NodeId(source_pick % graph.node_count());
+        let report = compare_runs(&graph, delay, |v| BfsAlgorithm::new(&graph, v, &[source]))
+            .expect("runs succeed");
+        prop_assert!(report.outputs_match());
+        // Semantic check: outputs are the true distances.
+        let dist = metrics::bfs_distances(&graph, source);
+        for v in graph.nodes() {
+            let out = report.async_outputs[v.index()].expect("all nodes reached");
+            prop_assert_eq!(out.distance, dist[v.index()].unwrap() as u64);
+        }
+    }
+
+    #[test]
+    fn sparse_covers_satisfy_definition_2_1(
+        graph in arbitrary_graph(),
+        d in 1usize..5,
+    ) {
+        let cover = build_sparse_cover(&graph, d);
+        prop_assert!(cover.validate(&graph).is_ok());
+        let log_n = (graph.node_count() as f64).log2().ceil() as usize;
+        prop_assert!(cover.max_membership() <= log_n + 1);
+    }
+
+    #[test]
+    fn multi_source_bfs_is_exact_for_random_source_sets(
+        graph in arbitrary_graph(),
+        picks in prop::collection::vec(0usize..1000, 1..4),
+        seed in 0u64..100,
+    ) {
+        let sources: Vec<NodeId> =
+            picks.iter().map(|p| NodeId(p % graph.node_count())).collect();
+        let report = run_synchronized_multi_bfs(&graph, &sources, DelayModel::jitter(seed))
+            .expect("run succeeds");
+        let dist = metrics::multi_source_distances(&graph, &sources);
+        for v in graph.nodes() {
+            prop_assert_eq!(report.outputs[&v].distance, dist[v.index()].unwrap() as u64);
+        }
+    }
+}
