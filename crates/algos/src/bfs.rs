@@ -6,11 +6,12 @@
 //! correctness depends entirely on the synchronous schedule, which is exactly what the
 //! synchronizer guarantees in the asynchronous model.
 
-use crate::runner::{run_synchronized, RunnerError};
+use crate::runner::RunnerError;
 use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
+use ds_sync::session::{Session, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
 
@@ -27,7 +28,6 @@ pub struct BfsOutput {
 /// Per-node multi-source BFS algorithm state.
 #[derive(Clone, Debug)]
 pub struct BfsAlgorithm {
-    me: NodeId,
     is_source: bool,
     neighbors: Vec<NodeId>,
     output: Option<BfsOutput>,
@@ -37,7 +37,6 @@ impl BfsAlgorithm {
     /// Creates the instance for node `me` with the given source set.
     pub fn new(graph: &Graph, me: NodeId, sources: &[NodeId]) -> Self {
         BfsAlgorithm {
-            me,
             is_source: sources.contains(&me),
             neighbors: graph.neighbors(me).to_vec(),
             output: None,
@@ -115,13 +114,12 @@ pub fn run_synchronized_multi_bfs(
     let d1 = ds_graph::metrics::max_distance_to_sources(graph, sources)
         .expect("BFS requires a connected graph");
     let cfg = SynchronizerConfig::build(graph, (d1 as u64 + 1).max(1));
-    let run = run_synchronized(graph, delay, cfg, |v| BfsAlgorithm::new(graph, v, sources))?;
-    let outputs = run
-        .outputs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, o)| o.map(|o| (NodeId(i), o)))
-        .collect();
+    let run = Session::on(graph)
+        .delay(delay)
+        .synchronizer(SyncKind::Det(cfg))
+        .run(|v| BfsAlgorithm::new(graph, v, sources))?;
+    let outputs =
+        run.outputs.iter().enumerate().filter_map(|(i, o)| o.map(|o| (NodeId(i), o))).collect();
     Ok(BfsReport { outputs, metrics: run.metrics })
 }
 

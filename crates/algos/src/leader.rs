@@ -11,12 +11,13 @@
 //! `Õ(m)` message complexity of the corollary; DESIGN.md §3 records the
 //! simplification.
 
-use crate::runner::{run_synchronized, RunnerError};
+use crate::runner::RunnerError;
 use ds_covers::SparseCover;
 use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
+use ds_sync::session::{Session, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -95,7 +96,8 @@ impl LeaderElection {
             self.leader = Some(self.leader.map_or(leader, |l| l.min(leader)));
             self.member_pending = self.member_pending.saturating_sub(1);
             if self.member_pending == 0 {
-                self.output = Some(NodeId(self.leader.expect("at least one cluster result") as usize));
+                self.output =
+                    Some(NodeId(self.leader.expect("at least one cluster result") as usize));
             }
         }
     }
@@ -160,19 +162,17 @@ pub fn run_synchronized_leader_election(
     graph: &Graph,
     delay: DelayModel,
 ) -> Result<LeaderReport, RunnerError> {
-    let diameter = ds_graph::metrics::diameter(graph).expect("leader election requires connectivity");
+    let diameter =
+        ds_graph::metrics::diameter(graph).expect("leader election requires connectivity");
     let cover = Arc::new(ds_covers::builder::build_sparse_cover(graph, diameter.max(1)));
     // The convergecast+broadcast takes at most 2 · (tree height) + 1 pulses.
     let t_bound = (2 * cover.max_height() as u64 + 2).max(1);
     let cfg = SynchronizerConfig::build(graph, t_bound);
-    let run = run_synchronized(graph, delay, cfg, |v| LeaderElection::new(v, cover.clone()))?;
-    let leader = run
-        .outputs
-        .iter()
-        .flatten()
-        .copied()
-        .next()
-        .expect("every node elects a leader");
+    let run = Session::on(graph)
+        .delay(delay)
+        .synchronizer(SyncKind::Det(cfg))
+        .run(|v| LeaderElection::new(v, cover.clone()))?;
+    let leader = run.outputs.iter().flatten().copied().next().expect("every node elects a leader");
     Ok(LeaderReport { leader, outputs: run.outputs, metrics: run.metrics })
 }
 

@@ -7,8 +7,8 @@
 //! * [`leader`] — cover-based leader election (Corollary 1.3).
 //! * [`mst`] — minimum spanning tree by filtering convergecast (Corollary 1.4; see
 //!   DESIGN.md §3 for the substitution of Elkin's CONGEST algorithm).
-//! * [`runner`] — helpers that run an algorithm synchronously (ground truth) and
-//!   through the deterministic synchronizer asynchronously, and compare the two.
+//! * [`runner`] — deprecated shims over the [`ds_sync::session::Session`] API (the
+//!   single entry point for running and comparing algorithms).
 
 pub mod bfs;
 pub mod flood;

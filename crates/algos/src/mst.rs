@@ -16,13 +16,14 @@
 //! CONGEST-faithful. Message *counts*, which is what the experiments measure, remain
 //! `Õ(n)` plus the synchronizer overhead.
 
-use crate::runner::{run_synchronized, RunnerError};
+use crate::runner::RunnerError;
 use ds_covers::SparseCover;
 use ds_graph::weights::{EdgeWeights, UnionFind};
 use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
+use ds_sync::session::{Session, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -113,7 +114,12 @@ impl MstAlgorithm {
         }
     }
 
-    fn complete_cluster(&mut self, cluster: u32, tree: Vec<WeightedEdge>, ctx: &mut PulseCtx<MstMsg>) {
+    fn complete_cluster(
+        &mut self,
+        cluster: u32,
+        tree: Vec<WeightedEdge>,
+        ctx: &mut PulseCtx<MstMsg>,
+    ) {
         let cid = ds_covers::ClusterId(cluster as usize);
         let c = self.cover.cluster(cid);
         for &child in c.children_of(self.me) {
@@ -122,7 +128,9 @@ impl MstAlgorithm {
         if self.output.is_none() {
             let mine: Vec<(NodeId, NodeId)> = tree
                 .iter()
-                .filter(|&&(u, v, _)| u as usize == self.me.index() || v as usize == self.me.index())
+                .filter(|&&(u, v, _)| {
+                    u as usize == self.me.index() || v as usize == self.me.index()
+                })
                 .map(|&(u, v, _)| (NodeId(u as usize), NodeId(v as usize)))
                 .collect();
             self.output = Some(mine);
@@ -192,15 +200,12 @@ pub fn run_synchronized_mst(
     let cover = Arc::new(ds_covers::builder::build_sparse_cover(graph, diameter.max(1)));
     let t_bound = (2 * cover.max_height() as u64 + 2).max(1);
     let cfg = SynchronizerConfig::build(graph, t_bound);
-    let run = run_synchronized(graph, delay, cfg, |v| {
-        MstAlgorithm::new(graph, weights, v, cover.clone())
-    })?;
-    let mut tree_edges: Vec<(NodeId, NodeId)> = run
-        .outputs
-        .iter()
-        .flatten()
-        .flat_map(|edges| edges.iter().copied())
-        .collect();
+    let run = Session::on(graph)
+        .delay(delay)
+        .synchronizer(SyncKind::Det(cfg))
+        .run(|v| MstAlgorithm::new(graph, weights, v, cover.clone()))?;
+    let mut tree_edges: Vec<(NodeId, NodeId)> =
+        run.outputs.iter().flatten().flat_map(|edges| edges.iter().copied()).collect();
     tree_edges.sort();
     tree_edges.dedup();
     Ok(MstReport { tree_edges, metrics: run.metrics })
@@ -213,10 +218,7 @@ mod tests {
     use ds_netsim::sync_engine::run_sync;
 
     fn reference_edges(graph: &Graph, weights: &EdgeWeights) -> Vec<(NodeId, NodeId)> {
-        minimum_spanning_tree(graph, weights)
-            .into_iter()
-            .map(|e| graph.endpoints(e))
-            .collect()
+        minimum_spanning_tree(graph, weights).into_iter().map(|e| graph.endpoints(e)).collect()
     }
 
     #[test]
@@ -232,18 +234,11 @@ mod tests {
         let weights = EdgeWeights::random_distinct(&graph, 4);
         let d = ds_graph::metrics::diameter(&graph).unwrap().max(1);
         let cover = Arc::new(ds_covers::builder::build_sparse_cover(&graph, d));
-        let report = run_sync(
-            &graph,
-            |v| MstAlgorithm::new(&graph, &weights, v, cover.clone()),
-            10_000,
-        )
-        .unwrap();
-        let mut got: Vec<(NodeId, NodeId)> = report
-            .outputs()
-            .iter()
-            .flatten()
-            .flat_map(|e| e.iter().copied())
-            .collect();
+        let report =
+            run_sync(&graph, |v| MstAlgorithm::new(&graph, &weights, v, cover.clone()), 10_000)
+                .unwrap();
+        let mut got: Vec<(NodeId, NodeId)> =
+            report.outputs().iter().flatten().flat_map(|e| e.iter().copied()).collect();
         got.sort();
         got.dedup();
         let mut expected = reference_edges(&graph, &weights);
@@ -259,11 +254,8 @@ mod tests {
         let mut expected = reference_edges(&graph, &weights);
         expected.sort();
         assert_eq!(report.tree_edges, expected);
-        let ids: Vec<_> = report
-            .tree_edges
-            .iter()
-            .map(|&(u, v)| graph.edge_between(u, v).unwrap())
-            .collect();
+        let ids: Vec<_> =
+            report.tree_edges.iter().map(|&(u, v)| graph.edge_between(u, v).unwrap()).collect();
         assert!(is_spanning_tree(&graph, &ids));
     }
 }

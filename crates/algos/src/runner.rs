@@ -1,74 +1,31 @@
-//! Helpers for running an event-driven algorithm synchronously and asynchronously
-//! (through the deterministic synchronizer), and comparing the two executions.
+//! Legacy free-function runners, kept as thin deprecated shims.
+//!
+//! The execution API now lives in `ds-sync`: build a
+//! [`Session`](ds_sync::session::Session), choose a
+//! [`SyncKind`](ds_sync::session::SyncKind), and call `run`/`compare`. The types
+//! these functions return ([`SynchronizedRun`], [`ComparisonReport`]) are
+//! re-exported from there unchanged, so migrating is a call-site rewrite:
+//!
+//! ```text
+//! compare_runs(&graph, delay, make)
+//!     ⇒ Session::on(&graph).delay(delay).synchronizer(SyncKind::DetAuto).compare(make)
+//! run_synchronized(&graph, delay, cfg, make)
+//!     ⇒ Session::on(&graph).delay(delay).synchronizer(SyncKind::Det(cfg)).run(make)
+//! ```
 
 use ds_graph::{Graph, NodeId};
-use ds_netsim::async_engine::{run_async, SimError, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
-use ds_netsim::metrics::RunMetrics;
-use ds_netsim::sync_engine::run_sync;
-use ds_sync::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
-use std::fmt;
+use ds_sync::session::{Session, SyncKind};
+use ds_sync::synchronizer::SynchronizerConfig;
 use std::sync::Arc;
 
-/// Combined report of a synchronous ground-truth run and a synchronized asynchronous
-/// run of the same algorithm.
-#[derive(Clone, Debug)]
-pub struct ComparisonReport<O> {
-    /// Synchronous round complexity `T(A)` (rounds to quiescence).
-    pub sync_rounds: u64,
-    /// Synchronous message complexity `M(A)`.
-    pub sync_messages: u64,
-    /// Per-node outputs of the synchronous run.
-    pub sync_outputs: Vec<Option<O>>,
-    /// Per-node outputs of the synchronized asynchronous run.
-    pub async_outputs: Vec<Option<O>>,
-    /// Metrics of the asynchronous run (time, messages by class, acknowledgments).
-    pub async_metrics: RunMetrics,
-    /// Ordering violations recorded by the synchronizer (must be zero).
-    pub ordering_violations: u64,
-}
+pub use ds_sync::executor::SynchronizedRun;
+pub use ds_sync::session::{ComparisonReport, SessionError};
 
-impl<O: PartialEq> ComparisonReport<O> {
-    /// Whether the synchronized execution reproduced the synchronous outputs exactly.
-    pub fn outputs_match(&self) -> bool {
-        self.sync_outputs == self.async_outputs && self.ordering_violations == 0
-    }
-
-    /// Time overhead factor: asynchronous time-to-output divided by `T(A)`.
-    pub fn time_overhead(&self) -> Option<f64> {
-        let t = self.async_metrics.time_to_output?;
-        Some(t / self.sync_rounds.max(1) as f64)
-    }
-
-    /// Message overhead factor: total asynchronous messages divided by `M(A)`.
-    pub fn message_overhead(&self) -> f64 {
-        self.async_metrics.total_messages() as f64 / self.sync_messages.max(1) as f64
-    }
-}
-
-/// Errors from the comparison runners.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RunnerError {
-    /// The underlying simulation failed.
-    Sim(SimError),
-}
-
-impl fmt::Display for RunnerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RunnerError::Sim(e) => write!(f, "simulation error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for RunnerError {}
-
-impl From<SimError> for RunnerError {
-    fn from(e: SimError) -> Self {
-        RunnerError::Sim(e)
-    }
-}
+/// Errors from the comparison runners. Alias of [`SessionError`], kept under the
+/// name the pre-`Session` API used.
+pub type RunnerError = SessionError;
 
 /// Runs `make_alg` synchronously to obtain the ground truth and `T(A)`/`M(A)`, then
 /// runs it through the deterministic synchronizer under `delay`, and returns both.
@@ -77,38 +34,20 @@ impl From<SimError> for RunnerError {
 ///
 /// Returns an error if either simulation fails (non-neighbor send, round or event
 /// budget exceeded).
+#[deprecated(
+    since = "0.1.0",
+    note = "use Session::on(graph)…synchronizer(SyncKind::DetAuto).compare(..)"
+)]
 pub fn compare_runs<A, F>(
     graph: &Graph,
     delay: DelayModel,
-    mut make_alg: F,
+    make_alg: F,
 ) -> Result<ComparisonReport<A::Output>, RunnerError>
 where
     A: EventDriven,
     F: FnMut(NodeId) -> A,
 {
-    let sync = run_sync(graph, &mut make_alg, 1_000_000)?;
-    let t_bound = sync.rounds_to_quiescence.max(1);
-    let cfg = SynchronizerConfig::build(graph, t_bound);
-    let report = run_synchronized(graph, delay, cfg, &mut make_alg)?;
-    Ok(ComparisonReport {
-        sync_rounds: sync.rounds_to_quiescence,
-        sync_messages: sync.messages,
-        sync_outputs: sync.outputs(),
-        async_outputs: report.outputs,
-        async_metrics: report.metrics,
-        ordering_violations: report.ordering_violations,
-    })
-}
-
-/// Result of running an algorithm through the deterministic synchronizer.
-#[derive(Clone, Debug)]
-pub struct SynchronizedRun<O> {
-    /// Per-node outputs.
-    pub outputs: Vec<Option<O>>,
-    /// Metrics of the asynchronous run.
-    pub metrics: RunMetrics,
-    /// Ordering violations recorded by the synchronizer (must be zero).
-    pub ordering_violations: u64,
+    Session::on(graph).delay(delay).synchronizer(SyncKind::DetAuto).compare(make_alg)
 }
 
 /// Runs an event-driven algorithm through the deterministic synchronizer under the
@@ -117,28 +56,21 @@ pub struct SynchronizedRun<O> {
 /// # Errors
 ///
 /// Returns an error if the simulation fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Session::on(graph)…synchronizer(SyncKind::Det(cfg)).run(..)"
+)]
 pub fn run_synchronized<A, F>(
     graph: &Graph,
     delay: DelayModel,
     cfg: Arc<SynchronizerConfig>,
-    mut make_alg: F,
+    make_alg: F,
 ) -> Result<SynchronizedRun<A::Output>, RunnerError>
 where
     A: EventDriven,
     F: FnMut(NodeId) -> A,
 {
-    let report = run_async(
-        graph,
-        delay,
-        |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()),
-        SimLimits::default(),
-    )?;
-    let outputs = collect_outputs(&report.nodes);
-    Ok(SynchronizedRun {
-        outputs: outputs.outputs,
-        metrics: report.metrics,
-        ordering_violations: outputs.ordering_violations,
-    })
+    Session::on(graph).delay(delay).synchronizer(SyncKind::Det(cfg)).run(make_alg)
 }
 
 #[cfg(test)]
@@ -147,14 +79,31 @@ mod tests {
     use crate::flood::FloodAlgorithm;
 
     #[test]
-    fn compare_runs_reports_matching_outputs_for_flooding() {
+    #[allow(deprecated)]
+    fn deprecated_shims_still_reproduce_the_session_results() {
         let graph = Graph::grid(3, 4);
-        let report =
-            compare_runs(&graph, DelayModel::jitter(3), |v| FloodAlgorithm::new(&graph, v, NodeId(0), 42))
-                .expect("runs succeed");
+        let report = compare_runs(&graph, DelayModel::jitter(3), |v| {
+            FloodAlgorithm::new(&graph, v, NodeId(0), 42)
+        })
+        .expect("runs succeed");
         assert!(report.outputs_match());
         assert!(report.sync_rounds >= 5);
         assert!(report.message_overhead() >= 1.0);
         assert!(report.time_overhead().is_some());
+
+        let via_session = Session::on(&graph)
+            .delay(DelayModel::jitter(3))
+            .synchronizer(SyncKind::DetAuto)
+            .compare(|v| FloodAlgorithm::new(&graph, v, NodeId(0), 42))
+            .expect("session run");
+        assert_eq!(report.async_outputs, via_session.async_outputs);
+        assert_eq!(report.async_metrics, via_session.async_metrics);
+
+        let cfg = SynchronizerConfig::build(&graph, report.sync_rounds.max(1));
+        let run = run_synchronized(&graph, DelayModel::jitter(3), cfg, |v| {
+            FloodAlgorithm::new(&graph, v, NodeId(0), 42)
+        })
+        .expect("shim run");
+        assert_eq!(run.outputs, report.async_outputs);
     }
 }

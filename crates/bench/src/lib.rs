@@ -1,56 +1,32 @@
-//! Experiment harness reproducing the paper's complexity claims (see DESIGN.md §4 and
-//! EXPERIMENTS.md).
+//! Experiment harness reproducing the paper's complexity claims (see DESIGN.md §4).
 //!
-//! Each experiment runs a workload over a parameter sweep, prints one table row per
-//! parameter point, and returns the rows so that tests and the captured logs in
-//! EXPERIMENTS.md stay consistent. The paper has no numbered tables or figures (it is
-//! a theory paper), so every experiment targets a theorem: the quantities of interest
-//! are time and message *overhead factors* and their growth with `n`.
+//! Each experiment runs a workload over a parameter sweep, collects one [`Row`] per
+//! parameter point, and returns the rows so that tests and captured logs stay
+//! consistent; the `exp_*` binaries print them through the shared [`table`] module.
+//! The paper has no numbered tables or figures (it is a theory paper), so every
+//! experiment targets a theorem: the quantities of interest are time and message
+//! *overhead factors* and their growth with `n`.
+//!
+//! All executions flow through [`Session`] and the
+//! [`Synchronizer`](ds_sync::executor::Synchronizer) trait — the baseline
+//! comparison (E2) is literally a loop over [`SyncKind::standard_suite`], with no
+//! per-baseline runner code.
+
+pub mod table;
+
+pub use table::{print_table, render_table, Row};
 
 use ds_algos::bfs::BfsAlgorithm;
 use ds_algos::flood::FloodAlgorithm;
 use ds_algos::leader::run_synchronized_leader_election;
 use ds_algos::mst::run_synchronized_mst;
-use ds_algos::runner::compare_runs;
 use ds_covers::builder::build_layered_sparse_cover;
 use ds_covers::stats::layered_stats;
 use ds_graph::weights::{minimum_spanning_tree, EdgeWeights};
 use ds_graph::{metrics, Graph, NodeId};
-use ds_netsim::async_engine::{run_async, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::sync_engine::run_sync;
-use ds_sync::alpha::AlphaSynchronizer;
-use ds_sync::beta::{BetaSynchronizer, SpanningTree};
-
-/// One row of an experiment table.
-#[derive(Clone, Debug)]
-pub struct Row {
-    /// Label of the parameter point (graph family, size, adversary, ...).
-    pub label: String,
-    /// Named measurements, printed in order.
-    pub values: Vec<(&'static str, f64)>,
-}
-
-impl Row {
-    /// Looks up a measurement by name.
-    pub fn value(&self, name: &str) -> Option<f64> {
-        self.values.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
-    }
-}
-
-/// Prints a table of rows with a header derived from the first row.
-pub fn print_table(title: &str, rows: &[Row]) {
-    println!("== {title}");
-    if let Some(first) = rows.first() {
-        let header: Vec<String> = first.values.iter().map(|(k, _)| format!("{k:>12}")).collect();
-        println!("{:<28} {}", "workload", header.join(" "));
-    }
-    for row in rows {
-        let cells: Vec<String> = row.values.iter().map(|(_, v)| format!("{v:>12.2}")).collect();
-        println!("{:<28} {}", row.label, cells.join(" "));
-    }
-    println!();
-}
+use ds_sync::session::{Session, SyncKind};
 
 /// The graph families used by the sweeps.
 pub fn graph_suite(sizes: &[usize]) -> Vec<(String, Graph)> {
@@ -72,10 +48,11 @@ pub fn graph_suite(sizes: &[usize]) -> Vec<(String, Graph)> {
 pub fn experiment_overhead(sizes: &[usize], delay_seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for (label, graph) in graph_suite(sizes) {
-        let report = compare_runs(&graph, DelayModel::jitter(delay_seed), |v| {
-            BfsAlgorithm::new(&graph, v, &[NodeId(0)])
-        })
-        .expect("comparison run");
+        let report = Session::on(&graph)
+            .delay(DelayModel::jitter(delay_seed))
+            .synchronizer(SyncKind::DetAuto)
+            .compare(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+            .expect("comparison run");
         let n = graph.node_count() as f64;
         rows.push(Row {
             label,
@@ -89,59 +66,54 @@ pub fn experiment_overhead(sizes: &[usize], delay_seed: u64) -> Vec<Row> {
                 ("asyncM", report.async_metrics.total_messages() as f64),
                 ("timeOvh", report.time_overhead().unwrap_or(f64::NAN)),
                 ("msgOvh", report.message_overhead()),
-                ("msg/(m·lg²n)", report.async_metrics.total_messages() as f64
-                    / (graph.edge_count() as f64 * n.log2().powi(2))),
+                (
+                    "msg/(m·lg²n)",
+                    report.async_metrics.total_messages() as f64
+                        / (graph.edge_count() as f64 * n.log2().powi(2)),
+                ),
             ],
         });
     }
     rows
 }
 
-/// E2 — Appendix A comparison: α, β and the deterministic synchronizer on the same
-/// flooding workload.
+/// E2 — Appendix A comparison: every execution strategy (direct, α, β, det) on the
+/// same flooding workload, as one parametrized sweep over [`SyncKind`]. One row per
+/// (graph, synchronizer); outputs are asserted to match the ground truth in every
+/// case.
 pub fn experiment_baselines(sizes: &[usize], delay_seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for &n in sizes {
         let side = (n as f64).sqrt().round().max(2.0) as usize;
         let graph = Graph::grid(side, side);
         let source = NodeId(0);
-        let make = |v: NodeId| FloodAlgorithm::new(&graph, v, source, 1);
-        let sync = run_sync(&graph, make, 100_000).expect("sync run");
-        let t = sync.rounds_to_quiescence;
         let delay = DelayModel::jitter(delay_seed);
-
-        let alpha = run_async(
-            &graph,
-            delay.clone(),
-            |v| AlphaSynchronizer::new(&graph, v, make(v), t),
-            SimLimits::default(),
-        )
-        .expect("alpha run");
-        let tree = SpanningTree::bfs(&graph, source);
-        let beta = run_async(
-            &graph,
-            delay.clone(),
-            |v| BetaSynchronizer::new(tree.clone(), v, make(v), t),
-            SimLimits::default(),
-        )
-        .expect("beta run");
-        let det = compare_runs(&graph, delay, make).expect("det run");
-        assert!(det.outputs_match());
-
-        rows.push(Row {
-            label: format!("grid/{}", side * side),
-            values: vec![
-                ("n", graph.node_count() as f64),
-                ("T(A)", t as f64),
-                ("M(A)", sync.messages as f64),
-                ("alphaM", alpha.metrics.total_messages() as f64),
-                ("betaM", beta.metrics.total_messages() as f64),
-                ("detM", det.async_metrics.total_messages() as f64),
-                ("alphaT", alpha.metrics.time_to_output.unwrap_or(f64::NAN)),
-                ("betaT", beta.metrics.time_to_output.unwrap_or(f64::NAN)),
-                ("detT", det.async_metrics.time_to_output.unwrap_or(f64::NAN)),
-            ],
-        });
+        // One ground-truth run per graph: `compare` would re-run it for every kind
+        // (and the direct row would duplicate it a fifth time).
+        let truth = run_sync(&graph, &mut |v| FloodAlgorithm::new(&graph, v, source, 1), 1_000_000)
+            .expect("ground truth");
+        let (t, m) = (truth.rounds_to_quiescence, truth.messages);
+        for kind in SyncKind::standard_suite() {
+            let run = Session::on(&graph)
+                .delay(delay.clone())
+                .synchronizer(kind.clone())
+                .pulse_bound(t)
+                .run(|v| FloodAlgorithm::new(&graph, v, source, 1))
+                .expect("baseline run");
+            assert_eq!(run.outputs, truth.outputs(), "{} diverged on grid/{n}", kind.label());
+            rows.push(Row {
+                label: format!("grid/{}/{}", side * side, kind.label()),
+                values: vec![
+                    ("n", graph.node_count() as f64),
+                    ("T(A)", t as f64),
+                    ("M(A)", m as f64),
+                    ("time", run.metrics.time_to_output.unwrap_or(f64::NAN)),
+                    ("msgs", run.metrics.total_messages() as f64),
+                    ("timeOvh", run.metrics.time_to_output.unwrap_or(f64::NAN) / t.max(1) as f64),
+                    ("msgOvh", run.metrics.total_messages() as f64 / m.max(1) as f64),
+                ],
+            });
+        }
     }
     rows
 }
@@ -212,7 +184,10 @@ pub fn experiment_adversaries(n: usize) -> Vec<Row> {
     let graph = Graph::random_connected(n, (3.0 / n as f64).min(1.0), 11);
     let mut rows = Vec::new();
     for delay in DelayModel::standard_suite(5) {
-        let report = compare_runs(&graph, delay.clone(), |v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+        let report = Session::on(&graph)
+            .delay(delay.clone())
+            .synchronizer(SyncKind::DetAuto)
+            .compare(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
             .expect("run");
         assert!(report.outputs_match(), "{delay:?}");
         rows.push(Row {
@@ -238,18 +213,30 @@ mod tests {
         let rows = experiment_overhead(&[16], 1);
         assert_eq!(rows.len(), 3);
         for row in &rows {
+            assert_eq!(row.value("match"), Some(1.0));
             assert!(row.value("msgOvh").unwrap() >= 1.0);
             assert!(row.value("timeOvh").unwrap() > 0.0);
         }
     }
 
     #[test]
-    fn baseline_rows_show_alpha_paying_per_pulse_edges() {
+    fn baseline_sweep_covers_all_kinds_and_alpha_pays_per_pulse_edges() {
         let rows = experiment_baselines(&[16], 2);
-        let row = &rows[0];
+        // One row per synchronizer kind, all on the same workload.
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        for kind in ["direct", "alpha", "beta", "det"] {
+            assert!(
+                labels.iter().any(|l| l.ends_with(kind)),
+                "missing row for {kind} in {labels:?}"
+            );
+        }
         // α sends Θ(m) safety messages per pulse, so with T ≈ 2·diameter pulses its
         // message count must exceed the algorithm's own by a large factor.
-        assert!(row.value("alphaM").unwrap() > 4.0 * row.value("M(A)").unwrap());
+        let alpha = rows.iter().find(|r| r.label.ends_with("alpha")).unwrap();
+        assert!(alpha.value("msgs").unwrap() > 4.0 * alpha.value("M(A)").unwrap());
+        // The direct row is the ground truth: messages equal M(A) exactly.
+        let direct = rows.iter().find(|r| r.label.ends_with("direct")).unwrap();
+        assert_eq!(direct.value("msgs"), direct.value("M(A)"));
     }
 
     #[test]

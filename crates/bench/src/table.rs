@@ -1,0 +1,71 @@
+//! The one table-rendering path shared by the `exp_*` binaries, the examples and
+//! the experiment tests.
+//!
+//! Every experiment produces [`Row`]s; [`print_table`] (or [`render_table`], for
+//! callers that capture output) turns them into the aligned text tables recorded in
+//! DESIGN.md §4. Keeping a single renderer means every consumer formats rows
+//! identically — there is no per-binary row formatting.
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Label of the parameter point (graph family, size, adversary, synchronizer …).
+    pub label: String,
+    /// Named measurements, printed in order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl Row {
+    /// Looks up a measurement by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+}
+
+/// Renders a table of rows with a header derived from the first row.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut out = format!("== {title}\n");
+    if let Some(first) = rows.first() {
+        let header: Vec<String> = first.values.iter().map(|(k, _)| format!("{k:>12}")).collect();
+        out.push_str(&format!("{:<28} {}\n", "workload", header.join(" ")));
+    }
+    for row in rows {
+        let cells: Vec<String> = row.values.iter().map(|(_, v)| format!("{v:>12.2}")).collect();
+        out.push_str(&format!("{:<28} {}\n", row.label, cells.join(" ")));
+    }
+    out.push('\n');
+    out
+}
+
+/// Prints a table of rows to stdout.
+pub fn print_table(title: &str, rows: &[Row]) {
+    print!("{}", render_table(title, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_aligns_header_and_cells() {
+        let rows = vec![
+            Row { label: "grid/16".into(), values: vec![("n", 16.0), ("msgs", 123.0)] },
+            Row { label: "path/8".into(), values: vec![("n", 8.0), ("msgs", 45.5)] },
+        ];
+        let text = render_table("demo", &rows);
+        assert!(text.starts_with("== demo\n"));
+        assert!(text.contains("workload"));
+        assert!(text.contains("grid/16"));
+        assert!(text.contains("45.50"));
+        // Title + header + two rows, then a trailing blank separator line.
+        assert_eq!(text.trim_end().lines().count(), 4);
+        assert!(text.ends_with("\n\n"));
+    }
+
+    #[test]
+    fn value_lookup_finds_named_measurements() {
+        let row = Row { label: "x".into(), values: vec![("a", 1.0), ("b", 2.0)] };
+        assert_eq!(row.value("b"), Some(2.0));
+        assert_eq!(row.value("missing"), None);
+    }
+}

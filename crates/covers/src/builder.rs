@@ -66,9 +66,7 @@ pub fn build_sparse_cover(graph: &Graph, d: usize) -> SparseCover {
 pub fn build_layered_sparse_cover(graph: &Graph, max_radius: usize) -> LayeredSparseCover {
     assert!(max_radius >= 1, "max_radius must be at least 1");
     let top = (max_radius as f64).log2().ceil() as usize;
-    let covers = (0..=top)
-        .map(|j| build_sparse_cover(graph, 1usize << j))
-        .collect();
+    let covers = (0..=top).map(|j| build_sparse_cover(graph, 1usize << j)).collect();
     LayeredSparseCover::new(covers)
 }
 
@@ -133,10 +131,7 @@ mod tests {
         let graph = Graph::grid(4, 4);
         let d = ds_graph::metrics::diameter(&graph).unwrap();
         let cover = build_sparse_cover(&graph, d);
-        assert!(cover
-            .clusters
-            .iter()
-            .any(|c| c.member_count() == graph.node_count()));
+        assert!(cover.clusters.iter().any(|c| c.member_count() == graph.node_count()));
     }
 
     #[test]

@@ -46,10 +46,7 @@ impl NetworkDecomposition {
 
     /// Iterates over `(color, cluster)` pairs.
     pub fn clusters(&self) -> impl Iterator<Item = (usize, &DecompCluster)> {
-        self.colors
-            .iter()
-            .enumerate()
-            .flat_map(|(c, list)| list.iter().map(move |cl| (c, cl)))
+        self.colors.iter().enumerate().flat_map(|(c, list)| list.iter().map(move |cl| (c, cl)))
     }
 
     /// Checks the decomposition invariants: every node in exactly one cluster,
@@ -114,10 +111,7 @@ pub fn build_decomposition(graph: &Graph, separation: usize) -> NetworkDecomposi
             // Count remaining nodes within radius j·step for growing j until the ball
             // stops doubling.
             let count_within = |r: usize, remaining: &BTreeSet<NodeId>| {
-                remaining
-                    .iter()
-                    .filter(|v| matches!(dist[v.index()], Some(d) if d <= r))
-                    .count()
+                remaining.iter().filter(|v| matches!(dist[v.index()], Some(d) if d <= r)).count()
             };
             let mut j = 0usize;
             loop {
@@ -146,11 +140,7 @@ pub fn build_decomposition(graph: &Graph, separation: usize) -> NetworkDecomposi
             for &v in &members {
                 alive.remove(&v);
             }
-            let weak_radius = members
-                .iter()
-                .filter_map(|&v| dist[v.index()])
-                .max()
-                .unwrap_or(0);
+            let weak_radius = members.iter().filter_map(|&v| dist[v.index()]).max().unwrap_or(0);
             this_color.push(DecompCluster { center, members, weak_radius });
         }
 

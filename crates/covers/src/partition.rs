@@ -64,7 +64,8 @@ impl LowDiameterPartition {
         // Tree edges exist and point within the same cluster.
         for v in graph.nodes() {
             if let Some(p) = self.parent[v.index()] {
-                if !graph.has_edge(v, p) || self.cluster_of[v.index()] != self.cluster_of[p.index()] {
+                if !graph.has_edge(v, p) || self.cluster_of[v.index()] != self.cluster_of[p.index()]
+                {
                     return false;
                 }
             } else if self.roots[self.cluster_of[v.index()]] != v {

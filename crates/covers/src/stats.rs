@@ -28,10 +28,7 @@ pub struct CoverStats {
 /// Computes [`CoverStats`] for a cover on `graph`.
 pub fn cover_stats(graph: &Graph, cover: &SparseCover) -> CoverStats {
     let n = graph.node_count().max(1);
-    let total_membership: usize = graph
-        .nodes()
-        .map(|v| cover.clusters_of(v).len())
-        .sum();
+    let total_membership: usize = graph.nodes().map(|v| cover.clusters_of(v).len()).sum();
 
     let mut edge_load: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     for cluster in &cover.clusters {

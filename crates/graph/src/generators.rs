@@ -4,9 +4,8 @@
 //! a local PRNG, so experiments are reproducible bit-for-bit. All generated graphs are
 //! connected (the model assumes a connected network).
 
+use crate::rng::Prng;
 use crate::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 impl Graph {
     /// Path graph `0 - 1 - ... - (n-1)`. Diameter `n - 1`.
@@ -140,16 +139,16 @@ impl Graph {
     pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
         assert!(n > 0, "random graph requires at least one node");
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::new(seed);
         let mut g = Graph::new(n);
         // Random spanning tree: attach node i to a uniformly random earlier node.
         for i in 1..n {
-            let parent = rng.gen_range(0..i);
+            let parent = rng.index_in(0, i);
             g.add_edge(NodeId(parent), NodeId(i)).expect("tree edge");
         }
         for i in 0..n {
             for j in (i + 1)..n {
-                if !g.has_edge(NodeId(i), NodeId(j)) && rng.gen_bool(p) {
+                if !g.has_edge(NodeId(i), NodeId(j)) && rng.chance(p) {
                     g.add_edge(NodeId(i), NodeId(j)).expect("extra edge");
                 }
             }

@@ -16,6 +16,7 @@
 
 pub mod generators;
 pub mod metrics;
+pub mod rng;
 pub mod weights;
 
 use std::fmt;
@@ -112,10 +113,7 @@ impl std::error::Error for GraphError {}
 impl Graph {
     /// Creates an edgeless graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Graph {
-            adjacency: vec![Vec::new(); n],
-            edges: Vec::new(),
-        }
+        Graph { adjacency: vec![Vec::new(); n], edges: Vec::new() }
     }
 
     /// Builds a graph from an edge list.
@@ -178,10 +176,7 @@ impl Graph {
 
     /// Iterator over all undirected edges, endpoints in ascending order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, &(u, v))| (EdgeId(i), u, v))
+        self.edges.iter().enumerate().map(|(i, &(u, v))| (EdgeId(i), u, v))
     }
 
     /// Endpoints of an edge.
@@ -219,10 +214,7 @@ impl Graph {
     /// Finds the edge index of `{u, v}`, if present.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let (a, b) = if u <= v { (u, v) } else { (v, u) };
-        self.edges
-            .iter()
-            .position(|&(x, y)| (x, y) == (a, b))
-            .map(EdgeId)
+        self.edges.iter().position(|&(x, y)| (x, y) == (a, b)).map(EdgeId)
     }
 }
 
@@ -253,29 +245,20 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut g = Graph::new(2);
-        assert_eq!(
-            g.add_edge(NodeId(1), NodeId(1)),
-            Err(GraphError::SelfLoop { node: NodeId(1) })
-        );
+        assert_eq!(g.add_edge(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop { node: NodeId(1) }));
     }
 
     #[test]
     fn rejects_out_of_range() {
         let mut g = Graph::new(2);
-        assert!(matches!(
-            g.add_edge(NodeId(0), NodeId(5)),
-            Err(GraphError::NodeOutOfRange { .. })
-        ));
+        assert!(matches!(g.add_edge(NodeId(0), NodeId(5)), Err(GraphError::NodeOutOfRange { .. })));
     }
 
     #[test]
     fn rejects_duplicate_edge_in_either_direction() {
         let mut g = Graph::new(3);
         g.add_edge(NodeId(0), NodeId(1)).unwrap();
-        assert!(matches!(
-            g.add_edge(NodeId(1), NodeId(0)),
-            Err(GraphError::DuplicateEdge { .. })
-        ));
+        assert!(matches!(g.add_edge(NodeId(1), NodeId(0)), Err(GraphError::DuplicateEdge { .. })));
     }
 
     #[test]

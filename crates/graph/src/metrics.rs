@@ -66,9 +66,7 @@ pub fn diameter(graph: &Graph) -> Option<usize> {
 ///
 /// Returns `None` if some node is unreachable from every source.
 pub fn max_distance_to_sources(graph: &Graph, sources: &[NodeId]) -> Option<usize> {
-    multi_source_distances(graph, sources)
-        .into_iter()
-        .try_fold(0, |acc, d| d.map(|d| acc.max(d)))
+    multi_source_distances(graph, sources).into_iter().try_fold(0, |acc, d| d.map(|d| acc.max(d)))
 }
 
 /// Whether the graph is connected (the empty graph counts as connected).

@@ -1,0 +1,135 @@
+//! A small, dependency-free deterministic pseudo-random number generator.
+//!
+//! The generators and weight assignments promise bit-for-bit reproducibility for a
+//! fixed seed, and the workspace builds without external crates; this SplitMix64
+//! stream (Steele, Lea & Flood 2014) provides exactly the operations they need.
+//! It is *not* cryptographic and is not meant to be.
+
+/// A SplitMix64 pseudo-random stream.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's multiply-shift reduction (the bias
+    /// is at most `bound / 2^64`, negligible for the graph sizes involved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform index in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn index_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // 53 uniform mantissa bits, the standard [0, 1) double construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Prng::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Prng::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Prng::new(8);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Prng::new(1);
+        for bound in [1u64, 2, 3, 7, 100] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn index_in_covers_the_range() {
+        let mut r = Prng::new(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.index_in(0, 5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_is_monotone_in_p() {
+        let mut r = Prng::new(3);
+        let hits_low = (0..2000).filter(|_| r.chance(0.1)).count();
+        let mut r = Prng::new(3);
+        let hits_high = (0..2000).filter(|_| r.chance(0.9)).count();
+        assert!(hits_low < hits_high);
+        let mut r = Prng::new(4);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Prng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle is almost surely nontrivial");
+    }
+}

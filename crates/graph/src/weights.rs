@@ -4,10 +4,8 @@
 //! [`minimum_spanning_tree`]. Weights are unique by construction in the generators so
 //! that the MST is unique and the comparison is exact.
 
+use crate::rng::Prng;
 use crate::{EdgeId, Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Edge weights indexed by [`EdgeId`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,20 +20,16 @@ impl EdgeWeights {
     ///
     /// Panics if the length does not match the number of edges.
     pub fn from_vec(graph: &Graph, weights: Vec<u64>) -> Self {
-        assert_eq!(
-            weights.len(),
-            graph.edge_count(),
-            "one weight per edge is required"
-        );
+        assert_eq!(weights.len(), graph.edge_count(), "one weight per edge is required");
         EdgeWeights { weights }
     }
 
     /// Assigns *distinct* pseudo-random weights (a random permutation of `1..=m`),
     /// guaranteeing a unique MST. Deterministic for a fixed seed.
     pub fn random_distinct(graph: &Graph, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::new(seed);
         let mut weights: Vec<u64> = (1..=graph.edge_count() as u64).collect();
-        weights.shuffle(&mut rng);
+        rng.shuffle(&mut weights);
         EdgeWeights { weights }
     }
 
@@ -69,10 +63,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n).collect(),
-            rank: vec![0; n],
-        }
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
     }
 
     /// Representative of the set containing `x`.

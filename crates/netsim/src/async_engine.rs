@@ -14,7 +14,7 @@
 //!   every injected message, with link acknowledgments reported separately.
 
 use crate::delay::DelayModel;
-use crate::metrics::{MessageClass, RunMetrics};
+use crate::metrics::RunMetrics;
 use crate::protocol::{Ctx, Protocol};
 use crate::TICKS_PER_UNIT;
 use ds_graph::{Graph, NodeId};
@@ -51,16 +51,19 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Safety limits for a simulation run.
+/// Safety limits for a simulation run (either engine).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimLimits {
-    /// Maximum number of message-delivery events before the run is aborted.
+    /// Maximum number of message-delivery events before an asynchronous run is
+    /// aborted.
     pub max_events: u64,
+    /// Maximum number of rounds before a synchronous run is aborted.
+    pub max_rounds: u64,
 }
 
 impl Default for SimLimits {
     fn default() -> Self {
-        SimLimits { max_events: 50_000_000 }
+        SimLimits { max_events: 50_000_000, max_rounds: 1_000_000 }
     }
 }
 
@@ -78,7 +81,6 @@ struct QueuedMessage<M> {
     priority: u64,
     seq: u64,
     msg: M,
-    class: MessageClass,
 }
 
 #[derive(Debug, Default)]
@@ -143,10 +145,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
     }
 
     fn try_inject(&mut self, from: NodeId, to: NodeId) {
-        let link = self
-            .links
-            .entry((from.index(), to.index()))
-            .or_insert_with(LinkState::new);
+        let link = self.links.entry((from.index(), to.index())).or_insert_with(LinkState::new);
         if link.in_flight {
             return;
         }
@@ -166,11 +165,9 @@ impl<'a, P: Protocol> Engine<'a, P> {
             }
             self.metrics.record_message(out.class);
             let seq = self.next_seq();
-            let link = self
-                .links
-                .entry((from.index(), out.to.index()))
-                .or_insert_with(LinkState::new);
-            link.push(QueuedMessage { priority: out.priority, seq, msg: out.msg, class: out.class });
+            let link =
+                self.links.entry((from.index(), out.to.index())).or_insert_with(LinkState::new);
+            link.push(QueuedMessage { priority: out.priority, seq, msg: out.msg });
             touched.push_back(out.to);
         }
         while let Some(to) = touched.pop_front() {
@@ -236,10 +233,8 @@ where
     let mut deliveries: u64 = 0;
     while let Some(Reverse((time, seq))) = engine.events.pop() {
         engine.now = time;
-        let kind = engine
-            .event_payloads
-            .remove(&seq)
-            .expect("scheduled events always carry a payload");
+        let kind =
+            engine.event_payloads.remove(&seq).expect("scheduled events always carry a payload");
         match kind {
             EventKind::Deliver { from, to, msg } => {
                 deliveries += 1;
@@ -268,8 +263,7 @@ where
         }
     }
 
-    engine.metrics.time_to_output =
-        engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
+    engine.metrics.time_to_output = engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     engine.metrics.time_to_quiescence = engine.now as f64 / TICKS_PER_UNIT as f64;
 
     Ok(AsyncReport { metrics: engine.metrics, nodes: engine.nodes })
@@ -278,6 +272,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::MessageClass;
 
     /// Asynchronous flooding: node 0 floods a token; each node records the hop count
     /// of the first copy it receives (which may exceed the true distance under
@@ -356,20 +351,13 @@ mod tests {
         // reaches the far side the "long way around" first, giving wrong hop counts.
         // This demonstrates why a synchronizer is needed at all.
         let g = Graph::cycle(8);
-        let report = run_async(
-            &g,
-            DelayModel::slow_cut(4),
-            |v| Flood::new(&g, v),
-            SimLimits::default(),
-        )
-        .unwrap();
+        let report =
+            run_async(&g, DelayModel::slow_cut(4), |v| Flood::new(&g, v), SimLimits::default())
+                .unwrap();
         let hops: Vec<u64> = report.nodes.iter().map(|n| n.hops.unwrap()).collect();
         let true_dist = ds_graph::metrics::bfs_distances(&g, NodeId(0));
-        let mismatches = hops
-            .iter()
-            .zip(true_dist.iter())
-            .filter(|(h, d)| **h != d.unwrap() as u64)
-            .count();
+        let mismatches =
+            hops.iter().zip(true_dist.iter()).filter(|(h, d)| **h != d.unwrap() as u64).count();
         assert!(mismatches > 0, "expected the adversary to distort naive flooding");
     }
 
@@ -475,7 +463,7 @@ mod tests {
             &g,
             DelayModel::uniform(),
             |me| PingPong { me },
-            SimLimits { max_events: 100 },
+            SimLimits { max_events: 100, ..SimLimits::default() },
         )
         .unwrap_err();
         assert_eq!(err, SimError::EventLimitExceeded { limit: 100 });
@@ -500,13 +488,8 @@ mod tests {
             }
         }
         let g = Graph::path(3);
-        let err = run_async(
-            &g,
-            DelayModel::uniform(),
-            |me| Bad { me },
-            SimLimits::default(),
-        )
-        .unwrap_err();
+        let err = run_async(&g, DelayModel::uniform(), |me| Bad { me }, SimLimits::default())
+            .unwrap_err();
         assert_eq!(err, SimError::NotNeighbor { from: NodeId(0), to: NodeId(2) });
     }
 }

@@ -43,10 +43,7 @@ impl DelayModel {
     ///
     /// Panics if `min_fraction` is not in `(0, 1]`.
     pub fn jitter_at_least(seed: u64, min_fraction: f64) -> Self {
-        assert!(
-            min_fraction > 0.0 && min_fraction <= 1.0,
-            "min_fraction must be in (0, 1]"
-        );
+        assert!(min_fraction > 0.0 && min_fraction <= 1.0, "min_fraction must be in (0, 1]");
         DelayModel::Jitter {
             seed,
             min_ticks: ((TICKS_PER_UNIT as f64) * min_fraction).ceil().max(1.0) as u64,
@@ -85,7 +82,7 @@ impl DelayModel {
                 }
             }
             DelayModel::Bursty { period } => {
-                if seq % period == 0 {
+                if seq.is_multiple_of(period) {
                     TICKS_PER_UNIT
                 } else {
                     1

@@ -76,7 +76,7 @@ pub trait EventDriven {
 /// Sorts a pulse's received batch into the canonical delivery order (by sender, then
 /// by insertion order), so that synchronous and synchronized executions present the
 /// same batch to the algorithm.
-pub fn canonical_batch<M: Clone>(batch: &mut Vec<(NodeId, M)>) {
+pub fn canonical_batch<M: Clone>(batch: &mut [(NodeId, M)]) {
     batch.sort_by_key(|(from, _)| *from);
 }
 
@@ -98,10 +98,7 @@ mod tests {
     fn canonical_batch_sorts_by_sender() {
         let mut batch = vec![(NodeId(5), 1u8), (NodeId(2), 2), (NodeId(9), 3), (NodeId(2), 4)];
         canonical_batch(&mut batch);
-        assert_eq!(
-            batch.iter().map(|(n, _)| n.index()).collect::<Vec<_>>(),
-            vec![2, 2, 5, 9]
-        );
+        assert_eq!(batch.iter().map(|(n, _)| n.index()).collect::<Vec<_>>(), vec![2, 2, 5, 9]);
         // Stable: equal senders keep insertion order.
         assert_eq!(batch[0].1, 2);
         assert_eq!(batch[1].1, 4);

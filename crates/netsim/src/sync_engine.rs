@@ -41,7 +41,11 @@ impl<A: EventDriven> SyncReport<A> {
 ///
 /// * [`SimError::NotNeighbor`] if an algorithm sends to a non-neighbor.
 /// * [`SimError::RoundLimitExceeded`] if the algorithm does not quiesce in time.
-pub fn run_sync<A, F>(graph: &Graph, mut make: F, max_rounds: u64) -> Result<SyncReport<A>, SimError>
+pub fn run_sync<A, F>(
+    graph: &Graph,
+    mut make: F,
+    max_rounds: u64,
+) -> Result<SyncReport<A>, SimError>
 where
     A: EventDriven,
     F: FnMut(NodeId) -> A,
@@ -57,11 +61,11 @@ where
     let mut sent_prev: Vec<bool> = vec![false; n];
 
     let deliver = |from: NodeId,
-                       outbox: Vec<(NodeId, A::Msg)>,
-                       inbox: &mut Vec<Vec<(NodeId, A::Msg)>>,
-                       sent_prev: &mut Vec<bool>,
-                       messages: &mut u64,
-                       metrics: &mut RunMetrics|
+                   outbox: Vec<(NodeId, A::Msg)>,
+                   inbox: &mut Vec<Vec<(NodeId, A::Msg)>>,
+                   sent_prev: &mut Vec<bool>,
+                   messages: &mut u64,
+                   metrics: &mut RunMetrics|
      -> Result<(), SimError> {
         for (to, msg) in outbox {
             if !graph.has_edge(from, to) {
@@ -96,7 +100,8 @@ where
             return Err(SimError::RoundLimitExceeded { limit: max_rounds });
         }
 
-        let delivered: Vec<Vec<(NodeId, A::Msg)>> = std::mem::replace(&mut inbox, vec![Vec::new(); n]);
+        let delivered: Vec<Vec<(NodeId, A::Msg)>> =
+            std::mem::replace(&mut inbox, vec![Vec::new(); n]);
         let triggered_by_send: Vec<bool> = std::mem::replace(&mut sent_prev, vec![false; n]);
 
         for v in graph.nodes() {
@@ -121,13 +126,7 @@ where
     metrics.time_to_quiescence = round as f64;
     metrics.events = messages;
 
-    Ok(SyncReport {
-        rounds_to_output,
-        rounds_to_quiescence: round,
-        messages,
-        metrics,
-        nodes,
-    })
+    Ok(SyncReport { rounds_to_output, rounds_to_quiescence: round, messages, metrics, nodes })
 }
 
 fn all_done_round<A: EventDriven>(nodes: &[A], round: u64) -> Option<u64> {

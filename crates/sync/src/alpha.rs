@@ -68,7 +68,12 @@ impl<A: EventDriven> AlphaSynchronizer<A> {
         &self.alg
     }
 
-    fn dispatch(&mut self, pulse: u64, outbox: Vec<(NodeId, A::Msg)>, ctx: &mut Ctx<AlphaMsg<A::Msg>>) {
+    fn dispatch(
+        &mut self,
+        pulse: u64,
+        outbox: Vec<(NodeId, A::Msg)>,
+        ctx: &mut Ctx<AlphaMsg<A::Msg>>,
+    ) {
         self.sent_at.insert(pulse, !outbox.is_empty());
         *self.unacked.entry(pulse).or_insert(0) += outbox.len();
         for (to, payload) in outbox {

@@ -99,7 +99,12 @@ impl<A: EventDriven> BetaSynchronizer<A> {
         &self.alg
     }
 
-    fn dispatch(&mut self, pulse: u64, outbox: Vec<(NodeId, A::Msg)>, ctx: &mut Ctx<BetaMsg<A::Msg>>) {
+    fn dispatch(
+        &mut self,
+        pulse: u64,
+        outbox: Vec<(NodeId, A::Msg)>,
+        ctx: &mut Ctx<BetaMsg<A::Msg>>,
+    ) {
         self.sent_at_current = !outbox.is_empty();
         self.unacked = outbox.len();
         self.children_ready = 0;
@@ -120,7 +125,12 @@ impl<A: EventDriven> BetaSynchronizer<A> {
         self.reported = true;
         match self.tree.parent[self.me.index()] {
             Some(parent) => {
-                ctx.send_with(parent, BetaMsg::Ready { pulse: self.current }, self.current, MessageClass::Control);
+                ctx.send_with(
+                    parent,
+                    BetaMsg::Ready { pulse: self.current },
+                    self.current,
+                    MessageClass::Control,
+                );
             }
             None => self.broadcast_next(ctx),
         }
@@ -181,7 +191,12 @@ impl<A: EventDriven> Protocol for BetaSynchronizer<A> {
             BetaMsg::NextPulse { pulse: _ } => {
                 // Forward the broadcast and advance.
                 for &c in &self.tree.children[self.me.index()].clone() {
-                    ctx.send_with(c, BetaMsg::NextPulse { pulse: self.current }, self.current, MessageClass::Control);
+                    ctx.send_with(
+                        c,
+                        BetaMsg::NextPulse { pulse: self.current },
+                        self.current,
+                        MessageClass::Control,
+                    );
                 }
                 self.advance(ctx);
             }

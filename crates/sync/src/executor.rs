@@ -1,0 +1,270 @@
+//! The [`Synchronizer`] trait: one pipeline for every way of executing an
+//! event-driven algorithm.
+//!
+//! The paper presents the deterministic synchronizer as a *drop-in wrapper*: any
+//! event-driven synchronous algorithm runs unchanged under any synchronizer, and its
+//! overheads are measured against the synchronous ground truth. This module makes
+//! that uniformity literal: [`DirectExecutor`] (lock-step ground truth),
+//! [`AlphaExecutor`] and [`BetaExecutor`] (Appendix A baselines) and [`DetExecutor`]
+//! (Sections 4–5) all implement the same object-safe trait, so runners, experiments
+//! and tests are written once and parametrized by a `Box<dyn Synchronizer<A>>`.
+//!
+//! Use [`crate::session::Session`] to construct and drive executors; the types here
+//! are the extension point for new execution strategies.
+
+use crate::alpha::AlphaSynchronizer;
+use crate::beta::{BetaSynchronizer, SpanningTree};
+use crate::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
+use ds_graph::{Graph, NodeId};
+use ds_netsim::async_engine::{run_async, SimError, SimLimits};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::event_driven::EventDriven;
+use ds_netsim::metrics::RunMetrics;
+use ds_netsim::sync_engine::run_sync;
+use std::sync::Arc;
+
+/// The environment an executor runs in: the network, the delay adversary and the
+/// simulation budgets. Built by [`crate::session::Session`].
+#[derive(Clone, Debug)]
+pub struct ExecutionEnv<'g> {
+    /// The network graph.
+    pub graph: &'g Graph,
+    /// The delay adversary (ignored by the lock-step executor).
+    pub delay: DelayModel,
+    /// Event/round budgets.
+    pub limits: SimLimits,
+}
+
+/// Result of running an event-driven algorithm through an executor.
+#[derive(Clone, Debug)]
+pub struct SynchronizedRun<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<Option<O>>,
+    /// Metrics of the run.
+    pub metrics: RunMetrics,
+    /// Ordering violations recorded by the synchronizer (always 0 in a correct run;
+    /// only the deterministic synchronizer instruments this).
+    pub ordering_violations: u64,
+}
+
+/// An execution strategy for event-driven algorithms: wraps per-node algorithm
+/// state, delivers pulses, and collects outputs.
+///
+/// Object-safe over the algorithm type `A`, so heterogeneous executors can be swept
+/// uniformly (`Box<dyn Synchronizer<A>>`). The algorithm factory is taken as a
+/// `&mut dyn FnMut` for the same reason.
+pub trait Synchronizer<A: EventDriven> {
+    /// Short human-readable name ("direct", "alpha", "beta", "det"), used as a row
+    /// label by the experiment harness.
+    fn name(&self) -> &'static str;
+
+    /// Runs one instance of the algorithm per node and collects outputs and metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the underlying simulation fails (non-neighbor send,
+    /// event or round budget exceeded).
+    fn execute(
+        &self,
+        env: &ExecutionEnv<'_>,
+        make_alg: &mut dyn FnMut(NodeId) -> A,
+    ) -> Result<SynchronizedRun<A::Output>, SimError>;
+}
+
+/// Lock-step synchronous execution: the ground truth the synchronizers are measured
+/// against. No synchronizer at all — the delay adversary is irrelevant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectExecutor;
+
+impl<A: EventDriven> Synchronizer<A> for DirectExecutor {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn execute(
+        &self,
+        env: &ExecutionEnv<'_>,
+        make_alg: &mut dyn FnMut(NodeId) -> A,
+    ) -> Result<SynchronizedRun<A::Output>, SimError> {
+        let report = run_sync(env.graph, make_alg, env.limits.max_rounds)?;
+        Ok(SynchronizedRun {
+            outputs: report.outputs(),
+            metrics: report.metrics,
+            ordering_violations: 0,
+        })
+    }
+}
+
+/// Awerbuch's α synchronizer (Appendix A): `O(1)` time but `Θ(m)` messages per pulse.
+#[derive(Clone, Debug)]
+pub struct AlphaExecutor {
+    /// Upper bound on the simulated pulses (the algorithm's `T(A)`).
+    pub max_pulse: u64,
+}
+
+impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
+    fn name(&self) -> &'static str {
+        "alpha"
+    }
+
+    fn execute(
+        &self,
+        env: &ExecutionEnv<'_>,
+        make_alg: &mut dyn FnMut(NodeId) -> A,
+    ) -> Result<SynchronizedRun<A::Output>, SimError> {
+        let max_pulse = self.max_pulse;
+        let report = run_async(
+            env.graph,
+            env.delay.clone(),
+            |v| AlphaSynchronizer::new(env.graph, v, make_alg(v), max_pulse),
+            env.limits,
+        )?;
+        Ok(SynchronizedRun {
+            outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
+            metrics: report.metrics,
+            ordering_violations: 0,
+        })
+    }
+}
+
+/// Awerbuch's β synchronizer (Appendix A): per-pulse convergecast/broadcast on a
+/// global spanning tree — `Θ(n)` messages and `Θ(D)` time per pulse.
+#[derive(Clone, Debug)]
+pub struct BetaExecutor {
+    /// The precomputed rooted spanning tree.
+    pub tree: Arc<SpanningTree>,
+    /// Upper bound on the simulated pulses (the algorithm's `T(A)`).
+    pub max_pulse: u64,
+}
+
+impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
+    fn name(&self) -> &'static str {
+        "beta"
+    }
+
+    fn execute(
+        &self,
+        env: &ExecutionEnv<'_>,
+        make_alg: &mut dyn FnMut(NodeId) -> A,
+    ) -> Result<SynchronizedRun<A::Output>, SimError> {
+        let max_pulse = self.max_pulse;
+        let tree = Arc::clone(&self.tree);
+        let report = run_async(
+            env.graph,
+            env.delay.clone(),
+            |v| BetaSynchronizer::new(tree.clone(), v, make_alg(v), max_pulse),
+            env.limits,
+        )?;
+        Ok(SynchronizedRun {
+            outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
+            metrics: report.metrics,
+            ordering_violations: 0,
+        })
+    }
+}
+
+/// The paper's deterministic synchronizer (Sections 4–5, Theorems 5.2–5.5):
+/// polylogarithmic time and message overheads via layered sparse covers.
+#[derive(Clone, Debug)]
+pub struct DetExecutor {
+    /// The shared synchronizer configuration (pulse bound + covers).
+    pub cfg: Arc<SynchronizerConfig>,
+}
+
+impl<A: EventDriven> Synchronizer<A> for DetExecutor {
+    fn name(&self) -> &'static str {
+        "det"
+    }
+
+    fn execute(
+        &self,
+        env: &ExecutionEnv<'_>,
+        make_alg: &mut dyn FnMut(NodeId) -> A,
+    ) -> Result<SynchronizedRun<A::Output>, SimError> {
+        let cfg = Arc::clone(&self.cfg);
+        let report = run_async(
+            env.graph,
+            env.delay.clone(),
+            |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()),
+            env.limits,
+        )?;
+        let outputs = collect_outputs(&report.nodes);
+        Ok(SynchronizedRun {
+            outputs: outputs.outputs,
+            metrics: report.metrics,
+            ordering_violations: outputs.ordering_violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_netsim::event_driven::PulseCtx;
+
+    /// Minimal flooding workload for exercising executors directly.
+    #[derive(Debug)]
+    struct Flood {
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        hops: Option<u64>,
+    }
+
+    impl Flood {
+        fn new(graph: &Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me).to_vec(), hops: None }
+        }
+    }
+
+    impl EventDriven for Flood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+            if self.me == NodeId(0) {
+                self.hops = Some(0);
+                for &u in &self.neighbors {
+                    ctx.send(u, 1);
+                }
+            }
+        }
+
+        fn on_pulse(&mut self, received: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+            if self.hops.is_none() {
+                if let Some(&(_, h)) = received.first() {
+                    self.hops = Some(h);
+                    for &u in &self.neighbors {
+                        ctx.send(u, h + 1);
+                    }
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.hops
+        }
+    }
+
+    #[test]
+    fn all_executors_reproduce_the_direct_outputs() {
+        let graph = Graph::grid(3, 3);
+        let env = ExecutionEnv {
+            graph: &graph,
+            delay: DelayModel::jitter(5),
+            limits: SimLimits::default(),
+        };
+        let direct =
+            DirectExecutor.execute(&env, &mut |v| Flood::new(&graph, v)).expect("direct run");
+        let t = 10; // generous pulse bound for a 3x3 grid flood
+        let executors: Vec<Box<dyn Synchronizer<Flood>>> = vec![
+            Box::new(AlphaExecutor { max_pulse: t }),
+            Box::new(BetaExecutor { tree: SpanningTree::bfs(&graph, NodeId(0)), max_pulse: t }),
+            Box::new(DetExecutor { cfg: SynchronizerConfig::build(&graph, t) }),
+        ];
+        for exec in executors {
+            let run = exec.execute(&env, &mut |v| Flood::new(&graph, v)).expect("run");
+            assert_eq!(run.outputs, direct.outputs, "{} diverged", exec.name());
+            assert_eq!(run.ordering_violations, 0);
+        }
+    }
+}

@@ -8,18 +8,26 @@
 //!   (Sections 4–5, Theorems 5.2–5.5).
 //! * [`alpha`], [`beta`] — the classical baselines (Appendix A), used for the
 //!   overhead-comparison experiments.
+//! * [`executor`] — the [`Synchronizer`](executor::Synchronizer) trait: one
+//!   object-safe pipeline through which the deterministic synchronizer, both
+//!   baselines and the lock-step ground truth all execute.
+//! * [`session`] — the [`Session`](session::Session) builder, the single entry
+//!   point for running and comparing event-driven algorithms.
 //! * [`event_driven`] — re-export of the event-driven algorithm interface from
 //!   `ds-netsim`, so downstream crates only need this crate.
 //!
 //! # Example
 //!
-//! Wrap a synchronous flooding algorithm and run it asynchronously; see
-//! `examples/quickstart.rs` in the repository root for a complete program.
+//! Wrap a synchronous flooding algorithm and run it asynchronously through
+//! [`session::Session`]; see `examples/quickstart.rs` in the repository root for a
+//! complete program and `DESIGN.md` for the theorem→module map.
 
 pub mod alpha;
 pub mod beta;
+pub mod executor;
 pub mod pulse;
 pub mod registration;
+pub mod session;
 pub mod synchronizer;
 
 /// Re-export of the event-driven algorithm interface.
@@ -27,4 +35,9 @@ pub mod event_driven {
     pub use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
 }
 
+pub use executor::{
+    AlphaExecutor, BetaExecutor, DetExecutor, DirectExecutor, ExecutionEnv, SynchronizedRun,
+    Synchronizer,
+};
+pub use session::{ComparisonReport, Session, SessionError, SyncKind};
 pub use synchronizer::{collect_outputs, DetSynchronizer, SyncMsg, SynchronizerConfig};

@@ -57,9 +57,7 @@ pub fn is_base_stage(p: u64) -> bool {
 /// All stages `1 ..= max_pulse` tracked by a virtual node of pulse `q`: the stages
 /// `s` with `prev(prev(s)) ≤ q ≤ s` (Lemma 4.14 bounds their number by `O(log T)`).
 pub fn stages_tracked(q: u64, max_pulse: u64) -> Vec<u64> {
-    (1..=max_pulse)
-        .filter(|&s| prev_prev(s) <= q && q <= s)
-        .collect()
+    (1..=max_pulse).filter(|&s| prev_prev(s) <= q && q <= s).collect()
 }
 
 /// All stages `1 ..= max_pulse` anchored at pulse `q` (`prev(prev(s)) = q`).

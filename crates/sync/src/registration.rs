@@ -170,7 +170,16 @@ impl RegistrationInstance {
                 }
             }
             RegMsg::GoAheadDown => {
-                self.parent_edge = EdgeMark::Clean;
+                // The Go-Ahead resolves the wave whose DeregisterUp marked this edge
+                // waiting. A Dirty mark means a newer registration wave has already
+                // re-dirtied the edge (its RegisterUp is ordered after our
+                // DeregisterUp on the link, so the parent learns of it after issuing
+                // this Go-Ahead) — the stale Go-Ahead must not wipe that mark, or the
+                // new wave's deregistration can never propagate and the cluster
+                // deadlocks.
+                if self.parent_edge == EdgeMark::Waiting {
+                    self.parent_edge = EdgeMark::Clean;
+                }
                 self.receive_goahead(actions);
             }
         }
@@ -182,10 +191,7 @@ impl RegistrationInstance {
             self.complete_r(actions);
             return;
         }
-        let parent = self
-            .position
-            .parent
-            .expect("only the root is finished from the start");
+        let parent = self.position.parent.expect("only the root is finished from the start");
         if self.parent_edge != EdgeMark::Dirty {
             self.parent_edge = EdgeMark::Dirty;
         }
@@ -466,5 +472,84 @@ mod tests {
     fn deregister_without_registration_panics() {
         let mut h = path_tree();
         h.deregister(2);
+    }
+
+    /// Regression test: a Go-Ahead still in flight from a finished wave must not
+    /// wipe a parent edge that a newer registration wave has re-dirtied. (Observed
+    /// as a cluster-wide deadlock on stage 14 of an 8x8-grid BFS run: the relay's
+    /// parent edge was reset to Clean, so the second wave's deregistration never
+    /// propagated and the root's child edge stayed Dirty forever.)
+    #[test]
+    fn stale_goahead_does_not_wipe_a_redirtied_parent_edge() {
+        // Root 0 — relay 1 — leaves 2 and 3. Messages are delivered by hand so the
+        // stale Go-Ahead can be held back and reordered after the new RegisterUp.
+        let pos = |parent: Option<usize>, children: &[usize]| TreePosition {
+            parent: parent.map(NodeId),
+            children: children.iter().map(|&c| NodeId(c)).collect(),
+        };
+        let mut n0 = RegistrationInstance::new(pos(None, &[1]));
+        let mut n1 = RegistrationInstance::new(pos(Some(0), &[2, 3]));
+        let mut n2 = RegistrationInstance::new(pos(Some(1), &[]));
+        let mut n3 = RegistrationInstance::new(pos(Some(1), &[]));
+        let deliver = |inst: &mut RegistrationInstance, from: usize, msg: RegMsg| {
+            let mut actions = Vec::new();
+            inst.on_message(NodeId(from), msg, &mut actions);
+            actions
+        };
+
+        // Wave 1: node 2 registers through the relay and deregisters.
+        let mut a = Vec::new();
+        n2.register(&mut a);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::RegisterUp }]);
+        let a = deliver(&mut n1, 2, RegMsg::RegisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(0), msg: RegMsg::RegisterUp }]);
+        let a = deliver(&mut n0, 1, RegMsg::RegisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::RegisterDone }]);
+        let a = deliver(&mut n1, 0, RegMsg::RegisterDone);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(2), msg: RegMsg::RegisterDone }]);
+        let a = deliver(&mut n2, 1, RegMsg::RegisterDone);
+        assert_eq!(a, vec![RegAction::Registered]);
+        let mut a = Vec::new();
+        n2.deregister(&mut a);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::DeregisterUp }]);
+        let a = deliver(&mut n1, 2, RegMsg::DeregisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(0), msg: RegMsg::DeregisterUp }]);
+        // The root issues the wave-1 Go-Ahead — hold it in flight.
+        let a = deliver(&mut n0, 1, RegMsg::DeregisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::GoAheadDown }]);
+
+        // Wave 2: node 3 registers; the relay re-dirties its parent edge.
+        let mut a = Vec::new();
+        n3.register(&mut a);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::RegisterUp }]);
+        let a = deliver(&mut n1, 3, RegMsg::RegisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(0), msg: RegMsg::RegisterUp }]);
+
+        // The stale wave-1 Go-Ahead now lands: it must free node 2 without clearing
+        // the re-dirtied parent edge.
+        let a = deliver(&mut n1, 0, RegMsg::GoAheadDown);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(2), msg: RegMsg::GoAheadDown }]);
+        let a = deliver(&mut n2, 1, RegMsg::GoAheadDown);
+        assert_eq!(a, vec![RegAction::Free]);
+
+        // Wave 2 completes: registration confirms, then deregistration must still
+        // propagate up (this is the step the bug broke) and the Go-Ahead must return.
+        let a = deliver(&mut n0, 1, RegMsg::RegisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::RegisterDone }]);
+        let a = deliver(&mut n1, 0, RegMsg::RegisterDone);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(3), msg: RegMsg::RegisterDone }]);
+        let a = deliver(&mut n3, 1, RegMsg::RegisterDone);
+        assert_eq!(a, vec![RegAction::Registered]);
+        let mut a = Vec::new();
+        n3.deregister(&mut a);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::DeregisterUp }]);
+        let a = deliver(&mut n1, 3, RegMsg::DeregisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(0), msg: RegMsg::DeregisterUp }]);
+        let a = deliver(&mut n0, 1, RegMsg::DeregisterUp);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(1), msg: RegMsg::GoAheadDown }]);
+        let a = deliver(&mut n1, 0, RegMsg::GoAheadDown);
+        assert_eq!(a, vec![RegAction::Send { to: NodeId(3), msg: RegMsg::GoAheadDown }]);
+        let a = deliver(&mut n3, 1, RegMsg::GoAheadDown);
+        assert_eq!(a, vec![RegAction::Free]);
     }
 }

@@ -1,0 +1,472 @@
+//! The [`Session`] builder: the single entry point for executing event-driven
+//! algorithms under any synchronizer.
+//!
+//! A session names a graph, a delay adversary, simulation budgets and a
+//! [`SyncKind`]; [`Session::run`] executes the algorithm once through the chosen
+//! [`Synchronizer`] implementation, and [`Session::compare`] additionally runs the
+//! lock-step ground truth and reports the overhead factors the paper's theorems
+//! bound.
+//!
+//! ```
+//! use ds_graph::{Graph, NodeId};
+//! use ds_netsim::delay::DelayModel;
+//! use ds_sync::session::{Session, SyncKind};
+//! # use ds_netsim::event_driven::{EventDriven, PulseCtx};
+//! # #[derive(Debug)]
+//! # struct Flood { me: NodeId, neighbors: Vec<NodeId>, hops: Option<u64> }
+//! # impl Flood {
+//! #     fn new(g: &Graph, me: NodeId) -> Self {
+//! #         Flood { me, neighbors: g.neighbors(me).to_vec(), hops: None }
+//! #     }
+//! # }
+//! # impl EventDriven for Flood {
+//! #     type Msg = u64;
+//! #     type Output = u64;
+//! #     fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+//! #         if self.me == NodeId(0) {
+//! #             self.hops = Some(0);
+//! #             for &u in &self.neighbors { ctx.send(u, 1); }
+//! #         }
+//! #     }
+//! #     fn on_pulse(&mut self, r: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+//! #         if self.hops.is_none() {
+//! #             if let Some(&(_, h)) = r.first() {
+//! #                 self.hops = Some(h);
+//! #                 for &u in &self.neighbors { ctx.send(u, h + 1); }
+//! #             }
+//! #         }
+//! #     }
+//! #     fn output(&self) -> Option<u64> { self.hops }
+//! # }
+//! let graph = Graph::grid(4, 4);
+//! let report = Session::on(&graph)
+//!     .delay(DelayModel::jitter(7))
+//!     .synchronizer(SyncKind::DetAuto)
+//!     .compare(|v| Flood::new(&graph, v))
+//!     .expect("session run");
+//! assert!(report.outputs_match());
+//! ```
+
+use crate::beta::SpanningTree;
+use crate::executor::{
+    AlphaExecutor, BetaExecutor, DetExecutor, DirectExecutor, ExecutionEnv, SynchronizedRun,
+    Synchronizer,
+};
+use crate::synchronizer::SynchronizerConfig;
+use ds_graph::{Graph, NodeId};
+use ds_netsim::async_engine::{SimError, SimLimits};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::event_driven::EventDriven;
+use ds_netsim::metrics::RunMetrics;
+use ds_netsim::sync_engine::run_sync;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which synchronizer a [`Session`] drives the algorithm with.
+#[derive(Clone, Debug)]
+pub enum SyncKind {
+    /// Lock-step synchronous execution — the ground truth, no synchronizer at all.
+    Direct,
+    /// Awerbuch's α synchronizer (Appendix A).
+    Alpha,
+    /// Awerbuch's β synchronizer (Appendix A) with its BFS spanning tree rooted at
+    /// the given node.
+    Beta {
+        /// Root of the spanning tree.
+        root: NodeId,
+    },
+    /// The paper's deterministic synchronizer with an explicit, possibly shared
+    /// configuration (the Theorem 5.3 "given a cover" setting).
+    Det(Arc<SynchronizerConfig>),
+    /// The paper's deterministic synchronizer with a configuration built internally
+    /// from the session's resolved pulse bound (the Theorem 1.1 setting).
+    DetAuto,
+}
+
+impl SyncKind {
+    /// The full sweep of execution strategies, for parametrized experiments:
+    /// direct, α, β (rooted at node 0), deterministic.
+    pub fn standard_suite() -> Vec<SyncKind> {
+        vec![
+            SyncKind::Direct,
+            SyncKind::Alpha,
+            SyncKind::Beta { root: NodeId(0) },
+            SyncKind::DetAuto,
+        ]
+    }
+
+    /// Short label ("direct", "alpha", "beta", "det"), matching
+    /// [`Synchronizer::name`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncKind::Direct => "direct",
+            SyncKind::Alpha => "alpha",
+            SyncKind::Beta { .. } => "beta",
+            SyncKind::Det(_) | SyncKind::DetAuto => "det",
+        }
+    }
+
+    /// Whether resolving this kind requires a pulse bound `T(A)`.
+    fn needs_pulse_bound(&self) -> bool {
+        matches!(self, SyncKind::Alpha | SyncKind::Beta { .. } | SyncKind::DetAuto)
+    }
+
+    /// Builds the executor for this kind on `graph`, simulating at most
+    /// `pulse_bound` pulses where a bound is needed.
+    fn instantiate<A: EventDriven>(
+        &self,
+        graph: &Graph,
+        pulse_bound: u64,
+    ) -> Box<dyn Synchronizer<A>> {
+        match self {
+            SyncKind::Direct => Box::new(DirectExecutor),
+            SyncKind::Alpha => Box::new(AlphaExecutor { max_pulse: pulse_bound }),
+            SyncKind::Beta { root } => Box::new(BetaExecutor {
+                tree: SpanningTree::bfs(graph, *root),
+                max_pulse: pulse_bound,
+            }),
+            SyncKind::Det(cfg) => Box::new(DetExecutor { cfg: Arc::clone(cfg) }),
+            SyncKind::DetAuto => {
+                Box::new(DetExecutor { cfg: SynchronizerConfig::build(graph, pulse_bound) })
+            }
+        }
+    }
+}
+
+/// Errors from [`Session::run`] / [`Session::compare`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// `run`/`compare` was called without [`Session::synchronizer`].
+    MissingSynchronizer,
+    /// The configured [`SimLimits`] are unusable (a zero budget).
+    InvalidLimits {
+        /// Description of the offending field.
+        what: &'static str,
+    },
+    /// The underlying simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::MissingSynchronizer => {
+                write!(f, "no synchronizer configured: call Session::synchronizer(..) first")
+            }
+            SessionError::InvalidLimits { what } => {
+                write!(f, "invalid simulation limits: {what} must be positive")
+            }
+            SessionError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> Self {
+        SessionError::Sim(e)
+    }
+}
+
+/// Combined report of a synchronous ground-truth run and a synchronized run of the
+/// same algorithm, produced by [`Session::compare`].
+#[derive(Clone, Debug)]
+pub struct ComparisonReport<O> {
+    /// Synchronous round complexity `T(A)` (rounds to quiescence).
+    pub sync_rounds: u64,
+    /// Synchronous message complexity `M(A)`.
+    pub sync_messages: u64,
+    /// Per-node outputs of the synchronous run.
+    pub sync_outputs: Vec<Option<O>>,
+    /// Per-node outputs of the synchronized run.
+    pub async_outputs: Vec<Option<O>>,
+    /// Metrics of the synchronized run (time, messages by class, acknowledgments).
+    pub async_metrics: RunMetrics,
+    /// Ordering violations recorded by the synchronizer (must be zero).
+    pub ordering_violations: u64,
+}
+
+impl<O: PartialEq> ComparisonReport<O> {
+    /// Whether the synchronized execution reproduced the synchronous outputs exactly.
+    pub fn outputs_match(&self) -> bool {
+        self.sync_outputs == self.async_outputs && self.ordering_violations == 0
+    }
+
+    /// Time overhead factor: synchronized time-to-output divided by `T(A)`.
+    pub fn time_overhead(&self) -> Option<f64> {
+        let t = self.async_metrics.time_to_output?;
+        Some(t / self.sync_rounds.max(1) as f64)
+    }
+
+    /// Message overhead factor: total synchronized messages divided by `M(A)`.
+    pub fn message_overhead(&self) -> f64 {
+        self.async_metrics.total_messages() as f64 / self.sync_messages.max(1) as f64
+    }
+}
+
+/// A configured execution of event-driven algorithms on one graph.
+///
+/// Construct with [`Session::on`], chain the builder methods, then call
+/// [`Session::run`] or [`Session::compare`] (repeatedly, with any algorithm). See
+/// the module docs for a complete example and `DESIGN.md` for the theorem map.
+#[derive(Clone, Debug)]
+pub struct Session<'g> {
+    graph: &'g Graph,
+    delay: DelayModel,
+    limits: SimLimits,
+    kind: Option<SyncKind>,
+    pulse_bound: Option<u64>,
+}
+
+impl<'g> Session<'g> {
+    /// Starts building a session on `graph`. Defaults: uniform delays, default
+    /// [`SimLimits`], no synchronizer (one must be chosen before running), pulse
+    /// bound resolved automatically from the synchronous ground truth.
+    pub fn on(graph: &'g Graph) -> Self {
+        Session {
+            graph,
+            delay: DelayModel::uniform(),
+            limits: SimLimits::default(),
+            kind: None,
+            pulse_bound: None,
+        }
+    }
+
+    /// Sets the delay adversary (ignored by [`SyncKind::Direct`]).
+    #[must_use]
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the simulation budgets.
+    #[must_use]
+    pub fn limits(mut self, limits: SimLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Chooses the synchronizer.
+    #[must_use]
+    pub fn synchronizer(mut self, kind: SyncKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Fixes the pulse bound `T(A)` explicitly instead of resolving it from a
+    /// synchronous ground-truth run. Useful when the bound is already known (e.g. a
+    /// diameter bound for BFS) or when the ground-truth run is too expensive.
+    #[must_use]
+    pub fn pulse_bound(mut self, bound: u64) -> Self {
+        self.pulse_bound = Some(bound);
+        self
+    }
+
+    fn validate(&self) -> Result<&SyncKind, SessionError> {
+        if self.limits.max_events == 0 {
+            return Err(SessionError::InvalidLimits { what: "max_events" });
+        }
+        if self.limits.max_rounds == 0 {
+            return Err(SessionError::InvalidLimits { what: "max_rounds" });
+        }
+        self.kind.as_ref().ok_or(SessionError::MissingSynchronizer)
+    }
+
+    fn env(&self) -> ExecutionEnv<'g> {
+        ExecutionEnv { graph: self.graph, delay: self.delay.clone(), limits: self.limits }
+    }
+
+    /// Resolves the pulse bound: the explicit bound if set, otherwise `T(A)` from a
+    /// synchronous ground-truth run (only executed when the chosen kind needs it).
+    fn resolve_pulse_bound<A, F>(&self, kind: &SyncKind, make: &mut F) -> Result<u64, SessionError>
+    where
+        A: EventDriven,
+        F: FnMut(NodeId) -> A,
+    {
+        if let Some(bound) = self.pulse_bound {
+            return Ok(bound.max(1));
+        }
+        if !kind.needs_pulse_bound() {
+            return Ok(1);
+        }
+        let sync = run_sync(self.graph, make, self.limits.max_rounds)?;
+        Ok(sync.rounds_to_quiescence.max(1))
+    }
+
+    /// Runs the algorithm once through the configured synchronizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if no synchronizer was configured, the limits are
+    /// unusable, or the simulation fails.
+    pub fn run<A, F>(&self, mut make: F) -> Result<SynchronizedRun<A::Output>, SessionError>
+    where
+        A: EventDriven,
+        F: FnMut(NodeId) -> A,
+    {
+        let kind = self.validate()?.clone();
+        let bound = self.resolve_pulse_bound(&kind, &mut make)?;
+        let exec = kind.instantiate::<A>(self.graph, bound);
+        exec.execute(&self.env(), &mut make).map_err(SessionError::from)
+    }
+
+    /// Runs the synchronous ground truth, then the configured synchronizer, and
+    /// reports both with overhead factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if no synchronizer was configured, the limits are
+    /// unusable, or either simulation fails.
+    pub fn compare<A, F>(&self, mut make: F) -> Result<ComparisonReport<A::Output>, SessionError>
+    where
+        A: EventDriven,
+        F: FnMut(NodeId) -> A,
+    {
+        let kind = self.validate()?.clone();
+        let sync = run_sync(self.graph, &mut make, self.limits.max_rounds)?;
+        let bound = self.pulse_bound.unwrap_or(sync.rounds_to_quiescence).max(1);
+        let exec = kind.instantiate::<A>(self.graph, bound);
+        let run = exec.execute(&self.env(), &mut make)?;
+        Ok(ComparisonReport {
+            sync_rounds: sync.rounds_to_quiescence,
+            sync_messages: sync.messages,
+            sync_outputs: sync.outputs(),
+            async_outputs: run.outputs,
+            async_metrics: run.metrics,
+            ordering_violations: run.ordering_violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_netsim::event_driven::PulseCtx;
+
+    #[derive(Debug)]
+    struct Flood {
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        hops: Option<u64>,
+    }
+
+    impl Flood {
+        fn new(graph: &Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me).to_vec(), hops: None }
+        }
+    }
+
+    impl EventDriven for Flood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+            if self.me == NodeId(0) {
+                self.hops = Some(0);
+                for &u in &self.neighbors {
+                    ctx.send(u, 1);
+                }
+            }
+        }
+
+        fn on_pulse(&mut self, received: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+            if self.hops.is_none() {
+                if let Some(&(_, h)) = received.first() {
+                    self.hops = Some(h);
+                    for &u in &self.neighbors {
+                        ctx.send(u, h + 1);
+                    }
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.hops
+        }
+    }
+
+    #[test]
+    fn run_without_synchronizer_is_rejected() {
+        let graph = Graph::path(4);
+        let err = Session::on(&graph).run(|v| Flood::new(&graph, v)).unwrap_err();
+        assert_eq!(err, SessionError::MissingSynchronizer);
+        let err = Session::on(&graph).compare(|v| Flood::new(&graph, v)).unwrap_err();
+        assert_eq!(err, SessionError::MissingSynchronizer);
+    }
+
+    #[test]
+    fn zero_limits_are_rejected() {
+        let graph = Graph::path(4);
+        let err = Session::on(&graph)
+            .synchronizer(SyncKind::Direct)
+            .limits(SimLimits { max_events: 0, ..SimLimits::default() })
+            .run(|v| Flood::new(&graph, v))
+            .unwrap_err();
+        assert_eq!(err, SessionError::InvalidLimits { what: "max_events" });
+        let err = Session::on(&graph)
+            .synchronizer(SyncKind::Direct)
+            .limits(SimLimits { max_rounds: 0, ..SimLimits::default() })
+            .run(|v| Flood::new(&graph, v))
+            .unwrap_err();
+        assert_eq!(err, SessionError::InvalidLimits { what: "max_rounds" });
+    }
+
+    #[test]
+    fn session_errors_format_helpfully() {
+        assert!(format!("{}", SessionError::MissingSynchronizer).contains("synchronizer"));
+        assert!(format!("{}", SessionError::InvalidLimits { what: "max_events" })
+            .contains("max_events"));
+    }
+
+    #[test]
+    fn every_kind_runs_through_the_same_call_path() {
+        let graph = Graph::grid(3, 3);
+        let direct = Session::on(&graph)
+            .synchronizer(SyncKind::Direct)
+            .run(|v| Flood::new(&graph, v))
+            .expect("direct");
+        for kind in SyncKind::standard_suite() {
+            let run = Session::on(&graph)
+                .delay(DelayModel::jitter(3))
+                .synchronizer(kind.clone())
+                .run(|v| Flood::new(&graph, v))
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            assert_eq!(run.outputs, direct.outputs, "{} diverged", kind.label());
+        }
+    }
+
+    #[test]
+    fn explicit_det_config_and_pulse_bound_are_honored() {
+        let graph = Graph::path(6);
+        let cfg = SynchronizerConfig::build(&graph, 8);
+        let run = Session::on(&graph)
+            .delay(DelayModel::slow_cut(2))
+            .synchronizer(SyncKind::Det(cfg))
+            .run(|v| Flood::new(&graph, v))
+            .expect("det run");
+        assert_eq!(run.ordering_violations, 0);
+        // An explicit pulse bound skips the ground-truth run entirely.
+        let run = Session::on(&graph)
+            .delay(DelayModel::uniform())
+            .synchronizer(SyncKind::Alpha)
+            .pulse_bound(8)
+            .run(|v| Flood::new(&graph, v))
+            .expect("alpha run");
+        assert!(run.outputs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn compare_reports_ground_truth_and_overheads() {
+        let graph = Graph::grid(3, 4);
+        let report = Session::on(&graph)
+            .delay(DelayModel::jitter(3))
+            .synchronizer(SyncKind::DetAuto)
+            .compare(|v| Flood::new(&graph, v))
+            .expect("compare");
+        assert!(report.outputs_match());
+        assert!(report.sync_rounds >= 5);
+        assert!(report.message_overhead() >= 1.0);
+        assert!(report.time_overhead().is_some());
+    }
+}

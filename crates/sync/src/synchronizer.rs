@@ -40,7 +40,7 @@
 //! algorithms, and anchors register whenever they have any execution-tree child
 //! (the paper's `prev(p)`-emptiness test is not evaluable at that moment for general
 //! algorithms). Both keep the correctness invariants; the measured overheads remain
-//! polylogarithmic (see EXPERIMENTS.md).
+//! polylogarithmic (see DESIGN.md §4 and the `exp_*` binaries in `ds-bench`).
 
 use crate::pulse;
 use crate::registration::{RegAction, RegMsg, RegistrationInstance, TreePosition};
@@ -140,7 +140,8 @@ impl SynchronizerConfig {
             let cover_idx = (0..covers.layers())
                 .find(|&j| covers.level(j).radius >= radius)
                 .unwrap_or(covers.layers() - 1);
-            let info = StageInfo { prev: pulse::prev(p), prev_prev: pulse::prev_prev(p), cover_idx };
+            let info =
+                StageInfo { prev: pulse::prev(p), prev_prev: pulse::prev_prev(p), cover_idx };
             if info.prev_prev == 0 {
                 base_levels.insert(cover_idx);
             }
@@ -177,9 +178,7 @@ impl SynchronizerConfig {
 
     /// Stages tracked (safety-wise) by a virtual node of pulse `q`.
     fn stages_tracked(&self, q: u64) -> Vec<u64> {
-        (q.max(1)..=self.max_pulse)
-            .filter(|&s| self.stage(s).prev_prev <= q && q <= s - 1)
-            .collect()
+        (q.max(1)..=self.max_pulse).filter(|&s| self.stage(s).prev_prev <= q && q < s).collect()
     }
 
     /// Tree position of node `v` in cluster `cluster` of cover layer `cover_idx`.
@@ -214,12 +213,10 @@ struct AnchorStage {
 /// One virtual node `(v, pulse)`.
 #[derive(Clone, Debug)]
 struct VNode<M> {
-    pulse: u64,
     parent_remote: Option<NodeId>,
     self_parent: bool,
     sent_all: bool,
     recipients: Vec<NodeId>,
-    messages_sent: usize,
     unacked: usize,
     undecided: usize,
     children_remote: BTreeSet<NodeId>,
@@ -328,9 +325,61 @@ impl<A: EventDriven> DetSynchronizer<A> {
         self.ordering_violations
     }
 
+    /// Diagnostic dump of the node's stall-relevant state (for debugging deadlocks).
+    #[doc(hidden)]
+    pub fn debug_stall(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "node {}: initiator={} pending_triggers={:?} goahead_recv={:?} processed={:?}",
+            self.me, self.is_initiator, self.pending_triggers, self.goahead_recv, self.processed
+        );
+        let _ = writeln!(
+            s,
+            "  init_barrier_pending={} base_goahead_recv={:?}",
+            self.init_barrier_pending, self.base_goahead_recv
+        );
+        for (p, v) in &self.vnodes {
+            let _ = writeln!(
+                s,
+                "  vnode p={p}: complete={} sent_all={} unacked={} undecided={} child_self={} children_remote={:?} parent_remote={:?} self_parent={} goaheads={:?}",
+                v.complete, v.sent_all, v.unacked, v.undecided, v.child_self, v.children_remote,
+                v.parent_remote, v.self_parent, v.goaheads
+            );
+            for (st, vs) in &v.stages {
+                let _ = writeln!(
+                    s,
+                    "    stage {st}: subtree_safe={} reported_up={} gate_pending={} gate_started={} safe_self_child={} safe_children={:?}",
+                    vs.subtree_safe, vs.reported_up, vs.gate_pending, vs.gate_started,
+                    vs.safe_self_child, vs.safe_children
+                );
+            }
+            for (st, a) in &v.anchored {
+                let _ = writeln!(
+                    s,
+                    "    anchored {st}: clusters={:?} registered={} deregistered={} dereg_requested={} freed={} goahead_done={}",
+                    a.clusters, a.registered, a.deregistered, a.dereg_requested, a.freed,
+                    a.goahead_done
+                );
+            }
+        }
+        for ((st, cl), inst) in &self.reg {
+            let _ = writeln!(s, "  reg ({st},{cl}): {inst:?}");
+        }
+        s
+    }
+
     // ----- helpers ---------------------------------------------------------------
 
-    fn send(&self, ctx: &mut SCtx<A>, to: NodeId, msg: SyncMsg<A::Msg>, prio: u64, class: MessageClass) {
+    fn send(
+        &self,
+        ctx: &mut SCtx<A>,
+        to: NodeId,
+        msg: SyncMsg<A::Msg>,
+        prio: u64,
+        class: MessageClass,
+    ) {
         ctx.send_with(to, msg, prio, class);
     }
 
@@ -442,9 +491,11 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let self_parent_available = self.vnodes.contains_key(&(p - 1));
 
         // Notify every pulse-(p-1) sender of the decision.
-        let chosen_remote = if created && !self_parent_available { senders.first().copied() } else { None };
+        let chosen_remote =
+            if created && !self_parent_available { senders.first().copied() } else { None };
         for &s in &senders {
-            let msg = SyncMsg::Decision { pulse: p, created, chosen_parent: Some(s) == chosen_remote };
+            let msg =
+                SyncMsg::Decision { pulse: p, created, chosen_parent: Some(s) == chosen_remote };
             self.send(ctx, s, msg, p, MessageClass::Control);
         }
 
@@ -453,12 +504,10 @@ impl<A: EventDriven> DetSynchronizer<A> {
             recipients.sort();
             recipients.dedup();
             let vnode = VNode {
-                pulse: p,
                 parent_remote: chosen_remote,
                 self_parent: self_parent_available,
                 sent_all: true,
                 recipients: recipients.clone(),
-                messages_sent: outbox.len(),
                 unacked: outbox.len(),
                 undecided: recipients.len() + 1,
                 children_remote: BTreeSet::new(),
@@ -483,7 +532,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
             parent.undecided = parent.undecided.saturating_sub(1);
             if created && self_parent_available {
                 parent.child_self = true;
-                parent_goaheads = parent.goaheads.iter().copied().filter(|&s| s >= p + 1).collect();
+                parent_goaheads = parent.goaheads.iter().copied().filter(|&s| s > p).collect();
             }
             self.work.push_back(Work::RecomputeComplete(p - 1));
         }
@@ -640,7 +689,13 @@ impl<A: EventDriven> DetSynchronizer<A> {
             (v.parent_remote, v.self_parent)
         };
         if let Some(parent) = report_remote {
-            self.send(ctx, parent, SyncMsg::Safe { stage: s, sender_pulse: q }, s, MessageClass::Control);
+            self.send(
+                ctx,
+                parent,
+                SyncMsg::Safe { stage: s, sender_pulse: q },
+                s,
+                MessageClass::Control,
+            );
         } else if report_self {
             self.work.push_back(Work::ReportSafeInternal { parent_pulse: q - 1, stage: s });
         }
@@ -674,17 +729,20 @@ impl<A: EventDriven> DetSynchronizer<A> {
                 return;
             }
             v.goaheads.insert(s);
-            let children: Vec<NodeId> = if s >= q + 2 {
-                v.children_remote.iter().copied().collect()
-            } else {
-                Vec::new()
-            };
+            let children: Vec<NodeId> =
+                if s >= q + 2 { v.children_remote.iter().copied().collect() } else { Vec::new() };
             let recipients: Vec<NodeId> =
                 if q + 1 == s { v.recipients.clone() } else { Vec::new() };
             (children, recipients, v.child_self && s >= q + 2)
         };
         for c in forward_children {
-            self.send(ctx, c, SyncMsg::GoAheadExec { stage: s, sender_pulse: q }, s, MessageClass::Control);
+            self.send(
+                ctx,
+                c,
+                SyncMsg::GoAheadExec { stage: s, sender_pulse: q },
+                s,
+                MessageClass::Control,
+            );
         }
         if self_child {
             self.work.push_back(Work::GoAhead(q + 1, s));
@@ -711,9 +769,12 @@ impl<A: EventDriven> DetSynchronizer<A> {
             let cover = cfg.covers.level(idx);
             for &cid in cover.tree_clusters_of(self.me) {
                 let cluster = cover.cluster(cid);
-                let children: BTreeSet<NodeId> = cluster.children_of(self.me).iter().copied().collect();
-                self.barrier_a
-                    .insert(self.barrier_a_key(idx, cid), BarrierA { children_left: children, sent_up: false });
+                let children: BTreeSet<NodeId> =
+                    cluster.children_of(self.me).iter().copied().collect();
+                self.barrier_a.insert(
+                    self.barrier_a_key(idx, cid),
+                    BarrierA { children_left: children, sent_up: false },
+                );
             }
             if self.is_initiator {
                 self.init_barrier_pending += cover.clusters_of(self.me).len();
@@ -726,9 +787,12 @@ impl<A: EventDriven> DetSynchronizer<A> {
             let cover = cfg.covers.level(idx);
             for &cid in cover.tree_clusters_of(self.me) {
                 let cluster = cover.cluster(cid);
-                let children: BTreeSet<NodeId> = cluster.children_of(self.me).iter().copied().collect();
-                self.barrier_b
-                    .insert((stage, cid.0 as u32), BarrierB { children_left: children, sent_up: false });
+                let children: BTreeSet<NodeId> =
+                    cluster.children_of(self.me).iter().copied().collect();
+                self.barrier_b.insert(
+                    (stage, cid.0 as u32),
+                    BarrierB { children_left: children, sent_up: false },
+                );
             }
             self.base_goahead_recv.insert(stage, 0);
         }
@@ -758,7 +822,13 @@ impl<A: EventDriven> DetSynchronizer<A> {
         state.sent_up = true;
         match cluster.parent_of(self.me) {
             Some(parent) => {
-                self.send(ctx, parent, SyncMsg::BarrierAUp { cover_idx: key.0, cluster: key.1 }, 0, MessageClass::Control);
+                self.send(
+                    ctx,
+                    parent,
+                    SyncMsg::BarrierAUp { cover_idx: key.0, cluster: key.1 },
+                    0,
+                    MessageClass::Control,
+                );
             }
             None => self.barrier_a_complete(ctx, key),
         }
@@ -772,7 +842,13 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let cover = cfg.covers.level(idx);
         let cluster = cover.cluster(cid);
         for &c in cluster.children_of(self.me) {
-            self.send(ctx, c, SyncMsg::BarrierADown { cover_idx: key.0, cluster: key.1 }, 0, MessageClass::Control);
+            self.send(
+                ctx,
+                c,
+                SyncMsg::BarrierADown { cover_idx: key.0, cluster: key.1 },
+                0,
+                MessageClass::Control,
+            );
         }
         if self.is_initiator && cover.clusters_of(self.me).contains(&cid) {
             self.init_barrier_pending = self.init_barrier_pending.saturating_sub(1);
@@ -831,7 +907,13 @@ impl<A: EventDriven> DetSynchronizer<A> {
                 let cluster = cover.cluster(cid);
                 match cluster.parent_of(self.me) {
                     Some(parent) => {
-                        self.send(ctx, parent, SyncMsg::BarrierBUp { stage, cluster: key.1 }, stage, MessageClass::Control);
+                        self.send(
+                            ctx,
+                            parent,
+                            SyncMsg::BarrierBUp { stage, cluster: key.1 },
+                            stage,
+                            MessageClass::Control,
+                        );
                     }
                     None => self.barrier_b_complete(ctx, stage, cid),
                 }
@@ -847,7 +929,13 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let cover = cfg.covers.level(idx);
         let cluster = cover.cluster(cid);
         for &c in cluster.children_of(self.me) {
-            self.send(ctx, c, SyncMsg::BarrierBDown { stage, cluster: cid.0 as u32 }, stage, MessageClass::Control);
+            self.send(
+                ctx,
+                c,
+                SyncMsg::BarrierBDown { stage, cluster: cid.0 as u32 },
+                stage,
+                MessageClass::Control,
+            );
         }
         if self.is_initiator && cover.clusters_of(self.me).contains(&cid) {
             let needed = cover.clusters_of(self.me).len();
@@ -905,12 +993,10 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
             recipients.sort();
             recipients.dedup();
             let vnode = VNode {
-                pulse: 0,
                 parent_remote: None,
                 self_parent: false,
                 sent_all: false,
                 recipients: recipients.clone(),
-                messages_sent: outbox.len(),
                 unacked: outbox.len(),
                 undecided: recipients.len() + 1,
                 children_remote: BTreeSet::new(),
@@ -934,7 +1020,7 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
         match msg {
             SyncMsg::Alg { pulse, payload } => {
                 if let Some(&done) = self.processed.iter().next_back() {
-                    if pulse + 1 <= done && !self.processed.contains(&(pulse + 1)) {
+                    if pulse < done && !self.processed.contains(&(pulse + 1)) {
                         self.ordering_violations += 1;
                     }
                 }
@@ -957,7 +1043,7 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
                     v.undecided = v.undecided.saturating_sub(1);
                     if created && chosen_parent {
                         v.children_remote.insert(from);
-                        forward = v.goaheads.iter().copied().filter(|&s| s >= pulse + 1).collect();
+                        forward = v.goaheads.iter().copied().filter(|&s| s > pulse).collect();
                     }
                 }
                 for s in forward {
@@ -1033,9 +1119,84 @@ pub struct SynchronizedOutputs<O> {
 }
 
 /// Extracts per-node outputs from a finished asynchronous run of the synchronizer.
-pub fn collect_outputs<A: EventDriven>(nodes: &[DetSynchronizer<A>]) -> SynchronizedOutputs<A::Output> {
+pub fn collect_outputs<A: EventDriven>(
+    nodes: &[DetSynchronizer<A>],
+) -> SynchronizedOutputs<A::Output> {
     SynchronizedOutputs {
         outputs: nodes.iter().map(|n| n.algorithm().output()).collect(),
         ordering_violations: nodes.iter().map(|n| n.ordering_violations()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_netsim::async_engine::{run_async, SimLimits};
+    use ds_netsim::delay::DelayModel;
+
+    #[derive(Debug)]
+    struct Flood {
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        hops: Option<u64>,
+    }
+
+    impl EventDriven for Flood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+            if self.me == NodeId(0) {
+                self.hops = Some(0);
+                for &u in &self.neighbors {
+                    ctx.send(u, 1);
+                }
+            }
+        }
+
+        fn on_pulse(&mut self, received: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+            if self.hops.is_none() {
+                if let Some(&(_, h)) = received.first() {
+                    self.hops = Some(h);
+                    for &u in &self.neighbors {
+                        ctx.send(u, h + 1);
+                    }
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.hops
+        }
+    }
+
+    /// `debug_stall` is the stall-diagnosis tool for this protocol (see the verify
+    /// skill); this keeps it compiling against the live field set and anchored to a
+    /// real finished run.
+    #[test]
+    fn debug_stall_reports_per_node_protocol_state() {
+        let graph = Graph::path(4);
+        let cfg = SynchronizerConfig::build(&graph, 4);
+        let report = run_async(
+            &graph,
+            DelayModel::jitter(3),
+            |v| {
+                DetSynchronizer::new(
+                    v,
+                    Flood { me: v, neighbors: graph.neighbors(v).to_vec(), hops: None },
+                    cfg.clone(),
+                )
+            },
+            SimLimits::default(),
+        )
+        .expect("run");
+        for (i, node) in report.nodes.iter().enumerate() {
+            let dump = node.debug_stall();
+            assert!(dump.starts_with(&format!("node {i}:")), "dump header: {dump}");
+            // A finished run left no unreleased triggers behind.
+            assert!(dump.contains("pending_triggers={}"), "node {i} still pending: {dump}");
+        }
+        // The initiator's dump names its pulse-0 virtual node.
+        assert!(report.nodes[0].debug_stall().contains("vnode p=0"));
     }
 }

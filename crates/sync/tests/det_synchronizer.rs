@@ -1,13 +1,14 @@
 //! End-to-end correctness tests of the deterministic synchronizer: the synchronized
 //! asynchronous execution must produce exactly the outputs of the synchronous
-//! execution, for every delay adversary.
+//! execution, for every delay adversary. Runs flow through the `Session` API — the
+//! same pipeline every downstream consumer uses.
 
 use ds_graph::{metrics, Graph, NodeId};
-use ds_netsim::async_engine::{run_async, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::sync_engine::run_sync;
-use ds_sync::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
+use ds_sync::session::{Session, SyncKind};
+use ds_sync::synchronizer::SynchronizerConfig;
 
 /// Single-source BFS written as an event-driven synchronous algorithm: the source
 /// floods "join" proposals carrying hop counts; every node adopts the first proposal
@@ -55,7 +56,7 @@ impl EventDriven for BfsAlgorithm {
     }
 
     fn output(&self) -> Option<Self::Output> {
-        self.output.clone()
+        self.output
     }
 }
 
@@ -67,18 +68,15 @@ fn check_graph(graph: &Graph, seed: u64) {
 
     let cfg = SynchronizerConfig::build(graph, t_bound);
     for delay in DelayModel::standard_suite(seed) {
-        let report = run_async(
-            graph,
-            delay.clone(),
-            |v| DetSynchronizer::new(v, BfsAlgorithm::new(graph, v, source), cfg.clone()),
-            SimLimits::default(),
-        )
-        .unwrap_or_else(|e| panic!("async run failed under {delay:?}: {e}"));
-        let got = collect_outputs(&report.nodes);
-        assert_eq!(got.ordering_violations, 0, "ordering violated under {delay:?}");
-        assert_eq!(got.outputs, expected, "outputs differ under {delay:?}");
+        let run = Session::on(graph)
+            .delay(delay.clone())
+            .synchronizer(SyncKind::Det(cfg.clone()))
+            .run(|v| BfsAlgorithm::new(graph, v, source))
+            .unwrap_or_else(|e| panic!("async run failed under {delay:?}: {e}"));
+        assert_eq!(run.ordering_violations, 0, "ordering violated under {delay:?}");
+        assert_eq!(run.outputs, expected, "outputs differ under {delay:?}");
         assert!(
-            report.metrics.time_to_output.is_some(),
+            run.metrics.time_to_output.is_some(),
             "not all nodes produced output under {delay:?}"
         );
     }

@@ -1,34 +1,44 @@
 //! Leader election in an asynchronous network of clustered data centers
 //! (Corollary 1.3): every node deterministically learns the identifier of the elected
-//! leader, under several adversarial delay schedules.
+//! leader, under several adversarial delay schedules. The election algorithm is an
+//! ordinary event-driven algorithm driven through the `Session` API.
 //!
 //! ```text
 //! cargo run --example leader_election
 //! ```
 
+use det_synchronizer::algos::leader::LeaderElection;
+use det_synchronizer::covers::builder::build_sparse_cover;
+use det_synchronizer::graph::metrics;
 use det_synchronizer::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // Six "data centers" of eight tightly-connected machines each, arranged in a ring
     // with single links between neighboring centers — a topology where naive flooding
     // is badly distorted by slow inter-center links.
     let graph = Graph::clustered_ring(6, 8);
-    println!(
-        "electing a leader among {} nodes ({} links)",
-        graph.node_count(),
-        graph.edge_count()
-    );
+    println!("electing a leader among {} nodes ({} links)", graph.node_count(), graph.edge_count());
+
+    // The election convergecasts inside the clusters of a cover whose radius reaches
+    // the whole graph (see ds-algos::leader for the construction details).
+    let diameter = metrics::diameter(&graph).expect("connected network");
+    let cover = Arc::new(build_sparse_cover(&graph, diameter.max(1)));
 
     for delay in DelayModel::standard_suite(7) {
-        let report = run_synchronized_leader_election(&graph, delay.clone())
+        let run = Session::on(&graph)
+            .delay(delay.clone())
+            .synchronizer(SyncKind::DetAuto)
+            .run(|v| LeaderElection::new(v, cover.clone()))
             .expect("leader election run");
-        assert!(report.outputs.iter().all(|o| *o == Some(report.leader)));
+        let leader = run.outputs.iter().flatten().copied().next().expect("a leader is elected");
+        assert!(run.outputs.iter().all(|o| *o == Some(leader)));
         println!(
             "  adversary {:<28} leader = node {:<3} time = {:>7.2}  msgs = {:>7}",
             format!("{delay:?}"),
-            report.leader,
-            report.metrics.time_to_output.unwrap_or(f64::NAN),
-            report.metrics.total_messages()
+            leader,
+            run.metrics.time_to_output.unwrap_or(f64::NAN),
+            run.metrics.total_messages()
         );
     }
 

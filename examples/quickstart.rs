@@ -1,10 +1,12 @@
 //! Quickstart: run a single-source BFS asynchronously through the deterministic
-//! synchronizer and print every node's distance, plus the run's cost accounting.
+//! synchronizer — via the `Session` builder, the workspace's single execution entry
+//! point — and print every node's distance, plus the run's cost accounting.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
+use det_synchronizer::algos::bfs::BfsAlgorithm;
 use det_synchronizer::prelude::*;
 
 fn main() {
@@ -13,24 +15,38 @@ fn main() {
     let source = NodeId(0);
 
     // Pseudo-random adversarial message delays (deterministic for the given seed).
-    let delay = DelayModel::jitter(2024);
-
-    let report = run_synchronized_bfs(&graph, source, delay).expect("synchronized BFS run");
+    // `compare` runs the synchronous ground truth first, then the synchronized
+    // asynchronous execution, and reports both.
+    let report = Session::on(&graph)
+        .delay(DelayModel::jitter(2024))
+        .synchronizer(SyncKind::DetAuto)
+        .compare(|v| BfsAlgorithm::new(&graph, v, &[source]))
+        .expect("synchronized BFS run");
 
     println!("asynchronous deterministic BFS from {source} on an 8x8 grid");
-    println!("{}", report.metrics);
+    println!("{}", report.async_metrics);
     println!();
     for row in 0..8 {
         let line: Vec<String> = (0..8)
-            .map(|col| format!("{:2}", report.outputs[&NodeId(row * 8 + col)].distance))
+            .map(|col| format!("{:2}", report.async_outputs[row * 8 + col].unwrap().distance))
             .collect();
         println!("  {}", line.join(" "));
     }
 
     // The distances are exact — identical to a synchronous (lock-step) execution.
+    assert!(report.outputs_match());
     let reference = det_synchronizer::graph::metrics::bfs_distances(&graph, source);
     for v in graph.nodes() {
-        assert_eq!(report.outputs[&v].distance, reference[v.index()].unwrap() as u64);
+        assert_eq!(
+            report.async_outputs[v.index()].unwrap().distance,
+            reference[v.index()].unwrap() as u64
+        );
     }
-    println!("\nall {} distances match the synchronous ground truth", graph.node_count());
+    println!(
+        "\nall {} distances match the synchronous ground truth \
+         (time x{:.1}, messages x{:.1})",
+        graph.node_count(),
+        report.time_overhead().unwrap_or(f64::NAN),
+        report.message_overhead()
+    );
 }

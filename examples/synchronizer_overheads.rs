@@ -1,59 +1,48 @@
-//! Compare the deterministic synchronizer against Awerbuch's α and β baselines on the
-//! same workload (single-source flooding), showing the message-complexity trade-off
-//! the paper targets: α pays Θ(m) control messages per pulse, β pays Θ(n) per pulse
-//! plus Θ(D) time, while the cover-based synchronizer pays only polylogarithmic
-//! factors over the algorithm's own messages.
+//! Compare every execution strategy — direct (lock-step ground truth), Awerbuch's α
+//! and β baselines, and the paper's deterministic synchronizer — on the same workload
+//! (single-source flooding), showing the message-complexity trade-off the paper
+//! targets: α pays Θ(m) control messages per pulse, β pays Θ(n) per pulse plus Θ(D)
+//! time, while the cover-based synchronizer pays only polylogarithmic factors over
+//! the algorithm's own messages.
+//!
+//! The sweep is one loop over `SyncKind::standard_suite()` through the `Session`
+//! API, and the table is rendered by `ds-bench`'s shared table path — the same code
+//! the `exp_*` binaries use.
 //!
 //! ```text
 //! cargo run --example synchronizer_overheads
 //! ```
 
 use det_synchronizer::algos::flood::FloodAlgorithm;
-use det_synchronizer::algos::runner::compare_runs;
-use det_synchronizer::netsim::async_engine::{run_async, SimLimits};
-use det_synchronizer::netsim::sync_engine::run_sync;
 use det_synchronizer::prelude::*;
-use det_synchronizer::sync::alpha::AlphaSynchronizer;
-use det_synchronizer::sync::beta::{BetaSynchronizer, SpanningTree};
+use ds_bench::{print_table, Row};
 
 fn main() {
     let graph = Graph::grid(8, 8);
     let source = NodeId(0);
-    let delay = DelayModel::jitter(1);
-    let make = |v: NodeId| FloodAlgorithm::new(&graph, v, source, 1);
+    let session = Session::on(&graph).delay(DelayModel::jitter(1));
 
-    let sync = run_sync(&graph, make, 10_000).expect("synchronous run");
-    let t = sync.rounds_to_quiescence;
-    println!("flooding on an 8x8 grid: T(A) = {t} rounds, M(A) = {} messages\n", sync.messages);
+    let mut rows = Vec::new();
+    for kind in SyncKind::standard_suite() {
+        let report = session
+            .clone()
+            .synchronizer(kind.clone())
+            .compare(|v| FloodAlgorithm::new(&graph, v, source, 1))
+            .expect("flood run");
+        assert!(report.outputs_match(), "{} diverged from the ground truth", kind.label());
+        rows.push(Row {
+            label: format!("flood/grid64/{}", kind.label()),
+            values: vec![
+                ("T(A)", report.sync_rounds as f64),
+                ("M(A)", report.sync_messages as f64),
+                ("time", report.async_metrics.time_to_output.unwrap_or(f64::NAN)),
+                ("msgs", report.async_metrics.total_messages() as f64),
+                ("timeOvh", report.time_overhead().unwrap_or(f64::NAN)),
+                ("msgOvh", report.message_overhead()),
+            ],
+        });
+    }
 
-    // α synchronizer.
-    let alpha = run_async(
-        &graph,
-        delay.clone(),
-        |v| AlphaSynchronizer::new(&graph, v, make(v), t),
-        SimLimits::default(),
-    )
-    .expect("alpha run");
-    println!("  alpha        : {}", alpha.metrics);
-
-    // β synchronizer.
-    let tree = SpanningTree::bfs(&graph, source);
-    let beta = run_async(
-        &graph,
-        delay.clone(),
-        |v| BetaSynchronizer::new(tree.clone(), v, make(v), t),
-        SimLimits::default(),
-    )
-    .expect("beta run");
-    println!("  beta         : {}", beta.metrics);
-
-    // The paper's deterministic synchronizer.
-    let det = compare_runs(&graph, delay, make).expect("synchronized run");
-    assert!(det.outputs_match());
-    println!("  deterministic: {}", det.async_metrics);
-    println!(
-        "\n  deterministic synchronizer overheads: time x{:.1}, messages x{:.1}",
-        det.time_overhead().unwrap_or(f64::NAN),
-        det.message_overhead()
-    );
+    print_table("synchronizer overheads on single-source flooding (8x8 grid)", &rows);
+    println!("every strategy reproduced the synchronous outputs exactly");
 }

@@ -1,8 +1,9 @@
 //! Cross-crate integration tests: the Section 6 applications, run end to end through
-//! the deterministic synchronizer under every delay adversary.
+//! the deterministic synchronizer (via the `Session` API) under every delay
+//! adversary.
 
+use det_synchronizer::algos::bfs::BfsAlgorithm;
 use det_synchronizer::algos::flood::FloodAlgorithm;
-use det_synchronizer::algos::runner::compare_runs;
 use det_synchronizer::graph::metrics;
 use det_synchronizer::graph::weights::{minimum_spanning_tree, EdgeWeights};
 use det_synchronizer::prelude::*;
@@ -22,9 +23,11 @@ fn workloads() -> Vec<(&'static str, Graph)> {
 fn flooding_matches_synchronous_execution_under_every_adversary() {
     for (name, graph) in workloads() {
         for delay in DelayModel::standard_suite(3) {
-            let report =
-                compare_runs(&graph, delay.clone(), |v| FloodAlgorithm::new(&graph, v, NodeId(0), 5))
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = Session::on(&graph)
+                .delay(delay.clone())
+                .synchronizer(SyncKind::DetAuto)
+                .compare(|v| FloodAlgorithm::new(&graph, v, NodeId(0), 5))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(report.outputs_match(), "{name} under {delay:?}");
         }
     }
@@ -33,12 +36,15 @@ fn flooding_matches_synchronous_execution_under_every_adversary() {
 #[test]
 fn single_source_bfs_distances_are_exact_on_all_workloads() {
     for (name, graph) in workloads() {
-        let report = run_synchronized_bfs(&graph, NodeId(0), DelayModel::jitter(17))
+        let run = Session::on(&graph)
+            .delay(DelayModel::jitter(17))
+            .synchronizer(SyncKind::DetAuto)
+            .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let dist = metrics::bfs_distances(&graph, NodeId(0));
         for v in graph.nodes() {
             assert_eq!(
-                report.outputs[&v].distance,
+                run.outputs[v.index()].unwrap().distance,
                 dist[v.index()].unwrap() as u64,
                 "{name}, node {v}"
             );

@@ -1,75 +1,105 @@
 //! Property-based tests: on randomly generated connected graphs, source sets, and
 //! delay adversaries, the synchronized asynchronous execution must reproduce the
 //! synchronous execution exactly, and the sparse-cover invariants must hold.
+//!
+//! The workspace builds without external crates, so instead of proptest these are
+//! seeded sweeps over a deterministic case generator (`ds_graph::rng::Prng`): every
+//! run explores the same cases, and a failing case is reported by its index and
+//! parameters so it can be replayed in isolation.
 
 use det_synchronizer::algos::bfs::BfsAlgorithm;
-use det_synchronizer::algos::runner::compare_runs;
 use det_synchronizer::covers::builder::build_sparse_cover;
 use det_synchronizer::graph::metrics;
+use det_synchronizer::graph::rng::Prng;
 use det_synchronizer::prelude::*;
-use proptest::prelude::*;
 
-fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (4usize..28, 0u64..1000).prop_map(|(n, seed)| {
-        let p = 2.5 / n as f64;
-        Graph::random_connected(n, p.min(1.0), seed)
-    })
+const CASES: usize = 24;
+
+/// A deterministic pseudo-random connected graph, sized like the old proptest
+/// strategy (4..28 nodes, expected degree ~2.5).
+fn arbitrary_graph(rng: &mut Prng) -> Graph {
+    let n = rng.index_in(4, 28);
+    let seed = rng.next_u64() % 1000;
+    let p = 2.5 / n as f64;
+    Graph::random_connected(n, p.min(1.0), seed)
 }
 
-fn arbitrary_delay() -> impl Strategy<Value = DelayModel> {
-    prop_oneof![
-        Just(DelayModel::uniform()),
-        (0u64..100).prop_map(DelayModel::jitter),
-        (1usize..6).prop_map(DelayModel::slow_cut),
-        (1u64..5).prop_map(DelayModel::bursty),
-    ]
+/// A deterministic pseudo-random delay adversary from the four families.
+fn arbitrary_delay(rng: &mut Prng) -> DelayModel {
+    match rng.index_in(0, 4) {
+        0 => DelayModel::uniform(),
+        1 => DelayModel::jitter(rng.next_u64() % 100),
+        2 => DelayModel::slow_cut(rng.index_in(1, 6)),
+        _ => DelayModel::bursty(rng.next_u64() % 4 + 1),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn synchronized_bfs_equals_synchronous_bfs(
-        graph in arbitrary_graph(),
-        delay in arbitrary_delay(),
-        source_pick in 0usize..1000,
-    ) {
-        let source = NodeId(source_pick % graph.node_count());
-        let report = compare_runs(&graph, delay, |v| BfsAlgorithm::new(&graph, v, &[source]))
-            .expect("runs succeed");
-        prop_assert!(report.outputs_match());
+#[test]
+fn synchronized_bfs_equals_synchronous_bfs() {
+    let mut rng = Prng::new(0xB_F5);
+    for case in 0..CASES {
+        let graph = arbitrary_graph(&mut rng);
+        let delay = arbitrary_delay(&mut rng);
+        let source = NodeId(rng.index_in(0, graph.node_count()));
+        let report = Session::on(&graph)
+            .delay(delay.clone())
+            .synchronizer(SyncKind::DetAuto)
+            .compare(|v| BfsAlgorithm::new(&graph, v, &[source]))
+            .unwrap_or_else(|e| panic!("case {case} (n={}, {delay:?}): {e}", graph.node_count()));
+        assert!(
+            report.outputs_match(),
+            "case {case}: outputs diverged (n={}, source={source}, {delay:?})",
+            graph.node_count()
+        );
         // Semantic check: outputs are the true distances.
         let dist = metrics::bfs_distances(&graph, source);
         for v in graph.nodes() {
             let out = report.async_outputs[v.index()].expect("all nodes reached");
-            prop_assert_eq!(out.distance, dist[v.index()].unwrap() as u64);
+            assert_eq!(out.distance, dist[v.index()].unwrap() as u64, "case {case}, node {v}");
         }
     }
+}
 
-    #[test]
-    fn sparse_covers_satisfy_definition_2_1(
-        graph in arbitrary_graph(),
-        d in 1usize..5,
-    ) {
+#[test]
+fn sparse_covers_satisfy_definition_2_1() {
+    let mut rng = Prng::new(0xC0_4E5);
+    for case in 0..CASES {
+        let graph = arbitrary_graph(&mut rng);
+        let d = rng.index_in(1, 5);
         let cover = build_sparse_cover(&graph, d);
-        prop_assert!(cover.validate(&graph).is_ok());
+        assert!(
+            cover.validate(&graph).is_ok(),
+            "case {case}: cover invalid (n={}, d={d})",
+            graph.node_count()
+        );
         let log_n = (graph.node_count() as f64).log2().ceil() as usize;
-        prop_assert!(cover.max_membership() <= log_n + 1);
+        assert!(
+            cover.max_membership() <= log_n + 1,
+            "case {case}: membership {} exceeds log n + 1 (n={}, d={d})",
+            cover.max_membership(),
+            graph.node_count()
+        );
     }
+}
 
-    #[test]
-    fn multi_source_bfs_is_exact_for_random_source_sets(
-        graph in arbitrary_graph(),
-        picks in prop::collection::vec(0usize..1000, 1..4),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn multi_source_bfs_is_exact_for_random_source_sets() {
+    let mut rng = Prng::new(0x5EED);
+    for case in 0..CASES {
+        let graph = arbitrary_graph(&mut rng);
+        let k = rng.index_in(1, 4);
         let sources: Vec<NodeId> =
-            picks.iter().map(|p| NodeId(p % graph.node_count())).collect();
+            (0..k).map(|_| NodeId(rng.index_in(0, graph.node_count()))).collect();
+        let seed = rng.next_u64() % 100;
         let report = run_synchronized_multi_bfs(&graph, &sources, DelayModel::jitter(seed))
-            .expect("run succeeds");
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
         let dist = metrics::multi_source_distances(&graph, &sources);
         for v in graph.nodes() {
-            prop_assert_eq!(report.outputs[&v].distance, dist[v.index()].unwrap() as u64);
+            assert_eq!(
+                report.outputs[&v].distance,
+                dist[v.index()].unwrap() as u64,
+                "case {case}, node {v}, sources {sources:?}"
+            );
         }
     }
 }
