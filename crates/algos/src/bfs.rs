@@ -6,12 +6,11 @@
 //! correctness depends entirely on the synchronous schedule, which is exactly what the
 //! synchronizer guarantees in the asynchronous model.
 
-use crate::runner::RunnerError;
 use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
-use ds_sync::session::{Session, SyncKind};
+use ds_sync::session::{Session, SessionError, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
 
@@ -25,26 +24,27 @@ pub struct BfsOutput {
     pub parent: Option<NodeId>,
 }
 
-/// Per-node multi-source BFS algorithm state.
+/// Per-node multi-source BFS algorithm state. The neighbor list is borrowed from
+/// the graph — constructing an instance allocates nothing.
 #[derive(Clone, Debug)]
-pub struct BfsAlgorithm {
+pub struct BfsAlgorithm<'g> {
     is_source: bool,
-    neighbors: Vec<NodeId>,
+    neighbors: &'g [NodeId],
     output: Option<BfsOutput>,
 }
 
-impl BfsAlgorithm {
+impl<'g> BfsAlgorithm<'g> {
     /// Creates the instance for node `me` with the given source set.
-    pub fn new(graph: &Graph, me: NodeId, sources: &[NodeId]) -> Self {
+    pub fn new(graph: &'g Graph, me: NodeId, sources: &[NodeId]) -> Self {
         BfsAlgorithm {
             is_source: sources.contains(&me),
-            neighbors: graph.neighbors(me).to_vec(),
+            neighbors: graph.neighbors(me),
             output: None,
         }
     }
 }
 
-impl EventDriven for BfsAlgorithm {
+impl EventDriven for BfsAlgorithm<'_> {
     /// The hop count carried by a "join" proposal.
     type Msg = u64;
     type Output = BfsOutput;
@@ -52,7 +52,7 @@ impl EventDriven for BfsAlgorithm {
     fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
         if self.is_source {
             self.output = Some(BfsOutput { distance: 0, parent: None });
-            for &u in &self.neighbors {
+            for &u in self.neighbors {
                 ctx.send(u, 1);
             }
         }
@@ -64,7 +64,7 @@ impl EventDriven for BfsAlgorithm {
         }
         if let Some(&(from, dist)) = received.first() {
             self.output = Some(BfsOutput { distance: dist, parent: Some(from) });
-            for &u in &self.neighbors {
+            for &u in self.neighbors {
                 if u != from {
                     ctx.send(u, dist + 1);
                 }
@@ -96,7 +96,7 @@ pub fn run_synchronized_bfs(
     graph: &Graph,
     source: NodeId,
     delay: DelayModel,
-) -> Result<BfsReport, RunnerError> {
+) -> Result<BfsReport, SessionError> {
     run_synchronized_multi_bfs(graph, &[source], delay)
 }
 
@@ -110,7 +110,7 @@ pub fn run_synchronized_multi_bfs(
     graph: &Graph,
     sources: &[NodeId],
     delay: DelayModel,
-) -> Result<BfsReport, RunnerError> {
+) -> Result<BfsReport, SessionError> {
     let d1 = ds_graph::metrics::max_distance_to_sources(graph, sources)
         .expect("BFS requires a connected graph");
     let cfg = SynchronizerConfig::build(graph, (d1 as u64 + 1).max(1));

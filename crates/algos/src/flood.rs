@@ -7,24 +7,24 @@
 use ds_graph::{Graph, NodeId};
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 
-/// Per-node flooding algorithm state.
+/// Per-node flooding algorithm state. The neighbor list is borrowed from the graph.
 #[derive(Clone, Debug)]
-pub struct FloodAlgorithm {
+pub struct FloodAlgorithm<'g> {
     me: NodeId,
     source: NodeId,
     value: u64,
-    neighbors: Vec<NodeId>,
+    neighbors: &'g [NodeId],
     output: Option<(u64, u64)>,
 }
 
-impl FloodAlgorithm {
+impl<'g> FloodAlgorithm<'g> {
     /// Creates the instance for node `me`; `source` floods `value`.
-    pub fn new(graph: &Graph, me: NodeId, source: NodeId, value: u64) -> Self {
-        FloodAlgorithm { me, source, value, neighbors: graph.neighbors(me).to_vec(), output: None }
+    pub fn new(graph: &'g Graph, me: NodeId, source: NodeId, value: u64) -> Self {
+        FloodAlgorithm { me, source, value, neighbors: graph.neighbors(me), output: None }
     }
 }
 
-impl EventDriven for FloodAlgorithm {
+impl EventDriven for FloodAlgorithm<'_> {
     /// `(value, hops)`.
     type Msg = (u64, u64);
     /// `(value, hops at which it was first received)`.
@@ -33,7 +33,7 @@ impl EventDriven for FloodAlgorithm {
     fn on_init(&mut self, ctx: &mut PulseCtx<Self::Msg>) {
         if self.me == self.source {
             self.output = Some((self.value, 0));
-            for &u in &self.neighbors {
+            for &u in self.neighbors {
                 ctx.send(u, (self.value, 1));
             }
         }
@@ -45,7 +45,7 @@ impl EventDriven for FloodAlgorithm {
         }
         if let Some(&(_, (value, hops))) = received.first() {
             self.output = Some((value, hops));
-            for &u in &self.neighbors {
+            for &u in self.neighbors {
                 ctx.send(u, (value, hops + 1));
             }
         }

@@ -11,13 +11,12 @@
 //! `Õ(m)` message complexity of the corollary; DESIGN.md §3 records the
 //! simplification.
 
-use crate::runner::RunnerError;
 use ds_covers::SparseCover;
 use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
-use ds_sync::session::{Session, SyncKind};
+use ds_sync::session::{Session, SessionError, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -161,7 +160,7 @@ pub struct LeaderReport {
 pub fn run_synchronized_leader_election(
     graph: &Graph,
     delay: DelayModel,
-) -> Result<LeaderReport, RunnerError> {
+) -> Result<LeaderReport, SessionError> {
     let diameter =
         ds_graph::metrics::diameter(graph).expect("leader election requires connectivity");
     let cover = Arc::new(ds_covers::builder::build_sparse_cover(graph, diameter.max(1)));

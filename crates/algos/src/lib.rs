@@ -7,11 +7,11 @@
 //! * [`leader`] — cover-based leader election (Corollary 1.3).
 //! * [`mst`] — minimum spanning tree by filtering convergecast (Corollary 1.4; see
 //!   DESIGN.md §3 for the substitution of Elkin's CONGEST algorithm).
-//! * [`runner`] — deprecated shims over the [`ds_sync::session::Session`] API (the
-//!   single entry point for running and comparing algorithms).
+//!
+//! All execution flows through [`ds_sync::session::Session`] — the application
+//! wrappers here are thin `Session` shims with friendlier outputs.
 
 pub mod bfs;
 pub mod flood;
 pub mod leader;
 pub mod mst;
-pub mod runner;

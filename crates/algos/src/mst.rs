@@ -16,14 +16,13 @@
 //! CONGEST-faithful. Message *counts*, which is what the experiments measure, remain
 //! `Õ(n)` plus the synchronizer overhead.
 
-use crate::runner::RunnerError;
 use ds_covers::SparseCover;
 use ds_graph::weights::{EdgeWeights, UnionFind};
 use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
-use ds_sync::session::{Session, SyncKind};
+use ds_sync::session::{Session, SessionError, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -195,7 +194,7 @@ pub fn run_synchronized_mst(
     graph: &Graph,
     weights: &EdgeWeights,
     delay: DelayModel,
-) -> Result<MstReport, RunnerError> {
+) -> Result<MstReport, SessionError> {
     let diameter = ds_graph::metrics::diameter(graph).expect("MST requires a connected graph");
     let cover = Arc::new(ds_covers::builder::build_sparse_cover(graph, diameter.max(1)));
     let t_bound = (2 * cover.max_height() as u64 + 2).max(1);

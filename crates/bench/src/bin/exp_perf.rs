@@ -1,0 +1,31 @@
+//! E9 — engine performance matrix (graph family × synchronizer × adversary),
+//! written to `BENCH_synchronizer.json` (schema in DESIGN.md §4).
+//!
+//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--out PATH]`
+
+use ds_bench::perf::{experiment_perf, render_artifact, PerfOptions, PerfRecord};
+
+fn main() {
+    let mut opts = PerfOptions::default();
+    let mut out_path = String::from("BENCH_synchronizer.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--filter" => {
+                opts.filter = Some(args.next().expect("--filter requires a substring"));
+            }
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => panic!("unknown argument {other:?} (expected --smoke, --filter, --out)"),
+        }
+    }
+
+    let records = experiment_perf(&opts);
+    let rows: Vec<_> = records.iter().map(PerfRecord::to_row).collect();
+    ds_bench::print_table("E9: engine performance (single-source BFS)", &rows);
+
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    let artifact = render_artifact(mode, &records);
+    std::fs::write(&out_path, artifact).expect("write benchmark artifact");
+    println!("wrote {} scenarios to {out_path}", records.len());
+}

@@ -12,6 +12,8 @@
 //! comparison (E2) is literally a loop over [`SyncKind::standard_suite`], with no
 //! per-baseline runner code.
 
+pub mod json;
+pub mod perf;
 pub mod table;
 
 pub use table::{print_table, render_table, Row};

@@ -1,0 +1,335 @@
+//! E9 — engine performance benchmarks with a machine-readable artifact.
+//!
+//! Unlike E1–E8 (which check the paper's *complexity claims*), this experiment
+//! measures the *simulator itself*: wall time and processed events per second for a
+//! fixed scenario matrix of graph families × synchronizers × delay adversaries, on
+//! a single-source BFS workload. The matrix is fixed so that successive runs (and
+//! successive PRs) are comparable; `exp_perf` writes the records to
+//! `BENCH_synchronizer.json` (schema documented in DESIGN.md §4) next to the usual
+//! text table.
+//!
+//! Setup work that happens once per configuration — the synchronous ground-truth
+//! run, cover construction for the deterministic synchronizer — is timed separately
+//! (`setup_seconds`) from the simulation proper (`wall_seconds`), so `events_per_sec`
+//! tracks the hot path of the event-driven engines.
+
+use crate::json::Json;
+use crate::table::Row;
+use ds_algos::bfs::BfsAlgorithm;
+use ds_graph::{Graph, NodeId};
+use ds_netsim::delay::DelayModel;
+use ds_netsim::metrics::MessageClass;
+use ds_sync::session::{Session, SyncKind};
+use ds_sync::synchronizer::SynchronizerConfig;
+use std::time::Instant;
+
+/// Options for the performance sweep.
+#[derive(Clone, Debug, Default)]
+pub struct PerfOptions {
+    /// Smoke mode: only the smallest size per family (used by CI).
+    pub smoke: bool,
+    /// Only run scenarios whose id contains this substring.
+    pub filter: Option<String>,
+}
+
+/// One measured scenario.
+#[derive(Clone, Debug)]
+pub struct PerfRecord {
+    /// Scenario id, e.g. `grid/4096/det/jitter`.
+    pub scenario: String,
+    /// Graph family (`grid`, `cycle`, `random-regular`).
+    pub family: String,
+    /// Node count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Synchronizer label (`direct`, `alpha`, `beta`, `det`).
+    pub synchronizer: String,
+    /// Adversary label (`none` for the lock-step run).
+    pub adversary: String,
+    /// Pulse bound `T(A)` handed to the synchronizer.
+    pub pulse_bound: u64,
+    /// Synchronous ground-truth rounds `T(A)`.
+    pub sync_rounds: u64,
+    /// Synchronous ground-truth messages `M(A)`.
+    pub sync_messages: u64,
+    /// One-off setup time (cover construction etc.), seconds.
+    pub setup_seconds: f64,
+    /// Simulation wall time, seconds.
+    pub wall_seconds: f64,
+    /// Delivery events processed (messages for the lock-step engine).
+    pub events: u64,
+    /// Events per wall-clock second — the engine throughput number.
+    pub events_per_sec: f64,
+    /// Total messages sent (algorithm + control, acks excluded).
+    pub messages: u64,
+    /// Algorithm-class messages.
+    pub algorithm_messages: u64,
+    /// Control-class messages.
+    pub control_messages: u64,
+    /// Link-level acknowledgments.
+    pub acks: u64,
+    /// Normalized time-to-output divided by `T(A)`.
+    pub time_overhead: f64,
+    /// Total messages divided by `M(A)`.
+    pub message_overhead: f64,
+}
+
+impl PerfRecord {
+    /// The record as a JSON object (one element of the `scenarios` array).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("family", Json::Str(self.family.clone())),
+            ("n", Json::Int(self.n as u64)),
+            ("m", Json::Int(self.m as u64)),
+            ("synchronizer", Json::Str(self.synchronizer.clone())),
+            ("adversary", Json::Str(self.adversary.clone())),
+            ("pulse_bound", Json::Int(self.pulse_bound)),
+            ("sync_rounds", Json::Int(self.sync_rounds)),
+            ("sync_messages", Json::Int(self.sync_messages)),
+            ("setup_seconds", Json::Num(self.setup_seconds)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("events", Json::Int(self.events)),
+            ("events_per_sec", Json::Num(self.events_per_sec)),
+            ("messages", Json::Int(self.messages)),
+            ("algorithm_messages", Json::Int(self.algorithm_messages)),
+            ("control_messages", Json::Int(self.control_messages)),
+            ("acks", Json::Int(self.acks)),
+            ("time_overhead", Json::Num(self.time_overhead)),
+            ("message_overhead", Json::Num(self.message_overhead)),
+        ])
+    }
+
+    /// The record as a text-table row (same renderer as every other experiment).
+    pub fn to_row(&self) -> Row {
+        Row {
+            label: self.scenario.clone(),
+            values: vec![
+                ("n", self.n as f64),
+                ("T(A)", self.sync_rounds as f64),
+                ("setup_s", self.setup_seconds),
+                ("wall_s", self.wall_seconds),
+                ("events", self.events as f64),
+                ("ev/s", self.events_per_sec),
+                ("msgs", self.messages as f64),
+                ("timeOvh", self.time_overhead),
+                ("msgOvh", self.message_overhead),
+            ],
+        }
+    }
+}
+
+/// Renders the full artifact written to `BENCH_synchronizer.json`.
+pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
+    Json::Obj(vec![
+        ("schema", Json::Str("det-synchronizer-bench/v1".into())),
+        ("suite", Json::Str("synchronizer".into())),
+        ("mode", Json::Str(mode.into())),
+        ("workload", Json::Str("single-source BFS from node 0".into())),
+        ("scenarios", Json::Arr(records.iter().map(PerfRecord::to_json).collect())),
+    ])
+    .render()
+}
+
+/// The fixed scenario graphs: `(family, graph)` per size tier.
+fn perf_graphs(smoke: bool) -> Vec<(String, String, Graph)> {
+    let mut out: Vec<(String, String, Graph)> = Vec::new();
+    let grid_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64] };
+    for &side in grid_sides {
+        let n = side * side;
+        out.push(("grid".into(), format!("grid/{n}"), Graph::grid(side, side)));
+    }
+    // The cycle family stops at 1024 nodes: its diameter (and hence `T(A)`) grows
+    // linearly, so larger cycles measure pulse-count scaling, not engine throughput.
+    let cycle_sizes: &[usize] = if smoke { &[256] } else { &[256, 1024] };
+    for &n in cycle_sizes {
+        out.push(("cycle".into(), format!("cycle/{n}"), Graph::cycle(n)));
+    }
+    let rr_sizes: &[usize] = if smoke { &[256] } else { &[256, 1024, 4096] };
+    for &n in rr_sizes {
+        out.push((
+            "random-regular".into(),
+            format!("random-regular/{n}"),
+            Graph::random_regular(n, 4, n as u64),
+        ));
+    }
+    out
+}
+
+fn adversaries() -> Vec<(&'static str, DelayModel)> {
+    vec![("uniform", DelayModel::uniform()), ("jitter", DelayModel::jitter(7))]
+}
+
+fn matches(filter: &Option<String>, id: &str) -> bool {
+    filter.as_ref().is_none_or(|f| id.contains(f))
+}
+
+/// E9 — runs the performance matrix and returns one record per scenario.
+///
+/// # Panics
+///
+/// Panics if any simulation fails or any synchronized run diverges from the
+/// lock-step ground truth (throughput numbers for wrong executions are worthless).
+pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
+    let mut records = Vec::new();
+    for (family, graph_id, graph) in perf_graphs(opts.smoke) {
+        let wanted: Vec<(SyncKind, &'static str, DelayModel)> = {
+            let mut out = Vec::new();
+            for kind in [
+                SyncKind::Alpha,
+                SyncKind::Beta { root: NodeId(0) },
+                SyncKind::DetAuto, // placeholder; replaced by Det(cfg) below
+            ] {
+                for (adv_label, delay) in adversaries() {
+                    let id = format!("{graph_id}/{}/{adv_label}", kind.label());
+                    if matches(&opts.filter, &id) {
+                        out.push((kind.clone(), adv_label, delay));
+                    }
+                }
+            }
+            out
+        };
+        let direct_id = format!("{graph_id}/direct/none");
+        let direct_wanted = matches(&opts.filter, &direct_id);
+        if wanted.is_empty() && !direct_wanted {
+            continue;
+        }
+
+        // Ground truth (synchronous lock-step run): defines T(A), M(A) and the
+        // reference outputs, and doubles as the `direct` engine measurement.
+        let start = Instant::now();
+        let direct = Session::on(&graph)
+            .synchronizer(SyncKind::Direct)
+            .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+            .expect("ground truth run");
+        let direct_wall = start.elapsed().as_secs_f64();
+        let t = direct.metrics.time_to_quiescence.max(1.0) as u64;
+        let m_a = direct.metrics.total_messages();
+        if direct_wanted {
+            records.push(PerfRecord {
+                scenario: direct_id,
+                family: family.clone(),
+                n: graph.node_count(),
+                m: graph.edge_count(),
+                synchronizer: "direct".into(),
+                adversary: "none".into(),
+                pulse_bound: t,
+                sync_rounds: t,
+                sync_messages: m_a,
+                setup_seconds: 0.0,
+                wall_seconds: direct_wall,
+                events: direct.metrics.events,
+                events_per_sec: direct.metrics.events as f64 / direct_wall.max(1e-9),
+                messages: m_a,
+                algorithm_messages: direct.metrics.class_messages(MessageClass::Algorithm),
+                control_messages: direct.metrics.class_messages(MessageClass::Control),
+                acks: direct.metrics.acks,
+                time_overhead: 1.0,
+                message_overhead: 1.0,
+            });
+        }
+
+        // The deterministic synchronizer's cover is built once per graph and shared
+        // by its scenarios; the build cost is reported as `setup_seconds`.
+        let mut det_cfg: Option<(std::sync::Arc<SynchronizerConfig>, f64)> = None;
+        for (kind, adv_label, delay) in wanted {
+            let (kind, setup_seconds) = match kind {
+                SyncKind::DetAuto => {
+                    if det_cfg.is_none() {
+                        let start = Instant::now();
+                        let cfg = SynchronizerConfig::build(&graph, t);
+                        det_cfg = Some((cfg, start.elapsed().as_secs_f64()));
+                    }
+                    let (cfg, secs) = det_cfg.clone().expect("just built");
+                    (SyncKind::Det(cfg), secs)
+                }
+                other => (other, 0.0),
+            };
+            let scenario = format!("{graph_id}/{}/{adv_label}", kind.label());
+            let start = Instant::now();
+            let run = Session::on(&graph)
+                .delay(delay)
+                .synchronizer(kind.clone())
+                .pulse_bound(t)
+                .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+                .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(run.outputs, direct.outputs, "{scenario} diverged from ground truth");
+            let metrics = run.metrics;
+            records.push(PerfRecord {
+                scenario,
+                family: family.clone(),
+                n: graph.node_count(),
+                m: graph.edge_count(),
+                synchronizer: kind.label().into(),
+                adversary: adv_label.into(),
+                pulse_bound: t,
+                sync_rounds: t,
+                sync_messages: m_a,
+                setup_seconds,
+                wall_seconds: wall,
+                events: metrics.events,
+                events_per_sec: metrics.events as f64 / wall.max(1e-9),
+                messages: metrics.total_messages(),
+                algorithm_messages: metrics.class_messages(MessageClass::Algorithm),
+                control_messages: metrics.class_messages(MessageClass::Control),
+                acks: metrics.acks,
+                time_overhead: metrics.time_to_output.unwrap_or(f64::NAN) / t as f64,
+                message_overhead: metrics.total_messages() as f64 / m_a.max(1) as f64,
+            });
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_covers_every_family_kind_and_adversary() {
+        let records = experiment_perf(&PerfOptions { smoke: true, filter: None });
+        // 3 families × (1 direct + 3 kinds × 2 adversaries) = 21 scenarios.
+        assert_eq!(records.len(), 21);
+        for family in ["grid", "cycle", "random-regular"] {
+            for kind in ["direct", "alpha", "beta", "det"] {
+                assert!(
+                    records.iter().any(|r| r.family == family && r.synchronizer == kind),
+                    "missing {family}/{kind}"
+                );
+            }
+        }
+        for r in &records {
+            assert!(r.events > 0, "{}: no events", r.scenario);
+            assert!(r.events_per_sec > 0.0, "{}", r.scenario);
+            assert!(r.message_overhead >= 1.0, "{}", r.scenario);
+        }
+    }
+
+    #[test]
+    fn filter_restricts_the_matrix() {
+        let records =
+            experiment_perf(&PerfOptions { smoke: true, filter: Some("grid/256/det".into()) });
+        assert_eq!(
+            records.len(),
+            2,
+            "{:?}",
+            records.iter().map(|r| &r.scenario).collect::<Vec<_>>()
+        );
+        assert!(records.iter().all(|r| r.scenario.starts_with("grid/256/det/")));
+    }
+
+    #[test]
+    fn artifact_is_valid_schema_v1() {
+        let records = experiment_perf(&PerfOptions {
+            smoke: true,
+            filter: Some("cycle/256/beta/uniform".into()),
+        });
+        let text = render_artifact("smoke", &records);
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v1\""));
+        assert!(text.contains("\"mode\": \"smoke\""));
+        assert!(text.contains("\"scenario\": \"cycle/256/beta/uniform\""));
+        assert!(text.contains("\"events_per_sec\""));
+    }
+}

@@ -156,6 +156,46 @@ impl Graph {
         g
     }
 
+    /// Connected random `degree`-regular-style graph: the union of `degree / 2`
+    /// pseudo-random Hamiltonian cycles (plus one random perfect-matching pass when
+    /// `degree` is odd). The first cycle guarantees connectivity; duplicate edges
+    /// between cycles are skipped, so high-degree corner cases may fall slightly
+    /// short of exact regularity. Deterministic for a fixed `(n, degree, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `degree < 2`.
+    pub fn random_regular(n: usize, degree: usize, seed: u64) -> Graph {
+        assert!(n >= 3, "random regular graph requires at least three nodes");
+        assert!(degree >= 2, "degree must be at least two");
+        let mut rng = Prng::new(seed);
+        let mut g = Graph::new(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        for cycle in 0..degree / 2 {
+            if cycle > 0 {
+                // Fisher–Yates shuffle driven by the deterministic PRNG.
+                for i in (1..n).rev() {
+                    order.swap(i, rng.index_in(0, i + 1));
+                }
+            }
+            for i in 0..n {
+                let u = NodeId(order[i]);
+                let v = NodeId(order[(i + 1) % n]);
+                // Later cycles may repeat an existing edge; skip it.
+                let _ = g.add_edge(u, v);
+            }
+        }
+        if degree % 2 == 1 {
+            for i in (1..n).rev() {
+                order.swap(i, rng.index_in(0, i + 1));
+            }
+            for pair in order.chunks_exact(2) {
+                let _ = g.add_edge(NodeId(pair[0]), NodeId(pair[1]));
+            }
+        }
+        g
+    }
+
     /// Caterpillar graph: a spine path of `spine` nodes, each with `legs` pendant
     /// nodes. Large diameter with many low-degree leaves.
     ///
@@ -274,6 +314,20 @@ mod tests {
         assert!(a.edge_count() >= 39);
         // Different seeds almost surely differ.
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_regular_is_connected_regular_and_deterministic() {
+        let a = Graph::random_regular(64, 4, 3);
+        let b = Graph::random_regular(64, 4, 3);
+        assert_eq!(a, b);
+        assert!(metrics::is_connected(&a));
+        // Duplicate-edge skips can only lose a handful of edges.
+        assert!(a.edge_count() >= 2 * 64 - 4, "edge count {}", a.edge_count());
+        assert!(a.nodes().all(|v| a.degree(v) <= 4));
+        let odd = Graph::random_regular(50, 3, 9);
+        assert!(metrics::is_connected(&odd));
+        assert!(odd.nodes().all(|v| odd.degree(v) <= 3));
     }
 
     #[test]

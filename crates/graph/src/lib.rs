@@ -66,6 +66,33 @@ impl EdgeId {
     }
 }
 
+/// Dense identifier of a *directed* edge (an ordered neighbor pair).
+///
+/// Every undirected edge `e = {u, v}` (with `u < v`) induces two directed edges:
+/// `u → v` with id `2·e` and `v → u` with id `2·e + 1`. Directed edge ids are thus
+/// dense in `0 .. Graph::directed_edge_count()`, resolvable from a `(from, to)` pair
+/// in `O(deg(from))` via [`Graph::edge_id`], and stable under edge insertion — the
+/// flat per-link tables of the simulation engines are indexed by them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DirectedEdgeId(pub u32);
+
+impl DirectedEdgeId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The directed edge in the opposite direction over the same undirected edge.
+    pub fn reversed(self) -> DirectedEdgeId {
+        DirectedEdgeId(self.0 ^ 1)
+    }
+
+    /// The undirected edge this directed edge runs over.
+    pub fn undirected(self) -> EdgeId {
+        EdgeId((self.0 >> 1) as usize)
+    }
+}
+
 /// An undirected graph with `n` nodes and a stable list of edges.
 ///
 /// Nodes are `NodeId(0) .. NodeId(n-1)`. Edges are stored once (with endpoints in
@@ -82,6 +109,9 @@ impl EdgeId {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Graph {
     adjacency: Vec<Vec<NodeId>>,
+    /// Undirected edge id of each adjacency slot, aligned with `adjacency`: the
+    /// per-node half of the directed-edge index (see [`DirectedEdgeId`]).
+    adjacency_edges: Vec<Vec<EdgeId>>,
     edges: Vec<(NodeId, NodeId)>,
 }
 
@@ -113,7 +143,11 @@ impl std::error::Error for GraphError {}
 impl Graph {
     /// Creates an edgeless graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adjacency: vec![Vec::new(); n], edges: Vec::new() }
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            adjacency_edges: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -153,9 +187,12 @@ impl Graph {
         }
         let (a, b) = if u <= v { (u, v) } else { (v, u) };
         let id = EdgeId(self.edges.len());
+        assert!(self.edges.len() < (u32::MAX / 2) as usize, "directed edge ids must fit in u32");
         self.edges.push((a, b));
         self.adjacency[a.index()].push(b);
         self.adjacency[b.index()].push(a);
+        self.adjacency_edges[a.index()].push(id);
+        self.adjacency_edges[b.index()].push(id);
         Ok(id)
     }
 
@@ -211,10 +248,63 @@ impl Graph {
         self.adjacency[small.index()].contains(&other)
     }
 
-    /// Finds the edge index of `{u, v}`, if present.
+    /// Finds the edge index of `{u, v}`, if present. `O(min(deg(u), deg(v)))`.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let (a, b) = if u <= v { (u, v) } else { (v, u) };
-        self.edges.iter().position(|&(x, y)| (x, y) == (a, b)).map(EdgeId)
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return None;
+        }
+        let (small, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let slot = self.adjacency[small.index()].iter().position(|&w| w == other)?;
+        Some(self.adjacency_edges[small.index()][slot])
+    }
+
+    /// Number of directed edges (ordered neighbor pairs): `2·edge_count()`.
+    pub fn directed_edge_count(&self) -> usize {
+        2 * self.edges.len()
+    }
+
+    /// Resolves the directed edge `from → to` to its dense [`DirectedEdgeId`], or
+    /// `None` if `to` is not a neighbor of `from`. `O(deg(from))`.
+    pub fn edge_id(&self, from: NodeId, to: NodeId) -> Option<DirectedEdgeId> {
+        if from.index() >= self.node_count() {
+            return None;
+        }
+        let slot = self.adjacency[from.index()].iter().position(|&w| w == to)?;
+        let e = self.adjacency_edges[from.index()][slot];
+        Some(Self::directed_id(e, from, to))
+    }
+
+    /// `(from, to)` endpoints of a directed edge. `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn directed_endpoints(&self, e: DirectedEdgeId) -> (NodeId, NodeId) {
+        let (a, b) = self.edges[e.undirected().index()];
+        if e.0 & 1 == 0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Neighbors of `v` paired with the directed edge `v → neighbor`, in insertion
+    /// order — the per-node slice of the directed-edge index, `O(1)` per neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbor_links(&self, v: NodeId) -> impl Iterator<Item = (NodeId, DirectedEdgeId)> + '_ {
+        self.adjacency[v.index()]
+            .iter()
+            .zip(&self.adjacency_edges[v.index()])
+            .map(move |(&to, &e)| (to, Self::directed_id(e, v, to)))
+    }
+
+    /// The directed id of `from → to` over undirected edge `e` (endpoint order is
+    /// normalized ascending in `edges`, so the parity bit is the direction).
+    fn directed_id(e: EdgeId, from: NodeId, to: NodeId) -> DirectedEdgeId {
+        DirectedEdgeId(2 * e.index() as u32 + u32::from(from > to))
     }
 }
 
@@ -266,6 +356,29 @@ mod tests {
         let g = Graph::path(4);
         assert_eq!(g.edge_between(NodeId(2), NodeId(1)), g.edge_between(NodeId(1), NodeId(2)));
         assert!(g.edge_between(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn directed_edge_ids_are_dense_and_consistent() {
+        let g = Graph::grid(3, 3);
+        assert_eq!(g.directed_edge_count(), 2 * g.edge_count());
+        let mut seen = vec![false; g.directed_edge_count()];
+        for v in g.nodes() {
+            for (to, link) in g.neighbor_links(v) {
+                assert!(g.has_edge(v, to));
+                // neighbor_links agrees with the pairwise resolver.
+                assert_eq!(g.edge_id(v, to), Some(link));
+                assert_eq!(g.directed_endpoints(link), (v, to));
+                assert_eq!(link.reversed().reversed(), link);
+                assert_eq!(g.directed_endpoints(link.reversed()), (to, v));
+                assert_eq!(link.undirected(), g.edge_between(v, to).unwrap());
+                assert!(!seen[link.index()], "duplicate directed id {link:?}");
+                seen[link.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "directed ids cover 0..2m");
+        assert_eq!(g.edge_id(NodeId(0), NodeId(8)), None);
+        assert_eq!(g.edge_id(NodeId(42), NodeId(0)), None);
     }
 
     #[test]

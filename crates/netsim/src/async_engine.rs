@@ -12,14 +12,20 @@
 //!   of ascending priority (lowest stage first, Lemma 2.5), ties broken FIFO,
 //! * time complexity is the completion time divided by `τ`; message complexity counts
 //!   every injected message, with link acknowledgments reported separately.
+//!
+//! The engine's bookkeeping is flat and dense: per-link state lives in a `Vec`
+//! indexed by [`DirectedEdgeId`] (every send resolves `(from, to)` through the
+//! graph's directed-edge index), the event heap carries payloads inline, and one
+//! outbox buffer is recycled across activations — there are no map lookups or
+//! per-event allocations on the hot path.
 
 use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
-use crate::protocol::{Ctx, Protocol};
+use crate::protocol::{Ctx, Outgoing, Protocol};
 use crate::TICKS_PER_UNIT;
-use ds_graph::{Graph, NodeId};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use ds_graph::{DirectedEdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Errors reported by the simulation engines.
@@ -76,6 +82,9 @@ pub struct AsyncReport<P> {
     pub nodes: Vec<P>,
 }
 
+/// A message waiting on a link, ordered lowest `(priority, seq)` first (Lemma 2.5:
+/// lowest stage first, FIFO within a stage). `Ord` is reversed so the max-heap
+/// [`BinaryHeap`] pops the minimum; the payload rides inline in the heap entry.
 #[derive(Debug)]
 struct QueuedMessage<M> {
     priority: u64,
@@ -83,59 +92,100 @@ struct QueuedMessage<M> {
     msg: M,
 }
 
-#[derive(Debug, Default)]
+impl<M> PartialEq for QueuedMessage<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedMessage<M> {}
+
+impl<M> PartialOrd for QueuedMessage<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedMessage<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+    }
+}
+
+/// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`].
+#[derive(Debug)]
 struct LinkState<M> {
     /// Whether a message is currently in flight (awaiting acknowledgment).
     in_flight: bool,
-    /// Messages waiting for the link, keyed by (priority, arrival sequence).
-    queue: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Payloads of queued messages, keyed by sequence number.
-    payloads: BTreeMap<u64, QueuedMessage<M>>,
+    /// Messages waiting for the link.
+    queue: BinaryHeap<QueuedMessage<M>>,
 }
 
 impl<M> LinkState<M> {
     fn new() -> Self {
-        LinkState { in_flight: false, queue: BinaryHeap::new(), payloads: BTreeMap::new() }
-    }
-
-    fn push(&mut self, q: QueuedMessage<M>) {
-        self.queue.push(Reverse((q.priority, q.seq)));
-        self.payloads.insert(q.seq, q);
-    }
-
-    fn pop(&mut self) -> Option<QueuedMessage<M>> {
-        let Reverse((_, seq)) = self.queue.pop()?;
-        self.payloads.remove(&seq)
+        LinkState { in_flight: false, queue: BinaryHeap::new() }
     }
 }
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Ack { link_from: NodeId, link_to: NodeId },
+    Deliver { msg: M },
+    Ack,
+}
+
+/// A scheduled event: earliest `(at, seq)` pops first; the payload is carried
+/// inline — there is no side table of event payloads.
+#[derive(Debug)]
+struct Event<M> {
+    at: u64,
+    seq: u64,
+    link: DirectedEdgeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
 }
 
 struct Engine<'a, P: Protocol> {
     graph: &'a Graph,
     delay: DelayModel,
     nodes: Vec<P>,
-    links: BTreeMap<(usize, usize), LinkState<P::Message>>,
-    events: BinaryHeap<Reverse<(u64, u64)>>,
-    event_payloads: BTreeMap<u64, EventKind<P::Message>>,
+    /// Link state per directed edge, indexed by [`DirectedEdgeId`].
+    links: Vec<LinkState<P::Message>>,
+    events: BinaryHeap<Event<P::Message>>,
     now: u64,
     seq: u64,
     metrics: RunMetrics,
     done_flags: Vec<bool>,
     done_count: usize,
     time_all_done: Option<u64>,
+    /// Recycled outbox buffer, threaded through every activation.
+    outbox_pool: Vec<Outgoing<P::Message>>,
+    /// Recycled scratch list of links touched by one outbox dispatch.
+    touched: Vec<DirectedEdgeId>,
 }
 
 impl<'a, P: Protocol> Engine<'a, P> {
-    fn schedule(&mut self, at: u64, kind: EventKind<P::Message>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse((at, seq)));
-        self.event_payloads.insert(seq, kind);
+    fn schedule(&mut self, at: u64, link: DirectedEdgeId, kind: EventKind<P::Message>) {
+        let seq = self.next_seq();
+        self.events.push(Event { at, seq, link, kind });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -144,35 +194,39 @@ impl<'a, P: Protocol> Engine<'a, P> {
         seq
     }
 
-    fn try_inject(&mut self, from: NodeId, to: NodeId) {
-        let link = self.links.entry((from.index(), to.index())).or_insert_with(LinkState::new);
-        if link.in_flight {
+    fn try_inject(&mut self, link: DirectedEdgeId) {
+        let state = &mut self.links[link.index()];
+        if state.in_flight {
             return;
         }
-        let Some(q) = link.pop() else { return };
-        link.in_flight = true;
+        let Some(q) = state.queue.pop() else { return };
+        state.in_flight = true;
+        let (from, to) = self.graph.directed_endpoints(link);
         let delay = self.delay.delay_ticks(from, to, q.seq);
         let at = self.now + delay;
-        self.schedule(at, EventKind::Deliver { from, to, msg: q.msg });
+        self.schedule(at, link, EventKind::Deliver { msg: q.msg });
     }
 
     fn dispatch_outbox(&mut self, from: NodeId, ctx: &mut Ctx<P::Message>) -> Result<(), SimError> {
-        let outbox = ctx.take_outbox();
-        let mut touched: VecDeque<NodeId> = VecDeque::new();
-        for out in outbox {
-            if !self.graph.has_edge(from, out.to) {
+        let mut touched = std::mem::take(&mut self.touched);
+        for out in ctx.drain_outbox() {
+            let Some(link) = self.graph.edge_id(from, out.to) else {
                 return Err(SimError::NotNeighbor { from, to: out.to });
-            }
+            };
             self.metrics.record_message(out.class);
-            let seq = self.next_seq();
-            let link =
-                self.links.entry((from.index(), out.to.index())).or_insert_with(LinkState::new);
-            link.push(QueuedMessage { priority: out.priority, seq, msg: out.msg });
-            touched.push_back(out.to);
+            let seq = self.seq;
+            self.seq += 1;
+            self.links[link.index()].queue.push(QueuedMessage {
+                priority: out.priority,
+                seq,
+                msg: out.msg,
+            });
+            touched.push(link);
         }
-        while let Some(to) = touched.pop_front() {
-            self.try_inject(from, to);
+        for link in touched.drain(..) {
+            self.try_inject(link);
         }
+        self.touched = touched;
         Ok(())
     }
 
@@ -211,54 +265,54 @@ where
         graph,
         delay,
         nodes: graph.nodes().map(&mut make).collect(),
-        links: BTreeMap::new(),
+        links: (0..graph.directed_edge_count()).map(|_| LinkState::new()).collect(),
         events: BinaryHeap::new(),
-        event_payloads: BTreeMap::new(),
         now: 0,
         seq: 0,
         metrics: RunMetrics::default(),
         done_flags: vec![false; n],
         done_count: 0,
         time_all_done: None,
+        outbox_pool: Vec::new(),
+        touched: Vec::new(),
     };
 
     // Time 0: start every node.
     for v in graph.nodes() {
-        let mut ctx = Ctx::new(v);
+        let mut ctx = Ctx::with_buffer(v, std::mem::take(&mut engine.outbox_pool));
         engine.nodes[v.index()].on_start(&mut ctx);
         engine.dispatch_outbox(v, &mut ctx)?;
+        engine.outbox_pool = ctx.into_buffer();
         engine.update_done(v);
     }
 
     let mut deliveries: u64 = 0;
-    while let Some(Reverse((time, seq))) = engine.events.pop() {
-        engine.now = time;
-        let kind =
-            engine.event_payloads.remove(&seq).expect("scheduled events always carry a payload");
+    while let Some(Event { at, seq: _, link, kind }) = engine.events.pop() {
+        engine.now = at;
         match kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver { msg } => {
                 deliveries += 1;
                 if deliveries > limits.max_events {
                     return Err(SimError::EventLimitExceeded { limit: limits.max_events });
                 }
                 engine.metrics.events += 1;
+                let (from, to) = graph.directed_endpoints(link);
                 // Deliver to the protocol.
-                let mut ctx = Ctx::new(to);
+                let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut engine.outbox_pool));
                 engine.nodes[to.index()].on_message(from, msg, &mut ctx);
                 engine.dispatch_outbox(to, &mut ctx)?;
+                engine.outbox_pool = ctx.into_buffer();
                 engine.update_done(to);
                 // Send the link-level acknowledgment back to the sender.
                 engine.metrics.acks += 1;
                 let ack_seq = engine.next_seq();
                 let ack_delay = engine.delay.delay_ticks(to, from, ack_seq);
                 let at = engine.now + ack_delay;
-                engine.schedule(at, EventKind::Ack { link_from: from, link_to: to });
+                engine.schedule(at, link, EventKind::Ack);
             }
-            EventKind::Ack { link_from, link_to } => {
-                if let Some(link) = engine.links.get_mut(&(link_from.index(), link_to.index())) {
-                    link.in_flight = false;
-                }
-                engine.try_inject(link_from, link_to);
+            EventKind::Ack => {
+                engine.links[link.index()].in_flight = false;
+                engine.try_inject(link);
             }
         }
     }
@@ -277,27 +331,27 @@ mod tests {
     /// Asynchronous flooding: node 0 floods a token; each node records the hop count
     /// of the first copy it receives (which may exceed the true distance under
     /// adversarial delays — flooding is not a correct BFS, which is the point of the
-    /// synchronizer).
+    /// synchronizer). Borrows its neighbor slice from the graph.
     #[derive(Debug)]
-    struct Flood {
+    struct Flood<'g> {
         me: NodeId,
-        neighbors: Vec<NodeId>,
+        neighbors: &'g [NodeId],
         hops: Option<u64>,
     }
 
-    impl Flood {
-        fn new(graph: &Graph, me: NodeId) -> Self {
-            Flood { me, neighbors: graph.neighbors(me).to_vec(), hops: None }
+    impl<'g> Flood<'g> {
+        fn new(graph: &'g Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me), hops: None }
         }
     }
 
-    impl Protocol for Flood {
+    impl Protocol for Flood<'_> {
         type Message = u64;
 
         fn on_start(&mut self, ctx: &mut Ctx<u64>) {
             if self.me == NodeId(0) {
                 self.hops = Some(0);
-                for &u in &self.neighbors.clone() {
+                for &u in self.neighbors {
                     ctx.send(u, 1);
                 }
             }
@@ -306,7 +360,7 @@ mod tests {
         fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
             if self.hops.is_none() {
                 self.hops = Some(msg);
-                for &u in &self.neighbors.clone() {
+                for &u in self.neighbors {
                     ctx.send(u, msg + 1);
                 }
             }

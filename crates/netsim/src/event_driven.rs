@@ -30,6 +30,28 @@ impl<M> PulseCtx<M> {
         PulseCtx { me, outbox: Vec::new() }
     }
 
+    /// Creates a context for node `me` reusing an already-drained outbox buffer
+    /// (the engines recycle one buffer across pulses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer` is not empty.
+    pub fn with_buffer(me: NodeId, buffer: Vec<(NodeId, M)>) -> Self {
+        assert!(buffer.is_empty(), "recycled outbox buffers must be drained");
+        PulseCtx { me, outbox: buffer }
+    }
+
+    /// Consumes the context, returning the (empty) outbox buffer for reuse.
+    pub fn into_buffer(mut self) -> Vec<(NodeId, M)> {
+        self.outbox.clear();
+        self.outbox
+    }
+
+    /// Drains the queued messages in order, keeping the buffer's capacity.
+    pub fn drain_outbox(&mut self) -> impl Iterator<Item = (NodeId, M)> + '_ {
+        self.outbox.drain(..)
+    }
+
     /// The local node's identifier.
     pub fn me(&self) -> NodeId {
         self.me

@@ -59,6 +59,29 @@ impl<M> Ctx<M> {
         Ctx { me, outbox: Vec::new() }
     }
 
+    /// Creates a context for node `me` reusing an already-drained outbox buffer —
+    /// the engines recycle one buffer across activations so the hot path stays
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer` is not empty.
+    pub fn with_buffer(me: NodeId, buffer: Vec<Outgoing<M>>) -> Self {
+        assert!(buffer.is_empty(), "recycled outbox buffers must be drained");
+        Ctx { me, outbox: buffer }
+    }
+
+    /// Consumes the context, returning the (empty) outbox buffer for reuse.
+    pub fn into_buffer(mut self) -> Vec<Outgoing<M>> {
+        self.outbox.clear();
+        self.outbox
+    }
+
+    /// Drains the queued messages in order, keeping the buffer's capacity.
+    pub fn drain_outbox(&mut self) -> impl Iterator<Item = Outgoing<M>> + '_ {
+        self.outbox.drain(..)
+    }
+
     /// The local node's identifier.
     pub fn me(&self) -> NodeId {
         self.me

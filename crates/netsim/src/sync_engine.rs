@@ -55,67 +55,82 @@ where
     let mut metrics = RunMetrics::default();
     let mut messages: u64 = 0;
 
-    // Messages to be delivered at the *next* pulse, per recipient.
+    // Messages to be delivered at the *next* pulse, per recipient; `delivered` is
+    // the previous round's inbox, double-buffered so no per-round allocation.
     let mut inbox: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+    let mut delivered: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
     // Whether the node sent messages at the previous pulse (self-trigger).
     let mut sent_prev: Vec<bool> = vec![false; n];
+    let mut sent_now: Vec<bool> = vec![false; n];
+    // Recycled outbox buffer, threaded through every pulse evaluation.
+    let mut outbox_pool: Vec<(NodeId, A::Msg)> = Vec::new();
+    let mut pending: usize = 0;
 
     let deliver = |from: NodeId,
-                   outbox: Vec<(NodeId, A::Msg)>,
+                   ctx: &mut PulseCtx<A::Msg>,
                    inbox: &mut Vec<Vec<(NodeId, A::Msg)>>,
-                   sent_prev: &mut Vec<bool>,
+                   sent_now: &mut Vec<bool>,
+                   pending: &mut usize,
                    messages: &mut u64,
                    metrics: &mut RunMetrics|
      -> Result<(), SimError> {
-        for (to, msg) in outbox {
+        for (to, msg) in ctx.drain_outbox() {
             if !graph.has_edge(from, to) {
                 return Err(SimError::NotNeighbor { from, to });
             }
             *messages += 1;
+            *pending += 1;
             metrics.record_message(MessageClass::Algorithm);
             inbox[to.index()].push((from, msg));
-            sent_prev[from.index()] = true;
+            sent_now[from.index()] = true;
         }
         Ok(())
     };
 
     // Pulse 0: initiators inject their messages.
     for v in graph.nodes() {
-        let mut ctx = PulseCtx::new(v);
+        let mut ctx = PulseCtx::with_buffer(v, std::mem::take(&mut outbox_pool));
         nodes[v.index()].on_init(&mut ctx);
-        let outbox = ctx.take_outbox();
-        deliver(v, outbox, &mut inbox, &mut sent_prev, &mut messages, &mut metrics)?;
+        deliver(v, &mut ctx, &mut inbox, &mut sent_now, &mut pending, &mut messages, &mut metrics)?;
+        outbox_pool = ctx.into_buffer();
     }
+    std::mem::swap(&mut sent_prev, &mut sent_now);
 
     let mut rounds_to_output = all_done_round(&nodes, 0);
     let mut round: u64 = 0;
 
-    loop {
-        let any_pending = inbox.iter().any(|b| !b.is_empty()) || sent_prev.iter().any(|&s| s);
-        if !any_pending {
-            break;
-        }
+    while pending > 0 || sent_prev.iter().any(|&s| s) {
         round += 1;
         if round > max_rounds {
             return Err(SimError::RoundLimitExceeded { limit: max_rounds });
         }
 
-        let delivered: Vec<Vec<(NodeId, A::Msg)>> =
-            std::mem::replace(&mut inbox, vec![Vec::new(); n]);
-        let triggered_by_send: Vec<bool> = std::mem::replace(&mut sent_prev, vec![false; n]);
+        std::mem::swap(&mut inbox, &mut delivered);
+        pending = 0;
 
         for v in graph.nodes() {
-            let mut batch = delivered[v.index()].clone();
-            let triggered = !batch.is_empty() || triggered_by_send[v.index()];
+            let batch = &mut delivered[v.index()];
+            let triggered = !batch.is_empty() || sent_prev[v.index()];
+            sent_prev[v.index()] = false;
             if !triggered {
                 continue;
             }
-            canonical_batch(&mut batch);
-            let mut ctx = PulseCtx::new(v);
-            nodes[v.index()].on_pulse(&batch, &mut ctx);
-            let outbox = ctx.take_outbox();
-            deliver(v, outbox, &mut inbox, &mut sent_prev, &mut messages, &mut metrics)?;
+            canonical_batch(batch);
+            let mut ctx = PulseCtx::with_buffer(v, std::mem::take(&mut outbox_pool));
+            nodes[v.index()].on_pulse(batch, &mut ctx);
+            batch.clear();
+            deliver(
+                v,
+                &mut ctx,
+                &mut inbox,
+                &mut sent_now,
+                &mut pending,
+                &mut messages,
+                &mut metrics,
+            )?;
+            outbox_pool = ctx.into_buffer();
         }
+        std::mem::swap(&mut sent_prev, &mut sent_now);
 
         if rounds_to_output.is_none() {
             rounds_to_output = all_done_round(&nodes, round);
@@ -146,26 +161,26 @@ mod tests {
     /// synchronous model the first copy arrives along a shortest path, so the output
     /// equals the distance from node 0.
     #[derive(Debug)]
-    struct Flood {
+    struct Flood<'g> {
         me: NodeId,
-        neighbors: Vec<NodeId>,
+        neighbors: &'g [NodeId],
         seen_at: Option<u64>,
     }
 
-    impl Flood {
-        fn new(graph: &Graph, me: NodeId) -> Self {
-            Flood { me, neighbors: graph.neighbors(me).to_vec(), seen_at: None }
+    impl<'g> Flood<'g> {
+        fn new(graph: &'g Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me), seen_at: None }
         }
     }
 
-    impl EventDriven for Flood {
+    impl EventDriven for Flood<'_> {
         type Msg = u64;
         type Output = u64;
 
         fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
             if self.me == NodeId(0) {
                 self.seen_at = Some(0);
-                for &u in &self.neighbors {
+                for &u in self.neighbors {
                     ctx.send(u, 1);
                 }
             }
@@ -175,7 +190,7 @@ mod tests {
             if let Some(&(_, hops)) = received.first() {
                 if self.seen_at.is_none() {
                     self.seen_at = Some(hops);
-                    for &u in &self.neighbors {
+                    for &u in self.neighbors {
                         ctx.send(u, hops + 1);
                     }
                 }

@@ -11,7 +11,6 @@ use ds_graph::{Graph, NodeId};
 use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
 use ds_netsim::metrics::MessageClass;
 use ds_netsim::protocol::{Ctx, Protocol};
-use std::collections::BTreeMap;
 
 /// Messages of the α synchronizer.
 #[derive(Clone, Debug)]
@@ -25,41 +24,46 @@ pub enum AlphaMsg<M> {
 }
 
 /// Per-node α synchronizer wrapping an event-driven algorithm.
+///
+/// All per-pulse bookkeeping is stored flat in vectors indexed by the pulse number
+/// (pulses are dense in `0 ..= max_pulse`), and the neighbor list is borrowed from
+/// the graph — the per-message path does no map lookups and no allocation.
 #[derive(Debug)]
-pub struct AlphaSynchronizer<A: EventDriven> {
+pub struct AlphaSynchronizer<'g, A: EventDriven> {
     me: NodeId,
-    neighbors: Vec<NodeId>,
+    neighbors: &'g [NodeId],
     alg: A,
     max_pulse: u64,
     /// The pulse whose messages this node has already sent.
     current: u64,
     /// Outstanding acknowledgments per pulse.
-    unacked: BTreeMap<u64, usize>,
+    unacked: Vec<u32>,
     /// Neighbors' safety notifications per pulse.
-    neighbor_safe: BTreeMap<u64, usize>,
+    neighbor_safe: Vec<u32>,
     /// Whether this node has announced its own safety for a pulse.
-    announced: BTreeMap<u64, bool>,
-    /// Algorithm messages received, keyed by the sender's pulse.
-    received: BTreeMap<u64, Vec<(NodeId, A::Msg)>>,
+    announced: Vec<bool>,
+    /// Algorithm messages received, indexed by the sender's pulse.
+    received: Vec<Vec<(NodeId, A::Msg)>>,
     /// Whether this node sent any algorithm messages at each pulse.
-    sent_at: BTreeMap<u64, bool>,
+    sent_at: Vec<bool>,
 }
 
-impl<A: EventDriven> AlphaSynchronizer<A> {
+impl<'g, A: EventDriven> AlphaSynchronizer<'g, A> {
     /// Creates the α synchronizer instance for node `me`, simulating `max_pulse`
     /// pulses of `alg`.
-    pub fn new(graph: &Graph, me: NodeId, alg: A, max_pulse: u64) -> Self {
+    pub fn new(graph: &'g Graph, me: NodeId, alg: A, max_pulse: u64) -> Self {
+        let slots = max_pulse as usize + 1;
         AlphaSynchronizer {
             me,
-            neighbors: graph.neighbors(me).to_vec(),
+            neighbors: graph.neighbors(me),
             alg,
             max_pulse,
             current: 0,
-            unacked: BTreeMap::new(),
-            neighbor_safe: BTreeMap::new(),
-            announced: BTreeMap::new(),
-            received: BTreeMap::new(),
-            sent_at: BTreeMap::new(),
+            unacked: vec![0; slots],
+            neighbor_safe: vec![0; slots],
+            announced: vec![false; slots],
+            received: (0..slots).map(|_| Vec::new()).collect(),
+            sent_at: vec![false; slots],
         }
     }
 
@@ -74,8 +78,8 @@ impl<A: EventDriven> AlphaSynchronizer<A> {
         outbox: Vec<(NodeId, A::Msg)>,
         ctx: &mut Ctx<AlphaMsg<A::Msg>>,
     ) {
-        self.sent_at.insert(pulse, !outbox.is_empty());
-        *self.unacked.entry(pulse).or_insert(0) += outbox.len();
+        self.sent_at[pulse as usize] = !outbox.is_empty();
+        self.unacked[pulse as usize] += outbox.len() as u32;
         for (to, payload) in outbox {
             ctx.send_with(to, AlphaMsg::Alg { pulse, payload }, pulse, MessageClass::Algorithm);
         }
@@ -83,14 +87,11 @@ impl<A: EventDriven> AlphaSynchronizer<A> {
     }
 
     fn try_announce(&mut self, pulse: u64, ctx: &mut Ctx<AlphaMsg<A::Msg>>) {
-        if self.announced.get(&pulse).copied().unwrap_or(false) {
+        if self.announced[pulse as usize] || self.unacked[pulse as usize] > 0 {
             return;
         }
-        if self.unacked.get(&pulse).copied().unwrap_or(0) > 0 {
-            return;
-        }
-        self.announced.insert(pulse, true);
-        for &u in &self.neighbors {
+        self.announced[pulse as usize] = true;
+        for &u in self.neighbors {
             ctx.send_with(u, AlphaMsg::Safe { pulse }, pulse, MessageClass::Control);
         }
         self.try_advance(ctx);
@@ -102,16 +103,15 @@ impl<A: EventDriven> AlphaSynchronizer<A> {
             if p >= self.max_pulse {
                 return;
             }
-            let own_safe = self.announced.get(&p).copied().unwrap_or(false);
-            let all_neighbors =
-                self.neighbor_safe.get(&p).copied().unwrap_or(0) == self.neighbors.len();
+            let own_safe = self.announced[p as usize];
+            let all_neighbors = self.neighbor_safe[p as usize] as usize == self.neighbors.len();
             if !(own_safe && all_neighbors) {
                 return;
             }
             // Generate pulse p + 1.
             self.current = p + 1;
-            let mut batch = self.received.remove(&p).unwrap_or_default();
-            let triggered = !batch.is_empty() || self.sent_at.get(&p).copied().unwrap_or(false);
+            let mut batch = std::mem::take(&mut self.received[p as usize]);
+            let triggered = !batch.is_empty() || self.sent_at[p as usize];
             let outbox = if triggered {
                 canonical_batch(&mut batch);
                 let mut pctx = PulseCtx::new(self.me);
@@ -125,7 +125,7 @@ impl<A: EventDriven> AlphaSynchronizer<A> {
     }
 }
 
-impl<A: EventDriven> Protocol for AlphaSynchronizer<A> {
+impl<A: EventDriven> Protocol for AlphaSynchronizer<'_, A> {
     type Message = AlphaMsg<A::Msg>;
 
     fn on_start(&mut self, ctx: &mut Ctx<Self::Message>) {
@@ -138,17 +138,16 @@ impl<A: EventDriven> Protocol for AlphaSynchronizer<A> {
     fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>) {
         match msg {
             AlphaMsg::Alg { pulse, payload } => {
-                self.received.entry(pulse).or_default().push((from, payload));
+                self.received[pulse as usize].push((from, payload));
                 ctx.send_with(from, AlphaMsg::Ack { pulse }, pulse, MessageClass::Control);
             }
             AlphaMsg::Ack { pulse } => {
-                if let Some(c) = self.unacked.get_mut(&pulse) {
-                    *c = c.saturating_sub(1);
-                }
+                let c = &mut self.unacked[pulse as usize];
+                *c = c.saturating_sub(1);
                 self.try_announce(pulse, ctx);
             }
             AlphaMsg::Safe { pulse } => {
-                *self.neighbor_safe.entry(pulse).or_insert(0) += 1;
+                self.neighbor_safe[pulse as usize] += 1;
                 self.try_advance(ctx);
             }
         }

@@ -13,7 +13,6 @@ use ds_graph::{metrics, Graph, NodeId};
 use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
 use ds_netsim::metrics::MessageClass;
 use ds_netsim::protocol::{Ctx, Protocol};
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The shared spanning-tree structure used by the β synchronizer.
@@ -62,7 +61,8 @@ pub enum BetaMsg<M> {
     NextPulse { pulse: u64 },
 }
 
-/// Per-node β synchronizer wrapping an event-driven algorithm.
+/// Per-node β synchronizer wrapping an event-driven algorithm. Per-pulse inboxes
+/// are stored flat, indexed by the (dense) pulse number.
 #[derive(Debug)]
 pub struct BetaSynchronizer<A: EventDriven> {
     me: NodeId,
@@ -72,7 +72,7 @@ pub struct BetaSynchronizer<A: EventDriven> {
     current: u64,
     unacked: usize,
     children_ready: usize,
-    received: BTreeMap<u64, Vec<(NodeId, A::Msg)>>,
+    received: Vec<Vec<(NodeId, A::Msg)>>,
     sent_at_current: bool,
     reported: bool,
 }
@@ -88,7 +88,7 @@ impl<A: EventDriven> BetaSynchronizer<A> {
             current: 0,
             unacked: 0,
             children_ready: 0,
-            received: BTreeMap::new(),
+            received: (0..=max_pulse as usize).map(|_| Vec::new()).collect(),
             sent_at_current: false,
             reported: false,
         }
@@ -138,7 +138,7 @@ impl<A: EventDriven> BetaSynchronizer<A> {
 
     fn broadcast_next(&mut self, ctx: &mut Ctx<BetaMsg<A::Msg>>) {
         let pulse = self.current;
-        for &c in &self.tree.children[self.me.index()].clone() {
+        for &c in &self.tree.children[self.me.index()] {
             ctx.send_with(c, BetaMsg::NextPulse { pulse }, pulse, MessageClass::Control);
         }
         self.advance(ctx);
@@ -150,7 +150,7 @@ impl<A: EventDriven> BetaSynchronizer<A> {
             return;
         }
         self.current = p + 1;
-        let mut batch = self.received.remove(&p).unwrap_or_default();
+        let mut batch = std::mem::take(&mut self.received[p as usize]);
         let triggered = !batch.is_empty() || self.sent_at_current;
         let outbox = if triggered {
             canonical_batch(&mut batch);
@@ -177,7 +177,7 @@ impl<A: EventDriven> Protocol for BetaSynchronizer<A> {
     fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>) {
         match msg {
             BetaMsg::Alg { pulse, payload } => {
-                self.received.entry(pulse).or_default().push((from, payload));
+                self.received[pulse as usize].push((from, payload));
                 ctx.send_with(from, BetaMsg::Ack { pulse }, pulse, MessageClass::Control);
             }
             BetaMsg::Ack { pulse: _ } => {
@@ -190,7 +190,7 @@ impl<A: EventDriven> Protocol for BetaSynchronizer<A> {
             }
             BetaMsg::NextPulse { pulse: _ } => {
                 // Forward the broadcast and advance.
-                for &c in &self.tree.children[self.me.index()].clone() {
+                for &c in &self.tree.children[self.me.index()] {
                     ctx.send_with(
                         c,
                         BetaMsg::NextPulse { pulse: self.current },

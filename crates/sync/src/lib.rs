@@ -8,10 +8,10 @@
 //!   (Sections 4–5, Theorems 5.2–5.5).
 //! * [`alpha`], [`beta`] — the classical baselines (Appendix A), used for the
 //!   overhead-comparison experiments.
-//! * [`executor`] — the [`Synchronizer`](executor::Synchronizer) trait: one
+//! * [`executor`] — the [`executor::Synchronizer`] trait: one
 //!   object-safe pipeline through which the deterministic synchronizer, both
 //!   baselines and the lock-step ground truth all execute.
-//! * [`session`] — the [`Session`](session::Session) builder, the single entry
+//! * [`session`] — the [`session::Session`] builder, the single entry
 //!   point for running and comparing event-driven algorithms.
 //! * [`event_driven`] — re-export of the event-driven algorithm interface from
 //!   `ds-netsim`, so downstream crates only need this crate.
@@ -25,6 +25,7 @@
 pub mod alpha;
 pub mod beta;
 pub mod executor;
+pub mod flat;
 pub mod pulse;
 pub mod registration;
 pub mod session;

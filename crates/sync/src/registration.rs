@@ -23,7 +23,6 @@
 //! per (cluster, stage) pair per node, created lazily.
 
 use ds_graph::NodeId;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages exchanged between cluster-tree neighbors by the registration abstraction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,10 +80,12 @@ pub struct RegistrationInstance {
     free: bool,
     /// Mark of the edge to the parent, from this node's point of view.
     parent_edge: EdgeMark,
-    /// Marks of the edges to the children, from this node's point of view.
-    child_edges: BTreeMap<NodeId, EdgeMark>,
-    /// Children whose `R` invocation is waiting for this node to become finished.
-    r_waiters: BTreeSet<NodeId>,
+    /// Marks of the child edges, aligned with `position.children` (flat: children
+    /// lists are short, so a linear index scan beats any map).
+    child_marks: Vec<EdgeMark>,
+    /// Whether each child's `R` invocation is waiting for this node to become
+    /// finished, aligned with `position.children`.
+    r_waiting: Vec<bool>,
     /// Whether this node's own registration is waiting for the parent's `R`.
     own_r_pending: bool,
     /// Whether a `RegisterUp` has been sent and not yet answered.
@@ -96,7 +97,7 @@ impl RegistrationInstance {
     /// (no parent) starts out `finished`, as in the paper.
     pub fn new(position: TreePosition) -> Self {
         let finished = position.parent.is_none();
-        let child_edges = position.children.iter().map(|&c| (c, EdgeMark::Clean)).collect();
+        let degree = position.children.len();
         RegistrationInstance {
             position,
             finished,
@@ -104,11 +105,25 @@ impl RegistrationInstance {
             deregistered: false,
             free: false,
             parent_edge: EdgeMark::Clean,
-            child_edges,
-            r_waiters: BTreeSet::new(),
+            child_marks: vec![EdgeMark::Clean; degree],
+            r_waiting: vec![false; degree],
             own_r_pending: false,
             awaiting_parent: false,
         }
+    }
+
+    /// Index of `child` in the children list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is not a cluster-tree child of this node (registration
+    /// messages only travel along cluster-tree edges).
+    fn child_index(&self, child: NodeId) -> usize {
+        self.position
+            .children
+            .iter()
+            .position(|&c| c == child)
+            .expect("registration message from a non-child")
     }
 
     /// Whether this node's registration has been confirmed.
@@ -153,8 +168,9 @@ impl RegistrationInstance {
     pub fn on_message(&mut self, from: NodeId, msg: RegMsg, actions: &mut Vec<RegAction>) {
         match msg {
             RegMsg::RegisterUp => {
-                self.child_edges.insert(from, EdgeMark::Dirty);
-                self.r_waiters.insert(from);
+                let i = self.child_index(from);
+                self.child_marks[i] = EdgeMark::Dirty;
+                self.r_waiting[i] = true;
                 self.invoke_r(actions);
             }
             RegMsg::RegisterDone => {
@@ -162,7 +178,8 @@ impl RegistrationInstance {
                 self.complete_r(actions);
             }
             RegMsg::DeregisterUp => {
-                self.child_edges.insert(from, EdgeMark::Waiting);
+                let i = self.child_index(from);
+                self.child_marks[i] = EdgeMark::Waiting;
                 if self.position.parent.is_none() {
                     self.maybe_issue_goahead(actions);
                 } else {
@@ -209,14 +226,20 @@ impl RegistrationInstance {
             self.registered = true;
             actions.push(RegAction::Registered);
         }
-        for child in std::mem::take(&mut self.r_waiters) {
-            actions.push(RegAction::Send { to: child, msg: RegMsg::RegisterDone });
+        for i in 0..self.r_waiting.len() {
+            if self.r_waiting[i] {
+                self.r_waiting[i] = false;
+                actions.push(RegAction::Send {
+                    to: self.position.children[i],
+                    msg: RegMsg::RegisterDone,
+                });
+            }
         }
     }
 
     /// Procedure `D` at this node.
     fn invoke_d(&mut self, actions: &mut Vec<RegAction>) {
-        if self.child_edges.values().any(|&m| m == EdgeMark::Dirty) {
+        if self.child_marks.contains(&EdgeMark::Dirty) {
             return;
         }
         if self.registered {
@@ -247,22 +270,21 @@ impl RegistrationInstance {
             self.free = true;
             actions.push(RegAction::Free);
         }
-        let waiting_children: Vec<NodeId> = self
-            .child_edges
-            .iter()
-            .filter(|(_, &m)| m == EdgeMark::Waiting)
-            .map(|(&c, _)| c)
-            .collect();
-        for c in waiting_children {
-            self.child_edges.insert(c, EdgeMark::Clean);
-            actions.push(RegAction::Send { to: c, msg: RegMsg::GoAheadDown });
+        for i in 0..self.child_marks.len() {
+            if self.child_marks[i] == EdgeMark::Waiting {
+                self.child_marks[i] = EdgeMark::Clean;
+                actions.push(RegAction::Send {
+                    to: self.position.children[i],
+                    msg: RegMsg::GoAheadDown,
+                });
+            }
         }
     }
 
     /// At the root: issue a Go-Ahead if no child edge is dirty.
     fn maybe_issue_goahead(&mut self, actions: &mut Vec<RegAction>) {
         debug_assert!(self.position.parent.is_none());
-        if self.child_edges.values().any(|&m| m == EdgeMark::Dirty) {
+        if self.child_marks.contains(&EdgeMark::Dirty) {
             return;
         }
         self.receive_goahead(actions);
@@ -272,6 +294,7 @@ impl RegistrationInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
 
     /// A tiny sequential harness that delivers registration messages between the
     /// node-local instances of one cluster tree, in FIFO order, and records local

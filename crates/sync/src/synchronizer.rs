@@ -42,6 +42,7 @@
 //! algorithms). Both keep the correctness invariants; the measured overheads remain
 //! polylogarithmic (see DESIGN.md §4 and the `exp_*` binaries in `ds-bench`).
 
+use crate::flat::{FlatMap, FlatSet, PulseSet};
 use crate::pulse;
 use crate::registration::{RegAction, RegMsg, RegistrationInstance, TreePosition};
 use ds_covers::builder::build_synchronizer_cover;
@@ -50,7 +51,7 @@ use ds_graph::{metrics, Graph, NodeId};
 use ds_netsim::event_driven::{canonical_batch, EventDriven, PulseCtx};
 use ds_netsim::metrics::MessageClass;
 use ds_netsim::protocol::{Ctx, Protocol};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Messages exchanged by the synchronizer. `M` is the wrapped algorithm's message
@@ -99,6 +100,11 @@ struct StageInfo {
 
 /// Shared configuration of a synchronizer run: the pulse bound, the layered sparse
 /// cover, and precomputed stage tables.
+///
+/// All per-stage index sets the synchronizer consults on its hot path
+/// (`stages_tracked`, `stages_with_prev`, `base_stages`)
+/// are precomputed here once and served as slices — total table size is
+/// `O(T log T)` by Lemma 4.14.
 #[derive(Clone, Debug)]
 pub struct SynchronizerConfig {
     /// Upper bound on the wrapped algorithm's synchronous time complexity `T(A)`.
@@ -107,6 +113,12 @@ pub struct SynchronizerConfig {
     pub covers: LayeredSparseCover,
     stages: Vec<StageInfo>,
     base_cover_levels: Vec<usize>,
+    /// Base stages (anchored at pulse 0), ascending.
+    base_stage_list: Vec<u64>,
+    /// `tracked[q]`: stages `s` with `prev(prev(s)) ≤ q < s`, ascending.
+    tracked: Vec<Vec<u64>>,
+    /// `with_prev[s]`: non-base stages `p` with `prev(p) = s`, ascending.
+    with_prev: Vec<Vec<u64>>,
 }
 
 impl SynchronizerConfig {
@@ -135,6 +147,9 @@ impl SynchronizerConfig {
         let mut stages = Vec::with_capacity(max_pulse as usize + 1);
         stages.push(StageInfo { prev: 0, prev_prev: 0, cover_idx: 0 }); // unused slot 0
         let mut base_levels = BTreeSet::new();
+        let mut base_stage_list = Vec::new();
+        let mut tracked = vec![Vec::new(); max_pulse as usize + 1];
+        let mut with_prev = vec![Vec::new(); max_pulse as usize + 1];
         for p in 1..=max_pulse {
             let radius = 1usize << pulse::cover_exponent(p).min(60);
             let cover_idx = (0..covers.layers())
@@ -144,6 +159,12 @@ impl SynchronizerConfig {
                 StageInfo { prev: pulse::prev(p), prev_prev: pulse::prev_prev(p), cover_idx };
             if info.prev_prev == 0 {
                 base_levels.insert(cover_idx);
+                base_stage_list.push(p);
+            } else {
+                with_prev[info.prev as usize].push(p);
+            }
+            for q in info.prev_prev..p {
+                tracked[q as usize].push(p);
             }
             stages.push(info);
         }
@@ -152,6 +173,9 @@ impl SynchronizerConfig {
             covers,
             stages,
             base_cover_levels: base_levels.into_iter().collect(),
+            base_stage_list,
+            tracked,
+            with_prev,
         })
     }
 
@@ -165,20 +189,18 @@ impl SynchronizerConfig {
     }
 
     /// Base stages (anchored at pulse 0) up to the pulse bound.
-    fn base_stages(&self) -> impl Iterator<Item = u64> + '_ {
-        (1..=self.max_pulse).filter(|&p| self.stage(p).prev_prev == 0)
+    fn base_stages(&self) -> &[u64] {
+        &self.base_stage_list
     }
 
     /// Stages `p` with `prev(p) == s` (their registration is triggered by `s`-safety).
-    fn stages_with_prev(&self, s: u64) -> Vec<u64> {
-        (1..=self.max_pulse)
-            .filter(|&p| self.stage(p).prev == s && self.stage(p).prev_prev != 0)
-            .collect()
+    fn stages_with_prev(&self, s: u64) -> &[u64] {
+        &self.with_prev[s as usize]
     }
 
     /// Stages tracked (safety-wise) by a virtual node of pulse `q`.
-    fn stages_tracked(&self, q: u64) -> Vec<u64> {
-        (q.max(1)..=self.max_pulse).filter(|&s| self.stage(s).prev_prev <= q && q < s).collect()
+    fn stages_tracked(&self, q: u64) -> &[u64] {
+        &self.tracked[q as usize]
     }
 
     /// Tree position of node `v` in cluster `cluster` of cover layer `cover_idx`.
@@ -191,7 +213,7 @@ impl SynchronizerConfig {
 /// Per-stage safety state at one virtual node.
 #[derive(Clone, Debug, Default)]
 struct VStage {
-    safe_children: BTreeSet<NodeId>,
+    safe_children: FlatSet<NodeId>,
     safe_self_child: bool,
     subtree_safe: bool,
     reported_up: bool,
@@ -210,7 +232,8 @@ struct AnchorStage {
     goahead_done: bool,
 }
 
-/// One virtual node `(v, pulse)`.
+/// One virtual node `(v, pulse)`. All keyed sub-state is stored in flat sorted
+/// vectors — the key sets (tracked stages, execution-tree children) are small.
 #[derive(Clone, Debug)]
 struct VNode<M> {
     parent_remote: Option<NodeId>,
@@ -219,12 +242,12 @@ struct VNode<M> {
     recipients: Vec<NodeId>,
     unacked: usize,
     undecided: usize,
-    children_remote: BTreeSet<NodeId>,
+    children_remote: FlatSet<NodeId>,
     child_self: bool,
     complete: bool,
-    goaheads: BTreeSet<u64>,
-    stages: BTreeMap<u64, VStage>,
-    anchored: BTreeMap<u64, AnchorStage>,
+    goaheads: FlatSet<u64>,
+    stages: FlatMap<u64, VStage>,
+    anchored: FlatMap<u64, AnchorStage>,
     pending_sends: Vec<(NodeId, M)>,
 }
 
@@ -234,17 +257,18 @@ impl<M> VNode<M> {
     }
 }
 
-/// Barrier state for one (cover layer, cluster): phase A.
+/// Barrier state for one (cover layer, cluster): phase A. Each cluster-tree child
+/// reports up exactly once, so a countdown suffices.
 #[derive(Clone, Debug)]
 struct BarrierA {
-    children_left: BTreeSet<NodeId>,
+    children_left: usize,
     sent_up: bool,
 }
 
 /// Barrier state for one (stage, cluster): phase B.
 #[derive(Clone, Debug)]
 struct BarrierB {
-    children_left: BTreeSet<NodeId>,
+    children_left: usize,
     sent_up: bool,
 }
 
@@ -267,21 +291,22 @@ pub struct DetSynchronizer<A: EventDriven> {
     cfg: Arc<SynchronizerConfig>,
     alg: A,
     /// Algorithm messages received, keyed by the *sender's* pulse.
-    received: BTreeMap<u64, Vec<(NodeId, A::Msg)>>,
+    received: FlatMap<u64, Vec<(NodeId, A::Msg)>>,
     /// Pulses at which this node has been triggered but not yet processed.
-    pending_triggers: BTreeSet<u64>,
-    processed: BTreeSet<u64>,
-    last_processed: Option<u64>,
+    pending_triggers: PulseSet,
+    processed: PulseSet,
+    /// Largest pulse processed so far (for the ordering-violation diagnostic).
+    max_processed: Option<u64>,
     /// Stages for which this physical node has received a recipient-level Go-Ahead.
-    goahead_recv: BTreeSet<u64>,
-    vnodes: BTreeMap<u64, VNode<A::Msg>>,
-    reg: BTreeMap<(u64, u32), RegistrationInstance>,
-    barrier_a: BTreeMap<(u32, u32), BarrierA>,
-    barrier_b: BTreeMap<(u64, u32), BarrierB>,
+    goahead_recv: PulseSet,
+    vnodes: FlatMap<u64, VNode<A::Msg>>,
+    reg: FlatMap<(u64, u32), RegistrationInstance>,
+    barrier_a: FlatMap<(u32, u32), BarrierA>,
+    barrier_b: FlatMap<(u64, u32), BarrierB>,
     /// Phase-A confirmations still missing before pulse-0 messages may be sent.
     init_barrier_pending: usize,
     /// Phase-B confirmations received per base stage.
-    base_goahead_recv: BTreeMap<u64, usize>,
+    base_goahead_recv: FlatMap<u64, usize>,
     is_initiator: bool,
     work: VecDeque<Work>,
     /// Diagnostic: algorithm messages that arrived out of pulse order (must stay 0).
@@ -293,21 +318,22 @@ type SCtx<A> = Ctx<SyncMsg<<A as EventDriven>::Msg>>;
 impl<A: EventDriven> DetSynchronizer<A> {
     /// Creates the synchronizer instance for node `me`, wrapping `alg`.
     pub fn new(me: NodeId, alg: A, cfg: Arc<SynchronizerConfig>) -> Self {
+        let bound = cfg.max_pulse + 1;
         DetSynchronizer {
             me,
             cfg,
             alg,
-            received: BTreeMap::new(),
-            pending_triggers: BTreeSet::new(),
-            processed: BTreeSet::new(),
-            last_processed: None,
-            goahead_recv: BTreeSet::new(),
-            vnodes: BTreeMap::new(),
-            reg: BTreeMap::new(),
-            barrier_a: BTreeMap::new(),
-            barrier_b: BTreeMap::new(),
+            received: FlatMap::new(),
+            pending_triggers: PulseSet::with_bound(bound),
+            processed: PulseSet::with_bound(bound),
+            max_processed: None,
+            goahead_recv: PulseSet::with_bound(bound),
+            vnodes: FlatMap::new(),
+            reg: FlatMap::new(),
+            barrier_a: FlatMap::new(),
+            barrier_b: FlatMap::new(),
             init_barrier_pending: 0,
-            base_goahead_recv: BTreeMap::new(),
+            base_goahead_recv: FlatMap::new(),
             is_initiator: false,
             work: VecDeque::new(),
             ordering_violations: 0,
@@ -333,29 +359,37 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let _ = writeln!(
             s,
             "node {}: initiator={} pending_triggers={:?} goahead_recv={:?} processed={:?}",
-            self.me, self.is_initiator, self.pending_triggers, self.goahead_recv, self.processed
+            self.me,
+            self.is_initiator,
+            self.pending_triggers.iter().collect::<Vec<_>>(),
+            self.goahead_recv.iter().collect::<Vec<_>>(),
+            self.processed.iter().collect::<Vec<_>>()
         );
         let _ = writeln!(
             s,
             "  init_barrier_pending={} base_goahead_recv={:?}",
-            self.init_barrier_pending, self.base_goahead_recv
+            self.init_barrier_pending,
+            self.base_goahead_recv.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>()
         );
-        for (p, v) in &self.vnodes {
+        for (p, v) in self.vnodes.iter() {
             let _ = writeln!(
                 s,
                 "  vnode p={p}: complete={} sent_all={} unacked={} undecided={} child_self={} children_remote={:?} parent_remote={:?} self_parent={} goaheads={:?}",
-                v.complete, v.sent_all, v.unacked, v.undecided, v.child_self, v.children_remote,
-                v.parent_remote, v.self_parent, v.goaheads
+                v.complete, v.sent_all, v.unacked, v.undecided, v.child_self,
+                v.children_remote.iter().collect::<Vec<_>>(),
+                v.parent_remote, v.self_parent,
+                v.goaheads.iter().collect::<Vec<_>>()
             );
-            for (st, vs) in &v.stages {
+            for (st, vs) in v.stages.iter() {
                 let _ = writeln!(
                     s,
                     "    stage {st}: subtree_safe={} reported_up={} gate_pending={} gate_started={} safe_self_child={} safe_children={:?}",
                     vs.subtree_safe, vs.reported_up, vs.gate_pending, vs.gate_started,
-                    vs.safe_self_child, vs.safe_children
+                    vs.safe_self_child,
+                    vs.safe_children.iter().collect::<Vec<_>>()
                 );
             }
-            for (st, a) in &v.anchored {
+            for (st, a) in v.anchored.iter() {
                 let _ = writeln!(
                     s,
                     "    anchored {st}: clusters={:?} registered={} deregistered={} dereg_requested={} freed={} goahead_done={}",
@@ -364,7 +398,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
                 );
             }
         }
-        for ((st, cl), inst) in &self.reg {
+        for ((st, cl), inst) in self.reg.iter() {
             let _ = writeln!(s, "  reg ({st},{cl}): {inst:?}");
         }
         s
@@ -391,7 +425,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
     fn reg_instance(&mut self, stage: u64, cluster: ClusterId) -> &mut RegistrationInstance {
         let cfg = Arc::clone(&self.cfg);
         let me = self.me;
-        self.reg.entry((stage, cluster.0 as u32)).or_insert_with(|| {
+        self.reg.get_mut_or_insert_with((stage, cluster.0 as u32), || {
             let idx = cfg.cover_idx(stage);
             RegistrationInstance::new(cfg.tree_position(idx, cluster, me))
         })
@@ -425,12 +459,12 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let anchor_pulse = self.cfg.stage(stage).prev_prev;
         let gate_stage = self.cfg.stage(stage).prev;
         let mut fully_registered = false;
-        if let Some(v) = self.vnodes.get_mut(&anchor_pulse) {
-            if let Some(a) = v.anchored.get_mut(&stage) {
+        if let Some(v) = self.vnodes.get_mut(anchor_pulse) {
+            if let Some(a) = v.anchored.get_mut(stage) {
                 a.registered += 1;
                 fully_registered = a.registered == a.clusters.len();
             }
-            let st = v.stages.entry(gate_stage).or_default();
+            let st = v.stages.get_mut_or_default(gate_stage);
             if st.gate_pending > 0 {
                 st.gate_pending -= 1;
             }
@@ -446,8 +480,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
     fn on_registration_free(&mut self, stage: u64) {
         let anchor_pulse = self.cfg.stage(stage).prev_prev;
         let mut done = false;
-        if let Some(v) = self.vnodes.get_mut(&anchor_pulse) {
-            if let Some(a) = v.anchored.get_mut(&stage) {
+        if let Some(v) = self.vnodes.get_mut(anchor_pulse) {
+            if let Some(a) = v.anchored.get_mut(stage) {
                 a.freed += 1;
                 if a.deregistered && a.freed == a.clusters.len() && !a.goahead_done {
                     a.goahead_done = true;
@@ -464,22 +498,22 @@ impl<A: EventDriven> DetSynchronizer<A> {
 
     fn try_process(&mut self, ctx: &mut SCtx<A>) {
         loop {
-            let Some(&p) = self.pending_triggers.iter().next() else { return };
+            let Some(p) = self.pending_triggers.min() else { return };
             if p > self.cfg.max_pulse {
                 // The configured bound was too small; stop simulating further pulses.
                 return;
             }
-            if !self.goahead_recv.contains(&p) {
+            if !self.goahead_recv.contains(p) {
                 return;
             }
-            self.pending_triggers.remove(&p);
+            self.pending_triggers.remove(p);
             self.process_pulse(ctx, p);
         }
     }
 
     fn process_pulse(&mut self, ctx: &mut SCtx<A>, p: u64) {
-        debug_assert!(!self.processed.contains(&p));
-        let mut batch = self.received.remove(&(p - 1)).unwrap_or_default();
+        debug_assert!(!self.processed.contains(p));
+        let mut batch = self.received.remove(p - 1).unwrap_or_default();
         canonical_batch(&mut batch);
         let mut senders: Vec<NodeId> = batch.iter().map(|(s, _)| *s).collect();
         senders.dedup();
@@ -488,7 +522,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
         self.alg.on_pulse(&batch, &mut pctx);
         let outbox = pctx.take_outbox();
         let created = !outbox.is_empty();
-        let self_parent_available = self.vnodes.contains_key(&(p - 1));
+        let self_parent_available = self.vnodes.get(p - 1).is_some();
 
         // Notify every pulse-(p-1) sender of the decision.
         let chosen_remote =
@@ -510,12 +544,12 @@ impl<A: EventDriven> DetSynchronizer<A> {
                 recipients: recipients.clone(),
                 unacked: outbox.len(),
                 undecided: recipients.len() + 1,
-                children_remote: BTreeSet::new(),
+                children_remote: FlatSet::new(),
                 child_self: false,
                 complete: false,
-                goaheads: BTreeSet::new(),
-                stages: BTreeMap::new(),
-                anchored: BTreeMap::new(),
+                goaheads: FlatSet::new(),
+                stages: FlatMap::new(),
+                anchored: FlatMap::new(),
                 pending_sends: Vec::new(),
             };
             self.vnodes.insert(p, vnode);
@@ -528,11 +562,11 @@ impl<A: EventDriven> DetSynchronizer<A> {
 
         // Resolve the self-decision at the pulse-(p-1) virtual node.
         let mut parent_goaheads: Vec<u64> = Vec::new();
-        if let Some(parent) = self.vnodes.get_mut(&(p - 1)) {
+        if let Some(parent) = self.vnodes.get_mut(p - 1) {
             parent.undecided = parent.undecided.saturating_sub(1);
             if created && self_parent_available {
                 parent.child_self = true;
-                parent_goaheads = parent.goaheads.iter().copied().filter(|&s| s > p).collect();
+                parent_goaheads = parent.goaheads.iter().filter(|&s| s > p).collect();
             }
             self.work.push_back(Work::RecomputeComplete(p - 1));
         }
@@ -541,10 +575,10 @@ impl<A: EventDriven> DetSynchronizer<A> {
         }
 
         self.processed.insert(p);
-        self.last_processed = Some(p);
+        self.max_processed = Some(self.max_processed.map_or(p, |m| m.max(p)));
         if created {
             // Newly created virtual nodes may already be safe for near stages.
-            for s in self.cfg.stages_tracked(p) {
+            for &s in self.cfg.stages_tracked(p) {
                 self.work.push_back(Work::RecomputeStage(p, s));
             }
         }
@@ -553,16 +587,16 @@ impl<A: EventDriven> DetSynchronizer<A> {
     // ----- safety machinery -------------------------------------------------------
 
     fn recompute_complete(&mut self, q: u64) {
-        let Some(v) = self.vnodes.get_mut(&q) else { return };
+        let Some(v) = self.vnodes.get_mut(q) else { return };
         let complete = v.sent_all && v.unacked == 0 && v.undecided == 0;
         if complete && !v.complete {
             v.complete = true;
-            for s in self.cfg.stages_tracked(q) {
+            for &s in self.cfg.stages_tracked(q) {
                 self.work.push_back(Work::RecomputeStage(q, s));
             }
         } else if !complete {
             // An ack may still flip pulse-(s-1) safety even before completeness.
-            for s in self.cfg.stages_tracked(q) {
+            for &s in self.cfg.stages_tracked(q) {
                 if q == s - 1 {
                     self.work.push_back(Work::RecomputeStage(q, s));
                 }
@@ -584,16 +618,16 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let became_safe;
         let has_children;
         {
-            let Some(v) = self.vnodes.get_mut(&q) else { return };
+            let Some(v) = self.vnodes.get_mut(q) else { return };
             let safe = if q == s - 1 {
                 v.sent_all && v.unacked == 0
             } else {
-                let st = v.stages.entry(s).or_default();
+                let st = v.stages.get_mut_or_default(s);
                 v.complete
                     && (!v.child_self || st.safe_self_child)
                     && v.children_remote.iter().all(|c| st.safe_children.contains(c))
             };
-            let st = v.stages.entry(s).or_default();
+            let st = v.stages.get_mut_or_default(s);
             if !safe || st.subtree_safe {
                 return;
             }
@@ -607,7 +641,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
         // triggered by s-safety (q == prev(s) > 0), start those registrations and gate
         // the upward report on their confirmation.
         if q == info_prev && q > 0 {
-            let gate_stages: Vec<u64> = self.cfg.stages_with_prev(s);
+            let gate_stages: Vec<u64> = self.cfg.stages_with_prev(s).to_vec();
             if has_children && !gate_stages.is_empty() {
                 let mut plan: Vec<(u64, ClusterId)> = Vec::new();
                 for &p in &gate_stages {
@@ -616,8 +650,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
                     }
                 }
                 let already_started = {
-                    let v = self.vnodes.get_mut(&q).expect("vnode exists");
-                    let st = v.stages.entry(s).or_default();
+                    let v = self.vnodes.get_mut(q).expect("vnode exists");
+                    let st = v.stages.get_mut_or_default(s);
                     let started = st.gate_started;
                     if !started {
                         st.gate_started = true;
@@ -625,7 +659,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
                         for &p in &gate_stages {
                             let clusters: Vec<ClusterId> =
                                 plan.iter().filter(|(pp, _)| *pp == p).map(|(_, c)| *c).collect();
-                            v.anchored.entry(p).or_insert(AnchorStage {
+                            v.anchored.get_mut_or_insert_with(p, || AnchorStage {
                                 clusters,
                                 registered: 0,
                                 deregistered: false,
@@ -654,8 +688,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
                 self.work.push_back(Work::BarrierBCheck(s));
             }
             let mut dereg_plan: Vec<(u64, ClusterId)> = Vec::new();
-            if let Some(v) = self.vnodes.get_mut(&q) {
-                if let Some(a) = v.anchored.get_mut(&s) {
+            if let Some(v) = self.vnodes.get_mut(q) {
+                if let Some(a) = v.anchored.get_mut(s) {
                     a.dereg_requested = true;
                     if a.registered == a.clusters.len() && !a.deregistered {
                         a.deregistered = true;
@@ -680,8 +714,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
     /// the subtree is safe and the registration gate has cleared.
     fn flush_safety_report(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
         let (report_remote, report_self) = {
-            let Some(v) = self.vnodes.get_mut(&q) else { return };
-            let st = v.stages.entry(s).or_default();
+            let Some(v) = self.vnodes.get_mut(q) else { return };
+            let st = v.stages.get_mut_or_default(s);
             if !st.subtree_safe || st.reported_up || st.gate_pending > 0 {
                 return;
             }
@@ -705,8 +739,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
     /// and pending safety reports blocked on the gate. Re-driven from the work queue.
     fn maybe_flush_anchor(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
         let mut dereg_plan: Vec<(u64, ClusterId)> = Vec::new();
-        if let Some(v) = self.vnodes.get_mut(&q) {
-            if let Some(a) = v.anchored.get_mut(&s) {
+        if let Some(v) = self.vnodes.get_mut(q) {
+            if let Some(a) = v.anchored.get_mut(s) {
                 if a.dereg_requested && a.registered == a.clusters.len() && !a.deregistered {
                     a.deregistered = true;
                     dereg_plan = a.clusters.iter().map(|&c| (s, c)).collect();
@@ -724,13 +758,13 @@ impl<A: EventDriven> DetSynchronizer<A> {
 
     fn record_goahead(&mut self, ctx: &mut SCtx<A>, q: u64, s: u64) {
         let (forward_children, forward_recipients, self_child) = {
-            let Some(v) = self.vnodes.get_mut(&q) else { return };
-            if v.goaheads.contains(&s) {
+            let Some(v) = self.vnodes.get_mut(q) else { return };
+            if v.goaheads.contains(s) {
                 return;
             }
             v.goaheads.insert(s);
             let children: Vec<NodeId> =
-                if s >= q + 2 { v.children_remote.iter().copied().collect() } else { Vec::new() };
+                if s >= q + 2 { v.children_remote.iter().collect() } else { Vec::new() };
             let recipients: Vec<NodeId> =
                 if q + 1 == s { v.recipients.clone() } else { Vec::new() };
             (children, recipients, v.child_self && s >= q + 2)
@@ -769,11 +803,9 @@ impl<A: EventDriven> DetSynchronizer<A> {
             let cover = cfg.covers.level(idx);
             for &cid in cover.tree_clusters_of(self.me) {
                 let cluster = cover.cluster(cid);
-                let children: BTreeSet<NodeId> =
-                    cluster.children_of(self.me).iter().copied().collect();
                 self.barrier_a.insert(
                     self.barrier_a_key(idx, cid),
-                    BarrierA { children_left: children, sent_up: false },
+                    BarrierA { children_left: cluster.children_of(self.me).len(), sent_up: false },
                 );
             }
             if self.is_initiator {
@@ -781,28 +813,25 @@ impl<A: EventDriven> DetSynchronizer<A> {
             }
         }
         // Phase B: one barrier per (base stage, cluster tree containing me).
-        let base_stages: Vec<u64> = cfg.base_stages().collect();
-        for &stage in &base_stages {
+        for &stage in cfg.base_stages() {
             let idx = cfg.cover_idx(stage);
             let cover = cfg.covers.level(idx);
             for &cid in cover.tree_clusters_of(self.me) {
                 let cluster = cover.cluster(cid);
-                let children: BTreeSet<NodeId> =
-                    cluster.children_of(self.me).iter().copied().collect();
                 self.barrier_b.insert(
                     (stage, cid.0 as u32),
-                    BarrierB { children_left: children, sent_up: false },
+                    BarrierB { children_left: cluster.children_of(self.me).len(), sent_up: false },
                 );
             }
             self.base_goahead_recv.insert(stage, 0);
         }
         // Kick off phase A at the leaves (and trivially-complete roots).
-        let a_keys: Vec<(u32, u32)> = self.barrier_a.keys().copied().collect();
+        let a_keys: Vec<(u32, u32)> = self.barrier_a.keys().collect();
         for key in a_keys {
             self.barrier_a_try_advance(ctx, key);
         }
         // Kick off phase B where this node has nothing to wait for.
-        for &stage in &base_stages {
+        for &stage in cfg.base_stages() {
             self.work.push_back(Work::BarrierBCheck(stage));
         }
         if self.is_initiator && self.init_barrier_pending == 0 {
@@ -815,8 +844,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let (idx, cid) = (key.0 as usize, ClusterId(key.1 as usize));
         let cover = cfg.covers.level(idx);
         let cluster = cover.cluster(cid);
-        let Some(state) = self.barrier_a.get_mut(&key) else { return };
-        if state.sent_up || !state.children_left.is_empty() {
+        let Some(state) = self.barrier_a.get_mut(key) else { return };
+        if state.sent_up || state.children_left > 0 {
             return;
         }
         state.sent_up = true;
@@ -859,7 +888,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
     }
 
     fn release_initiator_sends(&mut self, ctx: &mut SCtx<A>) {
-        let Some(v) = self.vnodes.get_mut(&0) else { return };
+        let Some(v) = self.vnodes.get_mut(0) else { return };
         if v.sent_all {
             return;
         }
@@ -869,7 +898,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
             self.send(ctx, to, SyncMsg::Alg { pulse: 0, payload }, 0, MessageClass::Algorithm);
         }
         self.work.push_back(Work::RecomputeComplete(0));
-        for s in self.cfg.stages_tracked(0) {
+        for &s in self.cfg.stages_tracked(0) {
             self.work.push_back(Work::RecomputeStage(0, s));
         }
     }
@@ -881,8 +910,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
         let cover = cfg.covers.level(idx);
         let my_safe = if self.is_initiator {
             self.vnodes
-                .get(&0)
-                .map(|v| v.stages.get(&stage).map(|st| st.subtree_safe).unwrap_or(false))
+                .get(0)
+                .map(|v| v.stages.get(stage).map(|st| st.subtree_safe).unwrap_or(false))
                 .unwrap_or(false)
         } else {
             true
@@ -893,8 +922,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
             let member = cover.clusters_of(self.me).contains(&cid);
             let gate_on_safety = self.is_initiator && member;
             let ready = {
-                let Some(state) = self.barrier_b.get_mut(&key) else { continue };
-                if state.sent_up || !state.children_left.is_empty() {
+                let Some(state) = self.barrier_b.get_mut(key) else { continue };
+                if state.sent_up || state.children_left > 0 {
                     continue;
                 }
                 if gate_on_safety && !my_safe {
@@ -939,7 +968,7 @@ impl<A: EventDriven> DetSynchronizer<A> {
         }
         if self.is_initiator && cover.clusters_of(self.me).contains(&cid) {
             let needed = cover.clusters_of(self.me).len();
-            let counter = self.base_goahead_recv.entry(stage).or_insert(0);
+            let counter = self.base_goahead_recv.get_mut_or_default(stage);
             *counter += 1;
             if *counter == needed {
                 self.work.push_back(Work::GoAhead(0, stage));
@@ -966,8 +995,8 @@ impl<A: EventDriven> DetSynchronizer<A> {
                 }
                 Work::GoAhead(q, s) => self.record_goahead(ctx, q, s),
                 Work::ReportSafeInternal { parent_pulse, stage } => {
-                    if let Some(v) = self.vnodes.get_mut(&parent_pulse) {
-                        v.stages.entry(stage).or_default().safe_self_child = true;
+                    if let Some(v) = self.vnodes.get_mut(parent_pulse) {
+                        v.stages.get_mut_or_default(stage).safe_self_child = true;
                     }
                     self.work.push_back(Work::RecomputeStage(parent_pulse, stage));
                 }
@@ -999,17 +1028,17 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
                 recipients: recipients.clone(),
                 unacked: outbox.len(),
                 undecided: recipients.len() + 1,
-                children_remote: BTreeSet::new(),
+                children_remote: FlatSet::new(),
                 child_self: false,
                 complete: false,
-                goaheads: BTreeSet::new(),
-                stages: BTreeMap::new(),
-                anchored: BTreeMap::new(),
+                goaheads: FlatSet::new(),
+                stages: FlatMap::new(),
+                anchored: FlatMap::new(),
                 pending_sends: outbox,
             };
             self.vnodes.insert(0, vnode);
             self.processed.insert(0);
-            self.last_processed = Some(0);
+            self.max_processed = Some(0);
             self.pending_triggers.insert(1);
         }
         self.setup_barriers(ctx);
@@ -1019,31 +1048,31 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
     fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<Self::Message>) {
         match msg {
             SyncMsg::Alg { pulse, payload } => {
-                if let Some(&done) = self.processed.iter().next_back() {
-                    if pulse < done && !self.processed.contains(&(pulse + 1)) {
+                if let Some(done) = self.max_processed {
+                    if pulse < done && !self.processed.contains(pulse + 1) {
                         self.ordering_violations += 1;
                     }
                 }
-                self.received.entry(pulse).or_default().push((from, payload));
+                self.received.get_mut_or_default(pulse).push((from, payload));
                 self.send(ctx, from, SyncMsg::AlgAck { pulse }, pulse, MessageClass::Control);
-                if !self.processed.contains(&(pulse + 1)) {
+                if !self.processed.contains(pulse + 1) {
                     self.pending_triggers.insert(pulse + 1);
                 }
                 self.work.push_back(Work::TryProcess);
             }
             SyncMsg::AlgAck { pulse } => {
-                if let Some(v) = self.vnodes.get_mut(&pulse) {
+                if let Some(v) = self.vnodes.get_mut(pulse) {
                     v.unacked = v.unacked.saturating_sub(1);
                 }
                 self.work.push_back(Work::RecomputeComplete(pulse));
             }
             SyncMsg::Decision { pulse, created, chosen_parent } => {
                 let mut forward: Vec<u64> = Vec::new();
-                if let Some(v) = self.vnodes.get_mut(&(pulse - 1)) {
+                if let Some(v) = self.vnodes.get_mut(pulse - 1) {
                     v.undecided = v.undecided.saturating_sub(1);
                     if created && chosen_parent {
                         v.children_remote.insert(from);
-                        forward = v.goaheads.iter().copied().filter(|&s| s > pulse).collect();
+                        forward = v.goaheads.iter().filter(|&s| s > pulse).collect();
                     }
                 }
                 for s in forward {
@@ -1059,8 +1088,8 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
             }
             SyncMsg::Safe { stage, sender_pulse } => {
                 let parent_pulse = sender_pulse - 1;
-                if let Some(v) = self.vnodes.get_mut(&parent_pulse) {
-                    v.stages.entry(stage).or_default().safe_children.insert(from);
+                if let Some(v) = self.vnodes.get_mut(parent_pulse) {
+                    v.stages.get_mut_or_default(stage).safe_children.insert(from);
                 }
                 self.work.push_back(Work::RecomputeStage(parent_pulse, stage));
             }
@@ -1080,9 +1109,9 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
             SyncMsg::BarrierAUp { cover_idx, cluster } => {
                 let key = (cover_idx, cluster);
                 let complete_at_root = {
-                    let Some(state) = self.barrier_a.get_mut(&key) else { return };
-                    state.children_left.remove(&from);
-                    state.children_left.is_empty() && !state.sent_up
+                    let Some(state) = self.barrier_a.get_mut(key) else { return };
+                    state.children_left = state.children_left.saturating_sub(1);
+                    state.children_left == 0 && !state.sent_up
                 };
                 if complete_at_root {
                     self.barrier_a_try_advance(ctx, key);
@@ -1092,8 +1121,8 @@ impl<A: EventDriven> Protocol for DetSynchronizer<A> {
                 self.barrier_a_complete(ctx, (cover_idx, cluster));
             }
             SyncMsg::BarrierBUp { stage, cluster } => {
-                if let Some(state) = self.barrier_b.get_mut(&(stage, cluster)) {
-                    state.children_left.remove(&from);
+                if let Some(state) = self.barrier_b.get_mut((stage, cluster)) {
+                    state.children_left = state.children_left.saturating_sub(1);
                 }
                 self.work.push_back(Work::BarrierBCheck(stage));
             }
@@ -1135,20 +1164,20 @@ mod tests {
     use ds_netsim::delay::DelayModel;
 
     #[derive(Debug)]
-    struct Flood {
+    struct Flood<'g> {
         me: NodeId,
-        neighbors: Vec<NodeId>,
+        neighbors: &'g [NodeId],
         hops: Option<u64>,
     }
 
-    impl EventDriven for Flood {
+    impl EventDriven for Flood<'_> {
         type Msg = u64;
         type Output = u64;
 
         fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
             if self.me == NodeId(0) {
                 self.hops = Some(0);
-                for &u in &self.neighbors {
+                for &u in self.neighbors {
                     ctx.send(u, 1);
                 }
             }
@@ -1158,7 +1187,7 @@ mod tests {
             if self.hops.is_none() {
                 if let Some(&(_, h)) = received.first() {
                     self.hops = Some(h);
-                    for &u in &self.neighbors {
+                    for &u in self.neighbors {
                         ctx.send(u, h + 1);
                     }
                 }
@@ -1183,7 +1212,7 @@ mod tests {
             |v| {
                 DetSynchronizer::new(
                     v,
-                    Flood { me: v, neighbors: graph.neighbors(v).to_vec(), hops: None },
+                    Flood { me: v, neighbors: graph.neighbors(v), hops: None },
                     cfg.clone(),
                 )
             },
@@ -1194,7 +1223,7 @@ mod tests {
             let dump = node.debug_stall();
             assert!(dump.starts_with(&format!("node {i}:")), "dump header: {dump}");
             // A finished run left no unreleased triggers behind.
-            assert!(dump.contains("pending_triggers={}"), "node {i} still pending: {dump}");
+            assert!(dump.contains("pending_triggers=[]"), "node {i} still pending: {dump}");
         }
         // The initiator's dump names its pulse-0 virtual node.
         assert!(report.nodes[0].debug_stall().contains("vnode p=0"));
