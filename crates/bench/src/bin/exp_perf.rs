@@ -1,13 +1,24 @@
 //! E9 — engine performance matrix (graph family × synchronizer × adversary),
 //! written to `BENCH_synchronizer.json` (schema in DESIGN.md §4).
 //!
-//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--out PATH]`
+//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--out PATH]
+//!                  [--compare BASELINE.json] [--compare-out PATH] [--tolerance PCT]`
+//!
+//! With `--compare`, the run is additionally diffed against a previously recorded
+//! artifact: per-scenario throughput deltas are printed (and written to
+//! `--compare-out`, default `BENCH_compare.txt`), and the process exits non-zero
+//! if any matched scenario regressed by more than the tolerance (default 20 %) or
+//! processed a different number of events (i.e. the simulated schedule changed).
 
+use ds_bench::compare::{compare_against_baseline, Baseline, DEFAULT_TOLERANCE};
 use ds_bench::perf::{experiment_perf, render_artifact, PerfOptions, PerfRecord};
 
 fn main() {
     let mut opts = PerfOptions::default();
     let mut out_path = String::from("BENCH_synchronizer.json");
+    let mut compare_path: Option<String> = None;
+    let mut compare_out = String::from("BENCH_compare.txt");
+    let mut tolerance = DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -16,9 +27,32 @@ fn main() {
                 opts.filter = Some(args.next().expect("--filter requires a substring"));
             }
             "--out" => out_path = args.next().expect("--out requires a path"),
-            other => panic!("unknown argument {other:?} (expected --smoke, --filter, --out)"),
+            "--compare" => {
+                compare_path = Some(args.next().expect("--compare requires a baseline path"));
+            }
+            "--compare-out" => compare_out = args.next().expect("--compare-out requires a path"),
+            "--tolerance" => {
+                let pct: f64 = args
+                    .next()
+                    .expect("--tolerance requires a percentage")
+                    .parse()
+                    .expect("--tolerance must be a number (percent)");
+                tolerance = pct / 100.0;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --smoke, --filter, --out, \
+                 --compare, --compare-out, --tolerance)"
+            ),
         }
     }
+
+    // Load the baseline up front: `--out` may overwrite the very file being
+    // compared against (the CI job reuses the committed artifact's path).
+    let baseline = compare_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        Baseline::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"))
+    });
 
     let records = experiment_perf(&opts);
     let rows: Vec<_> = records.iter().map(PerfRecord::to_row).collect();
@@ -28,4 +62,15 @@ fn main() {
     let artifact = render_artifact(mode, &records);
     std::fs::write(&out_path, artifact).expect("write benchmark artifact");
     println!("wrote {} scenarios to {out_path}", records.len());
+
+    if let Some(baseline) = baseline {
+        let report = compare_against_baseline(&records, &baseline, tolerance);
+        let text = report.render();
+        print!("{text}");
+        std::fs::write(&compare_out, &text).expect("write comparison report");
+        println!("wrote comparison report to {compare_out}");
+        if !report.passed() {
+            std::process::exit(1);
+        }
+    }
 }

@@ -37,7 +37,7 @@ pub struct PerfOptions {
 pub struct PerfRecord {
     /// Scenario id, e.g. `grid/4096/det/jitter`.
     pub scenario: String,
-    /// Graph family (`grid`, `cycle`, `random-regular`).
+    /// Graph family (`grid`, `torus`, `cycle`, `random-regular`).
     pub family: String,
     /// Node count.
     pub n: usize,
@@ -132,13 +132,24 @@ pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     .render()
 }
 
-/// The fixed scenario graphs: `(family, graph)` per size tier.
+/// The fixed scenario graphs: `(family, graph)` per size tier. The 16384-node
+/// tiers (128×128 grid and torus, 16384-node random-regular) exist to show that
+/// the timing-wheel engine's throughput holds up beyond the historical 4096-node
+/// ceiling; the torus family is the boundary-free counterpart of the grid.
 fn perf_graphs(smoke: bool) -> Vec<(String, String, Graph)> {
     let mut out: Vec<(String, String, Graph)> = Vec::new();
-    let grid_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64] };
+    let grid_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64, 128] };
     for &side in grid_sides {
         let n = side * side;
         out.push(("grid".into(), format!("grid/{n}"), Graph::grid(side, side)));
+    }
+    // The full torus tiers include the smoke side so the smoke matrix is a strict
+    // subset of the full one — the CI `--compare` event-count check then covers
+    // every family, torus included.
+    let torus_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64, 128] };
+    for &side in torus_sides {
+        let n = side * side;
+        out.push(("torus".into(), format!("torus/{n}"), Graph::torus(side, side)));
     }
     // The cycle family stops at 1024 nodes: its diameter (and hence `T(A)`) grows
     // linearly, so larger cycles measure pulse-count scaling, not engine throughput.
@@ -146,7 +157,7 @@ fn perf_graphs(smoke: bool) -> Vec<(String, String, Graph)> {
     for &n in cycle_sizes {
         out.push(("cycle".into(), format!("cycle/{n}"), Graph::cycle(n)));
     }
-    let rr_sizes: &[usize] = if smoke { &[256] } else { &[256, 1024, 4096] };
+    let rr_sizes: &[usize] = if smoke { &[256] } else { &[256, 1024, 4096, 16384] };
     for &n in rr_sizes {
         out.push((
             "random-regular".into(),
@@ -290,9 +301,9 @@ mod tests {
     #[test]
     fn smoke_matrix_covers_every_family_kind_and_adversary() {
         let records = experiment_perf(&PerfOptions { smoke: true, filter: None });
-        // 3 families × (1 direct + 3 kinds × 2 adversaries) = 21 scenarios.
-        assert_eq!(records.len(), 21);
-        for family in ["grid", "cycle", "random-regular"] {
+        // 4 families × (1 direct + 3 kinds × 2 adversaries) = 28 scenarios.
+        assert_eq!(records.len(), 28);
+        for family in ["grid", "torus", "cycle", "random-regular"] {
             for kind in ["direct", "alpha", "beta", "det"] {
                 assert!(
                     records.iter().any(|r| r.family == family && r.synchronizer == kind),

@@ -86,6 +86,28 @@ impl Graph {
         g
     }
 
+    /// `rows x cols` torus: the grid with wrap-around edges in both dimensions, so
+    /// every node has degree 4. Diameter `rows / 2 + cols / 2` — half the grid's —
+    /// which makes it the vertex-transitive counterpart of the grid in the
+    /// benchmark matrix (no boundary effects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is less than 3 (smaller wrap-arounds would
+    /// produce parallel edges).
+    pub fn torus(rows: usize, cols: usize) -> Graph {
+        assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+        let idx = |r: usize, c: usize| NodeId(r * cols + c);
+        let mut g = Graph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                g.add_edge(idx(r, c), idx(r, (c + 1) % cols)).expect("torus ring edge");
+                g.add_edge(idx(r, c), idx((r + 1) % rows, c)).expect("torus ring edge");
+            }
+        }
+        g
+    }
+
     /// Complete binary tree with `n` nodes (node `i` has children `2i+1`, `2i+2`).
     ///
     /// # Panics
@@ -285,6 +307,22 @@ mod tests {
         assert_eq!(g.node_count(), 12);
         assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
         assert_eq!(metrics::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn torus_is_four_regular_with_half_the_grid_diameter() {
+        let g = Graph::torus(4, 6);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 2 * 24);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(metrics::is_connected(&g));
+        assert_eq!(metrics::diameter(&g), Some(2 + 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "torus dimensions")]
+    fn torus_rejects_degenerate_dimensions() {
+        let _ = Graph::torus(2, 5);
     }
 
     #[test]

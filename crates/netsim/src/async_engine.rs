@@ -15,17 +15,32 @@
 //!
 //! The engine's bookkeeping is flat and dense: per-link state lives in a `Vec`
 //! indexed by [`DirectedEdgeId`] (every send resolves `(from, to)` through the
-//! graph's directed-edge index), the event heap carries payloads inline, and one
-//! outbox buffer is recycled across activations — there are no map lookups or
-//! per-event allocations on the hot path.
+//! graph's directed-edge index), events carry payloads inline, and one outbox
+//! buffer is recycled across activations — there are no map lookups or per-event
+//! allocations on the hot path.
+//!
+//! Scheduling exploits the bounded delay horizon twice (see
+//! [`crate::scheduler`] and the crate-private `stage_queue` module for the data
+//! structures and the determinism argument):
+//!
+//! * the global event queue is a bounded-horizon **timing wheel** — `O(1)` per
+//!   event instead of the `O(log n)` of the reference binary heap (selectable via
+//!   [`SchedulerKind`]; both produce bit-identical schedules),
+//! * per-link queues are **per-stage FIFO buckets** keyed by the small stage
+//!   priorities of Lemma 2.5, with a dense occupancy bitset,
+//! * all deliveries of one tick to the same node are **batched**: the node
+//!   activates once with one borrowed outbox buffer, and its arrivals, outbox
+//!   dispatches and acknowledgment scheduling are processed in exact global
+//!   `(tick, seq)` order, so the schedule is unchanged.
 
 use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
 use crate::protocol::{Ctx, Outgoing, Protocol};
+use crate::scheduler::{EventScheduler, HeapScheduler, TimingWheel};
+use crate::stage_queue::StageQueue;
+use crate::SchedulerKind;
 use crate::TICKS_PER_UNIT;
 use ds_graph::{DirectedEdgeId, Graph, NodeId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Errors reported by the simulation engines.
@@ -82,48 +97,51 @@ pub struct AsyncReport<P> {
     pub nodes: Vec<P>,
 }
 
-/// A message waiting on a link, ordered lowest `(priority, seq)` first (Lemma 2.5:
-/// lowest stage first, FIFO within a stage). `Ord` is reversed so the max-heap
-/// [`BinaryHeap`] pops the minimum; the payload rides inline in the heap entry.
-#[derive(Debug)]
-struct QueuedMessage<M> {
-    priority: u64,
-    seq: u64,
-    msg: M,
-}
-
-impl<M> PartialEq for QueuedMessage<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl<M> Eq for QueuedMessage<M> {}
-
-impl<M> PartialOrd for QueuedMessage<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for QueuedMessage<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.priority, other.seq).cmp(&(self.priority, self.seq))
-    }
-}
-
 /// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`].
 #[derive(Debug)]
 struct LinkState<M> {
+    /// Cached endpoints of the directed edge — the hot path reads them from the
+    /// link record it touches anyway instead of chasing the graph's edge table.
+    from: NodeId,
+    to: NodeId,
     /// Whether a message is currently in flight (awaiting acknowledgment).
     in_flight: bool,
-    /// Messages waiting for the link.
-    queue: BinaryHeap<QueuedMessage<M>>,
+    /// Single-entry fast path: the first queued `(priority, seq, msg)` waits here
+    /// and only further arrivals spill into the bucket queue, so the common case —
+    /// one message waiting per link — never touches `StageQueue` at all.
+    head: Option<(u64, u64, M)>,
+    /// Spilled messages, lowest `(priority, seq)` first (Lemma 2.5: lowest stage
+    /// first, FIFO within a stage).
+    queue: StageQueue<M>,
 }
 
 impl<M> LinkState<M> {
-    fn new() -> Self {
-        LinkState { in_flight: false, queue: BinaryHeap::new() }
+    fn new(from: NodeId, to: NodeId) -> Self {
+        LinkState { from, to, in_flight: false, head: None, queue: StageQueue::new() }
+    }
+
+    fn push(&mut self, priority: u64, seq: u64, msg: M) {
+        if self.head.is_none() {
+            self.head = Some((priority, seq, msg));
+        } else {
+            self.queue.push(priority, seq, msg);
+        }
+    }
+
+    /// Pops the waiting message with the minimum `(priority, seq)` as
+    /// `(seq, msg)`. The head entry and the bucket queue each yield their own
+    /// minimum; the smaller key wins, so the order equals the unsplit queue's.
+    fn pop(&mut self) -> Option<(u64, M)> {
+        match self.head.take() {
+            Some((hp, hs, hmsg)) => match self.queue.min_key() {
+                Some(qkey) if qkey < (hp, hs) => {
+                    self.head = Some((hp, hs, hmsg));
+                    self.queue.pop()
+                }
+                _ => Some((hs, hmsg)),
+            },
+            None => self.queue.pop(),
+        }
     }
 }
 
@@ -133,45 +151,26 @@ enum EventKind<M> {
     Ack,
 }
 
-/// A scheduled event: earliest `(at, seq)` pops first; the payload is carried
-/// inline — there is no side table of event payloads.
+/// The inline payload of a scheduled event; the scheduler supplies `(at, seq)`.
 #[derive(Debug)]
-struct Event<M> {
-    at: u64,
-    seq: u64,
+struct Pending<M> {
     link: DirectedEdgeId,
     kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-struct Engine<'a, P: Protocol> {
+struct Engine<'a, P: Protocol, S> {
     graph: &'a Graph,
     delay: DelayModel,
     nodes: Vec<P>,
     /// Link state per directed edge, indexed by [`DirectedEdgeId`].
     links: Vec<LinkState<P::Message>>,
-    events: BinaryHeap<Event<P::Message>>,
+    sched: S,
     now: u64,
     seq: u64,
+    /// Deliveries processed so far, checked against `max_events`.
+    deliveries: u64,
+    /// The run's delivery budget (`SimLimits::max_events`).
+    max_events: u64,
     metrics: RunMetrics,
     done_flags: Vec<bool>,
     done_count: usize,
@@ -182,10 +181,10 @@ struct Engine<'a, P: Protocol> {
     touched: Vec<DirectedEdgeId>,
 }
 
-impl<'a, P: Protocol> Engine<'a, P> {
+impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
     fn schedule(&mut self, at: u64, link: DirectedEdgeId, kind: EventKind<P::Message>) {
         let seq = self.next_seq();
-        self.events.push(Event { at, seq, link, kind });
+        self.sched.schedule(at, seq, Pending { link, kind });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -199,15 +198,18 @@ impl<'a, P: Protocol> Engine<'a, P> {
         if state.in_flight {
             return;
         }
-        let Some(q) = state.queue.pop() else { return };
+        let Some((msg_seq, msg)) = state.pop() else { return };
         state.in_flight = true;
-        let (from, to) = self.graph.directed_endpoints(link);
-        let delay = self.delay.delay_ticks(from, to, q.seq);
+        let (from, to) = (state.from, state.to);
+        let delay = self.delay.delay_ticks(from, to, msg_seq);
         let at = self.now + delay;
-        self.schedule(at, link, EventKind::Deliver { msg: q.msg });
+        self.schedule(at, link, EventKind::Deliver { msg });
     }
 
     fn dispatch_outbox(&mut self, from: NodeId, ctx: &mut Ctx<P::Message>) -> Result<(), SimError> {
+        if ctx.queued() == 0 {
+            return Ok(());
+        }
         let mut touched = std::mem::take(&mut self.touched);
         for out in ctx.drain_outbox() {
             let Some(link) = self.graph.edge_id(from, out.to) else {
@@ -216,17 +218,42 @@ impl<'a, P: Protocol> Engine<'a, P> {
             self.metrics.record_message(out.class);
             let seq = self.seq;
             self.seq += 1;
-            self.links[link.index()].queue.push(QueuedMessage {
-                priority: out.priority,
-                seq,
-                msg: out.msg,
-            });
+            self.links[link.index()].push(out.priority, seq, out.msg);
             touched.push(link);
         }
         for link in touched.drain(..) {
             self.try_inject(link);
         }
         self.touched = touched;
+        Ok(())
+    }
+
+    /// Processes one delivery: the protocol activation, its outbox dispatch, and
+    /// the acknowledgment back to the sender — in exact global `seq` order, so
+    /// batched and unbatched processing yield identical schedules.
+    fn deliver(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        link: DirectedEdgeId,
+        msg: P::Message,
+        ctx: &mut Ctx<P::Message>,
+    ) -> Result<(), SimError> {
+        self.deliveries += 1;
+        if self.deliveries > self.max_events {
+            return Err(SimError::EventLimitExceeded { limit: self.max_events });
+        }
+        self.metrics.events += 1;
+        self.nodes[to.index()].on_message(from, msg, ctx);
+        self.dispatch_outbox(to, ctx)?;
+        // Send the link-level acknowledgment back to the sender. (The ack draws
+        // one seq for its delay and a second inside `schedule`, mirroring the
+        // historical engine exactly — the seq stream feeds the delay adversary.)
+        self.metrics.acks += 1;
+        let ack_seq = self.next_seq();
+        let ack_delay = self.delay.delay_ticks(to, from, ack_seq);
+        let at = self.now + ack_delay;
+        self.schedule(at, link, EventKind::Ack);
         Ok(())
     }
 
@@ -241,7 +268,8 @@ impl<'a, P: Protocol> Engine<'a, P> {
     }
 }
 
-/// Runs an asynchronous protocol on `graph` under the delay adversary `delay`.
+/// Runs an asynchronous protocol on `graph` under the delay adversary `delay`,
+/// scheduling with the default [`SchedulerKind::TimingWheel`].
 ///
 /// `make` constructs the per-node protocol instance.
 ///
@@ -253,22 +281,71 @@ impl<'a, P: Protocol> Engine<'a, P> {
 pub fn run_async<P, F>(
     graph: &Graph,
     delay: DelayModel,
-    mut make: F,
+    make: F,
     limits: SimLimits,
 ) -> Result<AsyncReport<P>, SimError>
 where
     P: Protocol,
     F: FnMut(NodeId) -> P,
 {
+    run_async_with(graph, delay, make, limits, SchedulerKind::default())
+}
+
+/// [`run_async`] with an explicit event-scheduler choice. Both schedulers produce
+/// bit-identical runs (asserted by `tests/scheduler_equiv.rs`); the heap is kept
+/// as the executable reference for the timing wheel.
+///
+/// # Errors
+///
+/// Same as [`run_async`].
+pub fn run_async_with<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    scheduler: SchedulerKind,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    match scheduler {
+        SchedulerKind::TimingWheel => {
+            let horizon = delay.max_delay_ticks();
+            run_engine(graph, delay, make, limits, TimingWheel::new(horizon))
+        }
+        SchedulerKind::BinaryHeap => run_engine(graph, delay, make, limits, HeapScheduler::new()),
+    }
+}
+
+fn run_engine<P, F, S>(
+    graph: &Graph,
+    delay: DelayModel,
+    mut make: F,
+    limits: SimLimits,
+    sched: S,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+    S: EventScheduler<Pending<P::Message>>,
+{
     let n = graph.node_count();
     let mut engine = Engine {
         graph,
         delay,
         nodes: graph.nodes().map(&mut make).collect(),
-        links: (0..graph.directed_edge_count()).map(|_| LinkState::new()).collect(),
-        events: BinaryHeap::new(),
+        links: (0..graph.directed_edge_count())
+            .map(|e| {
+                let (from, to) = graph.directed_endpoints(ds_graph::DirectedEdgeId(e as u32));
+                LinkState::new(from, to)
+            })
+            .collect(),
+        sched,
         now: 0,
         seq: 0,
+        deliveries: 0,
+        max_events: limits.max_events,
         metrics: RunMetrics::default(),
         done_flags: vec![false; n],
         done_count: 0,
@@ -286,33 +363,49 @@ where
         engine.update_done(v);
     }
 
-    let mut deliveries: u64 = 0;
-    while let Some(Event { at, seq: _, link, kind }) = engine.events.pop() {
-        engine.now = at;
-        match kind {
-            EventKind::Deliver { msg } => {
-                deliveries += 1;
-                if deliveries > limits.max_events {
-                    return Err(SimError::EventLimitExceeded { limit: limits.max_events });
+    // One tick per iteration: `take_due` hands over every event of the earliest
+    // pending tick in ascending seq order (events scheduled while processing the
+    // tick land strictly later, so the batch is complete).
+    let mut due: Vec<(u64, Pending<P::Message>)> = Vec::new();
+    while let Some(t) = engine.sched.take_due(&mut due) {
+        engine.now = t;
+        let mut events = due.drain(..).peekable();
+        while let Some((_seq, Pending { link, kind })) = events.next() {
+            match kind {
+                EventKind::Deliver { msg } => {
+                    let state = &engine.links[link.index()];
+                    let (from, to) = (state.from, state.to);
+                    // Batched delivery: this node activates once for the whole
+                    // run of consecutive same-tick deliveries addressed to it —
+                    // one borrowed outbox buffer, one done-check — while each
+                    // arrival's outbox dispatch and ack keep their exact place
+                    // in the global seq order.
+                    let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut engine.outbox_pool));
+                    engine.deliver(from, to, link, msg, &mut ctx)?;
+                    while let Some((
+                        _,
+                        Pending { link: next_link, kind: EventKind::Deliver { .. } },
+                    )) = events.peek()
+                    {
+                        let next_state = &engine.links[next_link.index()];
+                        let (next_from, next_to) = (next_state.from, next_state.to);
+                        if next_to != to {
+                            break;
+                        }
+                        let Some((_, Pending { link: l, kind: EventKind::Deliver { msg } })) =
+                            events.next()
+                        else {
+                            unreachable!("peeked a delivery");
+                        };
+                        engine.deliver(next_from, to, l, msg, &mut ctx)?;
+                    }
+                    engine.outbox_pool = ctx.into_buffer();
+                    engine.update_done(to);
                 }
-                engine.metrics.events += 1;
-                let (from, to) = graph.directed_endpoints(link);
-                // Deliver to the protocol.
-                let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut engine.outbox_pool));
-                engine.nodes[to.index()].on_message(from, msg, &mut ctx);
-                engine.dispatch_outbox(to, &mut ctx)?;
-                engine.outbox_pool = ctx.into_buffer();
-                engine.update_done(to);
-                // Send the link-level acknowledgment back to the sender.
-                engine.metrics.acks += 1;
-                let ack_seq = engine.next_seq();
-                let ack_delay = engine.delay.delay_ticks(to, from, ack_seq);
-                let at = engine.now + ack_delay;
-                engine.schedule(at, link, EventKind::Ack);
-            }
-            EventKind::Ack => {
-                engine.links[link.index()].in_flight = false;
-                engine.try_inject(link);
+                EventKind::Ack => {
+                    engine.links[link.index()].in_flight = false;
+                    engine.try_inject(link);
+                }
             }
         }
     }

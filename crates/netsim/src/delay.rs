@@ -92,6 +92,15 @@ impl DelayModel {
         d.clamp(1, TICKS_PER_UNIT)
     }
 
+    /// Upper bound, in ticks, on any delay this adversary can assign — the
+    /// scheduling horizon of the asynchronous engine's timing wheel. Every model
+    /// clamps its delays into `1..=TICKS_PER_UNIT` (the model's one-time-unit
+    /// bound), so the bound is `TICKS_PER_UNIT` for all of them; a future
+    /// composite multi-unit model would return its own bound here.
+    pub fn max_delay_ticks(&self) -> u64 {
+        TICKS_PER_UNIT
+    }
+
     /// The standard set of adversaries exercised by the integration tests and the
     /// robustness experiment (E8 in DESIGN.md).
     pub fn standard_suite(seed: u64) -> Vec<DelayModel> {

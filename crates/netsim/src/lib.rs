@@ -21,20 +21,29 @@
 //!   [`delay::DelayModel`], enforcing the acknowledgment discipline of Appendix B
 //!   (one un-acknowledged message per link) and the lowest-stage-first scheduling of
 //!   Lemma 2.5 / Corollary 2.3,
+//! * [`scheduler`] holds the engine's event schedulers — the bounded-horizon
+//!   timing wheel the model's one-time-unit delay bound makes possible, and the
+//!   binary-heap reference it is tested against ([`SchedulerKind`] selects),
+//! * `stage_queue` (crate-private) holds the per-link queues as per-stage FIFO
+//!   buckets,
 //! * [`metrics`] collects time and message accounting for both engines.
 
 pub mod async_engine;
+mod bitset;
 pub mod delay;
 pub mod event_driven;
 pub mod metrics;
 pub mod protocol;
+pub mod scheduler;
+mod stage_queue;
 pub mod sync_engine;
 
-pub use async_engine::{run_async, AsyncReport, SimError, SimLimits};
+pub use async_engine::{run_async, run_async_with, AsyncReport, SimError, SimLimits};
 pub use delay::DelayModel;
 pub use event_driven::{EventDriven, PulseCtx};
 pub use metrics::{MessageClass, RunMetrics};
 pub use protocol::{Ctx, Protocol};
+pub use scheduler::SchedulerKind;
 pub use sync_engine::{run_sync, SyncReport};
 
 /// Number of simulator ticks per asynchronous time unit `τ`.

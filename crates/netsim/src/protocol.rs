@@ -27,6 +27,12 @@ pub trait Protocol {
     /// Used only for the time-to-output measurement (the paper's notion of time
     /// complexity: the time until all nodes generate their output). Nodes may keep
     /// exchanging auxiliary messages afterwards.
+    ///
+    /// Must be **monotone**: once a node reports `true` it must keep reporting
+    /// `true` (an output, once produced, is final). The engine batches same-tick
+    /// deliveries per node and evaluates `is_done` once per activation batch, so a
+    /// predicate that flickered back to `false` within a tick would not be
+    /// observed at any intermediate point.
     fn is_done(&self) -> bool;
 }
 

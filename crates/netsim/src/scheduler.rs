@@ -1,0 +1,411 @@
+//! Event schedulers for the asynchronous engine: a bounded-horizon timing wheel
+//! (the default) and a binary-heap reference implementation.
+//!
+//! The asynchronous model bounds every link delay by one time unit `τ`
+//! ([`crate::TICKS_PER_UNIT`] ticks), so every event is scheduled at most
+//! `TICKS_PER_UNIT` ticks into the future. That bounded horizon makes the textbook
+//! timing wheel (calendar queue) the right structure: `TICKS_PER_UNIT + 1` rotating
+//! slots, each holding the events of one absolute tick, give `O(1)` insertion and
+//! amortized `O(1)` extraction, against the `O(log n)` of a global binary heap.
+//!
+//! Both implementations expose the same crate-private `EventScheduler` interface
+//! and produce **bit-identical** schedules:
+//!
+//! * events are totally ordered by `(at, seq)` with a globally increasing `seq`,
+//! * `EventScheduler::take_due` drains *all* events of the earliest pending tick
+//!   in ascending `seq` order. Within a wheel slot, insertion order *is* `seq`
+//!   order, because `seq` increases monotonically over the run and no event can be
+//!   scheduled at the tick currently being drained (delays are at least one tick),
+//! * entries whose delay exceeds the horizon (none of the shipped
+//!   [`crate::delay::DelayModel`]s produce these, but composite multi-unit delays
+//!   may) go to a small overflow heap consulted alongside the wheel; an overflow
+//!   entry's `seq` is always smaller than any wheel entry of the same tick, since
+//!   it was necessarily scheduled more than a horizon earlier.
+//!
+//! The engine picks the implementation through [`SchedulerKind`]; the heap is kept
+//! as the executable specification the wheel is tested against (see
+//! `tests/scheduler_equiv.rs` and the module tests below).
+
+use crate::bitset;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which event scheduler [`crate::async_engine::run_async_with`] drives the
+/// simulation with. Both produce bit-identical schedules; the wheel is faster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Bounded-horizon timing wheel: `O(1)` per event (the default).
+    #[default]
+    TimingWheel,
+    /// Global binary heap: `O(log n)` per event. The reference implementation.
+    BinaryHeap,
+}
+
+impl SchedulerKind {
+    /// Short label ("wheel", "heap") for experiment rows and test messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::TimingWheel => "wheel",
+            SchedulerKind::BinaryHeap => "heap",
+        }
+    }
+}
+
+/// Common interface of the engine's event schedulers.
+///
+/// `T` is the inline payload (the engine stores the link id and the message).
+pub(crate) trait EventScheduler<T> {
+    /// Schedules `payload` at absolute tick `at` with global sequence number `seq`.
+    ///
+    /// Callers must only schedule into the strict future of the last tick returned
+    /// by [`EventScheduler::take_due`] (the engine guarantees this: delays are at
+    /// least one tick), with `seq` strictly increasing across calls.
+    fn schedule(&mut self, at: u64, seq: u64, payload: T);
+
+    /// Moves *every* event of the earliest pending tick into `due` (ascending
+    /// `seq`) and returns that tick, or `None` if no events are pending.
+    fn take_due(&mut self, due: &mut Vec<(u64, T)>) -> Option<u64>;
+}
+
+// ---------------------------------------------------------------------------
+// Timing wheel
+// ---------------------------------------------------------------------------
+
+/// A timestamped event ordered earliest `(at, seq)` first (`Ord` reversed for
+/// [`BinaryHeap`]'s max-heap); shared by the wheel's overflow heap and the
+/// reference [`HeapScheduler`], so their orderings can never drift apart.
+#[derive(Debug)]
+struct MinEntry<T> {
+    at: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for MinEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<T> Eq for MinEntry<T> {}
+
+impl<T> PartialOrd for MinEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for MinEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Bounded-horizon timing wheel with `horizon + 1` rotating slots.
+///
+/// Slot `at % (horizon + 1)` holds the events of absolute tick `at`; because all
+/// pending events lie in `(now, now + horizon]`, distinct pending ticks never
+/// share a slot. A dense occupancy bitset finds the next non-empty slot in a few
+/// word operations, drained slot buffers are recycled through a free list (so
+/// steady-state scheduling never allocates), and events beyond the horizon wait in
+/// a small overflow heap that is consulted next to the wheel.
+#[derive(Debug)]
+pub(crate) struct TimingWheel<T> {
+    /// One buffer of `(seq, payload)` per slot; insertion order is `seq` order.
+    slots: Vec<Vec<(u64, T)>>,
+    /// Occupancy bitset: bit `i` set iff `slots[i]` is non-empty.
+    occupied: Vec<u64>,
+    /// Current absolute tick (the last tick drained by `take_due`).
+    now: u64,
+    /// Number of events currently parked in slots (excludes the overflow heap).
+    pending: usize,
+    /// Maximum in-wheel scheduling distance, in ticks.
+    horizon: u64,
+    /// Events scheduled more than `horizon` ticks ahead.
+    overflow: BinaryHeap<MinEntry<T>>,
+    /// Recycled slot buffers: a drained slot's buffer returns here.
+    free: Vec<Vec<(u64, T)>>,
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates a wheel accepting delays of up to `horizon` ticks, starting at
+    /// absolute tick 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub(crate) fn new(horizon: u64) -> Self {
+        assert!(horizon > 0, "wheel horizon must be positive");
+        let slot_count = usize::try_from(horizon + 1).expect("horizon fits in memory");
+        TimingWheel {
+            slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            occupied: vec![0; slot_count.div_ceil(64)],
+            now: 0,
+            pending: 0,
+            horizon,
+            overflow: BinaryHeap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Total number of pending events (wheel slots plus overflow).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.pending + self.overflow.len()
+    }
+
+    /// Absolute tick of the earliest non-empty slot. Requires `pending > 0`.
+    fn next_occupied_time(&self) -> u64 {
+        debug_assert!(self.pending > 0);
+        let len = self.slots.len();
+        let cur = (self.now % len as u64) as usize;
+        let idx = bitset::find_set_from(&self.occupied, cur + 1)
+            .or_else(|| bitset::find_set_from(&self.occupied, 0))
+            .expect("pending > 0 implies an occupied slot");
+        debug_assert_ne!(idx, cur, "the current slot was drained and delays are positive");
+        let d = if idx > cur { idx - cur } else { idx + len - cur };
+        self.now + d as u64
+    }
+}
+
+impl<T> EventScheduler<T> for TimingWheel<T> {
+    fn schedule(&mut self, at: u64, seq: u64, payload: T) {
+        debug_assert!(at > self.now, "events must be scheduled in the strict future");
+        if at - self.now <= self.horizon {
+            let idx = (at % self.slots.len() as u64) as usize;
+            if self.slots[idx].is_empty() {
+                if self.slots[idx].capacity() == 0 {
+                    if let Some(buf) = self.free.pop() {
+                        self.slots[idx] = buf;
+                    }
+                }
+                bitset::set(&mut self.occupied, idx);
+            }
+            debug_assert!(
+                self.slots[idx].last().is_none_or(|&(s, _)| s < seq),
+                "slot insertion order must be seq order"
+            );
+            self.slots[idx].push((seq, payload));
+            self.pending += 1;
+        } else {
+            self.overflow.push(MinEntry { at, seq, payload });
+        }
+    }
+
+    fn take_due(&mut self, due: &mut Vec<(u64, T)>) -> Option<u64> {
+        let wheel_next = (self.pending > 0).then(|| self.next_occupied_time());
+        let overflow_next = self.overflow.peek().map(|e| e.at);
+        let t = match (wheel_next, overflow_next) {
+            (None, None) => return None,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        // Overflow entries of tick `t` were scheduled more than a horizon before
+        // any wheel entry of tick `t`, so their seqs are strictly smaller: drain
+        // them first to keep `due` in ascending seq order.
+        while self.overflow.peek().is_some_and(|e| e.at == t) {
+            let e = self.overflow.pop().expect("peeked");
+            due.push((e.seq, e.payload));
+        }
+        if wheel_next == Some(t) {
+            let idx = (t % self.slots.len() as u64) as usize;
+            let mut buf = std::mem::take(&mut self.slots[idx]);
+            bitset::clear(&mut self.occupied, idx);
+            self.pending -= buf.len();
+            due.append(&mut buf);
+            self.free.push(buf);
+        }
+        self.now = t;
+        Some(t)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-heap reference scheduler
+// ---------------------------------------------------------------------------
+
+/// The pre-wheel scheduler: one global binary heap ordered by `(at, seq)`. Kept as
+/// the executable specification for equivalence tests.
+#[derive(Debug)]
+pub(crate) struct HeapScheduler<T> {
+    heap: BinaryHeap<MinEntry<T>>,
+}
+
+impl<T> HeapScheduler<T> {
+    pub(crate) fn new() -> Self {
+        HeapScheduler { heap: BinaryHeap::new() }
+    }
+}
+
+impl<T> EventScheduler<T> for HeapScheduler<T> {
+    fn schedule(&mut self, at: u64, seq: u64, payload: T) {
+        self.heap.push(MinEntry { at, seq, payload });
+    }
+
+    fn take_due(&mut self, due: &mut Vec<(u64, T)>) -> Option<u64> {
+        let first = self.heap.pop()?;
+        let t = first.at;
+        due.push((first.seq, first.payload));
+        while self.heap.peek().is_some_and(|e| e.at == t) {
+            let e = self.heap.pop().expect("peeked");
+            due.push((e.seq, e.payload));
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all<S: EventScheduler<u32>>(sched: &mut S) -> Vec<(u64, Vec<(u64, u32)>)> {
+        let mut out = Vec::new();
+        let mut due = Vec::new();
+        while let Some(t) = sched.take_due(&mut due) {
+            out.push((t, due.clone()));
+            due.clear();
+        }
+        out
+    }
+
+    #[test]
+    fn wheel_delivers_in_time_then_seq_order() {
+        let mut w = TimingWheel::new(1000);
+        w.schedule(500, 0, 10);
+        w.schedule(3, 1, 11);
+        w.schedule(500, 2, 12);
+        w.schedule(1000, 3, 13);
+        let batches = drain_all(&mut w);
+        assert_eq!(
+            batches,
+            vec![(3, vec![(1, 11)]), (500, vec![(0, 10), (2, 12)]), (1000, vec![(3, 13)]),]
+        );
+    }
+
+    #[test]
+    fn wheel_skips_empty_slots() {
+        let mut w = TimingWheel::new(1000);
+        // Two far-apart ticks: take_due must jump straight between them without
+        // visiting the ~990 empty slots in between.
+        w.schedule(7, 0, 1);
+        w.schedule(999, 1, 2);
+        let mut due = Vec::new();
+        assert_eq!(w.take_due(&mut due), Some(7));
+        assert_eq!(due, vec![(0, 1)]);
+        due.clear();
+        assert_eq!(w.take_due(&mut due), Some(999));
+        assert_eq!(due, vec![(1, 2)]);
+        due.clear();
+        assert_eq!(w.take_due(&mut due), None);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn wheel_rotates_across_the_horizon_boundary() {
+        // Chain events so the absolute time crosses several multiples of the slot
+        // count (horizon + 1): slot indices wrap but times must stay exact.
+        let mut w = TimingWheel::new(10);
+        let mut seq = 0;
+        let mut now = 0;
+        let mut seen = Vec::new();
+        w.schedule(7, seq, 0);
+        seq += 1;
+        let mut due = Vec::new();
+        while let Some(t) = w.take_due(&mut due) {
+            assert!(t > now, "time must advance monotonically");
+            now = t;
+            seen.push(t);
+            due.clear();
+            if seq < 12 {
+                // Re-schedule at the full horizon: exercises the slot that wraps
+                // to the same index modulo (horizon + 1).
+                w.schedule(now + 10, seq, seq as u32);
+                seq += 1;
+            }
+        }
+        assert_eq!(seen, (0..12).map(|i| 7 + 10 * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn wheel_parks_beyond_horizon_events_in_overflow() {
+        let mut w = TimingWheel::new(1000);
+        // 2500 is beyond the horizon from time 0: goes to overflow.
+        w.schedule(2500, 0, 99);
+        assert_eq!(w.len(), 1);
+        w.schedule(600, 1, 1);
+        let mut due = Vec::new();
+        assert_eq!(w.take_due(&mut due), Some(600));
+        due.clear();
+        // Now 2500 is within the horizon of a *new* event: the wheel entry of the
+        // same tick must come after the overflow entry (larger seq).
+        w.schedule(2500, 2, 2);
+        assert_eq!(w.take_due(&mut due), Some(2500));
+        assert_eq!(due, vec![(0, 99), (2, 2)]);
+        due.clear();
+        assert_eq!(w.take_due(&mut due), None);
+    }
+
+    #[test]
+    fn wheel_recycles_slot_buffers() {
+        let mut w = TimingWheel::new(16);
+        let mut due = Vec::new();
+        for round in 0..100u64 {
+            for i in 0..8 {
+                w.schedule((round * 5) + 1 + (i % 3), round * 8 + i, i as u32);
+            }
+            while w.pending > 0 {
+                w.take_due(&mut due);
+                due.clear();
+            }
+            // The free list never grows beyond the number of simultaneously
+            // occupied slots (3 distinct ticks per round here).
+            assert!(w.free.len() <= 4, "free list leaked: {}", w.free.len());
+        }
+    }
+
+    #[test]
+    fn heap_and_wheel_agree_on_random_workloads() {
+        // Deterministic pseudo-random interleaving of schedules and drains, with
+        // occasional beyond-horizon delays; both schedulers must emit identical
+        // (time, seq, payload) streams.
+        let mut state = 0x9E37_79B9u64;
+        let mut rand = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..20 {
+            let mut wheel = TimingWheel::new(100);
+            let mut heap = HeapScheduler::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut wheel_out = Vec::new();
+            let mut heap_out = Vec::new();
+            let mut pending = 0i64;
+            let (mut wd, mut hd) = (Vec::new(), Vec::new());
+            for _ in 0..500 {
+                if pending == 0 || rand(3) > 0 {
+                    let burst = 1 + rand(4);
+                    for _ in 0..burst {
+                        // Mostly in-horizon delays, occasionally far beyond.
+                        let delay = if rand(10) == 0 { 100 + rand(400) } else { 1 + rand(100) };
+                        wheel.schedule(now + delay, seq, (seq % 251) as u32);
+                        heap.schedule(now + delay, seq, (seq % 251) as u32);
+                        seq += 1;
+                        pending += 1;
+                    }
+                } else {
+                    let tw = wheel.take_due(&mut wd);
+                    let th = heap.take_due(&mut hd);
+                    assert_eq!(tw, th);
+                    assert_eq!(wd, hd);
+                    now = tw.expect("pending > 0");
+                    pending -= wd.len() as i64;
+                    wheel_out.extend(wd.drain(..).map(|(s, p)| (now, s, p)));
+                    heap_out.extend(hd.drain(..).map(|(s, p)| (now, s, p)));
+                }
+            }
+            assert_eq!(wheel_out, heap_out);
+        }
+    }
+}

@@ -16,11 +16,12 @@ use crate::alpha::AlphaSynchronizer;
 use crate::beta::{BetaSynchronizer, SpanningTree};
 use crate::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
 use ds_graph::{Graph, NodeId};
-use ds_netsim::async_engine::{run_async, SimError, SimLimits};
+use ds_netsim::async_engine::{run_async_with, SimError, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::sync_engine::run_sync;
+use ds_netsim::SchedulerKind;
 use std::sync::Arc;
 
 /// The environment an executor runs in: the network, the delay adversary and the
@@ -33,6 +34,9 @@ pub struct ExecutionEnv<'g> {
     pub delay: DelayModel,
     /// Event/round budgets.
     pub limits: SimLimits,
+    /// Event scheduler driving the asynchronous engine (ignored by the lock-step
+    /// executor). Both kinds produce bit-identical runs.
+    pub scheduler: SchedulerKind,
 }
 
 /// Result of running an event-driven algorithm through an executor.
@@ -113,11 +117,12 @@ impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let max_pulse = self.max_pulse;
-        let report = run_async(
+        let report = run_async_with(
             env.graph,
             env.delay.clone(),
             |v| AlphaSynchronizer::new(env.graph, v, make_alg(v), max_pulse),
             env.limits,
+            env.scheduler,
         )?;
         Ok(SynchronizedRun {
             outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
@@ -149,11 +154,12 @@ impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let max_pulse = self.max_pulse;
         let tree = Arc::clone(&self.tree);
-        let report = run_async(
+        let report = run_async_with(
             env.graph,
             env.delay.clone(),
             |v| BetaSynchronizer::new(tree.clone(), v, make_alg(v), max_pulse),
             env.limits,
+            env.scheduler,
         )?;
         Ok(SynchronizedRun {
             outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
@@ -182,11 +188,12 @@ impl<A: EventDriven> Synchronizer<A> for DetExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let cfg = Arc::clone(&self.cfg);
-        let report = run_async(
+        let report = run_async_with(
             env.graph,
             env.delay.clone(),
             |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()),
             env.limits,
+            env.scheduler,
         )?;
         let outputs = collect_outputs(&report.nodes);
         Ok(SynchronizedRun {
@@ -252,6 +259,7 @@ mod tests {
             graph: &graph,
             delay: DelayModel::jitter(5),
             limits: SimLimits::default(),
+            scheduler: SchedulerKind::default(),
         };
         let direct =
             DirectExecutor.execute(&env, &mut |v| Flood::new(&graph, v)).expect("direct run");

@@ -59,6 +59,7 @@ use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::sync_engine::run_sync;
+use ds_netsim::SchedulerKind;
 use std::fmt;
 use std::sync::Arc;
 
@@ -217,12 +218,14 @@ pub struct Session<'g> {
     limits: SimLimits,
     kind: Option<SyncKind>,
     pulse_bound: Option<u64>,
+    scheduler: SchedulerKind,
 }
 
 impl<'g> Session<'g> {
     /// Starts building a session on `graph`. Defaults: uniform delays, default
     /// [`SimLimits`], no synchronizer (one must be chosen before running), pulse
-    /// bound resolved automatically from the synchronous ground truth.
+    /// bound resolved automatically from the synchronous ground truth, timing-wheel
+    /// event scheduler.
     pub fn on(graph: &'g Graph) -> Self {
         Session {
             graph,
@@ -230,7 +233,18 @@ impl<'g> Session<'g> {
             limits: SimLimits::default(),
             kind: None,
             pulse_bound: None,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Selects the asynchronous engine's event scheduler (ignored by
+    /// [`SyncKind::Direct`]). Defaults to [`SchedulerKind::TimingWheel`]; the
+    /// [`SchedulerKind::BinaryHeap`] reference produces a bit-identical run and
+    /// exists for equivalence testing and scheduler benchmarking.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Sets the delay adversary (ignored by [`SyncKind::Direct`]).
@@ -274,7 +288,12 @@ impl<'g> Session<'g> {
     }
 
     fn env(&self) -> ExecutionEnv<'g> {
-        ExecutionEnv { graph: self.graph, delay: self.delay.clone(), limits: self.limits }
+        ExecutionEnv {
+            graph: self.graph,
+            delay: self.delay.clone(),
+            limits: self.limits,
+            scheduler: self.scheduler,
+        }
     }
 
     /// Resolves the pulse bound: the explicit bound if set, otherwise `T(A)` from a

@@ -68,6 +68,7 @@ pub mod prelude {
     pub use ds_netsim::async_engine::SimLimits;
     pub use ds_netsim::delay::DelayModel;
     pub use ds_netsim::metrics::RunMetrics;
+    pub use ds_netsim::SchedulerKind;
     pub use ds_sync::event_driven::EventDriven;
     pub use ds_sync::executor::{SynchronizedRun, Synchronizer};
     pub use ds_sync::session::{ComparisonReport, Session, SessionError, SyncKind};
