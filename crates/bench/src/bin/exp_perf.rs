@@ -5,10 +5,11 @@
 //!                  [--compare BASELINE.json] [--compare-out PATH] [--tolerance PCT]`
 //!
 //! With `--compare`, the run is additionally diffed against a previously recorded
-//! artifact: per-scenario throughput deltas are printed (and written to
+//! artifact: per-scenario throughput and setup deltas are printed (and written to
 //! `--compare-out`, default `BENCH_compare.txt`), and the process exits non-zero
-//! if any matched scenario regressed by more than the tolerance (default 20 %) or
-//! processed a different number of events (i.e. the simulated schedule changed).
+//! if any matched scenario regressed in throughput or setup cost (`setup_ms`) by
+//! more than the tolerance (default 20 %) or processed a different number of
+//! events (i.e. the simulated schedule changed).
 
 use ds_bench::compare::{compare_against_baseline, Baseline, DEFAULT_TOLERANCE};
 use ds_bench::perf::{experiment_perf, render_artifact, PerfOptions, PerfRecord};

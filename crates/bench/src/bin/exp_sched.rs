@@ -1,0 +1,169 @@
+//! Scheduler microbenchmarks: the asynchronous engine's hot data structures in
+//! isolation — `TimingWheel` vs the `BinaryHeap` reference on `schedule` /
+//! `take_due`, and `StageQueue` vs a binary heap on `push` / `pop`.
+//!
+//! E7/E9 measure whole runs; constant-factor regressions in the scheduler hide
+//! inside them behind protocol and cache noise. This binary drives the structures
+//! directly with a deterministic engine-like workload (bursty schedules, bounded
+//! delays, batched drains, clustered link priorities), so a slowdown of the wheel
+//! or the bucket queue is visible without a full E9 sweep. No external deps: the
+//! timing loop is hand-rolled and rows go through the shared `ds-bench` table
+//! renderer.
+//!
+//! Usage: `exp_sched [--smoke]` (`--smoke` shrinks the op counts for CI).
+
+use ds_bench::table::{print_table, Row};
+use ds_netsim::scheduler::{EventScheduler, HeapScheduler, TimingWheel};
+use ds_netsim::stage_queue::StageQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+/// Deterministic LCG, the same flavor the test suites use.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % m
+    }
+}
+
+/// Runs `f` (which performs `ops` operations) `SAMPLES` times and returns the
+/// median ns/op.
+fn median_ns_per_op(ops: u64, mut f: impl FnMut()) -> f64 {
+    let mut per_op: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    per_op.sort_by(f64::total_cmp);
+    per_op[SAMPLES / 2]
+}
+
+/// Engine-like scheduler workload: bursts of events with bounded delays from the
+/// moving current time, drained tick by tick. `slow_every > 0` makes every n-th
+/// delay multi-horizon (the overflow path of the wheel).
+fn drive_scheduler<S: EventScheduler<u32>>(sched: &mut S, events: u64, slow_every: u64) {
+    let mut rng = Lcg(0x5EED);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut pending = 0u64;
+    let mut due: Vec<(u64, u32)> = Vec::new();
+    while seq < events || pending > 0 {
+        if seq < events && (pending == 0 || rng.next(3) > 0) {
+            for _ in 0..=rng.next(4) {
+                if seq == events {
+                    break;
+                }
+                let delay = if slow_every > 0 && seq.is_multiple_of(slow_every) {
+                    1000 + rng.next(4000)
+                } else {
+                    1 + rng.next(1000)
+                };
+                sched.schedule(now + delay, seq, (seq % 8191) as u32);
+                seq += 1;
+                pending += 1;
+            }
+        } else {
+            now = sched.take_due(&mut due).expect("pending > 0");
+            pending -= due.len() as u64;
+            due.clear();
+        }
+    }
+}
+
+fn scheduler_rows(events: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (label, slow_every) in [("in-horizon", 0u64), ("10%-overflow", 10)] {
+        let wheel_ns = median_ns_per_op(2 * events, || {
+            let mut wheel = TimingWheel::new(1000);
+            drive_scheduler(&mut wheel, events, slow_every);
+        });
+        let heap_ns = median_ns_per_op(2 * events, || {
+            let mut heap = HeapScheduler::new();
+            drive_scheduler(&mut heap, events, slow_every);
+        });
+        for (kind, ns) in [("wheel", wheel_ns), ("heap", heap_ns)] {
+            rows.push(Row {
+                label: format!("sched/{kind}/{label}"),
+                values: vec![
+                    ("events", events as f64),
+                    ("ns/op", ns),
+                    ("Mops/s", 1e3 / ns),
+                    ("vs_heap", heap_ns / ns),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Link-queue workload: clustered priorities around a slowly advancing stage,
+/// interleaved pushes and pops — the shape the synchronizers produce.
+fn drive_stage_queue(ops: u64) {
+    let mut rng = Lcg(0xBEEF);
+    let mut q: StageQueue<u32> = StageQueue::new();
+    let mut seq = 0u64;
+    let mut stage = 50u64;
+    for op in 0..ops {
+        if op.is_multiple_of(64) {
+            stage += 1;
+        }
+        if q.is_empty() || rng.next(2) == 0 {
+            q.push(stage + rng.next(12), seq, (seq % 8191) as u32);
+            seq += 1;
+        } else {
+            q.pop();
+        }
+    }
+    while q.pop().is_some() {}
+}
+
+fn drive_reference_heap(ops: u64) {
+    let mut rng = Lcg(0xBEEF);
+    let mut q: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut stage = 50u64;
+    for op in 0..ops {
+        if op.is_multiple_of(64) {
+            stage += 1;
+        }
+        if q.is_empty() || rng.next(2) == 0 {
+            q.push(Reverse((stage + rng.next(12), seq, (seq % 8191) as u32)));
+            seq += 1;
+        } else {
+            q.pop();
+        }
+    }
+    while q.pop().is_some() {}
+}
+
+fn stage_queue_rows(ops: u64) -> Vec<Row> {
+    let bucket_ns = median_ns_per_op(ops, || drive_stage_queue(ops));
+    let heap_ns = median_ns_per_op(ops, || drive_reference_heap(ops));
+    [("stage-queue", bucket_ns), ("binary-heap", heap_ns)]
+        .into_iter()
+        .map(|(kind, ns)| Row {
+            label: format!("link/{kind}/push+pop"),
+            values: vec![
+                ("ops", ops as f64),
+                ("ns/op", ns),
+                ("Mops/s", 1e3 / ns),
+                ("vs_heap", heap_ns / ns),
+            ],
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let (events, ops) = if smoke { (200_000, 400_000) } else { (2_000_000, 4_000_000) };
+    let mut rows = scheduler_rows(events);
+    rows.extend(stage_queue_rows(ops));
+    print_table("scheduler microbenchmarks (schedule/take_due, link push/pop)", &rows);
+}

@@ -9,7 +9,11 @@
 //!   pessimizations,
 //! * an **event-count mismatch**: a matched scenario processing a different
 //!   number of delivery events — the engine is deterministic, so this means the
-//!   simulated *schedule* changed, which a pure performance PR must never do.
+//!   simulated *schedule* changed, which a pure performance PR must never do,
+//! * a **setup regression**: a matched scenario whose one-off setup cost
+//!   (`setup_ms`: cover construction for the det scenarios) grew by more than the
+//!   same tolerance — catches pessimizations of `SynchronizerConfig::build`,
+//!   which `events_per_sec` deliberately excludes.
 //!
 //! Scenarios present on only one side (new tiers, retired tiers, smoke subsets)
 //! are listed but never fail the comparison.
@@ -242,6 +246,9 @@ pub struct BaselineScenario {
     pub events: u64,
     /// Recorded throughput.
     pub events_per_sec: f64,
+    /// Recorded one-off setup cost in milliseconds (0 for non-det scenarios;
+    /// converted from `setup_seconds` when reading a v1 artifact).
+    pub setup_ms: f64,
 }
 
 /// A parsed baseline artifact: scenario id → recorded numbers.
@@ -254,7 +261,8 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Parses a `det-synchronizer-bench/v1` artifact.
+    /// Parses a `det-synchronizer-bench/v2` artifact (or a v1 one, whose
+    /// `setup_seconds` field is converted to `setup_ms`).
     ///
     /// # Errors
     ///
@@ -263,7 +271,7 @@ impl Baseline {
         let mut parser = Parser::new(text);
         let root = parser.parse_value()?;
         let schema = root.get("schema").and_then(Value::as_str).unwrap_or("");
-        if schema != "det-synchronizer-bench/v1" {
+        if schema != "det-synchronizer-bench/v2" && schema != "det-synchronizer-bench/v1" {
             return Err(format!("unsupported baseline schema {schema:?}"));
         }
         let mode = root.get("mode").and_then(Value::as_str).unwrap_or("unknown").to_string();
@@ -283,7 +291,15 @@ impl Baseline {
                 .get("events_per_sec")
                 .and_then(Value::as_f64)
                 .ok_or("scenario without events_per_sec")?;
-            scenarios.insert(id, BaselineScenario { events: events as u64, events_per_sec: eps });
+            let setup_ms = s
+                .get("setup_ms")
+                .and_then(Value::as_f64)
+                .or_else(|| s.get("setup_seconds").and_then(Value::as_f64).map(|x| x * 1e3))
+                .ok_or("scenario without setup_ms/setup_seconds")?;
+            scenarios.insert(
+                id,
+                BaselineScenario { events: events as u64, events_per_sec: eps, setup_ms },
+            );
         }
         Ok(Baseline { mode, scenarios })
     }
@@ -304,6 +320,8 @@ pub struct CompareRow {
     pub events: u64,
     /// Throughput of the current run.
     pub events_per_sec: f64,
+    /// One-off setup cost of the current run, milliseconds.
+    pub setup_ms: f64,
 }
 
 impl CompareRow {
@@ -336,6 +354,11 @@ pub struct CompareReport {
 /// check applies regardless.
 const MIN_COMPARABLE_WALL_SECONDS: f64 = 0.05;
 
+/// Same noise floor for the setup-cost check, in the milliseconds the setup field
+/// is recorded in: a setup regression is only flagged when the *current* setup
+/// takes at least this long (pessimizing a fast setup pushes it above the floor).
+const MIN_COMPARABLE_SETUP_MS: f64 = 50.0;
+
 impl CompareRow {
     fn wall_seconds(&self) -> f64 {
         self.events as f64 / self.events_per_sec.max(1e-12)
@@ -361,9 +384,24 @@ impl CompareReport {
         self.rows.iter().filter(|r| r.events != r.baseline.events).collect()
     }
 
+    /// Matched scenarios whose one-off setup cost grew by more than the
+    /// tolerance, excluding scenarios whose current setup is under the 50 ms
+    /// noise floor.
+    pub fn setup_regressions(&self) -> Vec<&CompareRow> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.setup_ms >= MIN_COMPARABLE_SETUP_MS
+                    && r.setup_ms > r.baseline.setup_ms * (1.0 + self.tolerance)
+            })
+            .collect()
+    }
+
     /// Whether the comparison should exit zero.
     pub fn passed(&self) -> bool {
-        self.regressions().is_empty() && self.event_mismatches().is_empty()
+        self.regressions().is_empty()
+            && self.event_mismatches().is_empty()
+            && self.setup_regressions().is_empty()
     }
 
     /// Renders the full human-readable delta report.
@@ -378,6 +416,8 @@ impl CompareReport {
                     ("new_ev/s", r.events_per_sec),
                     ("speedup", r.speedup()),
                     ("delta%", (r.speedup() - 1.0) * 100.0),
+                    ("base_setup", r.baseline.setup_ms),
+                    ("new_setup", r.setup_ms),
                     ("events_ok", if r.events == r.baseline.events { 1.0 } else { 0.0 }),
                 ],
             })
@@ -406,13 +446,22 @@ impl CompareReport {
                 (r.speedup() - 1.0) * 100.0
             ));
         }
+        let setup_regressions = self.setup_regressions();
+        for r in &setup_regressions {
+            out.push_str(&format!(
+                "  SETUP REGRESSION {}: {:.0} -> {:.0} ms\n",
+                r.scenario, r.baseline.setup_ms, r.setup_ms
+            ));
+        }
         out.push_str(&format!(
-            "verdict: {} ({} matched, {} regressions > {:.0}%, {} event mismatches)\n",
+            "verdict: {} ({} matched, {} regressions > {:.0}%, {} event mismatches, \
+             {} setup regressions)\n",
             if self.passed() { "PASS" } else { "FAIL" },
             self.rows.len(),
             regressions.len(),
             self.tolerance * 100.0,
-            mismatches.len()
+            mismatches.len(),
+            setup_regressions.len()
         ));
         out
     }
@@ -435,6 +484,7 @@ pub fn compare_against_baseline(
                 baseline: b,
                 events: r.events,
                 events_per_sec: r.events_per_sec,
+                setup_ms: r.setup_ms,
             }),
             None => report.only_current.push(r.scenario.clone()),
         }
@@ -460,7 +510,7 @@ mod tests {
             pulse_bound: 5,
             sync_rounds: 5,
             sync_messages: 10,
-            setup_seconds: 0.0,
+            setup_ms: 0.0,
             wall_seconds: events as f64 / eps,
             events,
             events_per_sec: eps,
@@ -480,7 +530,7 @@ mod tests {
         assert_eq!(baseline.mode, "full");
         assert_eq!(
             baseline.scenarios["grid/16/det/uniform"],
-            BaselineScenario { events: 100, events_per_sec: 5e5 }
+            BaselineScenario { events: 100, events_per_sec: 5e5, setup_ms: 0.0 }
         );
     }
 
@@ -545,6 +595,53 @@ mod tests {
         let new = vec![record("grid/256/det/uniform", 80_000, 5e6)];
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
         assert!(report.passed());
+    }
+
+    fn with_setup(mut r: PerfRecord, setup_ms: f64) -> PerfRecord {
+        r.setup_ms = setup_ms;
+        r
+    }
+
+    #[test]
+    fn setup_regressions_fail_above_the_noise_floor() {
+        let old = vec![
+            with_setup(record("grid/4096/det/uniform", 1000, 1e6), 120.0),
+            with_setup(record("grid/256/det/uniform", 100, 1e6), 4.0),
+        ];
+        let baseline = Baseline::parse(&render_artifact("full", &old)).expect("parse");
+        // 120 ms -> 300 ms: a real setup regression.
+        let new = vec![
+            with_setup(record("grid/4096/det/uniform", 1000, 1e6), 300.0),
+            // 4 ms -> 8 ms: doubled, but under the 50 ms floor — noise, not a fail.
+            with_setup(record("grid/256/det/uniform", 100, 1e6), 8.0),
+        ];
+        let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
+        assert_eq!(report.setup_regressions().len(), 1);
+        assert_eq!(report.setup_regressions()[0].scenario, "grid/4096/det/uniform");
+        assert!(!report.passed());
+        assert!(report.render().contains("SETUP REGRESSION grid/4096/det/uniform"));
+        // A sub-floor *baseline* that blows past the floor now is still caught.
+        let new = vec![with_setup(record("grid/256/det/uniform", 100, 1e6), 400.0)];
+        let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
+        assert_eq!(report.setup_regressions().len(), 1);
+        // Setup improvements pass.
+        let new = vec![with_setup(record("grid/4096/det/uniform", 1000, 1e6), 60.0)];
+        let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn parses_v1_baselines_converting_setup_seconds() {
+        let v1 = r#"{
+            "schema": "det-synchronizer-bench/v1",
+            "mode": "full",
+            "scenarios": [
+                {"scenario": "grid/16/det/uniform", "events": 7,
+                 "events_per_sec": 1000.0, "setup_seconds": 0.25}
+            ]
+        }"#;
+        let baseline = Baseline::parse(v1).expect("v1 parses");
+        assert_eq!(baseline.scenarios["grid/16/det/uniform"].setup_ms, 250.0);
     }
 
     #[test]

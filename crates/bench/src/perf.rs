@@ -10,8 +10,10 @@
 //!
 //! Setup work that happens once per configuration — the synchronous ground-truth
 //! run, cover construction for the deterministic synchronizer — is timed separately
-//! (`setup_seconds`) from the simulation proper (`wall_seconds`), so `events_per_sec`
-//! tracks the hot path of the event-driven engines.
+//! (`setup_ms`, a first-class per-scenario measurement since schema v2) from the
+//! simulation proper (`wall_seconds`), so `events_per_sec` tracks the hot path of
+//! the event-driven engines and `exp_perf --compare` can gate setup-cost
+//! regressions under the same thresholds as throughput regressions.
 
 use crate::json::Json;
 use crate::table::Row;
@@ -53,8 +55,8 @@ pub struct PerfRecord {
     pub sync_rounds: u64,
     /// Synchronous ground-truth messages `M(A)`.
     pub sync_messages: u64,
-    /// One-off setup time (cover construction etc.), seconds.
-    pub setup_seconds: f64,
+    /// One-off setup time (cover construction etc.), milliseconds.
+    pub setup_ms: f64,
     /// Simulation wall time, seconds.
     pub wall_seconds: f64,
     /// Delivery events processed (messages for the lock-step engine).
@@ -88,7 +90,7 @@ impl PerfRecord {
             ("pulse_bound", Json::Int(self.pulse_bound)),
             ("sync_rounds", Json::Int(self.sync_rounds)),
             ("sync_messages", Json::Int(self.sync_messages)),
-            ("setup_seconds", Json::Num(self.setup_seconds)),
+            ("setup_ms", Json::Num(self.setup_ms)),
             ("wall_seconds", Json::Num(self.wall_seconds)),
             ("events", Json::Int(self.events)),
             ("events_per_sec", Json::Num(self.events_per_sec)),
@@ -108,7 +110,7 @@ impl PerfRecord {
             values: vec![
                 ("n", self.n as f64),
                 ("T(A)", self.sync_rounds as f64),
-                ("setup_s", self.setup_seconds),
+                ("setup_ms", self.setup_ms),
                 ("wall_s", self.wall_seconds),
                 ("events", self.events as f64),
                 ("ev/s", self.events_per_sec),
@@ -123,7 +125,7 @@ impl PerfRecord {
 /// Renders the full artifact written to `BENCH_synchronizer.json`.
 pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     Json::Obj(vec![
-        ("schema", Json::Str("det-synchronizer-bench/v1".into())),
+        ("schema", Json::Str("det-synchronizer-bench/v2".into())),
         ("suite", Json::Str("synchronizer".into())),
         ("mode", Json::Str(mode.into())),
         ("workload", Json::Str("single-source BFS from node 0".into())),
@@ -132,37 +134,58 @@ pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     .render()
 }
 
-/// The fixed scenario graphs: `(family, graph)` per size tier. The 16384-node
-/// tiers (128×128 grid and torus, 16384-node random-regular) exist to show that
-/// the timing-wheel engine's throughput holds up beyond the historical 4096-node
-/// ceiling; the torus family is the boundary-free counterpart of the grid.
-fn perf_graphs(smoke: bool) -> Vec<(String, String, Graph)> {
-    let mut out: Vec<(String, String, Graph)> = Vec::new();
-    let grid_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64, 128] };
+/// One graph tier of the fixed scenario matrix.
+struct PerfGraph {
+    family: String,
+    graph_id: String,
+    graph: Graph,
+    /// Restrict this tier to the `direct` + `det` scenarios. The 65536-node tiers
+    /// exist to track the deterministic synchronizer (whose setup cost the
+    /// dense-id cover pipeline just made affordable); α/β at that size would
+    /// multiply the matrix runtime without measuring anything new.
+    det_only: bool,
+}
+
+/// The fixed scenario graphs per size tier. The 16384-node tiers (128×128 grid
+/// and torus, 16384-node random-regular) exist to show that the timing-wheel
+/// engine's throughput holds up beyond the historical 4096-node ceiling; the
+/// 65536-node det tiers (256×256 grid and torus) were unlocked by the dense-id
+/// cover pipeline, which took `SynchronizerConfig::build` out of the setup
+/// budget; the torus family is the boundary-free counterpart of the grid.
+fn perf_graphs(smoke: bool) -> Vec<PerfGraph> {
+    let tier = |family: &str, graph_id: String, graph: Graph, det_only: bool| PerfGraph {
+        family: family.into(),
+        graph_id,
+        graph,
+        det_only,
+    };
+    let mut out: Vec<PerfGraph> = Vec::new();
+    let grid_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64, 128, 256] };
     for &side in grid_sides {
         let n = side * side;
-        out.push(("grid".into(), format!("grid/{n}"), Graph::grid(side, side)));
+        out.push(tier("grid", format!("grid/{n}"), Graph::grid(side, side), side >= 256));
     }
     // The full torus tiers include the smoke side so the smoke matrix is a strict
     // subset of the full one — the CI `--compare` event-count check then covers
     // every family, torus included.
-    let torus_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64, 128] };
+    let torus_sides: &[usize] = if smoke { &[16] } else { &[16, 32, 64, 128, 256] };
     for &side in torus_sides {
         let n = side * side;
-        out.push(("torus".into(), format!("torus/{n}"), Graph::torus(side, side)));
+        out.push(tier("torus", format!("torus/{n}"), Graph::torus(side, side), side >= 256));
     }
     // The cycle family stops at 1024 nodes: its diameter (and hence `T(A)`) grows
     // linearly, so larger cycles measure pulse-count scaling, not engine throughput.
     let cycle_sizes: &[usize] = if smoke { &[256] } else { &[256, 1024] };
     for &n in cycle_sizes {
-        out.push(("cycle".into(), format!("cycle/{n}"), Graph::cycle(n)));
+        out.push(tier("cycle", format!("cycle/{n}"), Graph::cycle(n), false));
     }
     let rr_sizes: &[usize] = if smoke { &[256] } else { &[256, 1024, 4096, 16384] };
     for &n in rr_sizes {
-        out.push((
-            "random-regular".into(),
+        out.push(tier(
+            "random-regular",
             format!("random-regular/{n}"),
             Graph::random_regular(n, 4, n as u64),
+            false,
         ));
     }
     out
@@ -183,15 +206,24 @@ fn matches(filter: &Option<String>, id: &str) -> bool {
 /// Panics if any simulation fails or any synchronized run diverges from the
 /// lock-step ground truth (throughput numbers for wrong executions are worthless).
 pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
+    // The 65536-node det tiers process more deliveries than the default event
+    // budget allows; the matrix is fixed, so a generous explicit budget still
+    // catches genuine message blowups.
+    let limits = ds_netsim::SimLimits { max_events: 200_000_000, max_rounds: 1_000_000 };
     let mut records = Vec::new();
-    for (family, graph_id, graph) in perf_graphs(opts.smoke) {
-        let wanted: Vec<(SyncKind, &'static str, DelayModel)> = {
-            let mut out = Vec::new();
-            for kind in [
+    for PerfGraph { family, graph_id, graph, det_only } in perf_graphs(opts.smoke) {
+        let kinds: Vec<SyncKind> = if det_only {
+            vec![SyncKind::DetAuto]
+        } else {
+            vec![
                 SyncKind::Alpha,
                 SyncKind::Beta { root: NodeId(0) },
                 SyncKind::DetAuto, // placeholder; replaced by Det(cfg) below
-            ] {
+            ]
+        };
+        let wanted: Vec<(SyncKind, &'static str, DelayModel)> = {
+            let mut out = Vec::new();
+            for kind in kinds {
                 for (adv_label, delay) in adversaries() {
                     let id = format!("{graph_id}/{}/{adv_label}", kind.label());
                     if matches(&opts.filter, &id) {
@@ -228,7 +260,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 pulse_bound: t,
                 sync_rounds: t,
                 sync_messages: m_a,
-                setup_seconds: 0.0,
+                setup_ms: 0.0,
                 wall_seconds: direct_wall,
                 events: direct.metrics.events,
                 events_per_sec: direct.metrics.events as f64 / direct_wall.max(1e-9),
@@ -242,18 +274,18 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
         }
 
         // The deterministic synchronizer's cover is built once per graph and shared
-        // by its scenarios; the build cost is reported as `setup_seconds`.
+        // by its scenarios; the build cost is reported as `setup_ms`.
         let mut det_cfg: Option<(std::sync::Arc<SynchronizerConfig>, f64)> = None;
         for (kind, adv_label, delay) in wanted {
-            let (kind, setup_seconds) = match kind {
+            let (kind, setup_ms) = match kind {
                 SyncKind::DetAuto => {
                     if det_cfg.is_none() {
                         let start = Instant::now();
                         let cfg = SynchronizerConfig::build(&graph, t);
-                        det_cfg = Some((cfg, start.elapsed().as_secs_f64()));
+                        det_cfg = Some((cfg, start.elapsed().as_secs_f64() * 1e3));
                     }
-                    let (cfg, secs) = det_cfg.clone().expect("just built");
-                    (SyncKind::Det(cfg), secs)
+                    let (cfg, ms) = det_cfg.clone().expect("just built");
+                    (SyncKind::Det(cfg), ms)
                 }
                 other => (other, 0.0),
             };
@@ -263,6 +295,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 .delay(delay)
                 .synchronizer(kind.clone())
                 .pulse_bound(t)
+                .limits(limits)
                 .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
                 .unwrap_or_else(|e| panic!("{scenario}: {e}"));
             let wall = start.elapsed().as_secs_f64();
@@ -278,7 +311,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 pulse_bound: t,
                 sync_rounds: t,
                 sync_messages: m_a,
-                setup_seconds,
+                setup_ms,
                 wall_seconds: wall,
                 events: metrics.events,
                 events_per_sec: metrics.events as f64 / wall.max(1e-9),
@@ -332,15 +365,29 @@ mod tests {
     }
 
     #[test]
-    fn artifact_is_valid_schema_v1() {
+    fn artifact_is_valid_schema_v2() {
         let records = experiment_perf(&PerfOptions {
             smoke: true,
             filter: Some("cycle/256/beta/uniform".into()),
         });
         let text = render_artifact("smoke", &records);
-        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v1\""));
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v2\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("\"scenario\": \"cycle/256/beta/uniform\""));
         assert!(text.contains("\"events_per_sec\""));
+        assert!(text.contains("\"setup_ms\""));
+    }
+
+    #[test]
+    fn full_matrix_includes_a_det_only_65536_tier() {
+        // The 65536-node tiers are det-only: the graph list must say so without
+        // running anything (running the full tier is exp_perf's job, not a test's).
+        let graphs = perf_graphs(false);
+        let big: Vec<_> = graphs.iter().filter(|g| g.graph.node_count() == 65536).collect();
+        assert!(!big.is_empty(), "the full matrix must carry a 65536-node tier");
+        assert!(big.iter().all(|g| g.det_only));
+        assert!(big.iter().any(|g| g.graph_id == "grid/65536"));
+        // Smoke tiers never include det-only graphs (they must stay CI-sized).
+        assert!(perf_graphs(true).iter().all(|g| !g.det_only));
     }
 }

@@ -9,11 +9,39 @@
 //! Every cluster carries a rooted *cluster tree*: the union of shortest paths (in `G`)
 //! from the members to the carving center. Nodes on those paths that are not members
 //! act as Steiner nodes, exactly as in the paper's Theorem 4.20 trees.
+//!
+//! All BFS work here is *bounded-radius* over shared epoch-stamped scratch buffers
+//! (the crate-private `scratch` module): the `d`-expansion explores only
+//! `B(cluster, d)`, and the
+//! cluster tree comes from a BFS tree of the center truncated at the deepest
+//! member — never a full-graph traversal. The produced covers are bit-identical to
+//! the pre-dense-id builder's (pinned by the equivalence tests against
+//! [`crate::legacy`]); DESIGN.md §3.3 documents the complexity.
 
-use crate::decomposition::build_decomposition;
+use crate::decomposition::build_decomposition_with;
+use crate::scratch::{BfsScratch, MarkSet};
 use crate::{Cluster, ClusterId, LayeredSparseCover, SparseCover};
-use ds_graph::{metrics, Graph, NodeId};
-use std::collections::BTreeMap;
+use ds_graph::{Graph, NodeId};
+
+/// Scratch buffers shared by every ball, cluster and layer of one build.
+struct CoverScratch {
+    /// Ball growing (decomposition) and `d`-expansion of carved clusters.
+    ball: BfsScratch,
+    /// Bounded BFS tree from each cluster center.
+    tree: BfsScratch,
+    /// Nodes already added to the cluster tree under construction.
+    in_tree: MarkSet,
+}
+
+impl CoverScratch {
+    fn new(n: usize) -> Self {
+        CoverScratch {
+            ball: BfsScratch::new(n),
+            tree: BfsScratch::new(n),
+            in_tree: MarkSet::new(n),
+        }
+    }
+}
 
 /// Builds a sparse `d`-cover of `graph` (Definition 2.1).
 ///
@@ -21,35 +49,53 @@ use std::collections::BTreeMap;
 ///
 /// Panics if the graph is empty or `d == 0`.
 pub fn build_sparse_cover(graph: &Graph, d: usize) -> SparseCover {
+    let mut scratch = CoverScratch::new(graph.node_count());
+    build_sparse_cover_with(graph, d, &mut scratch)
+}
+
+fn build_sparse_cover_with(graph: &Graph, d: usize, scratch: &mut CoverScratch) -> SparseCover {
     assert!(d >= 1, "cover radius must be at least 1");
     assert!(graph.node_count() > 0, "cover requires a non-empty graph");
-    let decomposition = build_decomposition(graph, 2 * d);
+    let decomposition = build_decomposition_with(graph, 2 * d, &mut scratch.ball);
     let mut clusters = Vec::new();
 
     for (_color, dc) in decomposition.clusters() {
-        // Expand the carved cluster by its d-neighborhood.
-        let dist_to_cluster = metrics::multi_source_distances(graph, &dc.members);
-        let members: Vec<NodeId> = graph
-            .nodes()
-            .filter(|v| matches!(dist_to_cluster[v.index()], Some(x) if x <= d))
-            .collect();
+        // Expand the carved cluster by its d-neighborhood (bounded multi-source BFS).
+        scratch.ball.start(&dc.members);
+        while scratch.ball.depth_reached() < d as u32 && scratch.ball.expand_level(graph).is_some()
+        {
+        }
+        let mut members: Vec<NodeId> = scratch.ball.order().to_vec();
+        members.sort_unstable();
 
         // Cluster tree: union of BFS-tree paths from every member to the center.
-        let bfs_parent = metrics::bfs_tree(graph, dc.center);
-        let mut parent: BTreeMap<NodeId, Option<NodeId>> = BTreeMap::new();
-        parent.insert(dc.center, None);
+        // Every member is within `weak_radius + d` of the center, so the BFS tree
+        // only needs that depth; a bounded BFS assigns the same parents as the
+        // full-graph one (first discoverer wins, same traversal order).
+        let tree_depth = (dc.weak_radius + d) as u32;
+        scratch.tree.start(std::slice::from_ref(&dc.center));
+        while scratch.tree.depth_reached() < tree_depth
+            && scratch.tree.expand_level(graph).is_some()
+        {}
+        scratch.in_tree.clear();
+        scratch.in_tree.insert(dc.center);
+        let mut pairs: Vec<(NodeId, Option<NodeId>)> = vec![(dc.center, None)];
         for &member in &members {
             let mut v = member;
-            while !parent.contains_key(&v) {
-                let p = bfs_parent[v.index()]
-                    .expect("members are connected to the center in a connected graph");
-                parent.insert(v, Some(p));
+            while !scratch.in_tree.contains(v) {
+                scratch.in_tree.insert(v);
+                debug_assert!(
+                    scratch.tree.visited(v),
+                    "members are connected to the center in a connected graph"
+                );
+                let p = scratch.tree.parent(v);
+                pairs.push((v, Some(p)));
                 v = p;
             }
         }
 
         let id = ClusterId(clusters.len());
-        clusters.push(Cluster::from_parents(id, dc.center, members, parent));
+        clusters.push(Cluster::from_parents(id, dc.center, members, pairs));
     }
 
     SparseCover::new(d, clusters, graph.node_count())
@@ -59,6 +105,7 @@ pub fn build_sparse_cover(graph: &Graph, d: usize) -> SparseCover {
 ///
 /// The top layer always has radius at least `max_radius`, so
 /// [`LayeredSparseCover::cover_for_radius`] succeeds for every `d ≤ max_radius`.
+/// One set of scratch buffers is shared across all layers.
 ///
 /// # Panics
 ///
@@ -66,7 +113,9 @@ pub fn build_sparse_cover(graph: &Graph, d: usize) -> SparseCover {
 pub fn build_layered_sparse_cover(graph: &Graph, max_radius: usize) -> LayeredSparseCover {
     assert!(max_radius >= 1, "max_radius must be at least 1");
     let top = (max_radius as f64).log2().ceil() as usize;
-    let covers = (0..=top).map(|j| build_sparse_cover(graph, 1usize << j)).collect();
+    let mut scratch = CoverScratch::new(graph.node_count());
+    let covers =
+        (0..=top).map(|j| build_sparse_cover_with(graph, 1usize << j, &mut scratch)).collect();
     LayeredSparseCover::new(covers)
 }
 
@@ -158,5 +207,31 @@ mod tests {
         let cover = build_sparse_cover(&graph, 1);
         assert_eq!(cover.cluster_count(), 1);
         cover.validate(&graph).unwrap();
+    }
+
+    #[test]
+    fn covers_match_the_legacy_builder_exactly() {
+        // The dense-id pipeline is a representation/traversal change only: every
+        // cluster (members, tree parents, children order, depths) and the layer
+        // order must be bit-identical to the pre-dense-id construction.
+        for graph in [
+            Graph::path(18),
+            Graph::cycle(14),
+            Graph::grid(6, 5),
+            Graph::random_connected(42, 0.08, 7),
+            Graph::clustered_ring(4, 5),
+        ] {
+            for d in [1, 2, 4] {
+                let new = build_sparse_cover(&graph, d);
+                let old = crate::legacy::build_sparse_cover(&graph, d);
+                assert_eq!(new, old, "cover diverged (d {d})");
+            }
+            let new = build_layered_sparse_cover(&graph, 8);
+            let old = crate::legacy::build_layered_sparse_cover(&graph, 8);
+            assert_eq!(new.layers(), old.layers());
+            for (j, (a, b)) in new.iter().zip(old.iter()).enumerate() {
+                assert_eq!(a, b, "layer {j} diverged");
+            }
+        }
     }
 }

@@ -12,9 +12,15 @@
 //! The construction is centralized (it looks at the whole graph); the synchronizer
 //! consumes only the resulting structure, exactly as in the "given a layered sparse
 //! cover" setting of Theorem 5.3. See DESIGN.md §3 for the substitution note.
+//!
+//! The carving runs on flat, epoch-stamped scratch arrays: each ball is grown by a
+//! *bounded* BFS from its center that expands one level at a time while the
+//! doubling condition holds, so a center only ever pays for the edges inside its
+//! final (outer) ball — not for a full-graph BFS as the pre-dense-id builder did.
+//! DESIGN.md §3.3 gives the resulting complexity bound.
 
+use crate::scratch::BfsScratch;
 use ds_graph::{metrics, Graph, NodeId};
-use std::collections::BTreeSet;
 
 /// One cluster of a network decomposition: a set of member nodes together with the
 /// center and weak radius used to carve it.
@@ -97,26 +103,65 @@ impl NetworkDecomposition {
 ///
 /// Panics if the graph has no nodes.
 pub fn build_decomposition(graph: &Graph, separation: usize) -> NetworkDecomposition {
-    assert!(graph.node_count() > 0, "decomposition requires a non-empty graph");
+    let mut bfs = BfsScratch::new(graph.node_count());
+    build_decomposition_with(graph, separation, &mut bfs)
+}
+
+/// [`build_decomposition`] over caller-provided scratch buffers (reused across the
+/// layers of a layered cover build).
+pub(crate) fn build_decomposition_with(
+    graph: &Graph,
+    separation: usize,
+    bfs: &mut BfsScratch,
+) -> NetworkDecomposition {
+    let n = graph.node_count();
+    assert!(n > 0, "decomposition requires a non-empty graph");
     let step = separation.max(1);
-    let mut alive: BTreeSet<NodeId> = graph.nodes().collect();
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut remaining = vec![false; n];
     let mut colors: Vec<Vec<DecompCluster>> = Vec::new();
+    // Cumulative count of remaining nodes by ball radius (index = BFS depth).
+    let mut cum: Vec<usize> = Vec::new();
 
-    while !alive.is_empty() {
-        let mut remaining: BTreeSet<NodeId> = alive.clone();
+    while alive_count > 0 {
+        remaining.copy_from_slice(&alive);
+        let mut remaining_count = alive_count;
         let mut this_color: Vec<DecompCluster> = Vec::new();
+        // Centers are carved smallest-id first and carving only removes nodes, so
+        // the minimum remaining id is monotone within a round: one forward cursor
+        // replaces the ordered set.
+        let mut cursor = 0usize;
 
-        while let Some(&center) = remaining.iter().next() {
-            let dist = metrics::bfs_distances(graph, center);
-            // Count remaining nodes within radius j·step for growing j until the ball
-            // stops doubling.
-            let count_within = |r: usize, remaining: &BTreeSet<NodeId>| {
-                remaining.iter().filter(|v| matches!(dist[v.index()], Some(d) if d <= r)).count()
-            };
+        while remaining_count > 0 {
+            while !remaining[cursor] {
+                cursor += 1;
+            }
+            let center = NodeId(cursor);
+
+            // Grow the ball from the center by bounded BFS, one `step`-wide ring at
+            // a time, while the count of remaining nodes keeps doubling. `cum[r]`
+            // counts remaining nodes within distance `r` (in G, like the reference
+            // full-BFS construction: carved nodes still conduct distance).
+            bfs.start(std::slice::from_ref(&center));
+            cum.clear();
+            cum.push(1); // the center itself is remaining (it is the minimum)
+            let within = |cum: &[usize], r: usize| cum[r.min(cum.len() - 1)];
             let mut j = 0usize;
             loop {
-                let inner = count_within(j * step, &remaining).max(1);
-                let outer = count_within((j + 1) * step, &remaining);
+                let outer_radius = (j + 1) * step;
+                while (cum.len() - 1) < outer_radius {
+                    match bfs.expand_level(graph) {
+                        Some((s, e)) => {
+                            let fresh =
+                                bfs.order()[s..e].iter().filter(|v| remaining[v.index()]).count();
+                            cum.push(cum.last().expect("non-empty") + fresh);
+                        }
+                        None => break,
+                    }
+                }
+                let inner = within(&cum, j * step).max(1);
+                let outer = within(&cum, outer_radius);
                 if outer <= 2 * inner {
                     break;
                 }
@@ -124,23 +169,27 @@ pub fn build_decomposition(graph: &Graph, separation: usize) -> NetworkDecomposi
             }
             let inner_radius = j * step;
             let outer_radius = (j + 1) * step;
-            let members: Vec<NodeId> = remaining
-                .iter()
-                .copied()
-                .filter(|v| matches!(dist[v.index()], Some(d) if d <= inner_radius))
-                .collect();
-            let removed: Vec<NodeId> = remaining
-                .iter()
-                .copied()
-                .filter(|v| matches!(dist[v.index()], Some(d) if d <= outer_radius))
-                .collect();
-            for &v in &removed {
-                remaining.remove(&v);
+
+            let mut members: Vec<NodeId> = Vec::new();
+            let mut weak_radius = 0usize;
+            for &v in bfs.order() {
+                let d = bfs.dist(v) as usize;
+                if d > outer_radius {
+                    break; // discovery order is by nondecreasing depth
+                }
+                if !remaining[v.index()] {
+                    continue;
+                }
+                remaining[v.index()] = false;
+                remaining_count -= 1;
+                if d <= inner_radius {
+                    weak_radius = weak_radius.max(d);
+                    members.push(v);
+                    alive[v.index()] = false;
+                    alive_count -= 1;
+                }
             }
-            for &v in &members {
-                alive.remove(&v);
-            }
-            let weak_radius = members.iter().filter_map(|&v| dist[v.index()]).max().unwrap_or(0);
+            members.sort_unstable();
             this_color.push(DecompCluster { center, members, weak_radius });
         }
 
@@ -207,5 +256,21 @@ mod tests {
         assert_eq!(d.color_count(), 1);
         assert_eq!(d.colors[0].len(), 1);
         assert_eq!(d.colors[0][0].members.len(), 16);
+    }
+
+    #[test]
+    fn matches_the_legacy_construction() {
+        for graph in [
+            Graph::path(23),
+            Graph::grid(7, 5),
+            Graph::cycle(19),
+            Graph::random_connected(48, 0.07, 9),
+        ] {
+            for sep in [1, 2, 4] {
+                let new = build_decomposition(&graph, sep);
+                let old = crate::legacy::build_decomposition(&graph, sep);
+                assert_eq!(new, old, "decomposition diverged (sep {sep})");
+            }
+        }
     }
 }

@@ -1,0 +1,116 @@
+//! The pre-dense-id cover construction, kept verbatim for one release as the
+//! executable reference of the builder equivalence tests.
+//!
+//! This module preserves the `BTreeMap`/`BTreeSet`-based ball carving and cover
+//! expansion exactly as they were before the dense-id rewrite: full-graph BFS per
+//! carving center, full-graph multi-source BFS per cluster expansion, and ordered
+//! maps for every keyed lookup. It exists only so the rewritten pipeline in
+//! [`crate::decomposition`] / [`crate::builder`] can be pinned **bit-identical**
+//! against it (same clusters, same tree parents, same children order, same layer
+//! order) — see the `covers_match_the_legacy_builder_exactly` test and the
+//! `tests/cover_scale.rs` tier-graph equivalence suite. It is `doc(hidden)`,
+//! deprecated for external use, and scheduled for removal next release.
+
+use crate::decomposition::{DecompCluster, NetworkDecomposition};
+use crate::{Cluster, ClusterId, LayeredSparseCover, SparseCover};
+use ds_graph::{metrics, Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The pre-dense-id ball-carving decomposition (one full-graph BFS per center).
+pub fn build_decomposition(graph: &Graph, separation: usize) -> NetworkDecomposition {
+    assert!(graph.node_count() > 0, "decomposition requires a non-empty graph");
+    let step = separation.max(1);
+    let mut alive: BTreeSet<NodeId> = graph.nodes().collect();
+    let mut colors: Vec<Vec<DecompCluster>> = Vec::new();
+
+    while !alive.is_empty() {
+        let mut remaining: BTreeSet<NodeId> = alive.clone();
+        let mut this_color: Vec<DecompCluster> = Vec::new();
+
+        while let Some(&center) = remaining.iter().next() {
+            let dist = metrics::bfs_distances(graph, center);
+            // Count remaining nodes within radius j·step for growing j until the ball
+            // stops doubling.
+            let count_within = |r: usize, remaining: &BTreeSet<NodeId>| {
+                remaining.iter().filter(|v| matches!(dist[v.index()], Some(d) if d <= r)).count()
+            };
+            let mut j = 0usize;
+            loop {
+                let inner = count_within(j * step, &remaining).max(1);
+                let outer = count_within((j + 1) * step, &remaining);
+                if outer <= 2 * inner {
+                    break;
+                }
+                j += 1;
+            }
+            let inner_radius = j * step;
+            let outer_radius = (j + 1) * step;
+            let members: Vec<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|v| matches!(dist[v.index()], Some(d) if d <= inner_radius))
+                .collect();
+            let removed: Vec<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|v| matches!(dist[v.index()], Some(d) if d <= outer_radius))
+                .collect();
+            for &v in &removed {
+                remaining.remove(&v);
+            }
+            for &v in &members {
+                alive.remove(&v);
+            }
+            let weak_radius = members.iter().filter_map(|&v| dist[v.index()]).max().unwrap_or(0);
+            this_color.push(DecompCluster { center, members, weak_radius });
+        }
+
+        colors.push(this_color);
+    }
+
+    NetworkDecomposition { separation, colors }
+}
+
+/// The pre-dense-id sparse-cover builder (full-graph BFS per cluster).
+pub fn build_sparse_cover(graph: &Graph, d: usize) -> SparseCover {
+    assert!(d >= 1, "cover radius must be at least 1");
+    assert!(graph.node_count() > 0, "cover requires a non-empty graph");
+    let decomposition = build_decomposition(graph, 2 * d);
+    let mut clusters = Vec::new();
+
+    for (_color, dc) in decomposition.clusters() {
+        // Expand the carved cluster by its d-neighborhood.
+        let dist_to_cluster = metrics::multi_source_distances(graph, &dc.members);
+        let members: Vec<NodeId> = graph
+            .nodes()
+            .filter(|v| matches!(dist_to_cluster[v.index()], Some(x) if x <= d))
+            .collect();
+
+        // Cluster tree: union of BFS-tree paths from every member to the center.
+        let bfs_parent = metrics::bfs_tree(graph, dc.center);
+        let mut parent: BTreeMap<NodeId, Option<NodeId>> = BTreeMap::new();
+        parent.insert(dc.center, None);
+        for &member in &members {
+            let mut v = member;
+            while !parent.contains_key(&v) {
+                let p = bfs_parent[v.index()]
+                    .expect("members are connected to the center in a connected graph");
+                parent.insert(v, Some(p));
+                v = p;
+            }
+        }
+
+        let id = ClusterId(clusters.len());
+        clusters.push(Cluster::from_parents(id, dc.center, members, parent.into_iter().collect()));
+    }
+
+    SparseCover::new(d, clusters, graph.node_count())
+}
+
+/// The pre-dense-id layered builder.
+pub fn build_layered_sparse_cover(graph: &Graph, max_radius: usize) -> LayeredSparseCover {
+    assert!(max_radius >= 1, "max_radius must be at least 1");
+    let top = (max_radius as f64).log2().ceil() as usize;
+    let covers = (0..=top).map(|j| build_sparse_cover(graph, 1usize << j)).collect();
+    LayeredSparseCover::new(covers)
+}

@@ -16,6 +16,12 @@
 //! weak-diameter decomposition by ball carving — see [`decomposition`]. DESIGN.md §3
 //! documents this substitution.
 //!
+//! All structures are stored densely: clusters keep their tree as sorted node
+//! arrays with CSR-style children lists, and the construction pipeline runs on
+//! epoch-stamped scratch buffers with bounded-radius BFS (see DESIGN.md §3.3 for
+//! the complexity argument) — there are no ordered maps anywhere on the build
+//! path.
+//!
 //! Modules:
 //!
 //! * [`decomposition`] — `k`-separated weak-diameter network decomposition
@@ -26,14 +32,19 @@
 //!   nodes) used by the γ-synchronizer baseline.
 //! * [`stats`] — quality statistics (membership, stretch, edge load) used by the
 //!   cover-quality experiment (E6).
+//! * `legacy` — the pre-dense-id (`BTreeMap`-based) builder, kept for one release
+//!   as the executable reference of the equivalence tests.
 
 pub mod builder;
 pub mod decomposition;
+#[doc(hidden)]
+pub mod legacy;
 pub mod partition;
+pub(crate) mod scratch;
 pub mod stats;
 
 use ds_graph::{Graph, NodeId};
-use std::collections::BTreeMap;
+use scratch::BfsScratch;
 use std::fmt;
 
 /// Identifier of a cluster within a [`SparseCover`].
@@ -49,78 +60,119 @@ impl ClusterId {
 
 /// One cluster of a cover: a set of *member* (terminal) nodes plus a rooted tree that
 /// spans them, possibly through non-member (Steiner) nodes — the paper's cluster tree.
+///
+/// The tree is stored densely: tree nodes live in one sorted array, with parents,
+/// depths and CSR-style children lists in parallel arrays. All lookups resolve a
+/// node through one binary search over the (typically small) tree-node array.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cluster {
     /// Identifier of the cluster within its cover.
     pub id: ClusterId,
     /// Root of the cluster tree.
     pub root: NodeId,
-    /// Member (terminal) nodes: the nodes the cluster covers.
+    /// Member (terminal) nodes, sorted ascending: the nodes the cluster covers.
     pub members: Vec<NodeId>,
-    /// Parent pointers of the cluster tree; every tree node except the root has one.
-    /// The key set is the set of tree nodes (members ∪ Steiner nodes ∪ root).
-    pub parent: BTreeMap<NodeId, Option<NodeId>>,
-    /// Children lists of the cluster tree (derived from `parent`).
-    pub children: BTreeMap<NodeId, Vec<NodeId>>,
-    /// Depth (in tree edges) of each tree node below the root.
-    pub depth: BTreeMap<NodeId, usize>,
+    /// All tree nodes (members ∪ Steiner nodes ∪ root), sorted ascending.
+    tree: Vec<NodeId>,
+    /// Parent of `tree[i]` in the cluster tree (`None` for the root).
+    parent: Vec<Option<NodeId>>,
+    /// Depth (in tree edges) of `tree[i]` below the root.
+    depth: Vec<u32>,
+    /// Children of `tree[i]`: `child_list[child_offsets[i]..child_offsets[i+1]]`,
+    /// each slice sorted ascending.
+    child_offsets: Vec<u32>,
+    child_list: Vec<NodeId>,
 }
 
 impl Cluster {
-    /// Builds a cluster from parent pointers.
+    /// Builds a cluster from `(node, parent)` pairs (in any order; the root's entry
+    /// has parent `None`).
     ///
     /// # Panics
     ///
-    /// Panics if `parent` does not describe a tree rooted at `root` containing all
+    /// Panics if the pairs do not describe a tree rooted at `root` containing all
     /// `members` (this is an internal construction error, not user input).
     pub fn from_parents(
         id: ClusterId,
         root: NodeId,
-        members: Vec<NodeId>,
-        parent: BTreeMap<NodeId, Option<NodeId>>,
+        mut members: Vec<NodeId>,
+        mut pairs: Vec<(NodeId, Option<NodeId>)>,
     ) -> Self {
-        assert_eq!(parent.get(&root), Some(&None), "root must be in the tree with no parent");
-        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        for &v in parent.keys() {
-            children.entry(v).or_default();
+        // Membership lookups binary-search this list, so enforce the sort here
+        // rather than trusting the caller.
+        members.sort_unstable();
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate tree node");
+        let tree: Vec<NodeId> = pairs.iter().map(|&(v, _)| v).collect();
+        let parent: Vec<Option<NodeId>> = pairs.iter().map(|&(_, p)| p).collect();
+        let slot = |v: NodeId| tree.binary_search(&v);
+        assert_eq!(
+            slot(root).ok().map(|i| parent[i].is_none()),
+            Some(true),
+            "root must be in the tree with no parent"
+        );
+
+        // CSR children lists: count per parent, then fill; iterating tree nodes in
+        // ascending order keeps every child slice sorted.
+        let mut counts = vec![0u32; tree.len()];
+        for &p in parent.iter().flatten() {
+            counts[slot(p).expect("parent is a tree node")] += 1;
         }
-        for (&v, &p) in &parent {
+        let mut child_offsets = vec![0u32; tree.len() + 1];
+        for i in 0..tree.len() {
+            child_offsets[i + 1] = child_offsets[i] + counts[i];
+        }
+        let mut cursor: Vec<u32> = child_offsets[..tree.len()].to_vec();
+        let mut child_list = vec![NodeId(0); child_offsets[tree.len()] as usize];
+        for (i, &p) in parent.iter().enumerate() {
             if let Some(p) = p {
-                children.entry(p).or_default().push(v);
+                let s = slot(p).expect("parent is a tree node");
+                child_list[cursor[s] as usize] = tree[i];
+                cursor[s] += 1;
             }
         }
-        for list in children.values_mut() {
-            list.sort();
-        }
-        // Compute depths iteratively from the root.
-        let mut depth: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut stack = vec![(root, 0usize)];
-        while let Some((v, d)) = stack.pop() {
-            depth.insert(v, d);
-            for &c in &children[&v] {
-                stack.push((c, d + 1));
+
+        // Depths by an iterative traversal from the root.
+        let mut depth = vec![u32::MAX; tree.len()];
+        let mut stack = vec![(slot(root).expect("root is a tree node"), 0u32)];
+        let mut reached = 0usize;
+        while let Some((i, d)) = stack.pop() {
+            depth[i] = d;
+            reached += 1;
+            for &c in &child_list[child_offsets[i] as usize..child_offsets[i + 1] as usize] {
+                stack.push((slot(c).expect("child is a tree node"), d + 1));
             }
         }
-        assert_eq!(depth.len(), parent.len(), "cluster tree must be connected");
+        assert_eq!(reached, tree.len(), "cluster tree must be connected");
         for &m in &members {
-            assert!(parent.contains_key(&m), "member {m} must be a tree node");
+            assert!(slot(m).is_ok(), "member {m} must be a tree node");
         }
-        Cluster { id, root, members, parent, children, depth }
+        Cluster { id, root, members, tree, parent, depth, child_offsets, child_list }
+    }
+
+    /// Dense slot of a tree node, if present.
+    fn slot(&self, v: NodeId) -> Option<usize> {
+        self.tree.binary_search(&v).ok()
     }
 
     /// All nodes of the cluster tree (members and Steiner nodes), ascending.
     pub fn tree_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.parent.keys().copied()
+        self.tree.iter().copied()
+    }
+
+    /// All `(node, parent)` pairs of the cluster tree, ascending by node.
+    pub fn tree_parents(&self) -> impl Iterator<Item = (NodeId, Option<NodeId>)> + '_ {
+        self.tree.iter().copied().zip(self.parent.iter().copied())
     }
 
     /// Whether `v` participates in the cluster tree (as member or Steiner node).
     pub fn contains_tree_node(&self, v: NodeId) -> bool {
-        self.parent.contains_key(&v)
+        self.slot(v).is_some()
     }
 
     /// Whether `v` is a member (terminal) of the cluster.
     pub fn contains_member(&self, v: NodeId) -> bool {
-        self.members.binary_search(&v).is_ok() || self.members.contains(&v)
+        self.members.binary_search(&v).is_ok()
     }
 
     /// Parent of `v` in the cluster tree (`None` for the root).
@@ -129,7 +181,7 @@ impl Cluster {
     ///
     /// Panics if `v` is not a tree node.
     pub fn parent_of(&self, v: NodeId) -> Option<NodeId> {
-        self.parent[&v]
+        self.parent[self.slot(v).expect("not a tree node")]
     }
 
     /// Children of `v` in the cluster tree.
@@ -138,12 +190,13 @@ impl Cluster {
     ///
     /// Panics if `v` is not a tree node.
     pub fn children_of(&self, v: NodeId) -> &[NodeId] {
-        &self.children[&v]
+        let i = self.slot(v).expect("not a tree node");
+        &self.child_list[self.child_offsets[i] as usize..self.child_offsets[i + 1] as usize]
     }
 
     /// Depth of the deepest tree node.
     pub fn height(&self) -> usize {
-        self.depth.values().copied().max().unwrap_or(0)
+        self.depth.iter().copied().max().unwrap_or(0) as usize
     }
 
     /// Number of member nodes.
@@ -216,6 +269,10 @@ impl SparseCover {
 
     /// Validates the Definition 2.1 properties against `graph`.
     ///
+    /// Ball coverage is checked with one bounded-radius BFS per node over a reused
+    /// scratch buffer, so validation costs `O(Σ_v |B(v, d)|)` edge visits instead
+    /// of `n` full-graph BFS runs — cheap enough for the 4096-node tier graphs.
+    ///
     /// # Errors
     ///
     /// Returns a [`CoverError`] describing the first violated property.
@@ -223,7 +280,7 @@ impl SparseCover {
         // (a) every tree edge is a graph edge and every tree is rooted and connected
         // (checked during construction); here we re-check edges exist.
         for c in &self.clusters {
-            for (&v, &p) in &c.parent {
+            for (v, p) in c.tree_parents() {
                 if let Some(p) = p {
                     if !graph.has_edge(v, p) {
                         return Err(CoverError::TreeEdgeMissing { cluster: c.id, u: p, v });
@@ -236,18 +293,13 @@ impl SparseCover {
         }
         // (b) ball coverage: for every node v there is a cluster containing v and all
         // of B(v, d).
+        let mut bfs = BfsScratch::new(graph.node_count());
         for v in graph.nodes() {
-            let ball: Vec<NodeId> = ds_graph::metrics::bfs_distances(graph, v)
-                .iter()
-                .enumerate()
-                .filter_map(|(u, d)| match d {
-                    Some(d) if *d <= self.radius => Some(NodeId(u)),
-                    _ => None,
-                })
-                .collect();
+            bfs.start(std::slice::from_ref(&v));
+            while bfs.depth_reached() < self.radius as u32 && bfs.expand_level(graph).is_some() {}
             let covered = self.clusters_of(v).iter().any(|&cid| {
                 let c = self.cluster(cid);
-                ball.iter().all(|&u| c.contains_member(u))
+                bfs.order().iter().all(|&u| c.contains_member(u))
             });
             if !covered {
                 return Err(CoverError::BallNotCovered { node: v, radius: self.radius });
@@ -342,16 +394,9 @@ mod tests {
 
     fn star_cluster() -> Cluster {
         // Root 0 with children 1, 2; member set {0, 1, 2}.
-        let mut parent = BTreeMap::new();
-        parent.insert(NodeId(0), None);
-        parent.insert(NodeId(1), Some(NodeId(0)));
-        parent.insert(NodeId(2), Some(NodeId(0)));
-        Cluster::from_parents(
-            ClusterId(0),
-            NodeId(0),
-            vec![NodeId(0), NodeId(1), NodeId(2)],
-            parent,
-        )
+        let pairs =
+            vec![(NodeId(1), Some(NodeId(0))), (NodeId(0), None), (NodeId(2), Some(NodeId(0)))];
+        Cluster::from_parents(ClusterId(0), NodeId(0), vec![NodeId(0), NodeId(1), NodeId(2)], pairs)
     }
 
     #[test]
@@ -362,6 +407,11 @@ mod tests {
         assert_eq!(c.height(), 1);
         assert!(c.contains_member(NodeId(2)));
         assert!(!c.contains_member(NodeId(3)));
+        assert_eq!(c.tree_nodes().collect::<Vec<_>>(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            c.tree_parents().collect::<Vec<_>>(),
+            vec![(NodeId(0), None), (NodeId(1), Some(NodeId(0))), (NodeId(2), Some(NodeId(0)))]
+        );
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! the β scheme (convergecast/broadcast on a spanning tree) inside each cluster and
 //! the α scheme between neighboring clusters, over one *preferred* edge per adjacent
 //! cluster pair.
+//!
+//! The construction runs on flat per-node arrays (assignment, parent, depth written
+//! in place during the carve) — the only ordered container left is the small
+//! per-adjacent-cluster-pair map that picks preferred edges.
 
 use ds_graph::{Graph, NodeId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A partition of the node set into disjoint connected clusters, each with a rooted
 /// spanning tree of logarithmic depth, plus one preferred edge per pair of adjacent
@@ -92,46 +96,55 @@ impl LowDiameterPartition {
 pub fn build_partition(graph: &Graph) -> LowDiameterPartition {
     let n = graph.node_count();
     assert!(n > 0, "partition requires a non-empty graph");
-    let mut unassigned: BTreeSet<NodeId> = graph.nodes().collect();
-    let mut cluster_of = vec![usize::MAX; n];
+    const UNASSIGNED: usize = usize::MAX;
+    let mut cluster_of = vec![UNASSIGNED; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut depth = vec![0usize; n];
     let mut roots = Vec::new();
+    // Each ball carves (at least) its center, so the minimum unassigned id is
+    // monotone: one forward cursor replaces the ordered set.
+    let mut cursor = 0usize;
+    // The BFS ball in discovery order; levels are contiguous ranges of it.
+    let mut ball: Vec<NodeId> = Vec::new();
 
-    while let Some(&center) = unassigned.iter().next() {
+    while cursor < n {
+        if cluster_of[cursor] != UNASSIGNED {
+            cursor += 1;
+            continue;
+        }
+        let center = NodeId(cursor);
         let cluster_index = roots.len();
         // Grow a BFS ball inside the unassigned subgraph while it keeps doubling.
-        let mut layers: Vec<Vec<NodeId>> = vec![vec![center]];
-        let mut in_ball: BTreeSet<NodeId> = BTreeSet::from([center]);
-        let mut ball_parent: BTreeMap<NodeId, Option<NodeId>> = BTreeMap::new();
-        ball_parent.insert(center, None);
+        // Assignment happens on discovery: `cluster_of` doubles as the visited mark
+        // (every explored node joins the cluster, exactly as the reference
+        // layer-list construction kept all explored layers).
+        ball.clear();
+        ball.push(center);
+        cluster_of[cursor] = cluster_index;
+        let mut level_start = 0usize;
+        let mut level_depth = 0usize;
         loop {
-            let mut next = Vec::new();
-            for &v in layers.last().expect("at least one layer") {
+            let frontier = level_start..ball.len();
+            level_start = ball.len();
+            level_depth += 1;
+            for i in frontier {
+                let v = ball[i];
                 for &u in graph.neighbors(v) {
-                    if unassigned.contains(&u) && !in_ball.contains(&u) {
-                        in_ball.insert(u);
-                        ball_parent.insert(u, Some(v));
-                        next.push(u);
+                    if cluster_of[u.index()] == UNASSIGNED {
+                        cluster_of[u.index()] = cluster_index;
+                        parent[u.index()] = Some(v);
+                        depth[u.index()] = level_depth;
+                        ball.push(u);
                     }
                 }
             }
-            if next.is_empty() {
-                break;
+            if ball.len() == level_start {
+                break; // no next layer
             }
-            let prev_size = in_ball.len() - next.len();
-            layers.push(next);
+            let prev_size = level_start;
             // Stop once the ball no longer doubles.
-            if in_ball.len() <= 2 * prev_size {
+            if ball.len() <= 2 * prev_size {
                 break;
-            }
-        }
-        for (d, layer) in layers.iter().enumerate() {
-            for &v in layer {
-                cluster_of[v.index()] = cluster_index;
-                parent[v.index()] = ball_parent[&v];
-                depth[v.index()] = d;
-                unassigned.remove(&v);
             }
         }
         roots.push(center);

@@ -1,0 +1,241 @@
+//! Reusable, epoch-stamped BFS scratch buffers for the cover-construction
+//! pipeline.
+//!
+//! Every stage of the pipeline (ball carving in the decomposition, the
+//! `d`-expansion and cluster-tree extraction in the builder, ball checks in
+//! `validate`) is a *bounded-radius* BFS: it only ever needs the part of the graph
+//! within a known radius of its sources. [`BfsScratch`] runs such searches over
+//! flat arrays that are allocated once and reused across balls and layers:
+//!
+//! * visited marks are epoch-stamped (`visit[v] == epoch`), so starting a new
+//!   search is `O(sources)` instead of `O(n)` clearing,
+//! * the discovery order doubles as the frontier (CSR-style level expansion:
+//!   the current level is a range of the order array), so there is no separate
+//!   queue to allocate,
+//! * levels are expanded one at a time on demand — callers that grow a ball until
+//!   a doubling condition fails only pay for the edges inside the final ball.
+
+use ds_graph::{Graph, NodeId};
+
+/// A reusable bounded-radius BFS: epoch-stamped visited marks, distances, optional
+/// BFS-tree parents, and the discovery order (which doubles as the level frontier).
+#[derive(Debug)]
+pub(crate) struct BfsScratch {
+    /// `visit[v] == epoch` iff `v` was discovered by the current search.
+    visit: Vec<u32>,
+    epoch: u32,
+    /// Distance from the closest source; valid where `visit[v] == epoch`.
+    dist: Vec<u32>,
+    /// BFS-tree parent; valid where `visit[v] == epoch` and `v` is not a source.
+    parent: Vec<NodeId>,
+    /// Nodes in discovery order; levels are contiguous ranges.
+    order: Vec<NodeId>,
+    /// Start of the deepest complete level within `order`.
+    level_start: usize,
+    /// Depth of the deepest complete level.
+    depth: u32,
+}
+
+impl BfsScratch {
+    /// Creates scratch buffers for graphs of up to `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        BfsScratch {
+            visit: vec![0; n],
+            epoch: 0,
+            dist: vec![0; n],
+            parent: vec![NodeId(0); n],
+            order: Vec::new(),
+            level_start: 0,
+            depth: 0,
+        }
+    }
+
+    /// Begins a new search from `sources` (level 0, in the given order).
+    ///
+    /// Duplicate sources are ignored; epochs make this `O(|sources|)`.
+    pub(crate) fn start(&mut self, sources: &[NodeId]) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped around: old stamps could alias the new epoch — reset them.
+            self.visit.fill(0);
+            self.epoch = 1;
+        }
+        self.order.clear();
+        self.level_start = 0;
+        self.depth = 0;
+        for &s in sources {
+            if self.visit[s.index()] != self.epoch {
+                self.visit[s.index()] = self.epoch;
+                self.dist[s.index()] = 0;
+                self.order.push(s);
+            }
+        }
+    }
+
+    /// Whether `v` has been discovered by the current search.
+    pub(crate) fn visited(&self, v: NodeId) -> bool {
+        self.visit[v.index()] == self.epoch
+    }
+
+    /// Distance of a discovered node from the closest source.
+    ///
+    /// Only meaningful when [`BfsScratch::visited`] holds.
+    pub(crate) fn dist(&self, v: NodeId) -> u32 {
+        debug_assert!(self.visited(v));
+        self.dist[v.index()]
+    }
+
+    /// BFS-tree parent of a discovered non-source node.
+    ///
+    /// Parents are assigned exactly as a plain full-graph BFS would (first
+    /// discoverer wins; frontier processed in discovery order, neighbors in
+    /// adjacency order), so bounded and unbounded searches agree on them.
+    pub(crate) fn parent(&self, v: NodeId) -> NodeId {
+        debug_assert!(self.visited(v) && self.dist[v.index()] > 0);
+        self.parent[v.index()]
+    }
+
+    /// All nodes discovered so far, in discovery order (levels are contiguous).
+    pub(crate) fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Depth of the deepest fully expanded level.
+    pub(crate) fn depth_reached(&self) -> u32 {
+        self.depth
+    }
+
+    /// Expands the next BFS level. Returns the `order` range of the newly
+    /// discovered nodes, or `None` if the frontier was exhausted.
+    pub(crate) fn expand_level(&mut self, graph: &Graph) -> Option<(usize, usize)> {
+        let frontier = self.level_start..self.order.len();
+        if frontier.is_empty() {
+            return None;
+        }
+        let next_start = self.order.len();
+        let next_depth = self.depth + 1;
+        for i in frontier {
+            let v = self.order[i];
+            for &u in graph.neighbors(v) {
+                if self.visit[u.index()] != self.epoch {
+                    self.visit[u.index()] = self.epoch;
+                    self.dist[u.index()] = next_depth;
+                    self.parent[u.index()] = v;
+                    self.order.push(u);
+                }
+            }
+        }
+        self.level_start = next_start;
+        self.depth = next_depth;
+        if self.order.len() == next_start {
+            None
+        } else {
+            Some((next_start, self.order.len()))
+        }
+    }
+}
+
+/// Epoch-stamped node marks, for set membership without per-use clearing.
+#[derive(Debug)]
+pub(crate) struct MarkSet {
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl MarkSet {
+    /// Creates marks for up to `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        MarkSet { mark: vec![0; n], epoch: 0 }
+    }
+
+    /// Clears the set in `O(1)` (or `O(n)` once every `u32::MAX` clears).
+    pub(crate) fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Inserts `v`; returns whether it was newly inserted.
+    pub(crate) fn insert(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.mark[v.index()];
+        let fresh = *slot != self.epoch;
+        *slot = self.epoch;
+        fresh
+    }
+
+    /// Whether `v` is in the set.
+    pub(crate) fn contains(&self, v: NodeId) -> bool {
+        self.mark[v.index()] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_bfs_matches_full_distances_and_parents() {
+        let g = Graph::grid(5, 4);
+        let full_dist = ds_graph::metrics::bfs_distances(&g, NodeId(3));
+        let full_parent = ds_graph::metrics::bfs_tree(&g, NodeId(3));
+        let mut bfs = BfsScratch::new(g.node_count());
+        bfs.start(&[NodeId(3)]);
+        while bfs.expand_level(&g).is_some() {}
+        for v in g.nodes() {
+            assert!(bfs.visited(v));
+            assert_eq!(bfs.dist(v) as usize, full_dist[v.index()].unwrap());
+            if v != NodeId(3) {
+                assert_eq!(Some(bfs.parent(v)), full_parent[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_stops_at_the_requested_depth() {
+        let g = Graph::path(10);
+        let mut bfs = BfsScratch::new(g.node_count());
+        bfs.start(&[NodeId(0)]);
+        while bfs.depth_reached() < 3 && bfs.expand_level(&g).is_some() {}
+        assert_eq!(bfs.order(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(!bfs.visited(NodeId(4)));
+    }
+
+    #[test]
+    fn epochs_isolate_successive_searches() {
+        let g = Graph::path(6);
+        let mut bfs = BfsScratch::new(g.node_count());
+        bfs.start(&[NodeId(0)]);
+        while bfs.expand_level(&g).is_some() {}
+        bfs.start(&[NodeId(5)]);
+        assert!(bfs.visited(NodeId(5)));
+        assert!(!bfs.visited(NodeId(0)));
+        bfs.expand_level(&g);
+        assert_eq!(bfs.dist(NodeId(4)), 1);
+    }
+
+    #[test]
+    fn multi_source_level_zero_deduplicates() {
+        let g = Graph::path(4);
+        let mut bfs = BfsScratch::new(g.node_count());
+        bfs.start(&[NodeId(2), NodeId(0), NodeId(2)]);
+        assert_eq!(bfs.order(), &[NodeId(2), NodeId(0)]);
+        bfs.expand_level(&g);
+        assert_eq!(bfs.dist(NodeId(1)), 1);
+        assert_eq!(bfs.parent(NodeId(1)), NodeId(2));
+        assert_eq!(bfs.dist(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn mark_set_clears_in_constant_time() {
+        let mut marks = MarkSet::new(4);
+        marks.clear();
+        assert!(marks.insert(NodeId(1)));
+        assert!(!marks.insert(NodeId(1)));
+        assert!(marks.contains(NodeId(1)));
+        marks.clear();
+        assert!(!marks.contains(NodeId(1)));
+        assert!(marks.insert(NodeId(1)));
+    }
+}

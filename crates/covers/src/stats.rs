@@ -4,7 +4,6 @@
 
 use crate::{LayeredSparseCover, SparseCover};
 use ds_graph::Graph;
-use std::collections::BTreeMap;
 
 /// Summary statistics of one sparse cover.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,12 +29,13 @@ pub fn cover_stats(graph: &Graph, cover: &SparseCover) -> CoverStats {
     let n = graph.node_count().max(1);
     let total_membership: usize = graph.nodes().map(|v| cover.clusters_of(v).len()).sum();
 
-    let mut edge_load: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    // Edge load, accumulated flat over the dense undirected-edge index.
+    let mut edge_load = vec![0u32; graph.edge_count()];
     for cluster in &cover.clusters {
-        for (&v, &p) in &cluster.parent {
+        for (v, p) in cluster.tree_parents() {
             if let Some(p) = p {
-                let key = (v.index().min(p.index()), v.index().max(p.index()));
-                *edge_load.entry(key).or_insert(0) += 1;
+                let e = graph.edge_between(v, p).expect("tree edges are graph edges");
+                edge_load[e.index()] += 1;
             }
         }
     }
@@ -47,7 +47,7 @@ pub fn cover_stats(graph: &Graph, cover: &SparseCover) -> CoverStats {
         avg_membership: total_membership as f64 / n as f64,
         max_tree_height: cover.max_height(),
         stretch: cover.max_height() as f64 / cover.radius.max(1) as f64,
-        max_edge_load: edge_load.values().copied().max().unwrap_or(0),
+        max_edge_load: edge_load.iter().copied().max().unwrap_or(0) as usize,
     }
 }
 

@@ -51,6 +51,9 @@ pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<usize> {
 }
 
 /// Diameter of the graph (`None` if disconnected or empty).
+///
+/// Exact, via one BFS per node — `O(n·m)`. Callers that only need an *upper bound*
+/// (e.g. to size a cover) should use [`diameter_bounds`], which costs two BFS runs.
 pub fn diameter(graph: &Graph) -> Option<usize> {
     if graph.node_count() == 0 {
         return None;
@@ -60,6 +63,33 @@ pub fn diameter(graph: &Graph) -> Option<usize> {
         best = best.max(eccentricity(graph, v)?);
     }
     Some(best)
+}
+
+/// Double-sweep diameter estimate: `(lower, upper)` bounds on the diameter from two
+/// BFS runs (`None` if the graph is disconnected or empty).
+///
+/// The first sweep runs BFS from node 0 and picks a farthest node `u`; the second
+/// runs BFS from `u`. Then `ecc(u) ≤ diameter ≤ 2·min(ecc(0), ecc(u))`: the lower
+/// bound is an eccentricity, and for any node `v` the triangle inequality gives
+/// `diameter ≤ 2·ecc(v)`. On the experiment families (grids, tori, cycles, paths,
+/// random graphs) the lower bound is the exact diameter or within a few hops of it.
+pub fn diameter_bounds(graph: &Graph) -> Option<(usize, usize)> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let from_start = bfs_distances(graph, NodeId(0));
+    let mut ecc_start = 0;
+    let mut farthest = NodeId(0);
+    for (i, d) in from_start.iter().enumerate() {
+        let d = (*d)?; // disconnected
+        if d > ecc_start {
+            ecc_start = d;
+            farthest = NodeId(i);
+        }
+    }
+    let ecc_far =
+        bfs_distances(graph, farthest).into_iter().try_fold(0, |acc, d| d.map(|d| acc.max(d)))?;
+    Some((ecc_far.max(ecc_start), 2 * ecc_start.min(ecc_far)))
 }
 
 /// Largest distance from the closest source, over all nodes (the paper's `D_1`).
@@ -139,6 +169,33 @@ mod tests {
             assert_eq!(dist[p.index()].unwrap() + 1, dist[v.index()].unwrap());
             assert!(g.has_edge(p, v));
         }
+    }
+
+    #[test]
+    fn diameter_bounds_bracket_the_exact_diameter() {
+        for g in [
+            Graph::path(9),
+            Graph::cycle(12),
+            Graph::grid(5, 7),
+            Graph::star(6),
+            Graph::complete(5),
+            Graph::random_connected(40, 0.08, 3),
+            Graph::new(1),
+        ] {
+            let exact = diameter(&g).expect("connected");
+            let (lower, upper) = diameter_bounds(&g).expect("connected");
+            assert!(lower <= exact, "lower {lower} > exact {exact}");
+            assert!(exact <= upper, "exact {exact} > upper {upper}");
+            assert!(lower <= upper);
+        }
+        // On a path the double sweep is exact: the first sweep finds an endpoint.
+        assert_eq!(diameter_bounds(&Graph::path(9)).unwrap().0, 8);
+    }
+
+    #[test]
+    fn diameter_bounds_detect_disconnection() {
+        assert_eq!(diameter_bounds(&Graph::new(3)), None);
+        assert_eq!(diameter_bounds(&Graph::new(0)), None);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! The engine implements the model of Section 1.1 and Appendix B:
 //!
 //! * every message injected into a link is delivered after an adversarially chosen
-//!   delay of at most one time unit `τ` ([`crate::delay::DelayModel`]),
+//!   delay of at most one time unit `τ` ([`crate::delay::DelayModel`]; the
+//!   composite [`Outage`](crate::delay::DelayModel::Outage) stress adversary may
+//!   exceed it, parking deliveries in the scheduler's overflow heap),
 //! * a node may have at most one un-acknowledged message per outgoing link; further
 //!   messages queue locally and are injected when the acknowledgment returns (the
 //!   acknowledgment discipline of Appendix B, which removes simultaneous-injection
@@ -20,8 +22,8 @@
 //! allocations on the hot path.
 //!
 //! Scheduling exploits the bounded delay horizon twice (see
-//! [`crate::scheduler`] and the crate-private `stage_queue` module for the data
-//! structures and the determinism argument):
+//! [`crate::scheduler`] and [`crate::stage_queue`] for the data structures and
+//! the determinism argument):
 //!
 //! * the global event queue is a bounded-horizon **timing wheel** — `O(1)` per
 //!   event instead of the `O(log n)` of the reference binary heap (selectable via
@@ -95,6 +97,12 @@ pub struct AsyncReport<P> {
     pub metrics: RunMetrics,
     /// The per-node protocol instances after the run (holding outputs and state).
     pub nodes: Vec<P>,
+    /// Events scheduled beyond the timing wheel's horizon (0 for single-`τ`
+    /// delay models and for the heap scheduler, which has no horizon). Kept out
+    /// of [`RunMetrics`] deliberately: it describes the scheduler's internals,
+    /// not the simulated execution, and so may differ between schedulers whose
+    /// runs are otherwise bit-identical.
+    pub overflow_events: u64,
 }
 
 /// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`].
@@ -201,7 +209,7 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
         let Some((msg_seq, msg)) = state.pop() else { return };
         state.in_flight = true;
         let (from, to) = (state.from, state.to);
-        let delay = self.delay.delay_ticks(from, to, msg_seq);
+        let delay = self.delay.delay_ticks_at(from, to, msg_seq, self.now);
         let at = self.now + delay;
         self.schedule(at, link, EventKind::Deliver { msg });
     }
@@ -251,7 +259,7 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
         // historical engine exactly — the seq stream feeds the delay adversary.)
         self.metrics.acks += 1;
         let ack_seq = self.next_seq();
-        let ack_delay = self.delay.delay_ticks(to, from, ack_seq);
+        let ack_delay = self.delay.delay_ticks_at(to, from, ack_seq, self.now);
         let at = self.now + ack_delay;
         self.schedule(at, link, EventKind::Ack);
         Ok(())
@@ -413,7 +421,11 @@ where
     engine.metrics.time_to_output = engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     engine.metrics.time_to_quiescence = engine.now as f64 / TICKS_PER_UNIT as f64;
 
-    Ok(AsyncReport { metrics: engine.metrics, nodes: engine.nodes })
+    Ok(AsyncReport {
+        metrics: engine.metrics,
+        nodes: engine.nodes,
+        overflow_events: engine.sched.overflow_scheduled(),
+    })
 }
 
 #[cfg(test)]
@@ -583,6 +595,52 @@ mod tests {
         // All three messages are queued before the link transmits, so they are
         // delivered in ascending priority order regardless of send order.
         assert_eq!(report.nodes[1].order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn outage_model_exercises_the_overflow_heap_deterministically() {
+        // The composite outage adversary assigns multi-τ delays, so deliveries
+        // land beyond the wheel's one-τ horizon and must park in the overflow
+        // heap — which no single-τ model ever reaches. The schedule must stay
+        // byte-identical across repeat runs and across schedulers.
+        let g = Graph::grid(6, 6);
+        let delay = DelayModel::outage(11, 4, 2);
+        let run = |scheduler: SchedulerKind| {
+            let report = run_async_with(
+                &g,
+                delay.clone(),
+                |v| Flood::new(&g, v),
+                SimLimits::default(),
+                scheduler,
+            )
+            .expect("outage run");
+            let hops: Vec<Option<u64>> = report.nodes.iter().map(|n| n.hops).collect();
+            (hops, report.metrics, report.overflow_events)
+        };
+        let (hops_a, metrics_a, overflow_a) = run(SchedulerKind::TimingWheel);
+        assert!(hops_a.iter().all(Option::is_some), "flood completes despite outages");
+        assert!(overflow_a > 0, "multi-τ delays must park events beyond the horizon");
+        // Repeat run: bit-identical.
+        let (hops_b, metrics_b, overflow_b) = run(SchedulerKind::TimingWheel);
+        assert_eq!(hops_a, hops_b);
+        assert_eq!(metrics_a, metrics_b);
+        assert_eq!(overflow_a, overflow_b);
+        // The heap scheduler has no horizon (overflow 0) but must produce the
+        // exact same simulated execution.
+        let (hops_h, metrics_h, overflow_h) = run(SchedulerKind::BinaryHeap);
+        assert_eq!(hops_a, hops_h);
+        assert_eq!(metrics_a, metrics_h);
+        assert_eq!(overflow_h, 0);
+    }
+
+    #[test]
+    fn single_unit_models_never_overflow() {
+        let g = Graph::grid(4, 4);
+        for delay in DelayModel::standard_suite(3) {
+            let report =
+                run_async(&g, delay.clone(), |v| Flood::new(&g, v), SimLimits::default()).unwrap();
+            assert_eq!(report.overflow_events, 0, "{delay:?} stayed within one τ");
+        }
     }
 
     #[test]

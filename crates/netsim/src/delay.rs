@@ -4,6 +4,13 @@
 //! (Section 1.1). Algorithms must be correct for *every* delay assignment; the delay
 //! model plays the role of the adversary in the simulation. All models are
 //! deterministic for a fixed seed, so experiments are reproducible.
+//!
+//! Most models assign delays within one `τ` — the timing wheel's horizon. The
+//! composite [`DelayModel::Outage`] model deliberately exceeds it: links suffer
+//! periodic outage windows several `τ` long, and messages injected during an
+//! outage wait until it ends, producing beyond-horizon events that exercise the
+//! scheduler's overflow heap (the model's delays are a worst case the paper's
+//! analysis does not cover — it exists to stress the engine, not the theorems).
 
 use crate::TICKS_PER_UNIT;
 use ds_graph::NodeId;
@@ -24,6 +31,20 @@ pub enum DelayModel {
     /// whose sequence number is divisible by `period` take `τ`, others take 1 tick.
     /// Models bursty congestion.
     Bursty { period: u64 },
+    /// Composite multi-unit adversary: every `period_units · τ` window, each
+    /// undirected link goes down for `outage_units · τ` at a per-link,
+    /// per-window pseudo-random offset. A message injected during an outage is
+    /// delivered when the outage ends plus a jittered base delay — up to
+    /// `(outage_units + 1) · τ`, i.e. *beyond* the timing wheel's one-`τ`
+    /// horizon (the overflow heap absorbs these).
+    Outage {
+        /// Seed of the per-link window offsets and the per-message base jitter.
+        seed: u64,
+        /// Length of one outage period, in units of `τ` (must exceed `outage_units`).
+        period_units: u64,
+        /// Length of one outage window, in units of `τ` (at least 1).
+        outage_units: u64,
+    },
 }
 
 impl DelayModel {
@@ -65,9 +86,34 @@ impl DelayModel {
         DelayModel::Bursty { period }
     }
 
+    /// Per-link outage windows of `outage_units · τ` every `period_units · τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period_units > outage_units >= 1`.
+    pub fn outage(seed: u64, period_units: u64, outage_units: u64) -> Self {
+        assert!(outage_units >= 1, "outage windows must last at least one unit");
+        assert!(period_units > outage_units, "the period must exceed the outage window");
+        DelayModel::Outage { seed, period_units, outage_units }
+    }
+
     /// Delay in ticks for a message from `from` to `to` with global sequence
-    /// number `seq`. Always in `1..=TICKS_PER_UNIT`.
+    /// number `seq`, injected at the start of the run. Equivalent to
+    /// [`DelayModel::delay_ticks_at`] with `now == 0`; the single-`τ` models
+    /// ignore the injection time entirely and always stay in
+    /// `1..=TICKS_PER_UNIT`.
     pub fn delay_ticks(&self, from: NodeId, to: NodeId, seq: u64) -> u64 {
+        self.delay_ticks_at(from, to, seq, 0)
+    }
+
+    /// Delay in ticks for a message from `from` to `to` with global sequence
+    /// number `seq`, injected into its link at absolute tick `now` (which is part
+    /// of the deterministic schedule, so delays remain reproducible).
+    ///
+    /// Single-`τ` models return values in `1..=TICKS_PER_UNIT`; the composite
+    /// [`DelayModel::Outage`] model can return up to
+    /// `(outage_units + 1) · TICKS_PER_UNIT`.
+    pub fn delay_ticks_at(&self, from: NodeId, to: NodeId, seq: u64, now: u64) -> u64 {
         let d = match *self {
             DelayModel::Uniform => TICKS_PER_UNIT,
             DelayModel::Jitter { seed, min_ticks } => {
@@ -88,15 +134,35 @@ impl DelayModel {
                     1
                 }
             }
+            DelayModel::Outage { seed, period_units, outage_units } => {
+                // Per-message base jitter in [1, τ].
+                let h = splitmix(
+                    seed.wrapping_add(0xA5A5) ^ mix3(from.index() as u64, to.index() as u64, seq),
+                );
+                let base = 1 + h % TICKS_PER_UNIT;
+                // The link's outage window within the current period: an
+                // undirected per-link, per-window offset (both directions of a
+                // link go down together).
+                let period = period_units * TICKS_PER_UNIT;
+                let outage = outage_units * TICKS_PER_UNIT;
+                let (a, b) = if from <= to { (from, to) } else { (to, from) };
+                let window = now / period;
+                let wh = splitmix(seed ^ mix3(a.index() as u64, b.index() as u64, window));
+                let start = window * period + wh % (period - outage + 1);
+                return if (start..start + outage).contains(&now) {
+                    (start + outage - now) + base
+                } else {
+                    base
+                };
+            }
         };
         d.clamp(1, TICKS_PER_UNIT)
     }
 
-    /// Upper bound, in ticks, on any delay this adversary can assign — the
-    /// scheduling horizon of the asynchronous engine's timing wheel. Every model
-    /// clamps its delays into `1..=TICKS_PER_UNIT` (the model's one-time-unit
-    /// bound), so the bound is `TICKS_PER_UNIT` for all of them; a future
-    /// composite multi-unit model would return its own bound here.
+    /// The asynchronous engine's timing-wheel horizon, in ticks: the delay bound
+    /// of the single-`τ` models. Models may exceed it — [`DelayModel::Outage`]
+    /// does, by design — in which case the beyond-horizon events park in the
+    /// scheduler's overflow heap rather than a wheel slot.
     pub fn max_delay_ticks(&self) -> u64 {
         TICKS_PER_UNIT
     }
@@ -182,5 +248,53 @@ mod tests {
     #[should_panic(expected = "min_fraction")]
     fn jitter_at_least_rejects_zero() {
         let _ = DelayModel::jitter_at_least(0, 0.0);
+    }
+
+    #[test]
+    fn outage_delays_are_deterministic_and_can_exceed_the_horizon() {
+        let d = DelayModel::outage(7, 8, 3);
+        let mut beyond = 0u64;
+        for link in 0..40u64 {
+            for now in (0..8 * TICKS_PER_UNIT).step_by(137) {
+                let x =
+                    d.delay_ticks_at(NodeId(link as usize), NodeId(link as usize + 1), link, now);
+                assert!(x >= 1);
+                assert!(x <= 4 * TICKS_PER_UNIT, "delay {x} above (outage+1)·τ");
+                assert_eq!(
+                    x,
+                    d.delay_ticks_at(NodeId(link as usize), NodeId(link as usize + 1), link, now)
+                );
+                if x > TICKS_PER_UNIT {
+                    beyond += 1;
+                }
+            }
+        }
+        assert!(beyond > 0, "some injection must land in an outage window");
+    }
+
+    #[test]
+    fn outage_is_symmetric_per_link() {
+        // Both directions of a link share the outage window: any instant whose
+        // remaining wait exceeds one τ (delay > 2τ implies wait > τ) must delay
+        // the reverse direction beyond one τ too (its delay is wait + base ≥
+        // wait + 1). Only the per-message base jitter may differ.
+        let d = DelayModel::outage(3, 6, 2);
+        let (u, v) = (NodeId(4), NodeId(9));
+        let mut saw_outage = false;
+        for now in 0..6 * TICKS_PER_UNIT {
+            let a = d.delay_ticks_at(u, v, 0, now);
+            let b = d.delay_ticks_at(v, u, 0, now);
+            if a > 2 * TICKS_PER_UNIT {
+                saw_outage = true;
+                assert!(b > TICKS_PER_UNIT, "window not shared at {now}: a={a} b={b}");
+            }
+        }
+        assert!(saw_outage);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must exceed")]
+    fn outage_rejects_windows_longer_than_the_period() {
+        let _ = DelayModel::outage(1, 2, 2);
     }
 }

@@ -24,8 +24,7 @@
 //! * [`scheduler`] holds the engine's event schedulers — the bounded-horizon
 //!   timing wheel the model's one-time-unit delay bound makes possible, and the
 //!   binary-heap reference it is tested against ([`SchedulerKind`] selects),
-//! * `stage_queue` (crate-private) holds the per-link queues as per-stage FIFO
-//!   buckets,
+//! * [`stage_queue`] holds the per-link queues as per-stage FIFO buckets,
 //! * [`metrics`] collects time and message accounting for both engines.
 
 pub mod async_engine;
@@ -35,7 +34,7 @@ pub mod event_driven;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
-mod stage_queue;
+pub mod stage_queue;
 pub mod sync_engine;
 
 pub use async_engine::{run_async, run_async_with, AsyncReport, SimError, SimLimits};

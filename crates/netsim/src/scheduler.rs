@@ -8,19 +8,20 @@
 //! slots, each holding the events of one absolute tick, give `O(1)` insertion and
 //! amortized `O(1)` extraction, against the `O(log n)` of a global binary heap.
 //!
-//! Both implementations expose the same crate-private `EventScheduler` interface
-//! and produce **bit-identical** schedules:
+//! Both implementations expose the same [`EventScheduler`] interface (public, so
+//! the `exp_sched` microbenchmarks in `ds-bench` can drive them in isolation) and
+//! produce **bit-identical** schedules:
 //!
 //! * events are totally ordered by `(at, seq)` with a globally increasing `seq`,
 //! * `EventScheduler::take_due` drains *all* events of the earliest pending tick
 //!   in ascending `seq` order. Within a wheel slot, insertion order *is* `seq`
 //!   order, because `seq` increases monotonically over the run and no event can be
 //!   scheduled at the tick currently being drained (delays are at least one tick),
-//! * entries whose delay exceeds the horizon (none of the shipped
-//!   [`crate::delay::DelayModel`]s produce these, but composite multi-unit delays
-//!   may) go to a small overflow heap consulted alongside the wheel; an overflow
-//!   entry's `seq` is always smaller than any wheel entry of the same tick, since
-//!   it was necessarily scheduled more than a horizon earlier.
+//! * entries whose delay exceeds the horizon (the composite
+//!   [`crate::delay::DelayModel::Outage`] adversary produces them; the single-`τ`
+//!   models never do) go to a small overflow heap consulted alongside the wheel;
+//!   an overflow entry's `seq` is always smaller than any wheel entry of the same
+//!   tick, since it was necessarily scheduled more than a horizon earlier.
 //!
 //! The engine picks the implementation through [`SchedulerKind`]; the heap is kept
 //! as the executable specification the wheel is tested against (see
@@ -54,7 +55,10 @@ impl SchedulerKind {
 /// Common interface of the engine's event schedulers.
 ///
 /// `T` is the inline payload (the engine stores the link id and the message).
-pub(crate) trait EventScheduler<T> {
+/// Public so the scheduler microbenchmarks (`exp_sched` in `ds-bench`) can drive
+/// both implementations in isolation; simulation code goes through
+/// [`crate::async_engine::run_async_with`] instead.
+pub trait EventScheduler<T> {
     /// Schedules `payload` at absolute tick `at` with global sequence number `seq`.
     ///
     /// Callers must only schedule into the strict future of the last tick returned
@@ -65,6 +69,12 @@ pub(crate) trait EventScheduler<T> {
     /// Moves *every* event of the earliest pending tick into `due` (ascending
     /// `seq`) and returns that tick, or `None` if no events are pending.
     fn take_due(&mut self, due: &mut Vec<(u64, T)>) -> Option<u64>;
+
+    /// How many events were scheduled beyond the in-structure horizon so far
+    /// (0 for schedulers without a horizon).
+    fn overflow_scheduled(&self) -> u64 {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -110,7 +120,7 @@ impl<T> Ord for MinEntry<T> {
 /// steady-state scheduling never allocates), and events beyond the horizon wait in
 /// a small overflow heap that is consulted next to the wheel.
 #[derive(Debug)]
-pub(crate) struct TimingWheel<T> {
+pub struct TimingWheel<T> {
     /// One buffer of `(seq, payload)` per slot; insertion order is `seq` order.
     slots: Vec<Vec<(u64, T)>>,
     /// Occupancy bitset: bit `i` set iff `slots[i]` is non-empty.
@@ -123,6 +133,9 @@ pub(crate) struct TimingWheel<T> {
     horizon: u64,
     /// Events scheduled more than `horizon` ticks ahead.
     overflow: BinaryHeap<MinEntry<T>>,
+    /// Total events ever parked in the overflow heap (exposed through
+    /// [`EventScheduler::overflow_scheduled`]).
+    overflow_scheduled: u64,
     /// Recycled slot buffers: a drained slot's buffer returns here.
     free: Vec<Vec<(u64, T)>>,
 }
@@ -134,7 +147,7 @@ impl<T> TimingWheel<T> {
     /// # Panics
     ///
     /// Panics if `horizon == 0`.
-    pub(crate) fn new(horizon: u64) -> Self {
+    pub fn new(horizon: u64) -> Self {
         assert!(horizon > 0, "wheel horizon must be positive");
         let slot_count = usize::try_from(horizon + 1).expect("horizon fits in memory");
         TimingWheel {
@@ -144,14 +157,19 @@ impl<T> TimingWheel<T> {
             pending: 0,
             horizon,
             overflow: BinaryHeap::new(),
+            overflow_scheduled: 0,
             free: Vec::new(),
         }
     }
 
     /// Total number of pending events (wheel slots plus overflow).
-    #[cfg(test)]
-    fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.pending + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Absolute tick of the earliest non-empty slot. Requires `pending > 0`.
@@ -188,6 +206,7 @@ impl<T> EventScheduler<T> for TimingWheel<T> {
             self.slots[idx].push((seq, payload));
             self.pending += 1;
         } else {
+            self.overflow_scheduled += 1;
             self.overflow.push(MinEntry { at, seq, payload });
         }
     }
@@ -219,6 +238,10 @@ impl<T> EventScheduler<T> for TimingWheel<T> {
         self.now = t;
         Some(t)
     }
+
+    fn overflow_scheduled(&self) -> u64 {
+        self.overflow_scheduled
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -228,13 +251,20 @@ impl<T> EventScheduler<T> for TimingWheel<T> {
 /// The pre-wheel scheduler: one global binary heap ordered by `(at, seq)`. Kept as
 /// the executable specification for equivalence tests.
 #[derive(Debug)]
-pub(crate) struct HeapScheduler<T> {
+pub struct HeapScheduler<T> {
     heap: BinaryHeap<MinEntry<T>>,
 }
 
 impl<T> HeapScheduler<T> {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty heap scheduler.
+    pub fn new() -> Self {
         HeapScheduler { heap: BinaryHeap::new() }
+    }
+}
+
+impl<T> Default for HeapScheduler<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -14,9 +14,9 @@
 //!   sequence numbers increase monotonically, that *is* `(priority, seq)` order,
 //!   exactly the order the previous per-link `BinaryHeap` produced.
 //!
-//! Pathological priorities far from the base (more than [`MAX_SPREAD`] apart, which
-//! no shipped protocol produces) fall back to a small sorted overflow vector so the
-//! bucket window stays dense and bounded.
+//! Pathological priorities far from the base (more than `MAX_SPREAD` = 1024 apart,
+//! which no shipped protocol produces) fall back to a small sorted overflow vector
+//! so the bucket window stays dense and bounded.
 
 use crate::bitset;
 use std::collections::VecDeque;
@@ -28,8 +28,11 @@ const MAX_SPREAD: u64 = 1024;
 /// A FIFO-within-priority queue of `(priority, seq, msg)` entries popping the
 /// minimum `(priority, seq)` first. `seq` values must be strictly increasing
 /// across pushes (the engine's global sequence numbers are).
+///
+/// Public so the `exp_sched` microbenchmarks in `ds-bench` can measure it in
+/// isolation; the engine reaches it through its per-link state.
 #[derive(Debug)]
-pub(crate) struct StageQueue<M> {
+pub struct StageQueue<M> {
     /// Priority represented by bucket 0; meaningful only while `len > 0`.
     base: u64,
     /// FIFO bucket `b` holds entries of priority `base + b`.
@@ -43,8 +46,15 @@ pub(crate) struct StageQueue<M> {
     len: usize,
 }
 
+impl<M> Default for StageQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<M> StageQueue<M> {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
         StageQueue {
             base: 0,
             buckets: Vec::new(),
@@ -54,9 +64,14 @@ impl<M> StageQueue<M> {
         }
     }
 
-    #[cfg(test)]
-    fn is_empty(&self) -> bool {
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
     }
 
     /// Grows the window so bucket `idx` exists.
@@ -99,7 +114,8 @@ impl<M> StageQueue<M> {
         self.base = new_base;
     }
 
-    pub(crate) fn push(&mut self, priority: u64, seq: u64, msg: M) {
+    /// Queues `msg` under `(priority, seq)`.
+    pub fn push(&mut self, priority: u64, seq: u64, msg: M) {
         if self.len == self.overflow.len() {
             // The bucket window is empty: restart it at this priority. (Any
             // overflow entries keep their absolute priorities.)
@@ -136,7 +152,7 @@ impl<M> StageQueue<M> {
     }
 
     /// The minimum `(priority, seq)` key currently queued, without popping it.
-    pub(crate) fn min_key(&self) -> Option<(u64, u64)> {
+    pub fn min_key(&self) -> Option<(u64, u64)> {
         if self.len == 0 {
             return None;
         }
@@ -152,7 +168,7 @@ impl<M> StageQueue<M> {
     }
 
     /// Pops the minimum-`(priority, seq)` entry as `(seq, msg)`.
-    pub(crate) fn pop(&mut self) -> Option<(u64, M)> {
+    pub fn pop(&mut self) -> Option<(u64, M)> {
         if self.len == 0 {
             return None;
         }

@@ -126,13 +126,21 @@ impl SynchronizerConfig {
     /// internally (the "without being given a cover" setting; the construction is
     /// centralized, see DESIGN.md §3).
     ///
+    /// The cover only needs an *upper bound* on the graph diameter (the top layer
+    /// must reach radius ≥ diameter so one cluster spans the whole graph), so this
+    /// uses the two-BFS double-sweep bound of [`metrics::diameter_bounds`] instead
+    /// of the exact `O(n·m)` all-pairs diameter. Whenever `64·T(A)` dominates the
+    /// bound — every shipped workload, since `T(A) ≥ ecc(source) ≥ diameter/2` —
+    /// the produced cover is identical to the exact-diameter construction.
+    ///
     /// # Panics
     ///
     /// Panics if the graph is empty or disconnected, or `max_pulse == 0`.
     pub fn build(graph: &Graph, max_pulse: u64) -> Arc<Self> {
         assert!(max_pulse > 0, "the pulse bound must be positive");
-        let diameter = metrics::diameter(graph).expect("synchronizer requires a connected graph");
-        let covers = build_synchronizer_cover(graph, max_pulse as usize, diameter.max(1));
+        let (_, diameter_upper) =
+            metrics::diameter_bounds(graph).expect("synchronizer requires a connected graph");
+        let covers = build_synchronizer_cover(graph, max_pulse as usize, diameter_upper.max(1));
         Self::with_covers(covers, max_pulse)
     }
 

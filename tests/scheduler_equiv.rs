@@ -96,8 +96,13 @@ fn wheel_and_heap_produce_identical_delivery_orders_on_random_graphs() {
 
 #[test]
 fn wheel_and_heap_agree_under_every_standard_adversary() {
+    // The composite outage model rides along: it is the only shipped adversary
+    // whose multi-τ delays reach the wheel's overflow heap, so it pins the
+    // overflow path of the equivalence argument too.
     let graph = Graph::random_connected(24, 0.15, 5);
-    for delay in DelayModel::standard_suite(13) {
+    let mut adversaries = DelayModel::standard_suite(13);
+    adversaries.push(DelayModel::outage(13, 5, 2));
+    for delay in adversaries {
         let (wheel_log, wheel_metrics) =
             run_recorder(&graph, delay.clone(), SchedulerKind::TimingWheel);
         let (heap_log, heap_metrics) =
