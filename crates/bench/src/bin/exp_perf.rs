@@ -1,8 +1,21 @@
 //! E9 — engine performance matrix (graph family × synchronizer × adversary),
 //! written to `BENCH_synchronizer.json` (schema in DESIGN.md §4).
 //!
-//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--out PATH]
-//!                  [--compare BASELINE.json] [--compare-out PATH] [--tolerance PCT]`
+//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--shards K] [--out PATH]
+//!                  [--compare BASELINE.json] [--compare-out PATH] [--tolerance PCT]
+//!                  [--events-only]`
+//!
+//! `--events-only` restricts the non-zero-exit conditions of `--compare` to
+//! event-count mismatches — the machine-independent schedule-identity check.
+//! CI uses it because its runners and the machine that recorded the committed
+//! artifact differ (and wobble run to run) by more than any useful wall-clock
+//! tolerance; the throughput/setup deltas are still printed and uploaded.
+//!
+//! `--shards K` runs every asynchronous scenario on the sharded engine
+//! (`SchedulerKind::Sharded { shards: K }`) under unchanged scenario ids, so a
+//! `--compare` against a serial baseline doubles as a schedule-identity check:
+//! the sharded engine is bit-identical by contract, and any event-count drift
+//! fails the comparison.
 //!
 //! With `--compare`, the run is additionally diffed against a previously recorded
 //! artifact: per-scenario throughput and setup deltas are printed (and written to
@@ -20,6 +33,7 @@ fn main() {
     let mut compare_path: Option<String> = None;
     let mut compare_out = String::from("BENCH_compare.txt");
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut events_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,11 +41,20 @@ fn main() {
             "--filter" => {
                 opts.filter = Some(args.next().expect("--filter requires a substring"));
             }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .expect("--shards requires a count")
+                    .parse()
+                    .expect("--shards must be a positive integer");
+                assert!(opts.shards >= 1, "--shards must be at least 1");
+            }
             "--out" => out_path = args.next().expect("--out requires a path"),
             "--compare" => {
                 compare_path = Some(args.next().expect("--compare requires a baseline path"));
             }
             "--compare-out" => compare_out = args.next().expect("--compare-out requires a path"),
+            "--events-only" => events_only = true,
             "--tolerance" => {
                 let pct: f64 = args
                     .next()
@@ -41,8 +64,8 @@ fn main() {
                 tolerance = pct / 100.0;
             }
             other => panic!(
-                "unknown argument {other:?} (expected --smoke, --filter, --out, \
-                 --compare, --compare-out, --tolerance)"
+                "unknown argument {other:?} (expected --smoke, --filter, --shards, --out, \
+                 --compare, --compare-out, --tolerance, --events-only)"
             ),
         }
     }
@@ -70,7 +93,16 @@ fn main() {
         print!("{text}");
         std::fs::write(&compare_out, &text).expect("write comparison report");
         println!("wrote comparison report to {compare_out}");
-        if !report.passed() {
+        let ok = if events_only {
+            println!(
+                "events-only mode: wall-clock and setup deltas are informational, \
+                 event counts gate"
+            );
+            report.schedule_ok()
+        } else {
+            report.passed()
+        };
+        if !ok {
             std::process::exit(1);
         }
     }

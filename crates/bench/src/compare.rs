@@ -261,17 +261,22 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Parses a `det-synchronizer-bench/v2` artifact (or a v1 one, whose
-    /// `setup_seconds` field is converted to `setup_ms`).
+    /// Parses a `det-synchronizer-bench/v3` artifact, or an older one: v2 (no
+    /// `threads` field — every scenario was serial) and v1 (additionally
+    /// records `setup_seconds`, converted to `setup_ms`) baselines stay
+    /// readable so regenerating the committed artifact can never break the
+    /// comparison gate mid-PR.
     ///
     /// # Errors
     ///
     /// Returns a description of the first syntax or schema problem.
     pub fn parse(text: &str) -> Result<Baseline, String> {
+        const SUPPORTED: [&str; 3] =
+            ["det-synchronizer-bench/v3", "det-synchronizer-bench/v2", "det-synchronizer-bench/v1"];
         let mut parser = Parser::new(text);
         let root = parser.parse_value()?;
         let schema = root.get("schema").and_then(Value::as_str).unwrap_or("");
-        if schema != "det-synchronizer-bench/v2" && schema != "det-synchronizer-bench/v1" {
+        if !SUPPORTED.contains(&schema) {
             return Err(format!("unsupported baseline schema {schema:?}"));
         }
         let mode = root.get("mode").and_then(Value::as_str).unwrap_or("unknown").to_string();
@@ -404,6 +409,18 @@ impl CompareReport {
             && self.setup_regressions().is_empty()
     }
 
+    /// Whether the *machine-independent* part of the comparison passed: at
+    /// least one scenario matched the baseline and none of the matches drifted
+    /// in event count. This is the `--events-only` gate CI uses — runners and
+    /// the artifact-recording machine differ (and burstable hosts wobble run
+    /// to run by more than any sane tolerance), so wall-clock and setup deltas
+    /// are informational there, while a changed schedule fails everywhere.
+    /// An empty match set fails too: a renamed tier or a stale CI filter must
+    /// not turn the schedule-identity gate into a silent no-op.
+    pub fn schedule_ok(&self) -> bool {
+        !self.rows.is_empty() && self.event_mismatches().is_empty()
+    }
+
     /// Renders the full human-readable delta report.
     pub fn render(&self) -> String {
         let rows: Vec<Row> = self
@@ -507,6 +524,7 @@ mod tests {
             m: 24,
             synchronizer: "det".into(),
             adversary: "uniform".into(),
+            threads: 1,
             pulse_bound: 5,
             sync_rounds: 5,
             sync_messages: 10,
@@ -568,6 +586,7 @@ mod tests {
         ];
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
         assert!(!report.passed());
+        assert!(!report.schedule_ok(), "an event mismatch must fail events-only mode too");
         assert_eq!(report.rows.len(), 3);
         assert_eq!(report.regressions().len(), 1);
         assert_eq!(report.regressions()[0].scenario, "grid/16/det/jitter");
@@ -591,6 +610,7 @@ mod tests {
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
         assert_eq!(report.regressions().len(), 1);
         assert!(!report.passed());
+        assert!(report.schedule_ok(), "a pure wall-clock regression passes events-only mode");
         // The reverse: a noisy sub-floor current measurement never fails.
         let new = vec![record("grid/256/det/uniform", 80_000, 5e6)];
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
@@ -624,10 +644,38 @@ mod tests {
         let new = vec![with_setup(record("grid/256/det/uniform", 100, 1e6), 400.0)];
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
         assert_eq!(report.setup_regressions().len(), 1);
+        // Zero matched scenarios (a renamed tier, a stale CI filter) must fail
+        // the events-only gate rather than pass vacuously.
+        let report = compare_against_baseline(
+            &[record("renamed/16/det/uniform", 1, 1e6)],
+            &baseline,
+            DEFAULT_TOLERANCE,
+        );
+        assert!(report.rows.is_empty());
+        assert!(!report.schedule_ok(), "an empty match set must not pass events-only mode");
         // Setup improvements pass.
         let new = vec![with_setup(record("grid/4096/det/uniform", 1000, 1e6), 60.0)];
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
         assert!(report.passed());
+    }
+
+    #[test]
+    fn parses_v2_baselines_without_a_threads_field() {
+        // The committed artifact regenerates as v3 mid-PR; the gate must keep
+        // reading the previous release's v2 artifact until then.
+        let v2 = r#"{
+            "schema": "det-synchronizer-bench/v2",
+            "mode": "full",
+            "scenarios": [
+                {"scenario": "grid/16/det/uniform", "events": 7,
+                 "events_per_sec": 1000.0, "setup_ms": 12.5}
+            ]
+        }"#;
+        let baseline = Baseline::parse(v2).expect("v2 parses");
+        assert_eq!(
+            baseline.scenarios["grid/16/det/uniform"],
+            BaselineScenario { events: 7, events_per_sec: 1000.0, setup_ms: 12.5 }
+        );
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! simulation proper (`wall_seconds`), so `events_per_sec` tracks the hot path of
 //! the event-driven engines and `exp_perf --compare` can gate setup-cost
 //! regressions under the same thresholds as throughput regressions.
+//!
+//! Since schema v3 each scenario records `threads` — the shard count of the
+//! engine that ran it (1 = serial timing wheel, > 1 = `SchedulerKind::Sharded`).
+//! The det-only 65536-node tiers carry explicit `/s2` and `/s4` shard-variant
+//! scenarios so the committed artifact records thread scaling, and
+//! `PerfOptions::shards` (the `--shards` flag) reruns the whole matrix sharded
+//! under unchanged ids for schedule-identity comparisons.
 
 use crate::json::Json;
 use crate::table::Row;
@@ -26,12 +33,25 @@ use ds_sync::synchronizer::SynchronizerConfig;
 use std::time::Instant;
 
 /// Options for the performance sweep.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PerfOptions {
     /// Smoke mode: only the smallest size per family (used by CI).
     pub smoke: bool,
     /// Only run scenarios whose id contains this substring.
     pub filter: Option<String>,
+    /// Run every asynchronous scenario on the sharded engine with this many
+    /// shards (`SchedulerKind::Sharded`); 1 means the serial timing wheel.
+    /// Scenario ids are unchanged, so `--compare` against a serial baseline
+    /// doubles as a schedule-identity check — the sharded engine is
+    /// bit-identical by contract, so event counts must match exactly (the CI
+    /// perf-smoke job runs the 128×128 det scenario this way with `--shards 4`).
+    pub shards: usize,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions { smoke: false, filter: None, shards: 1 }
+    }
 }
 
 /// One measured scenario.
@@ -49,6 +69,12 @@ pub struct PerfRecord {
     pub synchronizer: String,
     /// Adversary label (`none` for the lock-step run).
     pub adversary: String,
+    /// Shard count of the engine that ran the scenario (1 = the serial timing
+    /// wheel; > 1 = `SchedulerKind::Sharded`, which spawns one worker thread
+    /// per shard on multi-core hosts). Schedules are bit-identical across
+    /// values, so `events` never depends on this — only the wall-clock fields
+    /// do. New in schema v3.
+    pub threads: usize,
     /// Pulse bound `T(A)` handed to the synchronizer.
     pub pulse_bound: u64,
     /// Synchronous ground-truth rounds `T(A)`.
@@ -87,6 +113,7 @@ impl PerfRecord {
             ("m", Json::Int(self.m as u64)),
             ("synchronizer", Json::Str(self.synchronizer.clone())),
             ("adversary", Json::Str(self.adversary.clone())),
+            ("threads", Json::Int(self.threads as u64)),
             ("pulse_bound", Json::Int(self.pulse_bound)),
             ("sync_rounds", Json::Int(self.sync_rounds)),
             ("sync_messages", Json::Int(self.sync_messages)),
@@ -109,6 +136,7 @@ impl PerfRecord {
             label: self.scenario.clone(),
             values: vec![
                 ("n", self.n as f64),
+                ("thr", self.threads as f64),
                 ("T(A)", self.sync_rounds as f64),
                 ("setup_ms", self.setup_ms),
                 ("wall_s", self.wall_seconds),
@@ -125,7 +153,7 @@ impl PerfRecord {
 /// Renders the full artifact written to `BENCH_synchronizer.json`.
 pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     Json::Obj(vec![
-        ("schema", Json::Str("det-synchronizer-bench/v2".into())),
+        ("schema", Json::Str("det-synchronizer-bench/v3".into())),
         ("suite", Json::Str("synchronizer".into())),
         ("mode", Json::Str(mode.into())),
         ("workload", Json::Str("single-source BFS from node 0".into())),
@@ -199,6 +227,36 @@ fn matches(filter: &Option<String>, id: &str) -> bool {
     filter.as_ref().is_none_or(|f| id.contains(f))
 }
 
+/// One planned scenario: `(kind, adversary, delay, shards, id)`.
+type Planned = (SyncKind, &'static str, DelayModel, usize, String);
+
+/// Plans one graph tier's asynchronous scenarios. `--shards` reruns the whole
+/// matrix on the sharded engine with unchanged ids; the default serial matrix
+/// additionally carries explicit `/s{K}` shard variants of the det scenarios on
+/// the det-only (65536-node) tiers — the tier the sharded engine exists for —
+/// so the committed artifact records the thread scaling.
+fn plan_tier(graph_id: &str, kinds: Vec<SyncKind>, opts: &PerfOptions) -> Vec<Planned> {
+    let det_only = kinds.len() == 1 && matches!(kinds[0], SyncKind::DetAuto);
+    let mut out = Vec::new();
+    for kind in kinds {
+        for (adv_label, delay) in adversaries() {
+            let id = format!("{graph_id}/{}/{adv_label}", kind.label());
+            if matches(&opts.filter, &id) {
+                out.push((kind.clone(), adv_label, delay.clone(), opts.shards, id));
+            }
+            if opts.shards == 1 && det_only && matches!(kind, SyncKind::DetAuto) {
+                for shards in [2usize, 4] {
+                    let id = format!("{graph_id}/{}/{adv_label}/s{shards}", kind.label());
+                    if matches(&opts.filter, &id) {
+                        out.push((kind.clone(), adv_label, delay.clone(), shards, id));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// E9 — runs the performance matrix and returns one record per scenario.
 ///
 /// # Panics
@@ -221,18 +279,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 SyncKind::DetAuto, // placeholder; replaced by Det(cfg) below
             ]
         };
-        let wanted: Vec<(SyncKind, &'static str, DelayModel)> = {
-            let mut out = Vec::new();
-            for kind in kinds {
-                for (adv_label, delay) in adversaries() {
-                    let id = format!("{graph_id}/{}/{adv_label}", kind.label());
-                    if matches(&opts.filter, &id) {
-                        out.push((kind.clone(), adv_label, delay));
-                    }
-                }
-            }
-            out
-        };
+        let wanted = plan_tier(&graph_id, kinds, opts);
         let direct_id = format!("{graph_id}/direct/none");
         let direct_wanted = matches(&opts.filter, &direct_id);
         if wanted.is_empty() && !direct_wanted {
@@ -257,6 +304,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 m: graph.edge_count(),
                 synchronizer: "direct".into(),
                 adversary: "none".into(),
+                threads: 1,
                 pulse_bound: t,
                 sync_rounds: t,
                 sync_messages: m_a,
@@ -276,7 +324,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
         // The deterministic synchronizer's cover is built once per graph and shared
         // by its scenarios; the build cost is reported as `setup_ms`.
         let mut det_cfg: Option<(std::sync::Arc<SynchronizerConfig>, f64)> = None;
-        for (kind, adv_label, delay) in wanted {
+        for (kind, adv_label, delay, shards, scenario) in wanted {
             let (kind, setup_ms) = match kind {
                 SyncKind::DetAuto => {
                     if det_cfg.is_none() {
@@ -289,11 +337,16 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 }
                 other => (other, 0.0),
             };
-            let scenario = format!("{graph_id}/{}/{adv_label}", kind.label());
+            let scheduler = if shards > 1 {
+                ds_netsim::SchedulerKind::Sharded { shards }
+            } else {
+                ds_netsim::SchedulerKind::TimingWheel
+            };
             let start = Instant::now();
             let run = Session::on(&graph)
                 .delay(delay)
                 .synchronizer(kind.clone())
+                .scheduler(scheduler)
                 .pulse_bound(t)
                 .limits(limits)
                 .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
@@ -308,6 +361,7 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 m: graph.edge_count(),
                 synchronizer: kind.label().into(),
                 adversary: adv_label.into(),
+                threads: shards,
                 pulse_bound: t,
                 sync_rounds: t,
                 sync_messages: m_a,
@@ -333,7 +387,7 @@ mod tests {
 
     #[test]
     fn smoke_matrix_covers_every_family_kind_and_adversary() {
-        let records = experiment_perf(&PerfOptions { smoke: true, filter: None });
+        let records = experiment_perf(&PerfOptions { smoke: true, ..PerfOptions::default() });
         // 4 families × (1 direct + 3 kinds × 2 adversaries) = 28 scenarios.
         assert_eq!(records.len(), 28);
         for family in ["grid", "torus", "cycle", "random-regular"] {
@@ -353,8 +407,11 @@ mod tests {
 
     #[test]
     fn filter_restricts_the_matrix() {
-        let records =
-            experiment_perf(&PerfOptions { smoke: true, filter: Some("grid/256/det".into()) });
+        let records = experiment_perf(&PerfOptions {
+            smoke: true,
+            filter: Some("grid/256/det".into()),
+            ..PerfOptions::default()
+        });
         assert_eq!(
             records.len(),
             2,
@@ -365,17 +422,68 @@ mod tests {
     }
 
     #[test]
-    fn artifact_is_valid_schema_v2() {
+    fn artifact_is_valid_schema_v3() {
         let records = experiment_perf(&PerfOptions {
             smoke: true,
             filter: Some("cycle/256/beta/uniform".into()),
+            ..PerfOptions::default()
         });
         let text = render_artifact("smoke", &records);
-        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v2\""));
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v3\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("\"scenario\": \"cycle/256/beta/uniform\""));
         assert!(text.contains("\"events_per_sec\""));
         assert!(text.contains("\"setup_ms\""));
+        assert!(text.contains("\"threads\": 1"));
+    }
+
+    #[test]
+    fn shards_option_runs_the_matrix_on_the_sharded_engine() {
+        // Same scenario ids, same event counts (the engines are bit-identical),
+        // `threads` recording the shard count — the contract the CI
+        // `--shards 4 --compare` step relies on.
+        let serial = experiment_perf(&PerfOptions {
+            smoke: true,
+            filter: Some("grid/256/det".into()),
+            shards: 1,
+        });
+        let sharded = experiment_perf(&PerfOptions {
+            smoke: true,
+            filter: Some("grid/256/det".into()),
+            shards: 4,
+        });
+        assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.events, b.events, "{}: schedule changed under sharding", a.scenario);
+            assert_eq!(a.threads, 1);
+            assert_eq!(b.threads, 4);
+        }
+    }
+
+    #[test]
+    fn det_only_tiers_plan_shard_variants_serial_runs_only() {
+        let ids = |kinds: Vec<SyncKind>, opts: &PerfOptions| -> Vec<String> {
+            plan_tier("grid/65536", kinds, opts).into_iter().map(|(.., id)| id).collect()
+        };
+        // A det-only tier on the default serial matrix carries the /s2 and /s4
+        // det variants next to the serial scenarios.
+        let planned = ids(vec![SyncKind::DetAuto], &PerfOptions::default());
+        for wanted in [
+            "grid/65536/det/uniform",
+            "grid/65536/det/uniform/s2",
+            "grid/65536/det/uniform/s4",
+            "grid/65536/det/jitter/s4",
+        ] {
+            assert!(planned.iter().any(|id| id == wanted), "missing {wanted} in {planned:?}");
+        }
+        // A `--shards` run keeps ids unchanged (no variants: the whole matrix is
+        // already sharded), and mixed-kind tiers never get variants.
+        let sharded =
+            ids(vec![SyncKind::DetAuto], &PerfOptions { shards: 4, ..PerfOptions::default() });
+        assert_eq!(sharded, ["grid/65536/det/uniform", "grid/65536/det/jitter"]);
+        let mixed = ids(vec![SyncKind::Alpha, SyncKind::DetAuto], &PerfOptions::default());
+        assert!(mixed.iter().all(|id| !id.contains("/s")), "{mixed:?}");
     }
 
     #[test]

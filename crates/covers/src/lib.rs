@@ -32,13 +32,15 @@
 //!   nodes) used by the γ-synchronizer baseline.
 //! * [`stats`] — quality statistics (membership, stretch, edge load) used by the
 //!   cover-quality experiment (E6).
-//! * `legacy` — the pre-dense-id (`BTreeMap`-based) builder, kept for one release
-//!   as the executable reference of the equivalence tests.
+//!
+//! The pre-dense-id (`BTreeMap`-based) builder survived one release as the
+//! `legacy` module, the executable reference the rewrite was pinned
+//! bit-identical against; it is gone now, and the construction's contract is
+//! held by property checks instead ([`SparseCover::validate`] plus the
+//! sparsity bounds, in the builder unit tests and `tests/cover_scale.rs`).
 
 pub mod builder;
 pub mod decomposition;
-#[doc(hidden)]
-pub mod legacy;
 pub mod partition;
 pub(crate) mod scratch;
 pub mod stats;

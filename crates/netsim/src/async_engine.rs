@@ -105,15 +105,16 @@ pub struct AsyncReport<P> {
     pub overflow_events: u64,
 }
 
-/// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`].
+/// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`] (shared with
+/// the sharded engine, which keeps one such table per shard).
 #[derive(Debug)]
-struct LinkState<M> {
+pub(crate) struct LinkState<M> {
     /// Cached endpoints of the directed edge — the hot path reads them from the
     /// link record it touches anyway instead of chasing the graph's edge table.
-    from: NodeId,
-    to: NodeId,
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
     /// Whether a message is currently in flight (awaiting acknowledgment).
-    in_flight: bool,
+    pub(crate) in_flight: bool,
     /// Single-entry fast path: the first queued `(priority, seq, msg)` waits here
     /// and only further arrivals spill into the bucket queue, so the common case —
     /// one message waiting per link — never touches `StageQueue` at all.
@@ -124,11 +125,11 @@ struct LinkState<M> {
 }
 
 impl<M> LinkState<M> {
-    fn new(from: NodeId, to: NodeId) -> Self {
+    pub(crate) fn new(from: NodeId, to: NodeId) -> Self {
         LinkState { from, to, in_flight: false, head: None, queue: StageQueue::new() }
     }
 
-    fn push(&mut self, priority: u64, seq: u64, msg: M) {
+    pub(crate) fn push(&mut self, priority: u64, seq: u64, msg: M) {
         if self.head.is_none() {
             self.head = Some((priority, seq, msg));
         } else {
@@ -139,7 +140,7 @@ impl<M> LinkState<M> {
     /// Pops the waiting message with the minimum `(priority, seq)` as
     /// `(seq, msg)`. The head entry and the bucket queue each yield their own
     /// minimum; the smaller key wins, so the order equals the unsplit queue's.
-    fn pop(&mut self) -> Option<(u64, M)> {
+    pub(crate) fn pop(&mut self) -> Option<(u64, M)> {
         match self.head.take() {
             Some((hp, hs, hmsg)) => match self.queue.min_key() {
                 Some(qkey) if qkey < (hp, hs) => {
@@ -299,9 +300,15 @@ where
     run_async_with(graph, delay, make, limits, SchedulerKind::default())
 }
 
-/// [`run_async`] with an explicit event-scheduler choice. Both schedulers produce
+/// [`run_async`] with an explicit event-scheduler choice. All kinds produce
 /// bit-identical runs (asserted by `tests/scheduler_equiv.rs`); the heap is kept
 /// as the executable reference for the timing wheel.
+///
+/// [`SchedulerKind::Sharded`] runs the sharded engine *sequentially* here (one
+/// coordinator, no worker threads), because this signature does not require
+/// `P: Send`. The execution is bit-identical either way; to actually spawn
+/// worker threads use [`crate::sharded::run_async_sharded`] (or drive it through
+/// `Session::scheduler`, whose protocols are `Send`).
 ///
 /// # Errors
 ///
@@ -323,6 +330,9 @@ where
             run_engine(graph, delay, make, limits, TimingWheel::new(horizon))
         }
         SchedulerKind::BinaryHeap => run_engine(graph, delay, make, limits, HeapScheduler::new()),
+        SchedulerKind::Sharded { shards } => {
+            crate::sharded::run_sequential(graph, delay, make, limits, shards)
+        }
     }
 }
 

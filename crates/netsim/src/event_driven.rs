@@ -74,9 +74,14 @@ impl<M> PulseCtx<M> {
 }
 
 /// A node-local event-driven synchronous algorithm.
-pub trait EventDriven {
+///
+/// Algorithms (and their messages) are `Send`: the sharded asynchronous engine
+/// (`ds-netsim::sharded`, selected via `SchedulerKind::Sharded`) moves per-node
+/// state to shard worker threads. Node-local state is naturally `Send`; the
+/// bound only rules out thread-bound handles like `Rc`.
+pub trait EventDriven: Send {
     /// Message type exchanged between nodes.
-    type Msg: Clone + fmt::Debug;
+    type Msg: Clone + fmt::Debug + Send;
     /// Per-node output type; outputs are compared between the synchronous ground
     /// truth and synchronized asynchronous runs.
     type Output: Clone + fmt::Debug + PartialEq;

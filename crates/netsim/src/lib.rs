@@ -24,6 +24,10 @@
 //! * [`scheduler`] holds the engine's event schedulers — the bounded-horizon
 //!   timing wheel the model's one-time-unit delay bound makes possible, and the
 //!   binary-heap reference it is tested against ([`SchedulerKind`] selects),
+//! * [`sharded`] runs the asynchronous engine over node shards — shard-local
+//!   delivery in parallel worker threads, a serial cross-shard merge in global
+//!   sequence order at each tick barrier — with schedules bit-identical to the
+//!   single-threaded wheel,
 //! * [`stage_queue`] holds the per-link queues as per-stage FIFO buckets,
 //! * [`metrics`] collects time and message accounting for both engines.
 
@@ -34,6 +38,7 @@ pub mod event_driven;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
+pub mod sharded;
 pub mod stage_queue;
 pub mod sync_engine;
 
@@ -43,6 +48,7 @@ pub use event_driven::{EventDriven, PulseCtx};
 pub use metrics::{MessageClass, RunMetrics};
 pub use protocol::{Ctx, Protocol};
 pub use scheduler::SchedulerKind;
+pub use sharded::{run_async_sharded, run_async_sharded_with, ShardedOptions, ThreadMode};
 pub use sync_engine::{run_sync, SyncReport};
 
 /// Number of simulator ticks per asynchronous time unit `τ`.

@@ -32,7 +32,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Which event scheduler [`crate::async_engine::run_async_with`] drives the
-/// simulation with. Both produce bit-identical schedules; the wheel is faster.
+/// simulation with. All kinds produce bit-identical schedules; the wheel is
+/// faster than the heap, and the sharded engine adds parallelism on top of
+/// per-shard wheels (see [`crate::sharded`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Bounded-horizon timing wheel: `O(1)` per event (the default).
@@ -40,14 +42,26 @@ pub enum SchedulerKind {
     TimingWheel,
     /// Global binary heap: `O(log n)` per event. The reference implementation.
     BinaryHeap,
+    /// Sharded engine: the node set is partitioned into `shards` contiguous
+    /// dense-id ranges, each with its own timing wheel and link queues; each
+    /// tick runs shard-local protocol activations (in parallel when worker
+    /// threads are available) followed by a serial cross-shard merge in global
+    /// sequence order, so the schedule is bit-identical to
+    /// [`SchedulerKind::TimingWheel`] (see [`crate::sharded`]).
+    Sharded {
+        /// Number of shards (clamped to `1..=node_count` at run time).
+        shards: usize,
+    },
 }
 
 impl SchedulerKind {
-    /// Short label ("wheel", "heap") for experiment rows and test messages.
+    /// Short label ("wheel", "heap", "sharded") for experiment rows and test
+    /// messages.
     pub fn label(&self) -> &'static str {
         match self {
             SchedulerKind::TimingWheel => "wheel",
             SchedulerKind::BinaryHeap => "heap",
+            SchedulerKind::Sharded { .. } => "sharded",
         }
     }
 }
@@ -170,6 +184,40 @@ impl<T> TimingWheel<T> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Absolute tick of the earliest pending event (wheel slots or overflow), or
+    /// `None` if the wheel is empty. The sharded engine's coordinator peeks every
+    /// shard wheel through this to pick the global next tick.
+    pub fn next_tick(&self) -> Option<u64> {
+        let wheel_next = (self.pending > 0).then(|| self.next_occupied_time());
+        let overflow_next = self.overflow.peek().map(|e| e.at);
+        match (wheel_next, overflow_next) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    /// Advances the wheel's clock to absolute tick `t` without draining anything.
+    ///
+    /// The sharded engine calls this on every shard wheel that has no events at
+    /// the tick being processed: keeping the clocks in lock-step keeps the
+    /// in-horizon test of [`EventScheduler::schedule`] — and hence slot placement
+    /// and overflow accounting — identical to a single global wheel's.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an event at or before `t` is still pending,
+    /// or if `t` is in the past.
+    pub fn advance_to(&mut self, t: u64) {
+        debug_assert!(t >= self.now, "the clock only moves forward");
+        debug_assert!(
+            self.next_tick().is_none_or(|next| next > t),
+            "cannot advance past a pending event"
+        );
+        self.now = t;
     }
 
     /// Absolute tick of the earliest non-empty slot. Requires `pending > 0`.

@@ -1,0 +1,933 @@
+//! Parallel sharded asynchronous engine: shard-local delivery, serial
+//! cross-shard merge at the tick barrier, schedules **bit-identical** to the
+//! single-threaded timing wheel.
+//!
+//! # Shard layout
+//!
+//! The dense node-id space `0..n` is partitioned into `K` contiguous ranges
+//! ("shards"). Every shard owns
+//!
+//! * the protocol instances of its nodes,
+//! * the outgoing links of its nodes — the per-link queues
+//!   ([`crate::stage_queue::StageQueue`] plus the single-entry head fast path)
+//!   of every directed edge whose *source* lies in the shard, and
+//! * one bounded-horizon [`TimingWheel`] holding the events the shard
+//!   processes: deliveries addressed to its nodes, and acknowledgments for its
+//!   outgoing links.
+//!
+//! # The shard/merge contract
+//!
+//! The serial engine processes each tick's events in ascending global sequence
+//! number (`seq`). Within one tick, the work of an event splits into two parts
+//! with very different dependency structure:
+//!
+//! 1. the **protocol activation** (`Protocol::on_message`) reads and writes
+//!    only the destination node's state and draws no sequence numbers, and
+//! 2. the **engine effects** — outbox dispatch (which assigns message `seq`s),
+//!    link-queue pushes and pops, delivery injection (whose adversarial delay
+//!    consumes `seq`s) and acknowledgment scheduling — mutate link and
+//!    scheduler state shared across nodes and *define* the `seq` stream that
+//!    feeds the delay adversary.
+//!
+//! Deliveries of one tick are causally independent across distinct destination
+//! nodes: no same-tick event can observe another's effects, because every
+//! delay is at least one tick, acknowledgments never touch node state, and a
+//! node's own deliveries reach it in ascending `seq` order within its shard's
+//! event list. Each tick therefore runs as:
+//!
+//! * **Phase 1 — shard-local delivery (parallel).** Every shard drains its due
+//!   events and runs the activations of its deliveries, in shard-local `seq`
+//!   order, capturing each activation's outbox verbatim. No sequence numbers
+//!   are drawn, no link or wheel is touched; shards share nothing, so worker
+//!   threads run them concurrently.
+//! * **Phase 2 — cross-shard merge (serial, at the tick barrier).** The
+//!   coordinator merges the shards' event lists by **global `seq`** — a total
+//!   order fixed when the events were scheduled, independent of thread
+//!   interleaving — and replays each event's engine effects exactly as the
+//!   serial engine would: outbox dispatch in capture order, lowest-stage-first
+//!   injection, acknowledgment scheduling. Messages and acknowledgments that
+//!   cross shards along cut links are handed to the destination shard's wheel
+//!   here, which is what makes the next tick's phase 1 shard-local again.
+//!
+//! Because phase 2 draws sequence numbers in exactly the serial order and
+//! phase 1 performs no operation that could observe the difference, the
+//! resulting schedule — every delivery, every delay, every metric — is
+//! bit-identical to [`crate::SchedulerKind::TimingWheel`]'s, for any shard count and
+//! any thread interleaving (`tests/scheduler_equiv.rs` and
+//! `tests/determinism.rs` pin this across the scenario matrix). The one
+//! observable difference is *intra-tick activation order across different
+//! nodes*: a protocol that shares mutable state between node instances (not a
+//! distributed algorithm, but e.g. a test harness logging through a mutex) may
+//! record interleavings in a different order; per-node observation sequences
+//! are identical. On an error (`SimError`), the run aborts at the same event
+//! as the serial engine, though activations of later same-tick events may
+//! already have run — the API returns no nodes on error, so this too is only
+//! observable through the escape hatches above (state shared across node
+//! instances, or an activation that panics past the serial abort point).
+//!
+//! # Threads and cost
+//!
+//! Worker threads (one per shard — pick the shard count accordingly, it is
+//! also the thread count) are engaged per tick, and only when the tick
+//! carries enough events to amortize the hand-off; sparse ticks are processed
+//! inline by the coordinator. [`ThreadMode::Auto`] also disables workers
+//! entirely on single-core hosts, where sharding still helps by shrinking the
+//! per-phase working set (nodes of one shard, then links), but time-slicing
+//! threads would only add overhead. Phase 2 is inherently serial — it is the
+//! price of a sequence-exact adversary — so speedup follows Amdahl's law in
+//! the activation share of the workload; DESIGN.md §6 tabulates the costs.
+
+use crate::async_engine::{AsyncReport, LinkState, SimError, SimLimits};
+use crate::delay::DelayModel;
+use crate::metrics::RunMetrics;
+use crate::protocol::{Ctx, Outgoing, Protocol};
+use crate::scheduler::{EventScheduler, TimingWheel};
+use crate::TICKS_PER_UNIT;
+use ds_graph::{DirectedEdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+/// Minimum number of due events in a tick before phase 1 is shipped to worker
+/// threads; sparser ticks are processed inline by the coordinator, because the
+/// per-tick hand-off (two channel operations per non-empty shard) would exceed
+/// the activation work it parallelizes.
+const PARALLEL_TICK_THRESHOLD: usize = 128;
+
+/// When the sharded engine spawns worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThreadMode {
+    /// Spawn workers iff `shards > 1` and the host exposes more than one core
+    /// (the default): on a single core, time-slicing threads only adds
+    /// overhead while the execution is identical anyway.
+    #[default]
+    Auto,
+    /// Always spawn workers when `shards > 1` (used by the equivalence tests to
+    /// exercise the cross-thread path even on single-core hosts).
+    ForceOn,
+    /// Never spawn workers: the coordinator runs every phase itself. Still
+    /// uses the per-shard data layout (and its cache benefits).
+    Off,
+}
+
+/// Options for [`run_async_sharded_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardedOptions {
+    /// Number of shards (clamped to `1..=node_count`).
+    pub shards: usize,
+    /// Worker-thread policy.
+    pub threads: ThreadMode,
+}
+
+// ---------------------------------------------------------------------------
+// Shard layout
+// ---------------------------------------------------------------------------
+
+/// Contiguous partition of the dense node-id space plus the link→shard table.
+struct ShardLayout {
+    /// Number of shards.
+    k: usize,
+    /// `big` shards of size `base + 1` come first, then shards of size `base`.
+    base: usize,
+    big: usize,
+    /// First global node id of each shard (length `k + 1`).
+    bounds: Vec<usize>,
+    /// Directed edge id → `(source shard << 32) | local slot` in that shard's
+    /// link table.
+    link_home: Vec<u64>,
+}
+
+impl ShardLayout {
+    fn new(graph: &Graph, shards: usize) -> Self {
+        let n = graph.node_count();
+        let k = shards.clamp(1, n.max(1));
+        let (base, rem) = (n / k, n % k);
+        let mut bounds = Vec::with_capacity(k + 1);
+        let mut start = 0;
+        for i in 0..k {
+            bounds.push(start);
+            start += base + usize::from(i < rem);
+        }
+        bounds.push(n);
+        let mut layout = ShardLayout { k, base, big: rem, bounds, link_home: Vec::new() };
+        let mut slots = vec![0u64; k];
+        let homes = (0..graph.directed_edge_count())
+            .map(|e| {
+                let (from, _) = graph.directed_endpoints(DirectedEdgeId(e as u32));
+                let s = layout.shard_of(from);
+                let slot = slots[s];
+                slots[s] += 1;
+                ((s as u64) << 32) | slot
+            })
+            .collect();
+        layout.link_home = homes;
+        layout
+    }
+
+    /// Shard owning node `v` (its protocol instance and outgoing links).
+    fn shard_of(&self, v: NodeId) -> usize {
+        let i = v.index();
+        let cut = self.big * (self.base + 1);
+        if i < cut {
+            i / (self.base + 1)
+        } else {
+            self.big + (i - cut) / self.base.max(1)
+        }
+    }
+
+    /// `(shard, local slot)` of a directed edge's link state.
+    fn link_home(&self, link: DirectedEdgeId) -> (usize, usize) {
+        let packed = self.link_home[link.index()];
+        ((packed >> 32) as usize, (packed & u32::MAX as u64) as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events and per-shard state
+// ---------------------------------------------------------------------------
+
+/// Scheduled event. Unlike the serial engine's payload, deliveries carry their
+/// endpoints inline: phase 1 runs in the *destination* shard, which does not
+/// own the link state (that lives with the source shard).
+#[derive(Debug)]
+enum ShardEvent<M> {
+    Deliver { link: DirectedEdgeId, from: NodeId, to: NodeId, msg: M },
+    Ack { link: DirectedEdgeId },
+}
+
+/// Phase-1 output for one event, consumed by the merge in `seq` order.
+#[derive(Clone, Copy, Debug)]
+struct Ready {
+    seq: u64,
+    link: DirectedEdgeId,
+    kind: ReadyKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ReadyKind {
+    /// A delivery whose activation ran in phase 1, leaving `outbox` captured
+    /// messages at the front of the shard's arena.
+    Delivered { from: NodeId, to: NodeId, outbox: u32 },
+    /// A link acknowledgment (no activation; processed entirely in the merge).
+    Ack,
+}
+
+/// The shard state a worker thread needs: nodes, due events, phase-1 outputs.
+/// Wheels and link tables stay with the coordinator (only phases run by it
+/// touch them), so this is what crosses threads.
+struct ShardWork<P: Protocol> {
+    /// First global node id of the shard.
+    lo: usize,
+    nodes: Vec<P>,
+    done: Vec<bool>,
+    /// Events due at the current tick, ascending shard-local `seq`.
+    due: Vec<(u64, ShardEvent<P::Message>)>,
+    /// Phase-1 outputs, ascending `seq`.
+    ready: Vec<Ready>,
+    /// Captured outbox messages of this tick's activations, in event order;
+    /// the merge pops from the front as it replays the events.
+    arena: VecDeque<Outgoing<P::Message>>,
+    /// Recycled activation outbox buffer.
+    outbox_buf: Vec<Outgoing<P::Message>>,
+    /// Nodes of this shard that became done during the current tick.
+    newly_done: u64,
+}
+
+/// Phase 1 for one shard: run this tick's activations, capture their outboxes.
+fn phase1<P: Protocol>(w: &mut ShardWork<P>) {
+    for (seq, ev) in w.due.drain(..) {
+        match ev {
+            ShardEvent::Deliver { link, from, to, msg } => {
+                let local = to.index() - w.lo;
+                let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut w.outbox_buf));
+                w.nodes[local].on_message(from, msg, &mut ctx);
+                let outbox = ctx.queued() as u32;
+                w.arena.extend(ctx.drain_outbox());
+                w.outbox_buf = ctx.into_buffer();
+                w.ready.push(Ready { seq, link, kind: ReadyKind::Delivered { from, to, outbox } });
+                if !w.done[local] && w.nodes[local].is_done() {
+                    w.done[local] = true;
+                    w.newly_done += 1;
+                }
+            }
+            ShardEvent::Ack { link } => w.ready.push(Ready { seq, link, kind: ReadyKind::Ack }),
+        }
+    }
+}
+
+/// Coordinator-owned per-shard structures: one wheel and one link table per
+/// shard. Kept apart from [`ShardWork`] so the merge can hold these mutably
+/// while popping captured messages from the works' arenas.
+struct ShardTables<M> {
+    layout: ShardLayout,
+    wheels: Vec<TimingWheel<ShardEvent<M>>>,
+    links: Vec<Vec<LinkState<M>>>,
+}
+
+/// Engine-global bookkeeping mirroring the serial engine's fields.
+struct Globals {
+    now: u64,
+    seq: u64,
+    deliveries: u64,
+    max_events: u64,
+    metrics: RunMetrics,
+    done_count: usize,
+    time_all_done: Option<u64>,
+    /// Recycled list of links touched by one outbox dispatch.
+    touched: Vec<DirectedEdgeId>,
+}
+
+impl Globals {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+/// Pushes one outgoing message onto its link queue, drawing its message `seq`
+/// exactly as the serial engine's `dispatch_outbox` does.
+fn push_message<M>(
+    g: &mut Globals,
+    sh: &mut ShardTables<M>,
+    graph: &Graph,
+    from: NodeId,
+    out: Outgoing<M>,
+) -> Result<DirectedEdgeId, SimError> {
+    let Some(link) = graph.edge_id(from, out.to) else {
+        return Err(SimError::NotNeighbor { from, to: out.to });
+    };
+    g.metrics.record_message(out.class);
+    let seq = g.next_seq();
+    let (s, slot) = sh.layout.link_home(link);
+    sh.links[s][slot].push(out.priority, seq, out.msg);
+    Ok(link)
+}
+
+/// Serial-order injection: if the link is idle and has a queued message, pop
+/// the lowest-stage one and schedule its delivery into the destination shard's
+/// wheel — the cross-shard hand-off of the merge step.
+fn try_inject<M>(
+    g: &mut Globals,
+    sh: &mut ShardTables<M>,
+    delay: &DelayModel,
+    link: DirectedEdgeId,
+) {
+    let (s, slot) = sh.layout.link_home(link);
+    let state = &mut sh.links[s][slot];
+    if state.in_flight {
+        return;
+    }
+    let Some((msg_seq, msg)) = state.pop() else { return };
+    state.in_flight = true;
+    let (from, to) = (state.from, state.to);
+    let d = delay.delay_ticks_at(from, to, msg_seq, g.now);
+    let seq = g.next_seq();
+    let dest = sh.layout.shard_of(to);
+    sh.wheels[dest].schedule(g.now + d, seq, ShardEvent::Deliver { link, from, to, msg });
+}
+
+/// What a worker's `panic::catch_unwind` caught, carried back to the
+/// coordinator over the completion channel. A worker must *always* answer —
+/// an unwinding worker that never sends would leave the coordinator blocked
+/// on `done_rx.recv()` forever (idle workers keep the channel open) — so the
+/// panic travels as data and is resumed on the coordinator thread, exactly
+/// like the serial engine's in-place propagation.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Worker-pool handles: one task channel per shard, one shared completion
+/// channel back to the coordinator.
+struct Pool<P: Protocol> {
+    task_txs: Vec<mpsc::Sender<(usize, ShardWork<P>)>>,
+    done_rx: mpsc::Receiver<(usize, ShardWork<P>, Option<PanicPayload>)>,
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Runs an asynchronous protocol on the sharded engine with `shards` shards
+/// and the [`ThreadMode::Auto`] thread policy. The execution — schedule,
+/// outputs, metrics — is bit-identical to
+/// [`run_async`](crate::async_engine::run_async) on the timing wheel.
+///
+/// # Errors
+///
+/// Same as [`run_async`](crate::async_engine::run_async).
+pub fn run_async_sharded<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    shards: usize,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
+    run_async_sharded_with(
+        graph,
+        delay,
+        make,
+        limits,
+        ShardedOptions { shards, threads: ThreadMode::Auto },
+    )
+}
+
+/// [`run_async_sharded`] with an explicit worker-thread policy.
+///
+/// # Errors
+///
+/// Same as [`run_async`](crate::async_engine::run_async).
+pub fn run_async_sharded_with<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    opts: ShardedOptions,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
+    let k = opts.shards.clamp(1, graph.node_count().max(1));
+    let spawn = match opts.threads {
+        ThreadMode::Off => false,
+        ThreadMode::ForceOn => k > 1,
+        ThreadMode::Auto => {
+            k > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
+        }
+    };
+    if !spawn {
+        return run_core(graph, delay, make, limits, k, None);
+    }
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut task_txs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = mpsc::channel::<(usize, ShardWork<P>)>();
+            task_txs.push(tx);
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok((idx, mut work)) = rx.recv() {
+                    // Contain protocol panics: the shard state is discarded on
+                    // unwind anyway (the coordinator resumes the panic), but
+                    // the completion message must flow or the coordinator
+                    // deadlocks waiting for it.
+                    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        phase1(&mut work);
+                    }))
+                    .err();
+                    if done_tx.send((idx, work, panic)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        let pool = Pool { task_txs, done_rx };
+        // Dropping the pool (and with it every task sender) at the end of the
+        // scope shuts the workers down; the scope then joins them.
+        run_core(graph, delay, make, limits, k, Some(&pool))
+    })
+}
+
+/// Sequential sharded run, used by
+/// [`run_async_with`](crate::async_engine::run_async_with) for
+/// [`crate::SchedulerKind::Sharded`]: no `Send` bound, no threads, identical
+/// execution.
+pub(crate) fn run_sequential<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    shards: usize,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let k = shards.clamp(1, graph.node_count().max(1));
+    run_core(graph, delay, make, limits, k, None)
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+fn run_core<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    mut make: F,
+    limits: SimLimits,
+    k: usize,
+    pool: Option<&Pool<P>>,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let n = graph.node_count();
+    let layout = ShardLayout::new(graph, k);
+    let k = layout.k;
+    let horizon = delay.max_delay_ticks();
+
+    let mut links: Vec<Vec<LinkState<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
+    for e in 0..graph.directed_edge_count() {
+        let id = DirectedEdgeId(e as u32);
+        let (from, to) = graph.directed_endpoints(id);
+        links[layout.shard_of(from)].push(LinkState::new(from, to));
+    }
+    let mut works: Vec<Option<ShardWork<P>>> = (0..k)
+        .map(|s| {
+            let (lo, hi) = (layout.bounds[s], layout.bounds[s + 1]);
+            Some(ShardWork {
+                lo,
+                nodes: (lo..hi).map(|i| make(NodeId(i))).collect(),
+                done: vec![false; hi - lo],
+                due: Vec::new(),
+                ready: Vec::new(),
+                arena: VecDeque::new(),
+                outbox_buf: Vec::new(),
+                newly_done: 0,
+            })
+        })
+        .collect();
+    let mut sh =
+        ShardTables { layout, wheels: (0..k).map(|_| TimingWheel::new(horizon)).collect(), links };
+    let mut g = Globals {
+        now: 0,
+        seq: 0,
+        deliveries: 0,
+        max_events: limits.max_events,
+        metrics: RunMetrics::default(),
+        done_count: 0,
+        time_all_done: None,
+        touched: Vec::new(),
+    };
+
+    // Time 0: start every node in global node order — the serial engine's
+    // init order, so the initial seq draws match exactly.
+    for v in graph.nodes() {
+        let s = sh.layout.shard_of(v);
+        let w = works[s].as_mut().expect("shard at home");
+        let local = v.index() - w.lo;
+        let mut ctx = Ctx::with_buffer(v, std::mem::take(&mut w.outbox_buf));
+        w.nodes[local].on_start(&mut ctx);
+        let mut touched = std::mem::take(&mut g.touched);
+        for out in ctx.drain_outbox() {
+            touched.push(push_message(&mut g, &mut sh, graph, v, out)?);
+        }
+        for link in touched.drain(..) {
+            try_inject(&mut g, &mut sh, &delay, link);
+        }
+        g.touched = touched;
+        let w = works[s].as_mut().expect("shard at home");
+        w.outbox_buf = ctx.into_buffer();
+        if !w.done[local] && w.nodes[local].is_done() {
+            w.done[local] = true;
+            g.done_count += 1;
+            if g.done_count == n && g.time_all_done.is_none() {
+                g.time_all_done = Some(0);
+            }
+        }
+    }
+
+    // One tick per iteration: drain every shard's events of the globally
+    // earliest pending tick, run phase 1 (shard-local activations), then the
+    // serial phase-2 merge in global seq order.
+    let mut pos = vec![0usize; k];
+    while let Some(t) = sh.wheels.iter().filter_map(TimingWheel::next_tick).min() {
+        g.now = t;
+        let mut total_due = 0usize;
+        for (wheel, work) in sh.wheels.iter_mut().zip(&mut works) {
+            if wheel.next_tick() == Some(t) {
+                let w = work.as_mut().expect("shard at home");
+                let drained = wheel.take_due(&mut w.due);
+                debug_assert_eq!(drained, Some(t));
+                total_due += w.due.len();
+            } else {
+                wheel.advance_to(t);
+            }
+        }
+
+        // Phase 1.
+        match pool {
+            Some(pool) if total_due >= PARALLEL_TICK_THRESHOLD => {
+                let mut outstanding = 0usize;
+                for (s, slot) in works.iter_mut().enumerate() {
+                    if !slot.as_ref().expect("shard at home").due.is_empty() {
+                        let work = slot.take().expect("shard at home");
+                        pool.task_txs[s].send((s, work)).expect("worker alive");
+                        outstanding += 1;
+                    }
+                }
+                let mut panicked: Option<PanicPayload> = None;
+                for _ in 0..outstanding {
+                    let (idx, work, panic) = pool.done_rx.recv().expect("worker alive");
+                    works[idx] = Some(work);
+                    panicked = panicked.or(panic);
+                }
+                // Resume only after every outstanding shard answered, so no
+                // worker is left sending into a dropped channel mid-tick.
+                if let Some(payload) = panicked {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            _ => {
+                for w in &mut works {
+                    phase1(w.as_mut().expect("shard at home"));
+                }
+            }
+        }
+        for w in &mut works {
+            let w = w.as_mut().expect("shard at home");
+            g.done_count += w.newly_done as usize;
+            w.newly_done = 0;
+        }
+        if g.done_count == n && g.time_all_done.is_none() {
+            g.time_all_done = Some(t);
+        }
+
+        // Phase 2: k-way merge of the shards' ready lists by global seq.
+        pos.iter_mut().for_each(|p| *p = 0);
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for s in 0..k {
+                let ready = &works[s].as_ref().expect("shard at home").ready;
+                if let Some(item) = ready.get(pos[s]) {
+                    if best.is_none_or(|(seq, _)| item.seq < seq) {
+                        best = Some((item.seq, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let item = works[s].as_ref().expect("shard at home").ready[pos[s]];
+            pos[s] += 1;
+            match item.kind {
+                ReadyKind::Delivered { from, to, outbox } => {
+                    g.deliveries += 1;
+                    if g.deliveries > g.max_events {
+                        return Err(SimError::EventLimitExceeded { limit: g.max_events });
+                    }
+                    g.metrics.events += 1;
+                    // Replay the captured outbox: push every message (drawing
+                    // its seq), then inject the touched links in order — the
+                    // serial engine's dispatch_outbox, verbatim.
+                    let mut touched = std::mem::take(&mut g.touched);
+                    for _ in 0..outbox {
+                        let out = works[s]
+                            .as_mut()
+                            .expect("shard at home")
+                            .arena
+                            .pop_front()
+                            .expect("arena holds each captured outbox");
+                        touched.push(push_message(&mut g, &mut sh, graph, to, out)?);
+                    }
+                    for link in touched.drain(..) {
+                        try_inject(&mut g, &mut sh, &delay, link);
+                    }
+                    g.touched = touched;
+                    // Acknowledge back to the sender (two seq draws, exactly
+                    // like the serial engine: the ack's delay seq, then the
+                    // scheduled event's seq).
+                    g.metrics.acks += 1;
+                    let ack_seq = g.next_seq();
+                    let ack_delay = delay.delay_ticks_at(to, from, ack_seq, g.now);
+                    let (home, _) = sh.layout.link_home(item.link);
+                    let seq = g.next_seq();
+                    sh.wheels[home].schedule(
+                        g.now + ack_delay,
+                        seq,
+                        ShardEvent::Ack { link: item.link },
+                    );
+                }
+                ReadyKind::Ack => {
+                    let (home, slot) = sh.layout.link_home(item.link);
+                    sh.links[home][slot].in_flight = false;
+                    try_inject(&mut g, &mut sh, &delay, item.link);
+                }
+            }
+        }
+        for w in &mut works {
+            let w = w.as_mut().expect("shard at home");
+            w.ready.clear();
+            debug_assert!(w.arena.is_empty(), "merge consumed every captured message");
+        }
+    }
+
+    g.metrics.time_to_output = g.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
+    g.metrics.time_to_quiescence = g.now as f64 / TICKS_PER_UNIT as f64;
+    let overflow_events = sh.wheels.iter().map(|w| w.overflow_scheduled()).sum();
+    Ok(AsyncReport {
+        metrics: g.metrics,
+        nodes: works.into_iter().flat_map(|w| w.expect("shard at home").nodes).collect(),
+        overflow_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::async_engine::run_async_with;
+    use crate::metrics::MessageClass;
+    use crate::SchedulerKind;
+
+    /// Chatty flood recording, per node, the exact arrival stream `(from, msg)`
+    /// — the node-local view of the schedule. Mixed priorities exercise the
+    /// per-link stage queues; a few waves keep traffic flowing.
+    #[derive(Debug)]
+    struct Chatter<'g> {
+        me: NodeId,
+        neighbors: &'g [NodeId],
+        arrivals: Vec<(NodeId, u64)>,
+        waves_left: u64,
+    }
+
+    impl<'g> Chatter<'g> {
+        fn new(graph: &'g Graph, me: NodeId) -> Self {
+            Chatter { me, neighbors: graph.neighbors(me), arrivals: Vec::new(), waves_left: 3 }
+        }
+    }
+
+    impl Protocol for Chatter<'_> {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            if self.me.index().is_multiple_of(5) {
+                for (i, &u) in self.neighbors.iter().enumerate() {
+                    ctx.send_with(u, 1, (i % 3) as u64, MessageClass::Algorithm);
+                }
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+            self.arrivals.push((from, msg));
+            if self.waves_left > 0 {
+                self.waves_left -= 1;
+                for (i, &u) in self.neighbors.iter().enumerate() {
+                    ctx.send_with(u, msg + 1, (msg + i as u64) % 4, MessageClass::Algorithm);
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            !self.arrivals.is_empty() || self.me.index().is_multiple_of(5)
+        }
+    }
+
+    type NodeView = (Vec<Vec<(NodeId, u64)>>, RunMetrics, u64);
+
+    fn wheel_run(graph: &Graph, delay: &DelayModel) -> NodeView {
+        let report = run_async_with(
+            graph,
+            delay.clone(),
+            |v| Chatter::new(graph, v),
+            SimLimits::default(),
+            SchedulerKind::TimingWheel,
+        )
+        .expect("wheel run");
+        (
+            report.nodes.into_iter().map(|n| n.arrivals).collect(),
+            report.metrics,
+            report.overflow_events,
+        )
+    }
+
+    fn sharded_run(graph: &Graph, delay: &DelayModel, opts: ShardedOptions) -> NodeView {
+        let report = run_async_sharded_with(
+            graph,
+            delay.clone(),
+            |v| Chatter::new(graph, v),
+            SimLimits::default(),
+            opts,
+        )
+        .expect("sharded run");
+        (
+            report.nodes.into_iter().map(|n| n.arrivals).collect(),
+            report.metrics,
+            report.overflow_events,
+        )
+    }
+
+    #[test]
+    fn sharded_matches_the_wheel_for_every_adversary_and_shard_count() {
+        // Per-node arrival streams, metrics and overflow counts must be
+        // byte-identical to the serial wheel for every shard count, including
+        // the multi-τ outage adversary that exercises the overflow heaps.
+        let graph = Graph::random_connected(26, 0.14, 11);
+        let mut adversaries = DelayModel::standard_suite(7);
+        adversaries.push(DelayModel::outage(7, 5, 2));
+        for delay in adversaries {
+            let reference = wheel_run(&graph, &delay);
+            for shards in [1, 2, 3, 4, 7, 26, 100] {
+                let got = sharded_run(
+                    &graph,
+                    &delay,
+                    ShardedOptions { shards, threads: ThreadMode::Off },
+                );
+                assert_eq!(got, reference, "shards={shards} diverged under {delay:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_threads_produce_the_same_execution() {
+        // ForceOn exercises the cross-thread hand-off even on single-core
+        // hosts; a uniform-delay start wave on a 12×12 grid puts well over
+        // PARALLEL_TICK_THRESHOLD events into one tick, so the threaded path
+        // actually runs.
+        let graph = Graph::grid(12, 12);
+        for delay in [DelayModel::uniform(), DelayModel::jitter(3)] {
+            let reference = wheel_run(&graph, &delay);
+            for shards in [2, 4] {
+                let forced = sharded_run(
+                    &graph,
+                    &delay,
+                    ShardedOptions { shards, threads: ThreadMode::ForceOn },
+                );
+                assert_eq!(forced, reference, "threaded shards={shards} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn run_async_with_runs_sharded_sequentially() {
+        let graph = Graph::grid(4, 5);
+        let reference = wheel_run(&graph, &DelayModel::jitter(9));
+        let report = run_async_with(
+            &graph,
+            DelayModel::jitter(9),
+            |v| Chatter::new(&graph, v),
+            SimLimits::default(),
+            SchedulerKind::Sharded { shards: 3 },
+        )
+        .expect("sharded via run_async_with");
+        let got: NodeView = (
+            report.nodes.into_iter().map(|n| n.arrivals).collect(),
+            report.metrics,
+            report.overflow_events,
+        );
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn event_limit_aborts_like_the_serial_engine() {
+        let graph = Graph::grid(5, 5);
+        let limits = SimLimits { max_events: 40, ..SimLimits::default() };
+        let serial = run_async_with(
+            &graph,
+            DelayModel::uniform(),
+            |v| Chatter::new(&graph, v),
+            limits,
+            SchedulerKind::TimingWheel,
+        )
+        .unwrap_err();
+        let sharded = run_async_sharded_with(
+            &graph,
+            DelayModel::uniform(),
+            |v| Chatter::new(&graph, v),
+            limits,
+            ShardedOptions { shards: 4, threads: ThreadMode::Off },
+        )
+        .unwrap_err();
+        assert_eq!(serial, sharded);
+        assert_eq!(sharded, SimError::EventLimitExceeded { limit: 40 });
+    }
+
+    #[test]
+    #[should_panic(expected = "chatter protocol failure on node 77")]
+    fn worker_thread_panics_propagate_instead_of_deadlocking() {
+        // A protocol panic inside a phase-1 worker must reach the caller like
+        // the serial engine's would. Without the catch_unwind/resume_unwind
+        // hand-off the coordinator would block forever on the completion
+        // channel (idle workers keep it open), turning one bad activation
+        // into a hung simulation. Same setup as the threaded test above: the
+        // uniform start wave exceeds PARALLEL_TICK_THRESHOLD, so phase 1
+        // really runs on workers under ForceOn.
+        #[derive(Debug)]
+        struct Exploding<'g> {
+            inner: Chatter<'g>,
+        }
+        impl Protocol for Exploding<'_> {
+            type Message = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                self.inner.on_start(ctx);
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+                assert_ne!(self.inner.me.index(), 77, "chatter protocol failure on node 77");
+                self.inner.on_message(from, msg, ctx);
+            }
+            fn is_done(&self) -> bool {
+                self.inner.is_done()
+            }
+        }
+        let graph = Graph::grid(12, 12);
+        let _ = run_async_sharded_with(
+            &graph,
+            DelayModel::uniform(),
+            |v| Exploding { inner: Chatter::new(&graph, v) },
+            SimLimits::default(),
+            ShardedOptions { shards: 4, threads: ThreadMode::ForceOn },
+        );
+    }
+
+    #[test]
+    fn non_neighbor_sends_are_rejected() {
+        #[derive(Debug)]
+        struct Bad {
+            me: NodeId,
+        }
+        impl Protocol for Bad {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                if self.me == NodeId(0) {
+                    ctx.send(NodeId(2), ());
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<()>) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let graph = Graph::path(3);
+        let err = run_async_sharded(
+            &graph,
+            DelayModel::uniform(),
+            |me| Bad { me },
+            SimLimits::default(),
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NotNeighbor { from: NodeId(0), to: NodeId(2) });
+    }
+
+    #[test]
+    fn shard_layout_partitions_nodes_and_links_consistently() {
+        let graph = Graph::random_connected(23, 0.2, 3);
+        for k in [1, 2, 4, 7, 23] {
+            let layout = ShardLayout::new(&graph, k);
+            assert_eq!(layout.k, k);
+            assert_eq!(layout.bounds[0], 0);
+            assert_eq!(*layout.bounds.last().unwrap(), 23);
+            // Every node maps into the shard whose contiguous range holds it.
+            for v in graph.nodes() {
+                let s = layout.shard_of(v);
+                assert!(layout.bounds[s] <= v.index() && v.index() < layout.bounds[s + 1]);
+            }
+            // Link slots are dense per shard, in edge-id order.
+            let mut counts = vec![0usize; k];
+            for e in 0..graph.directed_edge_count() {
+                let id = DirectedEdgeId(e as u32);
+                let (from, _) = graph.directed_endpoints(id);
+                let (s, slot) = layout.link_home(id);
+                assert_eq!(s, layout.shard_of(from));
+                assert_eq!(slot, counts[s]);
+                counts[s] += 1;
+            }
+        }
+        // Oversized shard counts clamp to n.
+        assert_eq!(ShardLayout::new(&graph, 500).k, 23);
+    }
+}

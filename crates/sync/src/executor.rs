@@ -20,8 +20,10 @@ use ds_netsim::async_engine::{run_async_with, SimError, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
+use ds_netsim::protocol::Protocol;
+use ds_netsim::sharded::run_async_sharded;
 use ds_netsim::sync_engine::run_sync;
-use ds_netsim::SchedulerKind;
+use ds_netsim::{AsyncReport, SchedulerKind};
 use std::sync::Arc;
 
 /// The environment an executor runs in: the network, the delay adversary and the
@@ -37,6 +39,25 @@ pub struct ExecutionEnv<'g> {
     /// Event scheduler driving the asynchronous engine (ignored by the lock-step
     /// executor). Both kinds produce bit-identical runs.
     pub scheduler: SchedulerKind,
+}
+
+/// Runs a synchronizer protocol on the engine the environment selects:
+/// [`SchedulerKind::Sharded`] dispatches to the sharded engine (worker threads
+/// when the host has them — the synchronizer protocols are `Send` because
+/// [`EventDriven`] algorithms are), everything else to the serial engine. All
+/// kinds produce bit-identical runs.
+fn run_env_async<P, F>(env: &ExecutionEnv<'_>, make: F) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
+    match env.scheduler {
+        SchedulerKind::Sharded { shards } => {
+            run_async_sharded(env.graph, env.delay.clone(), make, env.limits, shards)
+        }
+        kind => run_async_with(env.graph, env.delay.clone(), make, env.limits, kind),
+    }
 }
 
 /// Result of running an event-driven algorithm through an executor.
@@ -117,13 +138,8 @@ impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let max_pulse = self.max_pulse;
-        let report = run_async_with(
-            env.graph,
-            env.delay.clone(),
-            |v| AlphaSynchronizer::new(env.graph, v, make_alg(v), max_pulse),
-            env.limits,
-            env.scheduler,
-        )?;
+        let report =
+            run_env_async(env, |v| AlphaSynchronizer::new(env.graph, v, make_alg(v), max_pulse))?;
         Ok(SynchronizedRun {
             outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
             metrics: report.metrics,
@@ -154,13 +170,8 @@ impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let max_pulse = self.max_pulse;
         let tree = Arc::clone(&self.tree);
-        let report = run_async_with(
-            env.graph,
-            env.delay.clone(),
-            |v| BetaSynchronizer::new(tree.clone(), v, make_alg(v), max_pulse),
-            env.limits,
-            env.scheduler,
-        )?;
+        let report =
+            run_env_async(env, |v| BetaSynchronizer::new(tree.clone(), v, make_alg(v), max_pulse))?;
         Ok(SynchronizedRun {
             outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
             metrics: report.metrics,
@@ -188,13 +199,7 @@ impl<A: EventDriven> Synchronizer<A> for DetExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let cfg = Arc::clone(&self.cfg);
-        let report = run_async_with(
-            env.graph,
-            env.delay.clone(),
-            |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()),
-            env.limits,
-            env.scheduler,
-        )?;
+        let report = run_env_async(env, |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()))?;
         let outputs = collect_outputs(&report.nodes);
         Ok(SynchronizedRun {
             outputs: outputs.outputs,

@@ -241,6 +241,19 @@ impl<'g> Session<'g> {
     /// [`SyncKind::Direct`]). Defaults to [`SchedulerKind::TimingWheel`]; the
     /// [`SchedulerKind::BinaryHeap`] reference produces a bit-identical run and
     /// exists for equivalence testing and scheduler benchmarking.
+    /// [`SchedulerKind::Sharded`] partitions the nodes into contiguous shards
+    /// and runs each tick's deliveries shard-locally — on worker threads when
+    /// the host has spare cores — with a serial cross-shard merge in global
+    /// sequence order, so its runs are also bit-identical to the wheel's
+    /// (`ds-netsim::sharded` documents the shard/merge contract):
+    ///
+    /// ```
+    /// # use ds_graph::Graph;
+    /// # use ds_netsim::SchedulerKind;
+    /// # use ds_sync::session::Session;
+    /// let graph = Graph::grid(8, 8);
+    /// let session = Session::on(&graph).scheduler(SchedulerKind::Sharded { shards: 4 });
+    /// ```
     #[must_use]
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;

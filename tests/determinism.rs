@@ -60,6 +60,52 @@ fn every_sync_kind_is_deterministic_on_flooding() {
 }
 
 #[test]
+fn sharded_runs_are_deterministic_and_shard_count_independent() {
+    // The sharded engine must be a pure execution-strategy choice: for every
+    // SyncKind × adversary (the outage model included — its multi-τ delays park
+    // events in the per-shard overflow heaps), reports are byte-identical
+    // across shard counts (1, 2, 4, 7 — including counts that split the graph
+    // unevenly) *and* across repeat runs. On multi-core hosts the shards run on
+    // worker threads, so this also pins freedom from thread-interleaving
+    // nondeterminism.
+    let graph = Graph::grid(5, 5);
+    let mut adversaries = DelayModel::standard_suite(17);
+    adversaries.push(DelayModel::outage(17, 5, 2));
+    for kind in SyncKind::standard_suite() {
+        for delay in &adversaries {
+            let run = |shards: usize| {
+                Session::on(&graph)
+                    .delay(delay.clone())
+                    .synchronizer(kind.clone())
+                    .scheduler(SchedulerKind::Sharded { shards })
+                    .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0), NodeId(13)]))
+                    .unwrap_or_else(|e| panic!("{}/shards={shards}: {e}", kind.label()))
+            };
+            let reference = run(1);
+            for shards in [2usize, 4, 7] {
+                let got = run(shards);
+                assert_eq!(
+                    reference.outputs,
+                    got.outputs,
+                    "{}: outputs depend on the shard count ({shards}) under {delay:?}",
+                    kind.label()
+                );
+                assert_eq!(
+                    reference.metrics,
+                    got.metrics,
+                    "{}: metrics depend on the shard count ({shards}) under {delay:?}",
+                    kind.label()
+                );
+                assert_eq!(reference.ordering_violations, got.ordering_violations);
+            }
+            let repeat = run(4);
+            assert_eq!(reference.outputs, repeat.outputs, "{}: repeat drift", kind.label());
+            assert_eq!(reference.metrics, repeat.metrics, "{}: repeat drift", kind.label());
+        }
+    }
+}
+
+#[test]
 fn distinct_seeds_actually_change_the_schedule() {
     // Guard against a vacuous determinism test: different jitter seeds must
     // produce different (while still correct) asynchronous schedules.
