@@ -11,6 +11,8 @@
 //! All execution flows through [`ds_sync::session::Session`] — the application
 //! wrappers here are thin `Session` shims with friendlier outputs.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod flood;
 pub mod leader;

@@ -12,6 +12,8 @@
 //! comparison (E2) is literally a loop over [`SyncKind::standard_suite`], with no
 //! per-baseline runner code.
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod json;
 pub mod perf;

@@ -39,6 +39,8 @@
 //! held by property checks instead ([`SparseCover::validate`] plus the
 //! sparsity bounds, in the builder unit tests and `tests/cover_scale.rs`).
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod decomposition;
 pub mod partition;

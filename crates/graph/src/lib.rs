@@ -14,6 +14,8 @@
 //! information, as the model requires. The centralized code is used to construct
 //! inputs and to check outputs.
 
+#![forbid(unsafe_code)]
+
 pub mod generators;
 pub mod metrics;
 pub mod rng;

@@ -40,6 +40,7 @@ use crate::metrics::RunMetrics;
 use crate::protocol::{Ctx, Outgoing, Protocol};
 use crate::scheduler::{EventScheduler, HeapScheduler, TimingWheel};
 use crate::stage_queue::StageQueue;
+use crate::trace::{DeliveryTrace, TraceState};
 use crate::SchedulerKind;
 use crate::TICKS_PER_UNIT;
 use ds_graph::{DirectedEdgeId, Graph, NodeId};
@@ -188,11 +189,18 @@ struct Engine<'a, P: Protocol, S> {
     outbox_pool: Vec<Outgoing<P::Message>>,
     /// Recycled scratch list of links touched by one outbox dispatch.
     touched: Vec<DirectedEdgeId>,
+    /// Delivery tracing for the happens-before checker ([`crate::trace`]).
+    /// `None` (the default) makes every hook a dead branch: schedules are
+    /// bit-identical with tracing on or off.
+    trace: Option<TraceState>,
 }
 
 impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
     fn schedule(&mut self, at: u64, link: DirectedEdgeId, kind: EventKind<P::Message>) {
         let seq = self.next_seq();
+        if let Some(tr) = self.trace.as_mut() {
+            tr.on_scheduled(seq);
+        }
         self.sched.schedule(at, seq, Pending { link, kind });
     }
 
@@ -242,12 +250,16 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
     /// batched and unbatched processing yield identical schedules.
     fn deliver(
         &mut self,
+        seq: u64,
         from: NodeId,
         to: NodeId,
         link: DirectedEdgeId,
         msg: P::Message,
         ctx: &mut Ctx<P::Message>,
     ) -> Result<(), SimError> {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.on_delivery(seq, self.now, 0, from, to);
+        }
         self.deliveries += 1;
         if self.deliveries > self.max_events {
             return Err(SimError::EventLimitExceeded { limit: self.max_events });
@@ -327,13 +339,56 @@ where
     match scheduler {
         SchedulerKind::TimingWheel => {
             let horizon = delay.max_delay_ticks();
-            run_engine(graph, delay, make, limits, TimingWheel::new(horizon))
+            run_engine(graph, delay, make, limits, TimingWheel::new(horizon), None)
+                .map(|(report, _)| report)
         }
-        SchedulerKind::BinaryHeap => run_engine(graph, delay, make, limits, HeapScheduler::new()),
+        SchedulerKind::BinaryHeap => {
+            run_engine(graph, delay, make, limits, HeapScheduler::new(), None)
+                .map(|(report, _)| report)
+        }
         SchedulerKind::Sharded { shards } => {
             crate::sharded::run_sequential(graph, delay, make, limits, shards)
         }
     }
+}
+
+/// [`run_async_with`] with delivery tracing enabled: returns the report plus
+/// the [`DeliveryTrace`] the happens-before checker (`ds-verify`) consumes.
+///
+/// The traced run is **bit-identical** to the untraced one — tracing only
+/// appends to a side buffer and never draws a sequence number or touches a
+/// queue (asserted by the module tests and `tests/happens_before.rs`).
+/// [`SchedulerKind::Sharded`] runs sequentially here, like [`run_async_with`];
+/// use [`crate::sharded::run_async_sharded_traced_with`] for worker threads.
+///
+/// # Errors
+///
+/// Same as [`run_async`].
+pub fn run_async_traced<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    scheduler: SchedulerKind,
+) -> Result<(AsyncReport<P>, DeliveryTrace), SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let trace = Some(TraceState::new(1));
+    let (report, trace) = match scheduler {
+        SchedulerKind::TimingWheel => {
+            let horizon = delay.max_delay_ticks();
+            run_engine(graph, delay, make, limits, TimingWheel::new(horizon), trace)?
+        }
+        SchedulerKind::BinaryHeap => {
+            run_engine(graph, delay, make, limits, HeapScheduler::new(), trace)?
+        }
+        SchedulerKind::Sharded { shards } => {
+            return crate::sharded::run_sequential_traced(graph, delay, make, limits, shards);
+        }
+    };
+    Ok((report, trace.expect("tracing was enabled")))
 }
 
 fn run_engine<P, F, S>(
@@ -342,7 +397,8 @@ fn run_engine<P, F, S>(
     mut make: F,
     limits: SimLimits,
     sched: S,
-) -> Result<AsyncReport<P>, SimError>
+    trace: Option<TraceState>,
+) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
     P: Protocol,
     F: FnMut(NodeId) -> P,
@@ -370,6 +426,7 @@ where
         time_all_done: None,
         outbox_pool: Vec::new(),
         touched: Vec::new(),
+        trace,
     };
 
     // Time 0: start every node.
@@ -388,7 +445,7 @@ where
     while let Some(t) = engine.sched.take_due(&mut due) {
         engine.now = t;
         let mut events = due.drain(..).peekable();
-        while let Some((_seq, Pending { link, kind })) = events.next() {
+        while let Some((seq, Pending { link, kind })) = events.next() {
             match kind {
                 EventKind::Deliver { msg } => {
                     let state = &engine.links[link.index()];
@@ -399,7 +456,7 @@ where
                     // arrival's outbox dispatch and ack keep their exact place
                     // in the global seq order.
                     let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut engine.outbox_pool));
-                    engine.deliver(from, to, link, msg, &mut ctx)?;
+                    engine.deliver(seq, from, to, link, msg, &mut ctx)?;
                     while let Some((
                         _,
                         Pending { link: next_link, kind: EventKind::Deliver { .. } },
@@ -410,17 +467,20 @@ where
                         if next_to != to {
                             break;
                         }
-                        let Some((_, Pending { link: l, kind: EventKind::Deliver { msg } })) =
+                        let Some((next_seq, Pending { link: l, kind: EventKind::Deliver { msg } })) =
                             events.next()
                         else {
                             unreachable!("peeked a delivery");
                         };
-                        engine.deliver(next_from, to, l, msg, &mut ctx)?;
+                        engine.deliver(next_seq, next_from, to, l, msg, &mut ctx)?;
                     }
                     engine.outbox_pool = ctx.into_buffer();
                     engine.update_done(to);
                 }
                 EventKind::Ack => {
+                    if let Some(tr) = engine.trace.as_mut() {
+                        tr.on_ack(seq);
+                    }
                     engine.links[link.index()].in_flight = false;
                     engine.try_inject(link);
                 }
@@ -431,11 +491,15 @@ where
     engine.metrics.time_to_output = engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     engine.metrics.time_to_quiescence = engine.now as f64 / TICKS_PER_UNIT as f64;
 
-    Ok(AsyncReport {
-        metrics: engine.metrics,
-        nodes: engine.nodes,
-        overflow_events: engine.sched.overflow_scheduled(),
-    })
+    let trace = engine.trace.map(TraceState::finish);
+    Ok((
+        AsyncReport {
+            metrics: engine.metrics,
+            nodes: engine.nodes,
+            overflow_events: engine.sched.overflow_scheduled(),
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]

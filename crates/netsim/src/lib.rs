@@ -29,7 +29,11 @@
 //!   sequence order at each tick barrier — with schedules bit-identical to the
 //!   single-threaded wheel,
 //! * [`stage_queue`] holds the per-link queues as per-stage FIFO buckets,
-//! * [`metrics`] collects time and message accounting for both engines.
+//! * [`metrics`] collects time and message accounting for both engines,
+//! * [`trace`] records per-delivery causality on demand — the raw material the
+//!   `ds-verify` happens-before checker rebuilds its ordering relation from.
+
+#![forbid(unsafe_code)]
 
 pub mod async_engine;
 mod bitset;
@@ -41,15 +45,22 @@ pub mod scheduler;
 pub mod sharded;
 pub mod stage_queue;
 pub mod sync_engine;
+pub mod trace;
 
-pub use async_engine::{run_async, run_async_with, AsyncReport, SimError, SimLimits};
+pub use async_engine::{
+    run_async, run_async_traced, run_async_with, AsyncReport, SimError, SimLimits,
+};
 pub use delay::DelayModel;
 pub use event_driven::{EventDriven, PulseCtx};
 pub use metrics::{MessageClass, RunMetrics};
 pub use protocol::{Ctx, Protocol};
 pub use scheduler::SchedulerKind;
-pub use sharded::{run_async_sharded, run_async_sharded_with, ShardedOptions, ThreadMode};
+pub use sharded::{
+    run_async_sharded, run_async_sharded_traced_with, run_async_sharded_with, ShardedOptions,
+    ThreadMode,
+};
 pub use sync_engine::{run_sync, SyncReport};
+pub use trace::{DeliveryRecord, DeliveryTrace};
 
 /// Number of simulator ticks per asynchronous time unit `τ`.
 ///

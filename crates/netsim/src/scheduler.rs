@@ -443,6 +443,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 20×500-step fuzz loop — minutes under Miri for no extra UB coverage
     fn heap_and_wheel_agree_on_random_workloads() {
         // Deterministic pseudo-random interleaving of schedules and drains, with
         // occasional beyond-horizon delays; both schedulers must emit identical

@@ -82,6 +82,7 @@ use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
 use crate::protocol::{Ctx, Outgoing, Protocol};
 use crate::scheduler::{EventScheduler, TimingWheel};
+use crate::trace::{DeliveryTrace, TraceState};
 use crate::TICKS_PER_UNIT;
 use ds_graph::{DirectedEdgeId, Graph, NodeId};
 use std::collections::VecDeque;
@@ -274,6 +275,10 @@ struct Globals {
     time_all_done: Option<u64>,
     /// Recycled list of links touched by one outbox dispatch.
     touched: Vec<DirectedEdgeId>,
+    /// Delivery tracing for the happens-before checker ([`crate::trace`]).
+    /// `None` (the default) makes every hook a dead branch: schedules are
+    /// bit-identical with tracing on or off.
+    trace: Option<TraceState>,
 }
 
 impl Globals {
@@ -322,6 +327,9 @@ fn try_inject<M>(
     let (from, to) = (state.from, state.to);
     let d = delay.delay_ticks_at(from, to, msg_seq, g.now);
     let seq = g.next_seq();
+    if let Some(tr) = g.trace.as_mut() {
+        tr.on_scheduled(seq);
+    }
     let dest = sh.layout.shard_of(to);
     sh.wheels[dest].schedule(g.now + d, seq, ShardEvent::Deliver { link, from, to, msg });
 }
@@ -391,16 +399,61 @@ where
     P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
+    run_sharded_inner(graph, delay, make, limits, opts, false).map(|(report, _)| report)
+}
+
+/// [`run_async_sharded_with`] with delivery tracing enabled: returns the
+/// report plus the [`DeliveryTrace`] the happens-before checker (`ds-verify`)
+/// consumes. The traced execution is bit-identical to the untraced one —
+/// tracing happens entirely on the coordinator (phase 2 and injection), so
+/// worker threads never touch it.
+///
+/// # Errors
+///
+/// Same as [`run_async`](crate::async_engine::run_async).
+pub fn run_async_sharded_traced_with<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    opts: ShardedOptions,
+) -> Result<(AsyncReport<P>, DeliveryTrace), SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
+    let (report, trace) = run_sharded_inner(graph, delay, make, limits, opts, true)?;
+    Ok((report, trace.expect("tracing was enabled")))
+}
+
+fn run_sharded_inner<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    opts: ShardedOptions,
+    traced: bool,
+) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
     let k = opts.shards.clamp(1, graph.node_count().max(1));
+    let trace = traced.then(|| TraceState::new(k as u32));
     let spawn = match opts.threads {
         ThreadMode::Off => false,
         ThreadMode::ForceOn => k > 1,
         ThreadMode::Auto => {
+            // ds-lint: allow(ambient-authority) — thread-count probe gates only
+            // *whether* workers spawn, never the schedule (bit-identical either
+            // way, pinned by `worker_threads_produce_the_same_execution`).
             k > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
         }
     };
     if !spawn {
-        return run_core(graph, delay, make, limits, k, None);
+        return run_core(graph, delay, make, limits, k, None, trace);
     }
     std::thread::scope(|scope| {
         let (done_tx, done_rx) = mpsc::channel();
@@ -429,7 +482,7 @@ where
         let pool = Pool { task_txs, done_rx };
         // Dropping the pool (and with it every task sender) at the end of the
         // scope shuts the workers down; the scope then joins them.
-        run_core(graph, delay, make, limits, k, Some(&pool))
+        run_core(graph, delay, make, limits, k, Some(&pool), trace)
     })
 }
 
@@ -449,7 +502,27 @@ where
     F: FnMut(NodeId) -> P,
 {
     let k = shards.clamp(1, graph.node_count().max(1));
-    run_core(graph, delay, make, limits, k, None)
+    run_core(graph, delay, make, limits, k, None, None).map(|(report, _)| report)
+}
+
+/// Sequential sharded run with tracing, used by
+/// [`run_async_traced`](crate::async_engine::run_async_traced) for
+/// [`crate::SchedulerKind::Sharded`].
+pub(crate) fn run_sequential_traced<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    make: F,
+    limits: SimLimits,
+    shards: usize,
+) -> Result<(AsyncReport<P>, DeliveryTrace), SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let k = shards.clamp(1, graph.node_count().max(1));
+    let (report, trace) =
+        run_core(graph, delay, make, limits, k, None, Some(TraceState::new(k as u32)))?;
+    Ok((report, trace.expect("tracing was enabled")))
 }
 
 // ---------------------------------------------------------------------------
@@ -463,7 +536,8 @@ fn run_core<P, F>(
     limits: SimLimits,
     k: usize,
     pool: Option<&Pool<P>>,
-) -> Result<AsyncReport<P>, SimError>
+    trace: Option<TraceState>,
+) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
     P: Protocol,
     F: FnMut(NodeId) -> P,
@@ -505,6 +579,7 @@ where
         done_count: 0,
         time_all_done: None,
         touched: Vec::new(),
+        trace,
     };
 
     // Time 0: start every node in global node order — the serial engine's
@@ -607,6 +682,9 @@ where
             pos[s] += 1;
             match item.kind {
                 ReadyKind::Delivered { from, to, outbox } => {
+                    if let Some(tr) = g.trace.as_mut() {
+                        tr.on_delivery(item.seq, g.now, s as u32, from, to);
+                    }
                     g.deliveries += 1;
                     if g.deliveries > g.max_events {
                         return Err(SimError::EventLimitExceeded { limit: g.max_events });
@@ -637,6 +715,9 @@ where
                     let ack_delay = delay.delay_ticks_at(to, from, ack_seq, g.now);
                     let (home, _) = sh.layout.link_home(item.link);
                     let seq = g.next_seq();
+                    if let Some(tr) = g.trace.as_mut() {
+                        tr.on_scheduled(seq);
+                    }
                     sh.wheels[home].schedule(
                         g.now + ack_delay,
                         seq,
@@ -644,6 +725,9 @@ where
                     );
                 }
                 ReadyKind::Ack => {
+                    if let Some(tr) = g.trace.as_mut() {
+                        tr.on_ack(item.seq);
+                    }
                     let (home, slot) = sh.layout.link_home(item.link);
                     sh.links[home][slot].in_flight = false;
                     try_inject(&mut g, &mut sh, &delay, item.link);
@@ -660,11 +744,14 @@ where
     g.metrics.time_to_output = g.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     g.metrics.time_to_quiescence = g.now as f64 / TICKS_PER_UNIT as f64;
     let overflow_events = sh.wheels.iter().map(|w| w.overflow_scheduled()).sum();
-    Ok(AsyncReport {
-        metrics: g.metrics,
-        nodes: works.into_iter().flat_map(|w| w.expect("shard at home").nodes).collect(),
-        overflow_events,
-    })
+    Ok((
+        AsyncReport {
+            metrics: g.metrics,
+            nodes: works.into_iter().flat_map(|w| w.expect("shard at home").nodes).collect(),
+            overflow_events,
+        },
+        g.trace.map(TraceState::finish),
+    ))
 }
 
 #[cfg(test)]
@@ -871,6 +958,85 @@ mod tests {
             SimLimits::default(),
             ShardedOptions { shards: 4, threads: ThreadMode::ForceOn },
         );
+    }
+
+    #[test]
+    fn tracing_is_invisible_to_the_schedule() {
+        // Bit-identity with tracing off vs. on, for the serial engine and for
+        // every sharded layout: the trace hooks must not draw a seq, touch a
+        // queue, or otherwise perturb the execution.
+        let graph = Graph::random_connected(22, 0.16, 19);
+        let delay = DelayModel::jitter(4);
+        let reference = wheel_run(&graph, &delay);
+        let (report, serial_trace) = crate::async_engine::run_async_traced(
+            &graph,
+            delay.clone(),
+            |v| Chatter::new(&graph, v),
+            SimLimits::default(),
+            crate::SchedulerKind::TimingWheel,
+        )
+        .expect("traced wheel run");
+        let got: NodeView = (
+            report.nodes.into_iter().map(|n| n.arrivals).collect(),
+            report.metrics,
+            report.overflow_events,
+        );
+        assert_eq!(got, reference, "tracing perturbed the serial schedule");
+        assert!(!serial_trace.records.is_empty());
+        assert_eq!(serial_trace.shards, 1);
+
+        for shards in [1, 2, 4] {
+            let (report, trace) = run_async_sharded_traced_with(
+                &graph,
+                delay.clone(),
+                |v| Chatter::new(&graph, v),
+                SimLimits::default(),
+                ShardedOptions { shards, threads: ThreadMode::Off },
+            )
+            .expect("traced sharded run");
+            let got: NodeView = (
+                report.nodes.into_iter().map(|n| n.arrivals).collect(),
+                report.metrics,
+                report.overflow_events,
+            );
+            assert_eq!(got, reference, "tracing perturbed the sharded schedule (k={shards})");
+            // The scheduler-independent view of the trace matches the serial
+            // engine record for record; only the shard assignment differs,
+            // and it must match the layout's owner of each destination.
+            assert_eq!(trace.shards, shards as u32);
+            let layout = ShardLayout::new(&graph, shards);
+            assert_eq!(trace.records.len(), serial_trace.records.len());
+            for (sharded_rec, serial_rec) in trace.records.iter().zip(&serial_trace.records) {
+                assert_eq!(sharded_rec.schedule_key(), serial_rec.schedule_key());
+                assert_eq!(sharded_rec.shard as usize, layout.shard_of(sharded_rec.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn traced_runs_cross_worker_threads_unchanged() {
+        // The trace lives with the coordinator; ForceOn workers must neither
+        // see it nor change what it records.
+        let graph = Graph::grid(12, 12);
+        let delay = DelayModel::uniform();
+        let (_, sequential) = run_async_sharded_traced_with(
+            &graph,
+            delay.clone(),
+            |v| Chatter::new(&graph, v),
+            SimLimits::default(),
+            ShardedOptions { shards: 4, threads: ThreadMode::Off },
+        )
+        .expect("sequential traced run");
+        let (report, threaded) = run_async_sharded_traced_with(
+            &graph,
+            delay,
+            |v| Chatter::new(&graph, v),
+            SimLimits::default(),
+            ShardedOptions { shards: 4, threads: ThreadMode::ForceOn },
+        )
+        .expect("threaded traced run");
+        assert_eq!(threaded, sequential);
+        assert!(report.metrics.events > 0);
     }
 
     #[test]

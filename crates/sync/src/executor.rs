@@ -16,14 +16,14 @@ use crate::alpha::AlphaSynchronizer;
 use crate::beta::{BetaSynchronizer, SpanningTree};
 use crate::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
 use ds_graph::{Graph, NodeId};
-use ds_netsim::async_engine::{run_async_with, SimError, SimLimits};
+use ds_netsim::async_engine::{run_async_traced, run_async_with, SimError, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::protocol::Protocol;
-use ds_netsim::sharded::run_async_sharded;
+use ds_netsim::sharded::{run_async_sharded, run_async_sharded_traced_with, ShardedOptions};
 use ds_netsim::sync_engine::run_sync;
-use ds_netsim::{AsyncReport, SchedulerKind};
+use ds_netsim::{AsyncReport, DeliveryTrace, SchedulerKind, ThreadMode};
 use std::sync::Arc;
 
 /// The environment an executor runs in: the network, the delay adversary and the
@@ -39,24 +39,44 @@ pub struct ExecutionEnv<'g> {
     /// Event scheduler driving the asynchronous engine (ignored by the lock-step
     /// executor). Both kinds produce bit-identical runs.
     pub scheduler: SchedulerKind,
+    /// Record a [`DeliveryTrace`] for the happens-before checker (`ds-verify`).
+    /// Off by default; the traced execution is bit-identical to the untraced
+    /// one. The lock-step executor ignores this (no deliveries to trace).
+    pub trace: bool,
 }
 
 /// Runs a synchronizer protocol on the engine the environment selects:
 /// [`SchedulerKind::Sharded`] dispatches to the sharded engine (worker threads
 /// when the host has them — the synchronizer protocols are `Send` because
 /// [`EventDriven`] algorithms are), everything else to the serial engine. All
-/// kinds produce bit-identical runs.
-fn run_env_async<P, F>(env: &ExecutionEnv<'_>, make: F) -> Result<AsyncReport<P>, SimError>
+/// kinds produce bit-identical runs. With `env.trace` set, the run also
+/// records the delivery trace the happens-before checker consumes.
+fn run_env_async<P, F>(
+    env: &ExecutionEnv<'_>,
+    make: F,
+) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
     P: Protocol + Send,
     P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
-    match env.scheduler {
-        SchedulerKind::Sharded { shards } => {
+    match (env.scheduler, env.trace) {
+        (SchedulerKind::Sharded { shards }, false) => {
             run_async_sharded(env.graph, env.delay.clone(), make, env.limits, shards)
+                .map(|report| (report, None))
         }
-        kind => run_async_with(env.graph, env.delay.clone(), make, env.limits, kind),
+        (SchedulerKind::Sharded { shards }, true) => run_async_sharded_traced_with(
+            env.graph,
+            env.delay.clone(),
+            make,
+            env.limits,
+            ShardedOptions { shards, threads: ThreadMode::Auto },
+        )
+        .map(|(report, trace)| (report, Some(trace))),
+        (kind, false) => run_async_with(env.graph, env.delay.clone(), make, env.limits, kind)
+            .map(|report| (report, None)),
+        (kind, true) => run_async_traced(env.graph, env.delay.clone(), make, env.limits, kind)
+            .map(|(report, trace)| (report, Some(trace))),
     }
 }
 
@@ -70,6 +90,9 @@ pub struct SynchronizedRun<O> {
     /// Ordering violations recorded by the synchronizer (always 0 in a correct run;
     /// only the deterministic synchronizer instruments this).
     pub ordering_violations: u64,
+    /// The delivery trace, when the environment asked for one
+    /// ([`ExecutionEnv::trace`]; always `None` for the lock-step executor).
+    pub trace: Option<DeliveryTrace>,
 }
 
 /// An execution strategy for event-driven algorithms: wraps per-node algorithm
@@ -116,6 +139,7 @@ impl<A: EventDriven> Synchronizer<A> for DirectExecutor {
             outputs: report.outputs(),
             metrics: report.metrics,
             ordering_violations: 0,
+            trace: None,
         })
     }
 }
@@ -138,12 +162,13 @@ impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let max_pulse = self.max_pulse;
-        let report =
+        let (report, trace) =
             run_env_async(env, |v| AlphaSynchronizer::new(env.graph, v, make_alg(v), max_pulse))?;
         Ok(SynchronizedRun {
             outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
             metrics: report.metrics,
             ordering_violations: 0,
+            trace,
         })
     }
 }
@@ -170,12 +195,13 @@ impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let max_pulse = self.max_pulse;
         let tree = Arc::clone(&self.tree);
-        let report =
+        let (report, trace) =
             run_env_async(env, |v| BetaSynchronizer::new(tree.clone(), v, make_alg(v), max_pulse))?;
         Ok(SynchronizedRun {
             outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
             metrics: report.metrics,
             ordering_violations: 0,
+            trace,
         })
     }
 }
@@ -199,12 +225,14 @@ impl<A: EventDriven> Synchronizer<A> for DetExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let cfg = Arc::clone(&self.cfg);
-        let report = run_env_async(env, |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()))?;
+        let (report, trace) =
+            run_env_async(env, |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()))?;
         let outputs = collect_outputs(&report.nodes);
         Ok(SynchronizedRun {
             outputs: outputs.outputs,
             metrics: report.metrics,
             ordering_violations: outputs.ordering_violations,
+            trace,
         })
     }
 }
@@ -265,6 +293,7 @@ mod tests {
             delay: DelayModel::jitter(5),
             limits: SimLimits::default(),
             scheduler: SchedulerKind::default(),
+            trace: false,
         };
         let direct =
             DirectExecutor.execute(&env, &mut |v| Flood::new(&graph, v)).expect("direct run");

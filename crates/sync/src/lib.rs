@@ -22,6 +22,8 @@
 //! [`session::Session`]; see `examples/quickstart.rs` in the repository root for a
 //! complete program and `DESIGN.md` for the theorem→module map.
 
+#![forbid(unsafe_code)]
+
 pub mod alpha;
 pub mod beta;
 pub mod executor;

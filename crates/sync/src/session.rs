@@ -219,6 +219,7 @@ pub struct Session<'g> {
     kind: Option<SyncKind>,
     pulse_bound: Option<u64>,
     scheduler: SchedulerKind,
+    trace: bool,
 }
 
 impl<'g> Session<'g> {
@@ -234,7 +235,20 @@ impl<'g> Session<'g> {
             kind: None,
             pulse_bound: None,
             scheduler: SchedulerKind::default(),
+            trace: false,
         }
+    }
+
+    /// Records a per-delivery [`trace`](ds_netsim::DeliveryTrace) during the
+    /// asynchronous run, surfaced on
+    /// [`SynchronizedRun::trace`](crate::executor::SynchronizedRun). The traced
+    /// execution is bit-identical to the untraced one; the cost is the trace
+    /// buffer itself (one record per delivery). Used by the `ds-verify`
+    /// happens-before checker; ignored by [`SyncKind::Direct`].
+    #[must_use]
+    pub fn record_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Selects the asynchronous engine's event scheduler (ignored by
@@ -306,6 +320,7 @@ impl<'g> Session<'g> {
             delay: self.delay.clone(),
             limits: self.limits,
             scheduler: self.scheduler,
+            trace: self.trace,
         }
     }
 
@@ -486,6 +501,34 @@ mod tests {
             .run(|v| Flood::new(&graph, v))
             .expect("alpha run");
         assert!(run.outputs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn record_trace_surfaces_a_trace_without_changing_the_run() {
+        let graph = Graph::grid(3, 3);
+        let plain = Session::on(&graph)
+            .delay(DelayModel::jitter(6))
+            .synchronizer(SyncKind::DetAuto)
+            .run(|v| Flood::new(&graph, v))
+            .expect("plain run");
+        assert!(plain.trace.is_none());
+        let traced = Session::on(&graph)
+            .delay(DelayModel::jitter(6))
+            .synchronizer(SyncKind::DetAuto)
+            .record_trace(true)
+            .run(|v| Flood::new(&graph, v))
+            .expect("traced run");
+        let trace = traced.trace.expect("trace was requested");
+        assert!(!trace.records.is_empty());
+        assert_eq!(traced.outputs, plain.outputs);
+        assert_eq!(traced.metrics, plain.metrics);
+        // Direct execution has no deliveries to trace.
+        let direct = Session::on(&graph)
+            .synchronizer(SyncKind::Direct)
+            .record_trace(true)
+            .run(|v| Flood::new(&graph, v))
+            .expect("direct run");
+        assert!(direct.trace.is_none());
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! The escape hatch under test: every hazard below carries its
+//! `// ds-lint: allow(<rule>)` waiver, so this file must lint clean.
+
+// ds-lint: allow(unordered-collections) — fixture: waiver under test
+use std::collections::HashSet;
+
+fn all_waived() {
+    // ds-lint: allow(unordered-collections) — fixture: waiver under test
+    let seen: HashSet<u64> = HashSet::new();
+    // ds-lint: allow(unordered-iteration) — fixture: waiver under test
+    for s in seen.iter() {
+        drop(s);
+    }
+    // ds-lint: allow(wall-clock) — fixture: waiver under test
+    let t = std::time::Instant::now();
+    // ds-lint: allow(ambient-authority) — fixture: waiver under test
+    let k = std::thread::available_parallelism();
+    // ds-lint: allow(thread-spawn) — fixture: waiver under test
+    std::thread::spawn(move || drop((t, k)));
+}
+
+fn sketchy(p: &u8) -> u8 {
+    // ds-lint: allow(missing-safety-comment) — fixture: waiver under test
+    unsafe { std::ptr::read(p) }
+}

@@ -1,0 +1,9 @@
+//! Seeded violations: host parallelism probe and a pointer-value cast.
+
+fn shard_count() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+fn key_of<T>(x: &T) -> usize {
+    x as *const T as usize
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a crate root (linted as `lib.rs`) that gates unsafe code
+//! with neither `#![forbid(unsafe_code)]` nor `#![deny(unsafe_op_in_unsafe_fn)]`.
+
+pub fn id(x: u64) -> u64 {
+    x
+}

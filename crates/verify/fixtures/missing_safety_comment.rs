@@ -1,0 +1,5 @@
+//! Seeded violation: an `unsafe` block with no SAFETY comment.
+
+fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: thread creation outside the sharded engine.
+
+fn run() {
+    std::thread::spawn(|| {}).join().unwrap();
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a HashMap with the default RandomState.
+
+use std::collections::HashMap;
+
+fn tally(events: &[u64]) -> HashMap<u64, u64> {
+    events.iter().map(|&e| (e, e)).collect()
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: iterating an unordered container. The collection itself
+//! is waived line by line, so only the iteration hazard remains — exactly the
+//! case the second rule exists for.
+
+// ds-lint: allow(unordered-collections) — fixture: iteration is the hazard under test
+use std::collections::HashMap;
+
+fn dispatch() {
+    // ds-lint: allow(unordered-collections) — fixture: iteration is the hazard under test
+    let pending: HashMap<u64, u64> = HashMap::new();
+    for (seq, _event) in pending.iter() {
+        drop(seq);
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a wall-clock read.
+
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}

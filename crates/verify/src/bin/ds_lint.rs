@@ -1,0 +1,105 @@
+//! `ds-lint`: the workspace's determinism lint.
+//!
+//! ```text
+//! cargo run -p ds-verify --bin ds-lint               # lint the simulation crates
+//! cargo run -p ds-verify --bin ds-lint -- --self-test  # seeded-violation self-test
+//! cargo run -p ds-verify --bin ds-lint -- PATH...    # lint explicit files/dirs
+//! ```
+//!
+//! Exits non-zero on any finding (or self-test failure), printing one
+//! `path:line: [rule] message` per finding. See `ds_verify::lint` for the
+//! rules and the `// ds-lint: allow(<rule>)` escape hatch.
+
+use ds_verify::lint::{lint_source, self_test};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The crates the determinism rules govern, relative to the workspace root:
+/// everything that can influence an engine schedule. (`bench` drives wall
+/// clocks by design; `verify` hosts the seeded-violation fixtures.)
+const DEFAULT_SCAN: [&str; 4] =
+    ["crates/netsim/src", "crates/sync/src", "crates/covers/src", "crates/graph/src"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: ds-lint [--self-test] [PATH...]");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--self-test") {
+        let failures = self_test();
+        if failures.is_empty() {
+            println!("ds-lint self-test: every rule fired on its fixture; pragma waivers held");
+            return ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("ds-lint self-test FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        let base = workspace_root();
+        DEFAULT_SCAN.iter().map(|p| base.join(p)).collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        collect_rs_files(root, &mut files);
+    }
+    files.sort();
+    if files.is_empty() {
+        eprintln!("ds-lint: no .rs files under {roots:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut findings = 0usize;
+    for path in &files {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ds-lint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // Findings are reported with forward slashes so the allowlist and
+        // output are host-independent.
+        let shown = path.to_string_lossy().replace('\\', "/");
+        for finding in lint_source(&shown, &content) {
+            println!("{finding}");
+            findings += 1;
+        }
+    }
+    if findings == 0 {
+        println!("ds-lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ds-lint: {findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// Recursively collects `.rs` files under `root` (or `root` itself if it is a
+/// file), in sorted order per directory for deterministic output.
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        collect_rs_files(&child, out);
+    }
+}

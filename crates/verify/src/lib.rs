@@ -1,0 +1,31 @@
+//! # ds-verify — the determinism analysis layer
+//!
+//! The reproduction's whole value is the paper's *determinism* guarantee
+//! (Ghaffari & Trygub, PODC 2023): identical inputs must yield bit-identical
+//! schedules, on every scheduler, with any shard count, threaded or not. This
+//! crate makes that guarantee machine-checked instead of conventional, with
+//! three mechanisms (DESIGN.md §8):
+//!
+//! 1. **[`lint`]** — source-level rules rejecting determinism hazards
+//!    (`HashMap` iteration feeding dispatch, wall-clock reads, ambient host
+//!    authority, stray thread spawns, ungated `unsafe`). Run as
+//!    `cargo run -p ds-verify --bin ds-lint`; `--self-test` seeds one
+//!    violation per rule and asserts each fires.
+//! 2. **[`hb`]** — the happens-before checker: rebuilds the ordering relation
+//!    implied by the shard/merge contract from a recorded
+//!    [`DeliveryTrace`](ds_netsim::DeliveryTrace) and fails if any cross-shard
+//!    delivery order is not forced by `seq` (vector clocks over shards;
+//!    `tests/happens_before.rs` runs it over the full scheduler-equivalence
+//!    matrix).
+//! 3. **Sanitizer CI** — ThreadSanitizer over the threaded sharded tests and
+//!    Miri over the core `ds-netsim` data structures, wired in the `analysis`
+//!    workflow job (see `.github/workflows/ci.yml`), outside the tier-1 path.
+
+#![forbid(unsafe_code)]
+
+pub mod hb;
+pub mod lint;
+pub mod source;
+
+pub use hb::{check_equivalence, check_trace, HbReport, HbViolation};
+pub use lint::{lint_files, lint_source, self_test, Finding, Rule};

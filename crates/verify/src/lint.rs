@@ -1,0 +1,469 @@
+//! `ds-lint`: source-level determinism rules for the simulation crates.
+//!
+//! The engines' determinism contract (DESIGN.md §6) is easy to break from a
+//! distance: one `HashMap` iteration feeding dispatch order, one wall-clock
+//! read seeding a delay, one stray `thread::spawn`, and schedules silently
+//! diverge across runs or hosts. These rules reject the hazard *patterns* at
+//! the source level, with an explicit, reviewable escape hatch:
+//!
+//! ```text
+//! // ds-lint: allow(<rule>) — justification
+//! ```
+//!
+//! on the offending line or in the contiguous comment block directly above it
+//! waives that rule for that line. The pragma carries its justification with
+//! it, so every waiver is visible in review — the same shape as `#[allow]`
+//! with a comment, but enforced for tools that cannot see attributes.
+//!
+//! Rules (one fixture per rule under `fixtures/`, exercised by
+//! [`self_test`] and `cargo run -p ds-verify --bin ds-lint -- --self-test`):
+//!
+//! | rule | rejects |
+//! |------|---------|
+//! | `unordered-collections` | `HashMap`/`HashSet` (default `RandomState` hashes differently every process — iteration order is nondeterministic) |
+//! | `unordered-iteration` | iterating an identifier bound to a `HashMap`/`HashSet` in the same file (the dispatch-order hazard, even where the collection itself was waived) |
+//! | `wall-clock` | `Instant`/`SystemTime` (wall-clock reads differ per run) |
+//! | `ambient-authority` | thread ids, `available_parallelism`, pointer-value casts (host-dependent values) |
+//! | `thread-spawn` | `thread::spawn`/`thread::scope` outside the sharded-engine allowlist |
+//! | `missing-safety-comment` | an `unsafe` token with no `SAFETY:` comment nearby |
+//! | `missing-forbid-unsafe` | a crate root (`lib.rs`) with neither `#![forbid(unsafe_code)]` nor `#![deny(unsafe_op_in_unsafe_fn)]` |
+
+use crate::source::{has_token, scan, SourceFile};
+
+/// A determinism rule `ds-lint` enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` with the default hasher.
+    UnorderedCollections,
+    /// Iteration over an unordered container (dispatch-order hazard).
+    UnorderedIteration,
+    /// `Instant`/`SystemTime` reads.
+    WallClock,
+    /// Thread ids, parallelism probes, pointer-value casts.
+    AmbientAuthority,
+    /// Thread creation outside the sharded engine.
+    ThreadSpawn,
+    /// `unsafe` without a `SAFETY:` comment.
+    MissingSafetyComment,
+    /// Crate root without an unsafe-code lint gate.
+    MissingForbidUnsafe,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 7] = [
+        Rule::UnorderedCollections,
+        Rule::UnorderedIteration,
+        Rule::WallClock,
+        Rule::AmbientAuthority,
+        Rule::ThreadSpawn,
+        Rule::MissingSafetyComment,
+        Rule::MissingForbidUnsafe,
+    ];
+
+    /// The rule's name, as used in `// ds-lint: allow(<name>)` pragmas.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedCollections => "unordered-collections",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientAuthority => "ambient-authority",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::MissingSafetyComment => "missing-safety-comment",
+            Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.name(), self.message)
+    }
+}
+
+/// Whether line `idx` (0-based) of `file` is covered by an
+/// `// ds-lint: allow(rule)` pragma: on the line itself, or anywhere in the
+/// contiguous run of comment-only lines directly above it.
+fn allowed(file: &SourceFile, idx: usize, rule: Rule) -> bool {
+    let needle = format!("ds-lint: allow({})", rule.name());
+    if file.lines[idx].comment.contains(&needle) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 && file.lines[i - 1].is_comment_only() {
+        i -= 1;
+        if file.lines[i].comment.contains(&needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `path` may create threads (the sharded engine owns its worker
+/// pool; everything else must stay on the coordinator).
+fn thread_spawn_allowlisted(path: &str) -> bool {
+    path.ends_with("netsim/src/sharded.rs")
+}
+
+/// Whether `path` is a crate root subject to the unsafe-gate rule.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("lib.rs") || path.ends_with("main.rs")
+}
+
+/// Extracts the identifiers bound to `HashMap`/`HashSet` values on this line:
+/// `let [mut] NAME: …Hash(Map|Set)…`, `NAME: Hash(Map|Set)<…>` (struct
+/// fields), and `let [mut] NAME = Hash(Map|Set)::…`.
+fn unordered_bindings(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if !(has_token(code, "HashMap") || has_token(code, "HashSet")) {
+        return out;
+    }
+    // `NAME : … Hash(Map|Set)` — the name directly left of the first `:`
+    // preceding the token, and `let NAME = HashMap::new()`.
+    for marker in ["HashMap", "HashSet"] {
+        let Some(pos) = code.find(marker) else { continue };
+        let before = &code[..pos];
+        // Find the nearest binder: `let [mut] NAME =` or `NAME:`.
+        let candidate =
+            if let Some(colon) = before.rfind(':') { ident_before(&before[..colon]) } else { None };
+        let candidate =
+            candidate.or_else(|| before.rfind('=').and_then(|eq| ident_before(&before[..eq])));
+        if let Some(name) = candidate {
+            out.push(name);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The identifier ending at the end of `s` (ignoring trailing whitespace).
+fn ident_before(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &trimmed[start..end];
+    let first = ident.chars().next()?;
+    if first.is_alphabetic() || first == '_' {
+        Some(ident.to_string())
+    } else {
+        None
+    }
+}
+
+/// Whether `code` iterates over binding `name`.
+fn iterates(code: &str, name: &str) -> bool {
+    for pattern in [
+        format!("in {name}"),
+        format!("in &{name}"),
+        format!("in &mut {name}"),
+        format!("{name}.iter()"),
+        format!("{name}.iter_mut()"),
+        format!("{name}.into_iter()"),
+        format!("{name}.keys()"),
+        format!("{name}.values()"),
+        format!("{name}.values_mut()"),
+        format!("{name}.drain("),
+    ] {
+        if code.contains(&pattern) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lints one file's content. `path` decides the thread-spawn allowlist and
+/// the crate-root rule; it does not need to exist on disk.
+pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
+    let file = scan(path, content);
+    let mut findings = Vec::new();
+    let mut push = |idx: usize, rule: Rule, message: String| {
+        if !allowed(&file, idx, rule) {
+            findings.push(Finding { path: path.to_string(), line: idx + 1, rule, message });
+        }
+    };
+
+    // File-local identifiers bound to unordered containers, for the
+    // iteration rule (a waived HashMap is still a dispatch-order hazard
+    // when iterated).
+    let mut unordered: Vec<String> = Vec::new();
+    for line in &file.lines {
+        unordered.extend(unordered_bindings(&line.code));
+    }
+    unordered.sort();
+    unordered.dedup();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        for marker in ["HashMap", "HashSet"] {
+            if has_token(code, marker) {
+                push(
+                    idx,
+                    Rule::UnorderedCollections,
+                    format!(
+                        "{marker} hashes with a per-process random seed; iteration order is \
+                         nondeterministic — use BTreeMap/BTreeSet (or waive with a pragma and a \
+                         deterministic BuildHasher)"
+                    ),
+                );
+            }
+        }
+        for name in &unordered {
+            if iterates(code, name) {
+                push(
+                    idx,
+                    Rule::UnorderedIteration,
+                    format!(
+                        "iterating `{name}`, an unordered container: the visit order is \
+                         nondeterministic and must not feed event dispatch"
+                    ),
+                );
+            }
+        }
+        for marker in ["Instant", "SystemTime"] {
+            if has_token(code, marker) {
+                push(
+                    idx,
+                    Rule::WallClock,
+                    format!(
+                        "{marker} reads wall-clock time, which differs per run; simulation time \
+                         must come from the engine's tick counter"
+                    ),
+                );
+            }
+        }
+        for marker in ["thread::current", "ThreadId", "available_parallelism"] {
+            if has_token(code, marker) {
+                push(
+                    idx,
+                    Rule::AmbientAuthority,
+                    format!(
+                        "`{marker}` exposes host/thread identity; anything schedule-affecting \
+                         must be derived from deterministic inputs"
+                    ),
+                );
+            }
+        }
+        if (code.contains("*const") || code.contains("*mut"))
+            && ["as usize", "as u64", "as u32", "as isize", "as i64"]
+                .iter()
+                .any(|c| code.contains(c))
+        {
+            push(
+                idx,
+                Rule::AmbientAuthority,
+                "casting a pointer to an integer leaks allocator addresses, which differ per \
+                 run; derive keys from stable ids instead"
+                    .to_string(),
+            );
+        }
+        if !thread_spawn_allowlisted(path) {
+            for marker in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if has_token(code, marker) {
+                    push(
+                        idx,
+                        Rule::ThreadSpawn,
+                        format!(
+                            "`{marker}` outside the sharded engine: all parallelism must go \
+                             through the shard/merge contract (ds-netsim::sharded)"
+                        ),
+                    );
+                }
+            }
+        }
+        if has_token(code, "unsafe") {
+            let mut documented = line.comment.contains("SAFETY:");
+            let mut i = idx;
+            while !documented && i > 0 && file.lines[i - 1].is_comment_only() {
+                i -= 1;
+                documented = file.lines[i].comment.contains("SAFETY:");
+            }
+            if !documented {
+                push(
+                    idx,
+                    Rule::MissingSafetyComment,
+                    "`unsafe` without a `// SAFETY:` comment in the directly preceding comment \
+                     block"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    if is_crate_root(path) {
+        let has_gate = file.lines.iter().any(|l| {
+            l.code.contains("#![forbid(unsafe_code)]")
+                || l.code.contains("#![deny(unsafe_op_in_unsafe_fn)]")
+        });
+        let waived =
+            file.lines.iter().any(|l| l.comment.contains("ds-lint: allow(missing-forbid-unsafe)"));
+        if !has_gate && !waived {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: 1,
+                rule: Rule::MissingForbidUnsafe,
+                message: "crate root lacks `#![forbid(unsafe_code)]` (or, for crates with \
+                          audited unsafe, `#![deny(unsafe_op_in_unsafe_fn)]`)"
+                    .to_string(),
+            });
+        }
+    }
+
+    findings
+}
+
+/// Lints a set of `(path, content)` pairs, concatenating findings in input
+/// order.
+pub fn lint_files<P: AsRef<str>, C: AsRef<str>>(files: &[(P, C)]) -> Vec<Finding> {
+    files.iter().flat_map(|(p, c)| lint_source(p.as_ref(), c.as_ref())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: one seeded violation per rule, plus the pragma escape.
+// ---------------------------------------------------------------------------
+
+/// The self-test fixtures: `(fixture path as linted, content, rule that must
+/// fire)`. Paths are synthetic — chosen so the allowlist and crate-root rules
+/// apply the way each fixture needs.
+pub fn fixtures() -> Vec<(&'static str, &'static str, Rule)> {
+    vec![
+        (
+            "fixtures/unordered_collections.rs",
+            include_str!("../fixtures/unordered_collections.rs"),
+            Rule::UnorderedCollections,
+        ),
+        (
+            "fixtures/unordered_iteration.rs",
+            include_str!("../fixtures/unordered_iteration.rs"),
+            Rule::UnorderedIteration,
+        ),
+        ("fixtures/wall_clock.rs", include_str!("../fixtures/wall_clock.rs"), Rule::WallClock),
+        (
+            "fixtures/ambient_authority.rs",
+            include_str!("../fixtures/ambient_authority.rs"),
+            Rule::AmbientAuthority,
+        ),
+        (
+            "fixtures/thread_spawn.rs",
+            include_str!("../fixtures/thread_spawn.rs"),
+            Rule::ThreadSpawn,
+        ),
+        (
+            "fixtures/missing_safety_comment.rs",
+            include_str!("../fixtures/missing_safety_comment.rs"),
+            Rule::MissingSafetyComment,
+        ),
+        (
+            "fixtures/missing_forbid_unsafe/lib.rs",
+            include_str!("../fixtures/missing_forbid_unsafe.rs"),
+            Rule::MissingForbidUnsafe,
+        ),
+    ]
+}
+
+/// Runs the seeded-violation self-test: every rule must fire on its fixture,
+/// and the pragma fixture must produce no findings. Returns the list of
+/// failures (empty on success).
+pub fn self_test() -> Vec<String> {
+    let mut failures = Vec::new();
+    for (path, content, rule) in fixtures() {
+        let findings = lint_source(path, content);
+        if !findings.iter().any(|f| f.rule == rule) {
+            failures.push(format!("rule `{}` did not fire on {path}", rule.name()));
+        }
+    }
+    let escape =
+        lint_source("fixtures/allow_escape.rs", include_str!("../fixtures/allow_escape.rs"));
+    for f in escape {
+        failures.push(format!("pragma failed to waive: {f}"));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_fires_on_its_fixture_and_pragmas_waive() {
+        let failures = self_test();
+        assert!(failures.is_empty(), "self-test failures:\n{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn fixtures_cover_every_rule() {
+        let mut covered: Vec<Rule> = fixtures().into_iter().map(|(_, _, r)| r).collect();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered, Rule::ALL.to_vec());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trigger_rules() {
+        let src = r#"
+//! Uses no HashMap; mentions Instant only in docs.
+#![forbid(unsafe_code)]
+/// thread::spawn is discussed here, not called.
+fn f() -> &'static str {
+    "HashMap SystemTime thread::scope unsafe"
+}
+"#;
+        assert_eq!(lint_source("x/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn pragma_waives_only_the_named_rule() {
+        let src =
+            "// ds-lint: allow(wall-clock) — test\nlet t = (Instant::now(), HashMap::new());\n";
+        let findings = lint_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::UnorderedCollections);
+    }
+
+    #[test]
+    fn pragma_reaches_through_a_comment_block() {
+        let src = "// ds-lint: allow(wall-clock) — justified\n// continued explanation\nlet t = Instant::now();\n";
+        assert_eq!(lint_source("x.rs", src), vec![]);
+        // …but not through intervening code.
+        let src = "// ds-lint: allow(wall-clock)\nlet a = 1;\nlet t = Instant::now();\n";
+        assert_eq!(lint_source("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn sharded_rs_may_spawn_threads_but_others_may_not() {
+        let src = "std::thread::scope(|s| {});\n";
+        assert_eq!(lint_source("crates/netsim/src/sharded.rs", src), vec![]);
+        assert_eq!(lint_source("crates/netsim/src/async_engine.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_unsafe_rule() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n// SAFETY: len checked above.\nlet x = unsafe { p.read() };\n";
+        assert_eq!(lint_source("y/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn findings_render_with_path_line_and_rule() {
+        let f =
+            Finding { path: "a.rs".into(), line: 3, rule: Rule::WallClock, message: "m".into() };
+        assert_eq!(format!("{f}"), "a.rs:3: [wall-clock] m");
+    }
+}

@@ -1,0 +1,337 @@
+//! A small, dependency-free Rust source scanner for `ds-lint`.
+//!
+//! The lint rules ([`crate::lint`]) are token-level: they need to know whether
+//! `HashMap` or `thread::spawn` appears in *code*, not in a comment, a string
+//! literal or a doc example. This module splits each line of a source file
+//! into its code part (with comment and literal *contents* blanked out by
+//! spaces, so byte offsets are preserved) and its comment part (for pragma and
+//! `SAFETY:` detection). The scanner is a line-oriented state machine that
+//! carries block-comment nesting and raw-string state across lines; it handles
+//! nested `/* */`, `//` line comments, string literals with escapes,
+//! raw strings `r#"…"#` of any hash depth, byte strings, and the char-literal
+//! vs. lifetime ambiguity (`'a'` vs. `<'a>`).
+//!
+//! This is deliberately *not* a full lexer: it only needs to be sound for the
+//! decision "is this byte inside code?". On that question it errs on the side
+//! of code (a finding can always be waived with a pragma; a hazard silently
+//! hidden inside what the scanner mistook for a string cannot be recovered).
+
+/// One scanned source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// The line verbatim (without the trailing newline).
+    pub raw: String,
+    /// The line with comments removed and string/char-literal contents
+    /// replaced by spaces. Same length as `raw` up to the first comment.
+    pub code: String,
+    /// Concatenated text of every comment on the line (line and block).
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the line holds no code at all (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A fully scanned source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path the file was read from (shown in findings).
+    pub path: String,
+    /// Scanned lines, in order; `lines[i]` is source line `i + 1`.
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state carried across lines.
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside `/* … */`, at the given nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside a raw string opened with the given number of `#`s.
+    RawString(u32),
+}
+
+/// Scans `content` into per-line code/comment splits.
+pub fn scan(path: &str, content: &str) -> SourceFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw_line in content.lines() {
+        let bytes = raw_line.as_bytes();
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match state {
+                State::BlockComment(depth) => {
+                    if bytes[i..].starts_with(b"*/") {
+                        comment.push(' ');
+                        i += 2;
+                        state =
+                            if depth > 1 { State::BlockComment(depth - 1) } else { State::Code };
+                    } else if bytes[i..].starts_with(b"/*") {
+                        comment.push(' ');
+                        i += 2;
+                        state = State::BlockComment(depth + 1);
+                    } else {
+                        let ch = next_char(raw_line, i);
+                        comment.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                State::RawString(hashes) => {
+                    let close = raw_close(bytes, i, hashes);
+                    if close > 0 {
+                        // Blank the closing delimiter too: its quotes are not code.
+                        code.push_str(&" ".repeat(close));
+                        i += close;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += next_char(raw_line, i).len_utf8();
+                    }
+                }
+                State::Code => {
+                    if bytes[i..].starts_with(b"//") {
+                        comment.push_str(&raw_line[i + 2..]);
+                        i = bytes.len();
+                    } else if bytes[i..].starts_with(b"/*") {
+                        i += 2;
+                        state = State::BlockComment(1);
+                    } else if let Some(hashes) = raw_string_open(bytes, i) {
+                        // Keep the `r`/`br` prefix blanked with the delimiter.
+                        let open = raw_open_len(bytes, i, hashes);
+                        code.push_str(&" ".repeat(open));
+                        i += open;
+                        state = State::RawString(hashes);
+                    } else if bytes[i] == b'"'
+                        || (bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"'))
+                    {
+                        let start = if bytes[i] == b'b' { i + 1 } else { i };
+                        code.push_str(&" ".repeat(start + 1 - i));
+                        i = skip_string(bytes, start + 1, &mut code);
+                    } else if bytes[i] == b'\'' && is_char_literal(bytes, i) {
+                        i = skip_char_literal(bytes, i, &mut code);
+                    } else {
+                        let ch = next_char(raw_line, i);
+                        code.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        // An unterminated plain string at end of line: Rust allows a trailing
+        // `\` continuation; treat the next line as code again (close enough —
+        // multi-line plain strings are rare and the contents were blanked).
+        lines.push(Line { raw: raw_line.to_string(), code, comment });
+    }
+    SourceFile { path: path.to_string(), lines }
+}
+
+fn next_char(line: &str, i: usize) -> char {
+    line[i..].chars().next().unwrap_or(' ')
+}
+
+/// If `bytes[i..]` opens a raw string (`r"`, `r#"`, `br##"`, …), returns the
+/// hash count.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<u32> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // `r` followed by an identifier (e.g. `raw`) is not a raw string; require
+    // the quote. Also reject when `r` is the tail of an identifier (`for"x"`
+    // cannot occur; `var"` cannot either) by checking the previous byte.
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return None;
+    }
+    Some(hashes)
+}
+
+/// Length of the raw-string opener at `i` (prefix + hashes + quote).
+fn raw_open_len(bytes: &[u8], i: usize, hashes: u32) -> usize {
+    let prefix = if bytes[i] == b'b' { 2 } else { 1 };
+    prefix + hashes as usize + 1
+}
+
+/// If `bytes[i..]` closes a raw string with `hashes` hashes, returns the
+/// closer's length, else 0.
+fn raw_close(bytes: &[u8], i: usize, hashes: u32) -> usize {
+    if bytes[i] != b'"' {
+        return 0;
+    }
+    let h = hashes as usize;
+    if bytes.len() >= i + 1 + h && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#') {
+        1 + h
+    } else {
+        0
+    }
+}
+
+/// Blanks a plain string literal starting just after its opening quote at
+/// `start`; returns the index after the closing quote (or end of line).
+fn skip_string(bytes: &[u8], start: usize, code: &mut String) -> usize {
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                code.push_str("  ");
+                i += 2;
+            }
+            b'"' => {
+                code.push(' ');
+                return i + 1;
+            }
+            _ => {
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Whether the `'` at `i` starts a char literal (as opposed to a lifetime).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        // `'\…'` — always a char literal.
+        Some(b'\\') => true,
+        // `'x'` — char literal iff the quote closes right after one char.
+        // A lifetime (`'a`, `'static`) has an identifier and no closing quote.
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Blanks a char literal starting at the `'` at `i`; returns the index after
+/// its closing quote.
+fn skip_char_literal(bytes: &[u8], i: usize, code: &mut String) -> usize {
+    code.push(' ');
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                code.push_str("  ");
+                j += 2;
+            }
+            b'\'' => {
+                code.push(' ');
+                return j + 1;
+            }
+            _ => {
+                code.push(' ');
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Whether `code` contains `token` as a whole word (identifier-boundary on
+/// both sides). `token` itself may contain `::` or other punctuation; only its
+/// first and last characters are boundary-checked.
+pub fn has_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + token.len();
+        let after_ok = after >= code.len()
+            || !code[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + token.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan("t.rs", src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let f = scan("t.rs", "let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert_eq!(f.lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let c = codes("a /* x /* y */ still comment\nmore */ b");
+        assert_eq!(c[0].trim(), "a");
+        assert_eq!(c[1].trim(), "b");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_line_structure_survives() {
+        let c = codes(r#"let s = "HashMap::new() // not a comment"; let t = 1;"#);
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_the_string() {
+        let c = codes(r#"let s = "a\"HashMap\"b"; spawn();"#);
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("spawn"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_span_lines() {
+        let c = codes("let s = r#\"HashMap\nInstant\"#; let u = 2;");
+        assert!(!c[0].contains("HashMap"));
+        assert!(!c[1].contains("Instant"));
+        assert!(c[1].contains("let u = 2;"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        // A lifetime must not open a "string" that swallows the rest.
+        let c = codes("fn f<'a>(x: &'a str) { let q = 'y'; let h = HashMap::new(); }");
+        assert!(c[0].contains("HashMap"));
+        assert!(!c[0].contains("'y'"));
+        // Escaped char literal containing a quote.
+        let c = codes(r"let q = '\''; let h = Instant::now();");
+        assert!(c[0].contains("Instant"));
+    }
+
+    #[test]
+    fn has_token_respects_identifier_boundaries() {
+        assert!(has_token("let m: HashMap<u32, u32>;", "HashMap"));
+        assert!(!has_token("let m = instantiate();", "Instant"));
+        assert!(!has_token("MyHashMapLike", "HashMap"));
+        assert!(has_token("std::thread::spawn(f)", "thread::spawn"));
+        assert!(!has_token("my_thread::spawner(f)", "thread::spawn"));
+    }
+
+    #[test]
+    fn comment_only_lines_are_detected() {
+        let f = scan("t.rs", "  // just a comment\nlet x = 1; // tail\n\n/* block */");
+        assert!(f.lines[0].is_comment_only());
+        assert!(!f.lines[1].is_comment_only());
+        assert!(f.lines[2].is_comment_only());
+        assert!(f.lines[3].is_comment_only());
+    }
+}

@@ -52,6 +52,8 @@
 //! See `examples/` for complete programs and `DESIGN.md` for the mapping from the
 //! paper's theorems to code and for the experiment harness.
 
+#![forbid(unsafe_code)]
+
 pub use ds_algos as algos;
 pub use ds_covers as covers;
 pub use ds_graph as graph;
