@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Gate the sharded engine's multi-core speedup from two exp_perf artifacts.
+
+Usage: check_speedup.py SERIAL.json SHARDED.json MIN_RATIO
+
+Matches scenarios by id, compares total wall time over the matched set, and
+exits non-zero if the sharded run is not at least MIN_RATIO times faster.
+Event counts must agree exactly on every matched scenario first — a speedup
+over a different schedule proves nothing. Only run this on a multi-core host
+(the CI step guards on nproc): a single-core host legitimately shows ~1.0x
+because the engine falls back to the coordinator thread.
+"""
+
+import json
+import sys
+
+
+def by_scenario(path):
+    with open(path) as f:
+        artifact = json.load(f)
+    return {r["scenario"]: r for r in artifact["scenarios"]}
+
+
+def main():
+    serial_path, sharded_path, min_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+    serial = by_scenario(serial_path)
+    sharded = by_scenario(sharded_path)
+    matched = sorted(set(serial) & set(sharded))
+    if not matched:
+        sys.exit("no matched scenarios between the two artifacts")
+
+    serial_wall = sharded_wall = 0.0
+    for scenario in matched:
+        a, b = serial[scenario], sharded[scenario]
+        if a["events"] != b["events"]:
+            sys.exit(
+                f"{scenario}: event counts diverged ({a['events']} serial vs "
+                f"{b['events']} sharded) — the schedule changed, speedup is meaningless"
+            )
+        serial_wall += a["wall_seconds"]
+        sharded_wall += b["wall_seconds"]
+
+    ratio = serial_wall / sharded_wall if sharded_wall > 0 else float("inf")
+    print(
+        f"{len(matched)} scenario(s): serial {serial_wall:.3f}s, "
+        f"sharded {sharded_wall:.3f}s, speedup {ratio:.2f}x (need >= {min_ratio}x)"
+    )
+    if ratio < min_ratio:
+        sys.exit(f"speedup {ratio:.2f}x is below the {min_ratio}x gate")
+
+
+if __name__ == "__main__":
+    main()

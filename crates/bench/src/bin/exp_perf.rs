@@ -1,9 +1,9 @@
 //! E9 — engine performance matrix (graph family × synchronizer × adversary),
 //! written to `BENCH_synchronizer.json` (schema in DESIGN.md §4).
 //!
-//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--shards K] [--out PATH]
-//!                  [--compare BASELINE.json] [--compare-out PATH] [--tolerance PCT]
-//!                  [--events-only]`
+//! Usage: `exp_perf [--smoke] [--filter SUBSTR] [--shards K] [--workers W]
+//!                  [--out PATH] [--compare BASELINE.json] [--compare-out PATH]
+//!                  [--tolerance PCT] [--events-only]`
 //!
 //! `--events-only` restricts the non-zero-exit conditions of `--compare` to
 //! event-count mismatches — the machine-independent schedule-identity check.
@@ -12,10 +12,13 @@
 //! tolerance; the throughput/setup deltas are still printed and uploaded.
 //!
 //! `--shards K` runs every asynchronous scenario on the sharded engine
-//! (`SchedulerKind::Sharded { shards: K }`) under unchanged scenario ids, so a
-//! `--compare` against a serial baseline doubles as a schedule-identity check:
+//! (`SchedulerKind::Sharded { shards: K, .. }`) under unchanged scenario ids, so
+//! a `--compare` against a serial baseline doubles as a schedule-identity check:
 //! the sharded engine is bit-identical by contract, and any event-count drift
-//! fails the comparison.
+//! fails the comparison. `--workers W` sizes the engine's persistent worker
+//! pool independently of the shard count (default: one worker per shard); a
+//! good value is the host's core count. Schedules are bit-identical for every
+//! worker count, so the same comparison gates it.
 //!
 //! With `--compare`, the run is additionally diffed against a previously recorded
 //! artifact: per-scenario throughput and setup deltas are printed (and written to
@@ -49,6 +52,13 @@ fn main() {
                     .expect("--shards must be a positive integer");
                 assert!(opts.shards >= 1, "--shards must be at least 1");
             }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .expect("--workers requires a count")
+                    .parse()
+                    .expect("--workers must be a non-negative integer (0 = one per shard)");
+            }
             "--out" => out_path = args.next().expect("--out requires a path"),
             "--compare" => {
                 compare_path = Some(args.next().expect("--compare requires a baseline path"));
@@ -64,8 +74,8 @@ fn main() {
                 tolerance = pct / 100.0;
             }
             other => panic!(
-                "unknown argument {other:?} (expected --smoke, --filter, --shards, --out, \
-                 --compare, --compare-out, --tolerance, --events-only)"
+                "unknown argument {other:?} (expected --smoke, --filter, --shards, --workers, \
+                 --out, --compare, --compare-out, --tolerance, --events-only)"
             ),
         }
     }

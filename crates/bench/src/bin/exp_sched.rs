@@ -10,9 +10,21 @@
 //! timing loop is hand-rolled and rows go through the shared `ds-bench` table
 //! renderer.
 //!
+//! Two sections back the sharded engine's parallel machinery specifically:
+//!
+//! * `pool/*` — the per-barrier cost of handing K shard tasks to worker
+//!   threads and waiting for them back, comparing the persistent
+//!   [`WorkerPool`] rendezvous against spawning a fresh `thread::scope` per
+//!   barrier (the engine's previous strategy, kept here as the baseline the
+//!   pool must beat).
+//! * `probe/*` — the batched-window probe (`TimingWheel::window_cap` +
+//!   `occupied_ticks_within`), which the engine runs once per barrier when
+//!   batching is on; it must stay cheap enough to be free relative to a drain.
+//!
 //! Usage: `exp_sched [--smoke]` (`--smoke` shrinks the op counts for CI).
 
 use ds_bench::table::{print_table, Row};
+use ds_netsim::pool::WorkerPool;
 use ds_netsim::scheduler::{EventScheduler, HeapScheduler, TimingWheel};
 use ds_netsim::stage_queue::StageQueue;
 use std::cmp::Reverse;
@@ -160,10 +172,145 @@ fn stage_queue_rows(ops: u64) -> Vec<Row> {
         .collect()
 }
 
+/// Per-shard task for the dispatch benchmark: big enough to move by pointer
+/// (a heap buffer), with a touch of real work so a barrier is not a pure
+/// channel ping-pong.
+fn pool_task(shard: usize) -> Vec<u64> {
+    (0..64).map(|i| (shard as u64) << 32 | i).collect()
+}
+
+fn barrier_work(task: &mut [u64]) {
+    for v in task.iter_mut() {
+        *v = v.wrapping_mul(0x9E3779B97F4A7C15);
+    }
+}
+
+/// `barriers` rendezvous over a persistent pool: dispatch K tasks, collect K,
+/// repeat — the engine's steady-state shape.
+fn drive_pool_rendezvous(barriers: u64, shards: usize, workers: usize) {
+    let mut tasks: Vec<Option<Vec<u64>>> = (0..shards).map(|s| Some(pool_task(s))).collect();
+    WorkerPool::run(
+        workers,
+        |task: &mut Vec<u64>| barrier_work(task),
+        |pool| {
+            for _ in 0..barriers {
+                for (slot, task) in tasks.iter_mut().enumerate() {
+                    pool.dispatch(slot, task.take().expect("collected last barrier"));
+                }
+                for _ in 0..shards {
+                    let (slot, task, panic) = pool.collect();
+                    assert!(panic.is_none());
+                    tasks[slot] = Some(task);
+                }
+            }
+        },
+    );
+}
+
+/// The pre-pool baseline: a fresh `thread::scope` spawn/join per barrier.
+/// (This binary is outside ds-lint's scan set; production code must go
+/// through `ds_netsim::pool` instead.)
+fn drive_scope_spawn(barriers: u64, shards: usize, workers: usize) {
+    let mut tasks: Vec<Vec<u64>> = (0..shards).map(pool_task).collect();
+    for _ in 0..barriers {
+        std::thread::scope(|scope| {
+            for chunk in tasks.chunks_mut(shards.div_ceil(workers)) {
+                scope.spawn(|| chunk.iter_mut().for_each(|t| barrier_work(t)));
+            }
+        });
+    }
+}
+
+fn pool_rows(barriers: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (shards, workers) in [(4usize, 2usize), (4, 4), (7, 2)] {
+        let spawn_ns = median_ns_per_op(barriers, || drive_scope_spawn(barriers, shards, workers));
+        let pool_ns =
+            median_ns_per_op(barriers, || drive_pool_rendezvous(barriers, shards, workers));
+        for (kind, ns) in [("rendezvous", pool_ns), ("scope-spawn", spawn_ns)] {
+            rows.push(Row {
+                label: format!("pool/{kind}/{shards}sh-{workers}w"),
+                values: vec![
+                    ("barriers", barriers as f64),
+                    ("ns/barrier", ns),
+                    ("vs_spawn", spawn_ns / ns),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Sparse wheel occupancy (events 200 ticks apart, delays well past one
+/// tick), probed the way the engine's batching gate does: cap the window,
+/// walk the occupancy bitsets, drain to the window end, refill what drained.
+fn drive_window_probe(probes: u64) -> u64 {
+    let mut wheel = TimingWheel::new(1000);
+    let mut seq = 0u64;
+    // Five events in flight, 200 ticks apart: sparse occupancy with real
+    // multi-tick windows, held in steady state by the drain-matched refill.
+    for i in 1..=5u64 {
+        wheel.schedule(200 * i, seq, 0u32);
+        seq += 1;
+    }
+    let mut window: Vec<u64> = Vec::new();
+    let mut due: Vec<(u64, u32)> = Vec::new();
+    let mut occupied = 0u64;
+    for _ in 0..probes {
+        let t0 = wheel.next_tick().expect("refilled every probe");
+        window.clear();
+        window.push(t0);
+        let end = wheel.window_cap(t0 + 499);
+        if end > t0 {
+            wheel.occupied_ticks_within(end, &mut window);
+            window.sort_unstable();
+            window.dedup();
+        }
+        occupied += window.len() as u64;
+        let t_last = *window.last().expect("window holds t0");
+        let mut drained = 0u64;
+        for &t in &window {
+            if wheel.next_tick() == Some(t) {
+                wheel.take_due(&mut due);
+                drained += due.len() as u64;
+                due.clear();
+            }
+        }
+        wheel.advance_to(t_last);
+        for i in 1..=drained {
+            wheel.schedule(t_last + 200 * i, seq, 0u32);
+            seq += 1;
+        }
+    }
+    occupied
+}
+
+fn probe_rows(probes: u64) -> Vec<Row> {
+    let mut occupied = 0u64;
+    let probe_ns = median_ns_per_op(probes, || occupied = drive_window_probe(probes));
+    vec![Row {
+        label: "probe/window-cap+bitset".to_string(),
+        values: vec![
+            ("probes", probes as f64),
+            ("ns/probe", probe_ns),
+            ("ticks/win", occupied as f64 / probes as f64),
+        ],
+    }]
+}
+
 fn main() {
     let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
-    let (events, ops) = if smoke { (200_000, 400_000) } else { (2_000_000, 4_000_000) };
+    let (events, ops, barriers, probes) = if smoke {
+        (200_000, 400_000, 2_000, 100_000)
+    } else {
+        (2_000_000, 4_000_000, 20_000, 1_000_000)
+    };
     let mut rows = scheduler_rows(events);
     rows.extend(stage_queue_rows(ops));
     print_table("scheduler microbenchmarks (schedule/take_due, link push/pop)", &rows);
+    print_table(
+        "pool dispatch (per-barrier rendezvous vs fresh scope spawn)",
+        &pool_rows(barriers),
+    );
+    print_table("batched-window probe (window_cap + occupancy bitsets)", &probe_rows(probes));
 }

@@ -261,18 +261,23 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Parses a `det-synchronizer-bench/v3` artifact, or an older one: v2 (no
-    /// `threads` field — every scenario was serial) and v1 (additionally
-    /// records `setup_seconds`, converted to `setup_ms`) baselines stay
-    /// readable so regenerating the committed artifact can never break the
-    /// comparison gate mid-PR.
+    /// Parses a `det-synchronizer-bench/v4` artifact, or an older one: v3 (no
+    /// `workers`/`batched_ticks` fields — the engine predates the worker
+    /// pool), v2 (additionally no `threads` field — every scenario was
+    /// serial) and v1 (records `setup_seconds`, converted to `setup_ms`)
+    /// baselines stay readable so regenerating the committed artifact can
+    /// never break the comparison gate mid-PR.
     ///
     /// # Errors
     ///
     /// Returns a description of the first syntax or schema problem.
     pub fn parse(text: &str) -> Result<Baseline, String> {
-        const SUPPORTED: [&str; 3] =
-            ["det-synchronizer-bench/v3", "det-synchronizer-bench/v2", "det-synchronizer-bench/v1"];
+        const SUPPORTED: [&str; 4] = [
+            "det-synchronizer-bench/v4",
+            "det-synchronizer-bench/v3",
+            "det-synchronizer-bench/v2",
+            "det-synchronizer-bench/v1",
+        ];
         let mut parser = Parser::new(text);
         let root = parser.parse_value()?;
         let schema = root.get("schema").and_then(Value::as_str).unwrap_or("");
@@ -525,12 +530,14 @@ mod tests {
             synchronizer: "det".into(),
             adversary: "uniform".into(),
             threads: 1,
+            workers: 1,
             pulse_bound: 5,
             sync_rounds: 5,
             sync_messages: 10,
             setup_ms: 0.0,
             wall_seconds: events as f64 / eps,
             events,
+            batched_ticks: 0,
             events_per_sec: eps,
             messages: 10,
             algorithm_messages: 10,
@@ -660,9 +667,27 @@ mod tests {
     }
 
     #[test]
+    fn parses_v3_baselines_without_worker_fields() {
+        // The committed artifact regenerates as v4 mid-PR; the gate must keep
+        // reading the previous release's v3 artifact until then.
+        let v3 = r#"{
+            "schema": "det-synchronizer-bench/v3",
+            "mode": "full",
+            "scenarios": [
+                {"scenario": "grid/16/det/uniform", "events": 7, "threads": 2,
+                 "events_per_sec": 1000.0, "setup_ms": 12.5}
+            ]
+        }"#;
+        let baseline = Baseline::parse(v3).expect("v3 parses");
+        assert_eq!(
+            baseline.scenarios["grid/16/det/uniform"],
+            BaselineScenario { events: 7, events_per_sec: 1000.0, setup_ms: 12.5 }
+        );
+    }
+
+    #[test]
     fn parses_v2_baselines_without_a_threads_field() {
-        // The committed artifact regenerates as v3 mid-PR; the gate must keep
-        // reading the previous release's v2 artifact until then.
+        // v2 predates the `threads` field entirely; it must stay readable too.
         let v2 = r#"{
             "schema": "det-synchronizer-bench/v2",
             "mode": "full",

@@ -21,6 +21,13 @@
 //! scenarios so the committed artifact records thread scaling, and
 //! `PerfOptions::shards` (the `--shards` flag) reruns the whole matrix sharded
 //! under unchanged ids for schedule-identity comparisons.
+//!
+//! Schema v4 adds `workers` — the worker-pool size the sharded engine's shards
+//! round-robin over (`PerfOptions::workers`, the `--workers` flag; decoupled
+//! from the shard count since the engine grew its persistent pool) — and
+//! `batched_ticks`, the extra ticks processed inside batched causality-free
+//! windows (0 for serial runs and whenever batching is inapplicable). Both are
+//! engine knobs/internals: `events` never depends on either.
 
 use crate::json::Json;
 use crate::table::Row;
@@ -44,13 +51,19 @@ pub struct PerfOptions {
     /// Scenario ids are unchanged, so `--compare` against a serial baseline
     /// doubles as a schedule-identity check — the sharded engine is
     /// bit-identical by contract, so event counts must match exactly (the CI
-    /// perf-smoke job runs the 128×128 det scenario this way with `--shards 4`).
+    /// perf-smoke job runs the 128×128 det scenario this way with
+    /// `--shards 4 --workers 2`).
     pub shards: usize,
+    /// Worker-pool size for sharded scenarios (`--workers`); `0` (the default)
+    /// means one worker per shard. Clamped by the engine to `1..=shards` and,
+    /// under its default thread policy, to the host's available parallelism.
+    /// Schedules are bit-identical for every value.
+    pub workers: usize,
 }
 
 impl Default for PerfOptions {
     fn default() -> Self {
-        PerfOptions { smoke: false, filter: None, shards: 1 }
+        PerfOptions { smoke: false, filter: None, shards: 1, workers: 0 }
     }
 }
 
@@ -75,6 +88,12 @@ pub struct PerfRecord {
     /// values, so `events` never depends on this — only the wall-clock fields
     /// do. New in schema v3.
     pub threads: usize,
+    /// Worker-pool size requested for the sharded engine (1 for serial runs;
+    /// for sharded runs, the `--workers` request with `0` resolved to one per
+    /// shard). A knob, not a measurement: the engine may still run the pool
+    /// smaller — or not at all on single-core hosts — and `events` never
+    /// depends on it. New in schema v4.
+    pub workers: usize,
     /// Pulse bound `T(A)` handed to the synchronizer.
     pub pulse_bound: u64,
     /// Synchronous ground-truth rounds `T(A)`.
@@ -87,6 +106,10 @@ pub struct PerfRecord {
     pub wall_seconds: f64,
     /// Delivery events processed (messages for the lock-step engine).
     pub events: u64,
+    /// Extra ticks processed inside batched causality-free windows (0 for
+    /// serial runs and whenever the delay model rules batching out). An engine
+    /// internal like `threads`; `events` never depends on it. New in schema v4.
+    pub batched_ticks: u64,
     /// Events per wall-clock second — the engine throughput number.
     pub events_per_sec: f64,
     /// Total messages sent (algorithm + control, acks excluded).
@@ -114,12 +137,14 @@ impl PerfRecord {
             ("synchronizer", Json::Str(self.synchronizer.clone())),
             ("adversary", Json::Str(self.adversary.clone())),
             ("threads", Json::Int(self.threads as u64)),
+            ("workers", Json::Int(self.workers as u64)),
             ("pulse_bound", Json::Int(self.pulse_bound)),
             ("sync_rounds", Json::Int(self.sync_rounds)),
             ("sync_messages", Json::Int(self.sync_messages)),
             ("setup_ms", Json::Num(self.setup_ms)),
             ("wall_seconds", Json::Num(self.wall_seconds)),
             ("events", Json::Int(self.events)),
+            ("batched_ticks", Json::Int(self.batched_ticks)),
             ("events_per_sec", Json::Num(self.events_per_sec)),
             ("messages", Json::Int(self.messages)),
             ("algorithm_messages", Json::Int(self.algorithm_messages)),
@@ -137,6 +162,7 @@ impl PerfRecord {
             values: vec![
                 ("n", self.n as f64),
                 ("thr", self.threads as f64),
+                ("wrk", self.workers as f64),
                 ("T(A)", self.sync_rounds as f64),
                 ("setup_ms", self.setup_ms),
                 ("wall_s", self.wall_seconds),
@@ -153,7 +179,7 @@ impl PerfRecord {
 /// Renders the full artifact written to `BENCH_synchronizer.json`.
 pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     Json::Obj(vec![
-        ("schema", Json::Str("det-synchronizer-bench/v3".into())),
+        ("schema", Json::Str("det-synchronizer-bench/v4".into())),
         ("suite", Json::Str("synchronizer".into())),
         ("mode", Json::Str(mode.into())),
         ("workload", Json::Str("single-source BFS from node 0".into())),
@@ -305,12 +331,14 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 synchronizer: "direct".into(),
                 adversary: "none".into(),
                 threads: 1,
+                workers: 1,
                 pulse_bound: t,
                 sync_rounds: t,
                 sync_messages: m_a,
                 setup_ms: 0.0,
                 wall_seconds: direct_wall,
                 events: direct.metrics.events,
+                batched_ticks: 0,
                 events_per_sec: direct.metrics.events as f64 / direct_wall.max(1e-9),
                 messages: m_a,
                 algorithm_messages: direct.metrics.class_messages(MessageClass::Algorithm),
@@ -337,8 +365,19 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 }
                 other => (other, 0.0),
             };
+            // The recorded `workers` is the resolved request: 0 means one per
+            // shard, like `ShardedOptions::workers`.
+            let workers = if shards > 1 {
+                if opts.workers == 0 {
+                    shards
+                } else {
+                    opts.workers.min(shards)
+                }
+            } else {
+                1
+            };
             let scheduler = if shards > 1 {
-                ds_netsim::SchedulerKind::Sharded { shards }
+                ds_netsim::SchedulerKind::Sharded { shards, workers: opts.workers }
             } else {
                 ds_netsim::SchedulerKind::TimingWheel
             };
@@ -362,12 +401,14 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 synchronizer: kind.label().into(),
                 adversary: adv_label.into(),
                 threads: shards,
+                workers,
                 pulse_bound: t,
                 sync_rounds: t,
                 sync_messages: m_a,
                 setup_ms,
                 wall_seconds: wall,
                 events: metrics.events,
+                batched_ticks: run.batched_ticks,
                 events_per_sec: metrics.events as f64 / wall.max(1e-9),
                 messages: metrics.total_messages(),
                 algorithm_messages: metrics.class_messages(MessageClass::Algorithm),
@@ -422,19 +463,21 @@ mod tests {
     }
 
     #[test]
-    fn artifact_is_valid_schema_v3() {
+    fn artifact_is_valid_schema_v4() {
         let records = experiment_perf(&PerfOptions {
             smoke: true,
             filter: Some("cycle/256/beta/uniform".into()),
             ..PerfOptions::default()
         });
         let text = render_artifact("smoke", &records);
-        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v3\""));
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v4\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("\"scenario\": \"cycle/256/beta/uniform\""));
         assert!(text.contains("\"events_per_sec\""));
         assert!(text.contains("\"setup_ms\""));
         assert!(text.contains("\"threads\": 1"));
+        assert!(text.contains("\"workers\": 1"));
+        assert!(text.contains("\"batched_ticks\""));
     }
 
     #[test]
@@ -446,11 +489,13 @@ mod tests {
             smoke: true,
             filter: Some("grid/256/det".into()),
             shards: 1,
+            ..PerfOptions::default()
         });
         let sharded = experiment_perf(&PerfOptions {
             smoke: true,
             filter: Some("grid/256/det".into()),
             shards: 4,
+            ..PerfOptions::default()
         });
         assert_eq!(serial.len(), sharded.len());
         for (a, b) in serial.iter().zip(&sharded) {
@@ -458,7 +503,36 @@ mod tests {
             assert_eq!(a.events, b.events, "{}: schedule changed under sharding", a.scenario);
             assert_eq!(a.threads, 1);
             assert_eq!(b.threads, 4);
+            assert_eq!(a.workers, 1);
+            assert_eq!(b.workers, 4, "workers=0 resolves to one per shard");
         }
+    }
+
+    #[test]
+    fn workers_option_decouples_from_shards_without_changing_events() {
+        // `--shards 4 --workers 2`: the schedule (and so `events`) must match
+        // the serial run exactly while the record carries both knobs — the
+        // contract the CI `--shards 4 --workers 2 --compare` step relies on.
+        let serial = experiment_perf(&PerfOptions {
+            smoke: true,
+            filter: Some("grid/256/det/uniform".into()),
+            ..PerfOptions::default()
+        });
+        let pooled = experiment_perf(&PerfOptions {
+            smoke: true,
+            filter: Some("grid/256/det/uniform".into()),
+            shards: 4,
+            workers: 2,
+        });
+        assert_eq!(serial.len(), 1);
+        assert_eq!(pooled.len(), 1);
+        assert_eq!(serial[0].events, pooled[0].events, "schedule changed under the pool");
+        assert_eq!(pooled[0].threads, 4);
+        assert_eq!(pooled[0].workers, 2);
+        // Uniform delays put every event on τ-multiples, so no multi-tick
+        // window forms and both runs must report zero batched ticks.
+        assert_eq!(serial[0].batched_ticks, 0);
+        assert_eq!(pooled[0].batched_ticks, 0);
     }
 
     #[test]

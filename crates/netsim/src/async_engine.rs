@@ -104,6 +104,18 @@ pub struct AsyncReport<P> {
     /// not the simulated execution, and so may differ between schedulers whose
     /// runs are otherwise bit-identical.
     pub overflow_events: u64,
+    /// Extra ticks the sharded engine processed inside batched causality-free
+    /// windows (window length minus one, summed over all barriers; 0 for the
+    /// serial engines, when batching is off, or when the delay model's
+    /// 1-tick lower bound makes it inapplicable). Like
+    /// [`overflow_events`](AsyncReport::overflow_events), this describes the
+    /// engine's internals, not the simulated execution, so it lives outside
+    /// [`RunMetrics`].
+    pub batched_ticks: u64,
+    /// Barriers whose phase 1 the sharded engine shipped to its worker pool
+    /// (0 for the serial engines and for runs without worker threads). Also an
+    /// engine internal, kept outside [`RunMetrics`] for the same reason.
+    pub pool_dispatches: u64,
 }
 
 /// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`] (shared with
@@ -346,7 +358,7 @@ where
             run_engine(graph, delay, make, limits, HeapScheduler::new(), None)
                 .map(|(report, _)| report)
         }
-        SchedulerKind::Sharded { shards } => {
+        SchedulerKind::Sharded { shards, workers: _ } => {
             crate::sharded::run_sequential(graph, delay, make, limits, shards)
         }
     }
@@ -384,7 +396,7 @@ where
         SchedulerKind::BinaryHeap => {
             run_engine(graph, delay, make, limits, HeapScheduler::new(), trace)?
         }
-        SchedulerKind::Sharded { shards } => {
+        SchedulerKind::Sharded { shards, workers: _ } => {
             return crate::sharded::run_sequential_traced(graph, delay, make, limits, shards);
         }
     };
@@ -497,6 +509,8 @@ where
             metrics: engine.metrics,
             nodes: engine.nodes,
             overflow_events: engine.sched.overflow_scheduled(),
+            batched_ticks: 0,
+            pool_dispatches: 0,
         },
         trace,
     ))
@@ -714,6 +728,26 @@ mod tests {
             let report =
                 run_async(&g, delay.clone(), |v| Flood::new(&g, v), SimLimits::default()).unwrap();
             assert_eq!(report.overflow_events, 0, "{delay:?} stayed within one τ");
+        }
+    }
+
+    #[test]
+    fn serial_engines_report_zero_batching_and_pool_counters() {
+        // `batched_ticks` and `pool_dispatches` are sharded-engine internals;
+        // the wheel and heap engines must pin them at exactly zero so bench
+        // consumers can rely on "0 means the feature was off or inapplicable".
+        let g = Graph::grid(4, 4);
+        for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let report = run_async_with(
+                &g,
+                DelayModel::uniform(),
+                |v| Flood::new(&g, v),
+                SimLimits::default(),
+                scheduler,
+            )
+            .unwrap();
+            assert_eq!(report.batched_ticks, 0, "{scheduler:?}");
+            assert_eq!(report.pool_dispatches, 0, "{scheduler:?}");
         }
     }
 

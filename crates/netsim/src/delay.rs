@@ -167,6 +167,23 @@ impl DelayModel {
         TICKS_PER_UNIT
     }
 
+    /// A lower bound on every delay this model can ever draw, in ticks (at
+    /// least 1: zero-delay messages do not exist). The sharded engine's
+    /// independent-tick batching rests on this bound: any window of consecutive
+    /// ticks shorter than `min_delay_ticks()` is causality-free, because an
+    /// event processed inside the window cannot schedule another event that
+    /// still lands inside it. Models whose bound is 1 ([`DelayModel::SlowCut`],
+    /// [`DelayModel::Bursty`], [`DelayModel::Outage`], plain jitter) therefore
+    /// get no batching; [`DelayModel::Uniform`] and floored jitter
+    /// ([`DelayModel::jitter_at_least`]) do.
+    pub fn min_delay_ticks(&self) -> u64 {
+        match *self {
+            DelayModel::Uniform => TICKS_PER_UNIT,
+            DelayModel::Jitter { min_ticks, .. } => min_ticks.max(1),
+            DelayModel::SlowCut { .. } | DelayModel::Bursty { .. } | DelayModel::Outage { .. } => 1,
+        }
+    }
+
     /// The standard set of adversaries exercised by the integration tests and the
     /// robustness experiment (E8 in DESIGN.md).
     pub fn standard_suite(seed: u64) -> Vec<DelayModel> {
@@ -248,6 +265,35 @@ mod tests {
     #[should_panic(expected = "min_fraction")]
     fn jitter_at_least_rejects_zero() {
         let _ = DelayModel::jitter_at_least(0, 0.0);
+    }
+
+    #[test]
+    fn min_delay_bounds_every_drawn_delay() {
+        let mut models = DelayModel::standard_suite(11);
+        models.push(DelayModel::outage(11, 5, 2));
+        for d in models {
+            let min = d.min_delay_ticks();
+            assert!(min >= 1, "{d:?}: zero minimum delay");
+            assert!(min <= d.max_delay_ticks(), "{d:?}");
+            for seq in 0..200 {
+                for now in [0u64, 137, 4 * TICKS_PER_UNIT + 3] {
+                    let x = d.delay_ticks_at(NodeId(2), NodeId(5), seq, now);
+                    assert!(x >= min, "{d:?}: drew {x} below the advertised minimum {min}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_delay_is_the_batching_gate_the_sharded_engine_expects() {
+        // Pinned per model: uniform and floored jitter batch (min > 1), the
+        // 1-tick-capable adversaries do not.
+        assert_eq!(DelayModel::uniform().min_delay_ticks(), TICKS_PER_UNIT);
+        assert_eq!(DelayModel::jitter(9).min_delay_ticks(), 1);
+        assert_eq!(DelayModel::jitter_at_least(9, 0.5).min_delay_ticks(), TICKS_PER_UNIT / 2);
+        assert_eq!(DelayModel::slow_cut(3).min_delay_ticks(), 1);
+        assert_eq!(DelayModel::bursty(3).min_delay_ticks(), 1);
+        assert_eq!(DelayModel::outage(1, 5, 2).min_delay_ticks(), 1);
     }
 
     #[test]

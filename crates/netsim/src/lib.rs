@@ -26,8 +26,12 @@
 //!   binary-heap reference it is tested against ([`SchedulerKind`] selects),
 //! * [`sharded`] runs the asynchronous engine over node shards — shard-local
 //!   delivery in parallel worker threads, a serial cross-shard merge in global
-//!   sequence order at each tick barrier — with schedules bit-identical to the
+//!   sequence order at each tick barrier, causality-free tick windows batched
+//!   into one wide parallel phase — with schedules bit-identical to the
 //!   single-threaded wheel,
+//! * [`pool`] holds the persistent worker pool the sharded engine round-robins
+//!   its shards over (the only module in the workspace allowed to create
+//!   threads),
 //! * [`stage_queue`] holds the per-link queues as per-stage FIFO buckets,
 //! * [`metrics`] collects time and message accounting for both engines,
 //! * [`trace`] records per-delivery causality on demand — the raw material the
@@ -40,6 +44,7 @@ mod bitset;
 pub mod delay;
 pub mod event_driven;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod scheduler;
 pub mod sharded;

@@ -44,13 +44,21 @@ pub enum SchedulerKind {
     BinaryHeap,
     /// Sharded engine: the node set is partitioned into `shards` contiguous
     /// dense-id ranges, each with its own timing wheel and link queues; each
-    /// tick runs shard-local protocol activations (in parallel when worker
-    /// threads are available) followed by a serial cross-shard merge in global
-    /// sequence order, so the schedule is bit-identical to
-    /// [`SchedulerKind::TimingWheel`] (see [`crate::sharded`]).
+    /// tick (or batched window of causality-free ticks) runs shard-local
+    /// protocol activations — in parallel over a persistent worker pool when
+    /// worker threads are available — followed by a serial cross-shard merge
+    /// in global `(tick, seq)` order, so the schedule is bit-identical to
+    /// [`SchedulerKind::TimingWheel`] (see [`crate::sharded`] and
+    /// [`crate::pool`]).
     Sharded {
         /// Number of shards (clamped to `1..=node_count` at run time).
         shards: usize,
+        /// Number of persistent worker threads the shards round-robin over.
+        /// `0` means "one worker per shard" (the pre-pool behaviour); any
+        /// other value is clamped to `1..=shards` and additionally capped by
+        /// `std::thread::available_parallelism` under the default
+        /// [`crate::sharded::ThreadMode::Auto`] policy.
+        workers: usize,
     },
 }
 
@@ -218,6 +226,53 @@ impl<T> TimingWheel<T> {
             "cannot advance past a pending event"
         );
         self.now = t;
+    }
+
+    /// The largest window end tick (inclusive) up to which this wheel's
+    /// occupancy bitset alone describes every pending event, capped by `end`.
+    /// Two caps apply: ticks beyond `now + horizon` cannot hold wheel entries
+    /// (so the bitset says nothing about them), and the earliest overflow
+    /// entry — invisible to the bitset — must stay strictly outside the
+    /// window. The sharded engine's batch-window probe intersects this across
+    /// all shard wheels before enumerating occupied ticks.
+    pub fn window_cap(&self, end: u64) -> u64 {
+        let mut cap = end.min(self.now + self.horizon);
+        if let Some(e) = self.overflow.peek() {
+            cap = cap.min(e.at.saturating_sub(1));
+        }
+        cap
+    }
+
+    /// Appends to `out` the absolute ticks in `(now, end]` whose wheel slot is
+    /// non-empty, in ascending order. Callers must first cap `end` with
+    /// [`TimingWheel::window_cap`] so the bitset walk is exhaustive (no
+    /// beyond-horizon slots, no overflow entries hiding inside the window).
+    pub fn occupied_ticks_within(&self, end: u64, out: &mut Vec<u64>) {
+        if self.pending == 0 || end <= self.now {
+            return;
+        }
+        debug_assert!(end - self.now <= self.horizon, "cap end with window_cap first");
+        let len = self.slots.len();
+        let cur = (self.now % len as u64) as usize;
+        // Pending events live in (now, now + horizon], i.e. every slot except
+        // `cur` maps to exactly one absolute tick in that range: slots after
+        // `cur` belong to this wheel revolution, slots before it to the next.
+        let segments =
+            [(cur + 1, len, self.now - cur as u64), (0, cur, self.now + len as u64 - cur as u64)];
+        for (from, stop, base) in segments {
+            let mut i = from;
+            while let Some(idx) = bitset::find_set_from(&self.occupied, i) {
+                if idx >= stop {
+                    break;
+                }
+                let t = base + idx as u64;
+                if t > end {
+                    return;
+                }
+                out.push(t);
+                i = idx + 1;
+            }
+        }
     }
 
     /// Absolute tick of the earliest non-empty slot. Requires `pending > 0`.
@@ -440,6 +495,69 @@ mod tests {
             // occupied slots (3 distinct ticks per round here).
             assert!(w.free.len() <= 4, "free list leaked: {}", w.free.len());
         }
+    }
+
+    #[test]
+    fn window_probe_enumerates_occupied_ticks_in_order() {
+        let mut w = TimingWheel::new(1000);
+        for (at, seq) in [(3u64, 0u64), (500, 1), (500, 2), (999, 3)] {
+            w.schedule(at, seq, 0u32);
+        }
+        // No cap in play: every pending tick is within the horizon and there
+        // is no overflow, so the probe sees all of them.
+        assert_eq!(w.window_cap(900), 900);
+        let mut out = Vec::new();
+        w.occupied_ticks_within(w.window_cap(900), &mut out);
+        assert_eq!(out, vec![3, 500]);
+        out.clear();
+        w.occupied_ticks_within(w.window_cap(2000), &mut out);
+        assert_eq!(out, vec![3, 500, 999]);
+        // end <= now and an empty wheel both yield nothing.
+        out.clear();
+        let empty: TimingWheel<u32> = TimingWheel::new(10);
+        empty.occupied_ticks_within(5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn window_probe_handles_slot_wraparound() {
+        // Advance the wheel so `now % slot_count` sits mid-array, then schedule
+        // ticks on both sides of the wrap boundary: enumeration must come back
+        // in ascending absolute-tick order regardless of slot index order.
+        let mut w = TimingWheel::new(10);
+        w.schedule(8, 0, 0u32);
+        let mut due = Vec::new();
+        assert_eq!(w.take_due(&mut due), Some(8)); // now = 8, cur = 8 of 0..=10
+        w.schedule(9, 1, 0); // slot 9 (this revolution)
+        w.schedule(13, 2, 0); // slot 2 (next revolution)
+        w.schedule(17, 3, 0); // slot 6 (next revolution)
+        let mut out = Vec::new();
+        w.occupied_ticks_within(w.window_cap(u64::MAX), &mut out);
+        assert_eq!(out, vec![9, 13, 17]);
+        out.clear();
+        w.occupied_ticks_within(w.window_cap(13), &mut out);
+        assert_eq!(out, vec![9, 13]);
+    }
+
+    #[test]
+    fn window_cap_respects_horizon_and_overflow() {
+        let mut w = TimingWheel::new(1000);
+        assert_eq!(w.window_cap(5000), 1000, "no wheel entry can live past now + horizon");
+        w.schedule(2500, 0, 0u32); // beyond-horizon: parks in overflow
+        assert_eq!(w.window_cap(5000), 1000, "the horizon cap still binds first");
+        let mut due = Vec::new();
+        w.schedule(900, 1, 1);
+        assert_eq!(w.take_due(&mut due), Some(900));
+        due.clear();
+        w.schedule(1700, 2, 2);
+        assert_eq!(w.take_due(&mut due), Some(1700));
+        // The overflow entry at 2500 is now inside the horizon but invisible to
+        // the occupancy bitset: the cap must stop the window strictly before it.
+        assert_eq!(w.window_cap(5000), 2499);
+        assert_eq!(w.window_cap(2000), 2000);
+        let mut out = Vec::new();
+        w.occupied_ticks_within(w.window_cap(5000), &mut out);
+        assert!(out.is_empty(), "the overflow entry must not appear as an occupied tick");
     }
 
     #[test]

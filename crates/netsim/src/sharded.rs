@@ -1,6 +1,7 @@
-//! Parallel sharded asynchronous engine: shard-local delivery, serial
-//! cross-shard merge at the tick barrier, schedules **bit-identical** to the
-//! single-threaded timing wheel.
+//! Parallel sharded asynchronous engine: shard-local delivery over a
+//! persistent worker pool, serial cross-shard merge at the tick barrier,
+//! causality-free tick windows batched into one wide parallel phase —
+//! schedules **bit-identical** to the single-threaded timing wheel.
 //!
 //! # Shard layout
 //!
@@ -65,45 +66,75 @@
 //! observable through the escape hatches above (state shared across node
 //! instances, or an activation that panics past the serial abort point).
 //!
+//! # Batched windows
+//!
+//! When the delay model's lower bound `min = DelayModel::min_delay_ticks()`
+//! exceeds one tick (uniform delays, floored jitter), a *window* of
+//! consecutive ticks `[t0, t_last]` with `t_last ≤ t0 + min − 1` is provably
+//! causality-free: an event processed at tick `t ≥ t0` schedules its effects
+//! at `t + d ≥ t0 + min > t_last`, so nothing processed inside the window can
+//! land inside it. The coordinator therefore widens the barrier — it drains
+//! *every* tick the wheels' occupancy bitsets report in the window (capped by
+//! [`TimingWheel::window_cap`]: the horizon, and the earliest overflow entry,
+//! which the bitsets cannot see) and runs one phase 1 over all of them. The
+//! merge then replays the events in `(tick, seq)` order, which is exactly the
+//! serial processing order, restoring `Globals::now` per event so every delay
+//! draw and schedule target matches the serial engine tick for tick. Batching
+//! widens phase 1 on jitter-spread schedules (where each tick alone is too
+//! sparse to amortize a thread hand-off) without changing a single sequence
+//! draw; models that can draw 1-tick delays get `min = 1` and fall back to
+//! the plain one-tick barrier.
+//!
 //! # Threads and cost
 //!
-//! Worker threads (one per shard — pick the shard count accordingly, it is
-//! also the thread count) are engaged per tick, and only when the tick
-//! carries enough events to amortize the hand-off; sparse ticks are processed
-//! inline by the coordinator. [`ThreadMode::Auto`] also disables workers
-//! entirely on single-core hosts, where sharding still helps by shrinking the
-//! per-phase working set (nodes of one shard, then links), but time-slicing
-//! threads would only add overhead. Phase 2 is inherently serial — it is the
-//! price of a sequence-exact adversary — so speedup follows Amdahl's law in
-//! the activation share of the workload; DESIGN.md §6 tabulates the costs.
+//! Worker threads are `W` **long-lived** threads in a [`crate::pool`]
+//! `WorkerPool`, created once per run; the `K` shards round-robin over them
+//! (shard `s` is pinned to worker `s mod W`, a fixed assignment that cannot
+//! depend on thread timing). The two knobs decouple: pick `shards` for
+//! partition granularity and `workers` for the host's core count
+//! ([`ShardedOptions::workers`]; `0` means one worker per shard). The pool is
+//! engaged per barrier, and only when the tick — or batched window — carries
+//! enough events to amortize the two channel hops per non-empty shard;
+//! sparser barriers are processed inline by the coordinator.
+//! [`ThreadMode::Auto`] also disables workers entirely on single-core hosts,
+//! where sharding still helps by shrinking the per-phase working set (nodes
+//! of one shard, then links), but time-slicing threads would only add
+//! overhead. Phase 2 is inherently serial — it is the price of a
+//! sequence-exact adversary — so speedup follows Amdahl's law in the
+//! activation share of the workload; DESIGN.md §6 tabulates the costs, and
+//! [`AsyncReport::batched_ticks`] / [`AsyncReport::pool_dispatches`] make the
+//! batching and hand-off rates observable per run.
 
 use crate::async_engine::{AsyncReport, LinkState, SimError, SimLimits};
 use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
+use crate::pool::{PanicPayload, WorkerPool};
 use crate::protocol::{Ctx, Outgoing, Protocol};
 use crate::scheduler::{EventScheduler, TimingWheel};
 use crate::trace::{DeliveryTrace, TraceState};
 use crate::TICKS_PER_UNIT;
 use ds_graph::{DirectedEdgeId, Graph, NodeId};
 use std::collections::VecDeque;
-use std::sync::mpsc;
 
-/// Minimum number of due events in a tick before phase 1 is shipped to worker
-/// threads; sparser ticks are processed inline by the coordinator, because the
-/// per-tick hand-off (two channel operations per non-empty shard) would exceed
-/// the activation work it parallelizes.
+/// Minimum number of due events in a barrier (one tick, or one batched window)
+/// before phase 1 is shipped to the worker pool; sparser barriers are
+/// processed inline by the coordinator, because the hand-off (two channel
+/// operations per non-empty shard) would exceed the activation work it
+/// parallelizes.
 const PARALLEL_TICK_THRESHOLD: usize = 128;
 
-/// When the sharded engine spawns worker threads.
+/// When the sharded engine engages pool worker threads.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ThreadMode {
     /// Spawn workers iff `shards > 1` and the host exposes more than one core
     /// (the default): on a single core, time-slicing threads only adds
-    /// overhead while the execution is identical anyway.
+    /// overhead while the execution is identical anyway. The worker count is
+    /// additionally capped by `std::thread::available_parallelism`.
     #[default]
     Auto,
-    /// Always spawn workers when `shards > 1` (used by the equivalence tests to
-    /// exercise the cross-thread path even on single-core hosts).
+    /// Always spawn the requested workers when `shards > 1` (used by the
+    /// equivalence tests to exercise the cross-thread path — including
+    /// multi-worker rendezvous — even on single-core hosts; no core cap).
     ForceOn,
     /// Never spawn workers: the coordinator runs every phase itself. Still
     /// uses the per-shard data layout (and its cache benefits).
@@ -115,8 +146,27 @@ pub enum ThreadMode {
 pub struct ShardedOptions {
     /// Number of shards (clamped to `1..=node_count`).
     pub shards: usize,
+    /// Number of persistent pool workers the shards round-robin over. `0`
+    /// (the [`ShardedOptions::new`] default) means one worker per shard;
+    /// other values are clamped to `1..=shards`, and [`ThreadMode::Auto`]
+    /// additionally caps at the host's available parallelism. Schedules are
+    /// bit-identical for every worker count.
+    pub workers: usize,
     /// Worker-thread policy.
     pub threads: ThreadMode,
+    /// Whether to batch causality-free windows of consecutive ticks into one
+    /// wide phase 1 (see the module docs; on by default). Only effective when
+    /// the delay model's [`DelayModel::min_delay_ticks`] exceeds 1; schedules
+    /// are bit-identical either way.
+    pub batching: bool,
+}
+
+impl ShardedOptions {
+    /// The default configuration for `shards` shards: one worker per shard,
+    /// [`ThreadMode::Auto`], batching on.
+    pub fn new(shards: usize) -> Self {
+        ShardedOptions { shards, workers: 0, threads: ThreadMode::Auto, batching: true }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -195,9 +245,15 @@ enum ShardEvent<M> {
     Ack { link: DirectedEdgeId },
 }
 
-/// Phase-1 output for one event, consumed by the merge in `seq` order.
+/// Phase-1 output for one event, consumed by the merge in `(tick, seq)`
+/// order — the serial processing order (`seq` alone is not monotone across
+/// the ticks of a batched window: a later tick's event may carry a smaller
+/// `seq` if it was scheduled earlier).
 #[derive(Clone, Copy, Debug)]
 struct Ready {
+    /// Absolute tick the event fired at (every tick of a batched window
+    /// contributes to the same ready list).
+    tick: u64,
     seq: u64,
     link: DirectedEdgeId,
     kind: ReadyKind,
@@ -220,22 +276,45 @@ struct ShardWork<P: Protocol> {
     lo: usize,
     nodes: Vec<P>,
     done: Vec<bool>,
-    /// Events due at the current tick, ascending shard-local `seq`.
+    /// Events due in the current barrier, tick run by tick run (ascending
+    /// tick; ascending shard-local `seq` within a run).
     due: Vec<(u64, ShardEvent<P::Message>)>,
-    /// Phase-1 outputs, ascending `seq`.
+    /// Tick-run boundaries of `due`: `(tick, end)` marks that `due[..end]`
+    /// covers all runs up to and including `tick`. One entry per tick the
+    /// shard has events at; a plain unbatched barrier records exactly one.
+    tick_runs: Vec<(u64, usize)>,
+    /// Phase-1 outputs, ascending `(tick, seq)`.
     ready: Vec<Ready>,
-    /// Captured outbox messages of this tick's activations, in event order;
+    /// Captured outbox messages of this barrier's activations, in event order;
     /// the merge pops from the front as it replays the events.
     arena: VecDeque<Outgoing<P::Message>>,
     /// Recycled activation outbox buffer.
     outbox_buf: Vec<Outgoing<P::Message>>,
-    /// Nodes of this shard that became done during the current tick.
-    newly_done: u64,
+    /// Per-tick counts of this shard's nodes that became done during the
+    /// current barrier (ascending tick, zero counts omitted); the coordinator
+    /// merges these across shards in tick order so `time_all_done` lands on
+    /// the same tick as the serial engine's.
+    newly_done: Vec<(u64, u64)>,
 }
 
-/// Phase 1 for one shard: run this tick's activations, capture their outboxes.
+/// Phase 1 for one shard: run this barrier's activations (every tick run of a
+/// batched window), capture their outboxes. Runs on a pool worker when the
+/// barrier is dense enough, inline on the coordinator otherwise — same code,
+/// same effects either way.
 fn phase1<P: Protocol>(w: &mut ShardWork<P>) {
-    for (seq, ev) in w.due.drain(..) {
+    let mut runs = std::mem::take(&mut w.tick_runs);
+    debug_assert_eq!(runs.last().map_or(0, |&(_, end)| end), w.due.len());
+    let mut run_idx = 0usize;
+    let mut newly = 0u64;
+    for (i, (seq, ev)) in w.due.drain(..).enumerate() {
+        while i >= runs[run_idx].1 {
+            if newly > 0 {
+                w.newly_done.push((runs[run_idx].0, newly));
+                newly = 0;
+            }
+            run_idx += 1;
+        }
+        let tick = runs[run_idx].0;
         match ev {
             ShardEvent::Deliver { link, from, to, msg } => {
                 let local = to.index() - w.lo;
@@ -244,15 +323,27 @@ fn phase1<P: Protocol>(w: &mut ShardWork<P>) {
                 let outbox = ctx.queued() as u32;
                 w.arena.extend(ctx.drain_outbox());
                 w.outbox_buf = ctx.into_buffer();
-                w.ready.push(Ready { seq, link, kind: ReadyKind::Delivered { from, to, outbox } });
+                w.ready.push(Ready {
+                    tick,
+                    seq,
+                    link,
+                    kind: ReadyKind::Delivered { from, to, outbox },
+                });
                 if !w.done[local] && w.nodes[local].is_done() {
                     w.done[local] = true;
-                    w.newly_done += 1;
+                    newly += 1;
                 }
             }
-            ShardEvent::Ack { link } => w.ready.push(Ready { seq, link, kind: ReadyKind::Ack }),
+            ShardEvent::Ack { link } => {
+                w.ready.push(Ready { tick, seq, link, kind: ReadyKind::Ack });
+            }
         }
     }
+    if newly > 0 {
+        w.newly_done.push((runs[run_idx].0, newly));
+    }
+    runs.clear();
+    w.tick_runs = runs;
 }
 
 /// Coordinator-owned per-shard structures: one wheel and one link table per
@@ -273,6 +364,11 @@ struct Globals {
     metrics: RunMetrics,
     done_count: usize,
     time_all_done: Option<u64>,
+    /// Extra ticks processed inside batched windows (window length minus one,
+    /// summed; 0 when batching is off or never applicable).
+    batched_ticks: u64,
+    /// Barriers whose phase 1 was shipped to the worker pool (0 without one).
+    pool_dispatches: u64,
     /// Recycled list of links touched by one outbox dispatch.
     touched: Vec<DirectedEdgeId>,
     /// Delivery tracing for the happens-before checker ([`crate::trace`]).
@@ -334,21 +430,6 @@ fn try_inject<M>(
     sh.wheels[dest].schedule(g.now + d, seq, ShardEvent::Deliver { link, from, to, msg });
 }
 
-/// What a worker's `panic::catch_unwind` caught, carried back to the
-/// coordinator over the completion channel. A worker must *always* answer —
-/// an unwinding worker that never sends would leave the coordinator blocked
-/// on `done_rx.recv()` forever (idle workers keep the channel open) — so the
-/// panic travels as data and is resumed on the coordinator thread, exactly
-/// like the serial engine's in-place propagation.
-type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
-
-/// Worker-pool handles: one task channel per shard, one shared completion
-/// channel back to the coordinator.
-struct Pool<P: Protocol> {
-    task_txs: Vec<mpsc::Sender<(usize, ShardWork<P>)>>,
-    done_rx: mpsc::Receiver<(usize, ShardWork<P>, Option<PanicPayload>)>,
-}
-
 // ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
@@ -373,13 +454,7 @@ where
     P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
-    run_async_sharded_with(
-        graph,
-        delay,
-        make,
-        limits,
-        ShardedOptions { shards, threads: ThreadMode::Auto },
-    )
+    run_async_sharded_with(graph, delay, make, limits, ShardedOptions::new(shards))
 }
 
 /// [`run_async_sharded`] with an explicit worker-thread policy.
@@ -442,48 +517,38 @@ where
 {
     let k = opts.shards.clamp(1, graph.node_count().max(1));
     let trace = traced.then(|| TraceState::new(k as u32));
-    let spawn = match opts.threads {
-        ThreadMode::Off => false,
-        ThreadMode::ForceOn => k > 1,
+    // `workers == 0` requests the pre-pool coupling: one worker per shard.
+    let requested = if opts.workers == 0 { k } else { opts.workers };
+    let workers = match opts.threads {
+        ThreadMode::Off => 0,
+        ThreadMode::ForceOn => {
+            if k > 1 {
+                requested.clamp(1, k)
+            } else {
+                0
+            }
+        }
         ThreadMode::Auto => {
             // ds-lint: allow(ambient-authority) — thread-count probe gates only
-            // *whether* workers spawn, never the schedule (bit-identical either
-            // way, pinned by `worker_threads_produce_the_same_execution`).
-            k > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
+            // *whether* (and how many) workers spawn, never the schedule
+            // (bit-identical for every worker count, pinned by
+            // `worker_threads_produce_the_same_execution`).
+            let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+            if k > 1 && cores > 1 {
+                requested.clamp(1, k).min(cores)
+            } else {
+                0
+            }
         }
     };
-    if !spawn {
-        return run_core(graph, delay, make, limits, k, None, trace);
+    if workers == 0 {
+        return run_core(graph, delay, make, limits, k, opts.batching, None, trace);
     }
-    std::thread::scope(|scope| {
-        let (done_tx, done_rx) = mpsc::channel();
-        let mut task_txs = Vec::with_capacity(k);
-        for _ in 0..k {
-            let (tx, rx) = mpsc::channel::<(usize, ShardWork<P>)>();
-            task_txs.push(tx);
-            let done_tx = done_tx.clone();
-            scope.spawn(move || {
-                while let Ok((idx, mut work)) = rx.recv() {
-                    // Contain protocol panics: the shard state is discarded on
-                    // unwind anyway (the coordinator resumes the panic), but
-                    // the completion message must flow or the coordinator
-                    // deadlocks waiting for it.
-                    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        phase1(&mut work);
-                    }))
-                    .err();
-                    if done_tx.send((idx, work, panic)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(done_tx);
-        let pool = Pool { task_txs, done_rx };
-        // Dropping the pool (and with it every task sender) at the end of the
-        // scope shuts the workers down; the scope then joins them.
-        run_core(graph, delay, make, limits, k, Some(&pool), trace)
-    })
+    WorkerPool::run(
+        workers,
+        |w: &mut ShardWork<P>| phase1(w),
+        |pool| run_core(graph, delay, make, limits, k, opts.batching, Some(pool), trace),
+    )
 }
 
 /// Sequential sharded run, used by
@@ -502,7 +567,7 @@ where
     F: FnMut(NodeId) -> P,
 {
     let k = shards.clamp(1, graph.node_count().max(1));
-    run_core(graph, delay, make, limits, k, None, None).map(|(report, _)| report)
+    run_core(graph, delay, make, limits, k, true, None, None).map(|(report, _)| report)
 }
 
 /// Sequential sharded run with tracing, used by
@@ -521,7 +586,7 @@ where
 {
     let k = shards.clamp(1, graph.node_count().max(1));
     let (report, trace) =
-        run_core(graph, delay, make, limits, k, None, Some(TraceState::new(k as u32)))?;
+        run_core(graph, delay, make, limits, k, true, None, Some(TraceState::new(k as u32)))?;
     Ok((report, trace.expect("tracing was enabled")))
 }
 
@@ -529,13 +594,17 @@ where
 // The engine
 // ---------------------------------------------------------------------------
 
+// Every entry point funnels here with its full knob set; bundling the knobs
+// into a struct would only move the argument list one call deeper.
+#[allow(clippy::too_many_arguments)]
 fn run_core<P, F>(
     graph: &Graph,
     delay: DelayModel,
     mut make: F,
     limits: SimLimits,
     k: usize,
-    pool: Option<&Pool<P>>,
+    batching: bool,
+    mut pool: Option<&mut WorkerPool<ShardWork<P>>>,
     trace: Option<TraceState>,
 ) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
@@ -561,10 +630,11 @@ where
                 nodes: (lo..hi).map(|i| make(NodeId(i))).collect(),
                 done: vec![false; hi - lo],
                 due: Vec::new(),
+                tick_runs: Vec::new(),
                 ready: Vec::new(),
                 arena: VecDeque::new(),
                 outbox_buf: Vec::new(),
-                newly_done: 0,
+                newly_done: Vec::new(),
             })
         })
         .collect();
@@ -578,9 +648,15 @@ where
         metrics: RunMetrics::default(),
         done_count: 0,
         time_all_done: None,
+        batched_ticks: 0,
+        pool_dispatches: 0,
         touched: Vec::new(),
         trace,
     };
+    // Windows only ever batch when no delay can be shorter than the window:
+    // `min_delay > 1` is the soundness gate (see the module docs).
+    let min_delay = delay.min_delay_ticks();
+    let batching = batching && min_delay > 1;
 
     // Time 0: start every node in global node order — the serial engine's
     // init order, so the initial seq draws match exactly.
@@ -609,43 +685,76 @@ where
         }
     }
 
-    // One tick per iteration: drain every shard's events of the globally
-    // earliest pending tick, run phase 1 (shard-local activations), then the
-    // serial phase-2 merge in global seq order.
+    // One barrier per iteration: find the globally earliest pending tick,
+    // widen it to a causality-free window when batching applies, drain every
+    // shard's events of every window tick, run phase 1 (shard-local
+    // activations), then the serial phase-2 merge in `(tick, seq)` order.
     let mut pos = vec![0usize; k];
-    while let Some(t) = sh.wheels.iter().filter_map(TimingWheel::next_tick).min() {
-        g.now = t;
-        let mut total_due = 0usize;
-        for (wheel, work) in sh.wheels.iter_mut().zip(&mut works) {
-            if wheel.next_tick() == Some(t) {
-                let w = work.as_mut().expect("shard at home");
-                let drained = wheel.take_due(&mut w.due);
-                debug_assert_eq!(drained, Some(t));
-                total_due += w.due.len();
-            } else {
-                wheel.advance_to(t);
+    let mut window: Vec<u64> = Vec::new();
+    let mut done_scratch: Vec<(u64, u64)> = Vec::new();
+    while let Some(t0) = sh.wheels.iter().filter_map(TimingWheel::next_tick).min() {
+        // The window [t0, end]: every tick the occupancy bitsets report, up
+        // to the soundness bound t0 + min_delay - 1, capped per wheel by the
+        // horizon and the earliest overflow entry (invisible to the bitsets).
+        // t0 itself is pushed explicitly — it may be overflow-only.
+        window.clear();
+        window.push(t0);
+        if batching {
+            let mut end = t0 + (min_delay - 1);
+            for wheel in &sh.wheels {
+                end = wheel.window_cap(end);
             }
+            if end > t0 {
+                for wheel in &sh.wheels {
+                    wheel.occupied_ticks_within(end, &mut window);
+                }
+                window.sort_unstable();
+                window.dedup();
+            }
+        }
+        let t_last = *window.last().expect("window holds t0");
+        g.batched_ticks += window.len() as u64 - 1;
+
+        let mut total_due = 0usize;
+        for &t in &window {
+            for (wheel, work) in sh.wheels.iter_mut().zip(&mut works) {
+                if wheel.next_tick() == Some(t) {
+                    let w = work.as_mut().expect("shard at home");
+                    let before = w.due.len();
+                    let drained = wheel.take_due(&mut w.due);
+                    debug_assert_eq!(drained, Some(t));
+                    w.tick_runs.push((t, w.due.len()));
+                    total_due += w.due.len() - before;
+                }
+            }
+        }
+        // Advance every wheel to the window's end before any merge effect
+        // schedules into it: the clocks stay in lock-step, and soundness
+        // guarantees every new event lands strictly after `t_last`.
+        for wheel in sh.wheels.iter_mut() {
+            wheel.advance_to(t_last);
         }
 
         // Phase 1.
-        match pool {
+        match pool.as_deref_mut() {
             Some(pool) if total_due >= PARALLEL_TICK_THRESHOLD => {
+                g.pool_dispatches += 1;
                 let mut outstanding = 0usize;
                 for (s, slot) in works.iter_mut().enumerate() {
                     if !slot.as_ref().expect("shard at home").due.is_empty() {
                         let work = slot.take().expect("shard at home");
-                        pool.task_txs[s].send((s, work)).expect("worker alive");
+                        pool.dispatch(s, work);
                         outstanding += 1;
                     }
                 }
                 let mut panicked: Option<PanicPayload> = None;
                 for _ in 0..outstanding {
-                    let (idx, work, panic) = pool.done_rx.recv().expect("worker alive");
+                    let (idx, work, panic) = pool.collect();
                     works[idx] = Some(work);
                     panicked = panicked.or(panic);
                 }
                 // Resume only after every outstanding shard answered, so no
-                // worker is left sending into a dropped channel mid-tick.
+                // worker is left sending into a dropped channel mid-barrier.
                 if let Some(payload) = panicked {
                     std::panic::resume_unwind(payload);
                 }
@@ -656,30 +765,40 @@ where
                 }
             }
         }
+        // Done accounting: merge the shards' per-tick counts in tick order so
+        // the cumulative count crosses `n` at the same tick as it would have
+        // serially.
+        done_scratch.clear();
         for w in &mut works {
-            let w = w.as_mut().expect("shard at home");
-            g.done_count += w.newly_done as usize;
-            w.newly_done = 0;
+            done_scratch.append(&mut w.as_mut().expect("shard at home").newly_done);
         }
-        if g.done_count == n && g.time_all_done.is_none() {
-            g.time_all_done = Some(t);
+        done_scratch.sort_unstable_by_key(|&(tick, _)| tick);
+        for &(tick, count) in &done_scratch {
+            g.done_count += count as usize;
+            if g.done_count == n && g.time_all_done.is_none() {
+                g.time_all_done = Some(tick);
+            }
         }
 
-        // Phase 2: k-way merge of the shards' ready lists by global seq.
+        // Phase 2: k-way merge of the shards' ready lists by global
+        // `(tick, seq)` — the serial processing order (each list is already
+        // ascending in it). `g.now` is restored per event, so every delay
+        // draw and schedule target matches the serial engine's exactly.
         pos.iter_mut().for_each(|p| *p = 0);
         loop {
-            let mut best: Option<(u64, usize)> = None;
+            let mut best: Option<((u64, u64), usize)> = None;
             for s in 0..k {
                 let ready = &works[s].as_ref().expect("shard at home").ready;
                 if let Some(item) = ready.get(pos[s]) {
-                    if best.is_none_or(|(seq, _)| item.seq < seq) {
-                        best = Some((item.seq, s));
+                    if best.is_none_or(|(key, _)| (item.tick, item.seq) < key) {
+                        best = Some(((item.tick, item.seq), s));
                     }
                 }
             }
             let Some((_, s)) = best else { break };
             let item = works[s].as_ref().expect("shard at home").ready[pos[s]];
             pos[s] += 1;
+            g.now = item.tick;
             match item.kind {
                 ReadyKind::Delivered { from, to, outbox } => {
                     if let Some(tr) = g.trace.as_mut() {
@@ -749,6 +868,8 @@ where
             metrics: g.metrics,
             nodes: works.into_iter().flat_map(|w| w.expect("shard at home").nodes).collect(),
             overflow_events,
+            batched_ticks: g.batched_ticks,
+            pool_dispatches: g.pool_dispatches,
         },
         g.trace.map(TraceState::finish),
     ))
@@ -849,12 +970,21 @@ mod tests {
         for delay in adversaries {
             let reference = wheel_run(&graph, &delay);
             for shards in [1, 2, 3, 4, 7, 26, 100] {
-                let got = sharded_run(
-                    &graph,
-                    &delay,
-                    ShardedOptions { shards, threads: ThreadMode::Off },
-                );
-                assert_eq!(got, reference, "shards={shards} diverged under {delay:?}");
+                for batching in [true, false] {
+                    let got = sharded_run(
+                        &graph,
+                        &delay,
+                        ShardedOptions {
+                            threads: ThreadMode::Off,
+                            batching,
+                            ..ShardedOptions::new(shards)
+                        },
+                    );
+                    assert_eq!(
+                        got, reference,
+                        "shards={shards} batching={batching} diverged under {delay:?}"
+                    );
+                }
             }
         }
     }
@@ -872,10 +1002,66 @@ mod tests {
                 let forced = sharded_run(
                     &graph,
                     &delay,
-                    ShardedOptions { shards, threads: ThreadMode::ForceOn },
+                    ShardedOptions { threads: ThreadMode::ForceOn, ..ShardedOptions::new(shards) },
                 );
                 assert_eq!(forced, reference, "threaded shards={shards} diverged");
             }
+        }
+    }
+
+    #[test]
+    fn worker_count_decouples_from_shard_count() {
+        // Seven shards round-robin over fewer (and non-dividing) worker
+        // counts; every combination must reproduce the serial schedule, and
+        // the dense uniform start wave guarantees the pool really engages.
+        let graph = Graph::grid(12, 12);
+        let delay = DelayModel::uniform();
+        let reference = wheel_run(&graph, &delay);
+        for workers in [1, 2, 3] {
+            let report = run_async_sharded_with(
+                &graph,
+                delay.clone(),
+                |v| Chatter::new(&graph, v),
+                SimLimits::default(),
+                ShardedOptions { workers, threads: ThreadMode::ForceOn, ..ShardedOptions::new(7) },
+            )
+            .expect("pooled run");
+            assert!(report.pool_dispatches > 0, "workers={workers}: pool never engaged");
+            let got: NodeView = (
+                report.nodes.into_iter().map(|n| n.arrivals).collect(),
+                report.metrics,
+                report.overflow_events,
+            );
+            assert_eq!(got, reference, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn batching_counters_respect_the_soundness_gate() {
+        // A floored-jitter adversary (min delay 500 ticks) spreads deliveries
+        // across ticks, so causality-free windows really form; the engine must
+        // report them via `batched_ticks` — and report exactly zero whenever
+        // batching is off or the model can draw 1-tick delays. The coordinator
+        // path never ships a barrier to the pool.
+        let graph = Graph::random_connected(26, 0.14, 11);
+        let run = |delay: &DelayModel, batching: bool| {
+            run_async_sharded_with(
+                &graph,
+                delay.clone(),
+                |v| Chatter::new(&graph, v),
+                SimLimits::default(),
+                ShardedOptions { threads: ThreadMode::Off, batching, ..ShardedOptions::new(4) },
+            )
+            .expect("sharded run")
+        };
+        let floored = DelayModel::jitter_at_least(5, 0.5);
+        let batched = run(&floored, true);
+        assert!(batched.batched_ticks > 0, "floored jitter must form multi-tick windows");
+        assert_eq!(batched.pool_dispatches, 0, "ThreadMode::Off must never touch the pool");
+        assert_eq!(run(&floored, false).batched_ticks, 0, "batching off must report zero");
+        for gated in [DelayModel::jitter(5), DelayModel::outage(7, 5, 2)] {
+            let report = run(&gated, true);
+            assert_eq!(report.batched_ticks, 0, "{gated:?} can draw 1-tick delays");
         }
     }
 
@@ -888,7 +1074,7 @@ mod tests {
             DelayModel::jitter(9),
             |v| Chatter::new(&graph, v),
             SimLimits::default(),
-            SchedulerKind::Sharded { shards: 3 },
+            SchedulerKind::Sharded { shards: 3, workers: 0 },
         )
         .expect("sharded via run_async_with");
         let got: NodeView = (
@@ -916,7 +1102,7 @@ mod tests {
             DelayModel::uniform(),
             |v| Chatter::new(&graph, v),
             limits,
-            ShardedOptions { shards: 4, threads: ThreadMode::Off },
+            ShardedOptions { threads: ThreadMode::Off, ..ShardedOptions::new(4) },
         )
         .unwrap_err();
         assert_eq!(serial, sharded);
@@ -956,7 +1142,7 @@ mod tests {
             DelayModel::uniform(),
             |v| Exploding { inner: Chatter::new(&graph, v) },
             SimLimits::default(),
-            ShardedOptions { shards: 4, threads: ThreadMode::ForceOn },
+            ShardedOptions { threads: ThreadMode::ForceOn, ..ShardedOptions::new(4) },
         );
     }
 
@@ -991,7 +1177,7 @@ mod tests {
                 delay.clone(),
                 |v| Chatter::new(&graph, v),
                 SimLimits::default(),
-                ShardedOptions { shards, threads: ThreadMode::Off },
+                ShardedOptions { threads: ThreadMode::Off, ..ShardedOptions::new(shards) },
             )
             .expect("traced sharded run");
             let got: NodeView = (
@@ -1024,7 +1210,7 @@ mod tests {
             delay.clone(),
             |v| Chatter::new(&graph, v),
             SimLimits::default(),
-            ShardedOptions { shards: 4, threads: ThreadMode::Off },
+            ShardedOptions { threads: ThreadMode::Off, ..ShardedOptions::new(4) },
         )
         .expect("sequential traced run");
         let (report, threaded) = run_async_sharded_traced_with(
@@ -1032,7 +1218,7 @@ mod tests {
             delay,
             |v| Chatter::new(&graph, v),
             SimLimits::default(),
-            ShardedOptions { shards: 4, threads: ThreadMode::ForceOn },
+            ShardedOptions { threads: ThreadMode::ForceOn, ..ShardedOptions::new(4) },
         )
         .expect("threaded traced run");
         assert_eq!(threaded, sequential);

@@ -57,11 +57,12 @@ impl DeliveryRecord {
     }
 }
 
-/// A complete run trace: every delivery, in ascending `seq` order.
+/// A complete run trace: every delivery, in processing order.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DeliveryTrace {
-    /// Delivery records in the order the engine processed them (ascending
-    /// global `seq` — the happens-before checker verifies this, among others).
+    /// Delivery records in the order the engine processed them: ascending
+    /// `(tick, seq)` — tick-major, with global `seq` ascending within each
+    /// tick (the happens-before checker verifies this, among others).
     pub records: Vec<DeliveryRecord>,
     /// Number of shards the producing engine ran with (1 for the serial
     /// engines and the degenerate single-shard layout).

@@ -21,7 +21,7 @@ use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::protocol::Protocol;
-use ds_netsim::sharded::{run_async_sharded, run_async_sharded_traced_with, ShardedOptions};
+use ds_netsim::sharded::{run_async_sharded_traced_with, run_async_sharded_with, ShardedOptions};
 use ds_netsim::sync_engine::run_sync;
 use ds_netsim::{AsyncReport, DeliveryTrace, SchedulerKind, ThreadMode};
 use std::sync::Arc;
@@ -61,16 +61,20 @@ where
     F: FnMut(NodeId) -> P,
 {
     match (env.scheduler, env.trace) {
-        (SchedulerKind::Sharded { shards }, false) => {
-            run_async_sharded(env.graph, env.delay.clone(), make, env.limits, shards)
-                .map(|report| (report, None))
-        }
-        (SchedulerKind::Sharded { shards }, true) => run_async_sharded_traced_with(
+        (SchedulerKind::Sharded { shards, workers }, false) => run_async_sharded_with(
             env.graph,
             env.delay.clone(),
             make,
             env.limits,
-            ShardedOptions { shards, threads: ThreadMode::Auto },
+            ShardedOptions { workers, threads: ThreadMode::Auto, ..ShardedOptions::new(shards) },
+        )
+        .map(|report| (report, None)),
+        (SchedulerKind::Sharded { shards, workers }, true) => run_async_sharded_traced_with(
+            env.graph,
+            env.delay.clone(),
+            make,
+            env.limits,
+            ShardedOptions { workers, threads: ThreadMode::Auto, ..ShardedOptions::new(shards) },
         )
         .map(|(report, trace)| (report, Some(trace))),
         (kind, false) => run_async_with(env.graph, env.delay.clone(), make, env.limits, kind)
@@ -93,6 +97,11 @@ pub struct SynchronizedRun<O> {
     /// The delivery trace, when the environment asked for one
     /// ([`ExecutionEnv::trace`]; always `None` for the lock-step executor).
     pub trace: Option<DeliveryTrace>,
+    /// Extra ticks the engine processed inside batched causality-free windows
+    /// ([`AsyncReport::batched_ticks`]; 0 for the lock-step executor and for
+    /// serial engines). An engine internal surfaced for the bench artifact —
+    /// it never differs between runs that differ only in scheduler.
+    pub batched_ticks: u64,
 }
 
 /// An execution strategy for event-driven algorithms: wraps per-node algorithm
@@ -140,6 +149,7 @@ impl<A: EventDriven> Synchronizer<A> for DirectExecutor {
             metrics: report.metrics,
             ordering_violations: 0,
             trace: None,
+            batched_ticks: 0,
         })
     }
 }
@@ -169,6 +179,7 @@ impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
             metrics: report.metrics,
             ordering_violations: 0,
             trace,
+            batched_ticks: report.batched_ticks,
         })
     }
 }
@@ -202,6 +213,7 @@ impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
             metrics: report.metrics,
             ordering_violations: 0,
             trace,
+            batched_ticks: report.batched_ticks,
         })
     }
 }
@@ -233,6 +245,7 @@ impl<A: EventDriven> Synchronizer<A> for DetExecutor {
             metrics: report.metrics,
             ordering_violations: outputs.ordering_violations,
             trace,
+            batched_ticks: report.batched_ticks,
         })
     }
 }

@@ -256,17 +256,23 @@ impl<'g> Session<'g> {
     /// [`SchedulerKind::BinaryHeap`] reference produces a bit-identical run and
     /// exists for equivalence testing and scheduler benchmarking.
     /// [`SchedulerKind::Sharded`] partitions the nodes into contiguous shards
-    /// and runs each tick's deliveries shard-locally — on worker threads when
-    /// the host has spare cores — with a serial cross-shard merge in global
-    /// sequence order, so its runs are also bit-identical to the wheel's
-    /// (`ds-netsim::sharded` documents the shard/merge contract):
+    /// and runs each barrier's deliveries shard-locally — round-robined over a
+    /// persistent worker pool when the host has spare cores — with a serial
+    /// cross-shard merge in global sequence order, so its runs are also
+    /// bit-identical to the wheel's (`ds-netsim::sharded` documents the
+    /// shard/merge contract). `workers` decouples the thread count from the
+    /// shard count: `0` means one worker per shard, and a good explicit value
+    /// is the host's core count (the pool never helps past it — more workers
+    /// only add rendezvous traffic, while shards can stay higher for
+    /// partition granularity):
     ///
     /// ```
     /// # use ds_graph::Graph;
     /// # use ds_netsim::SchedulerKind;
     /// # use ds_sync::session::Session;
     /// let graph = Graph::grid(8, 8);
-    /// let session = Session::on(&graph).scheduler(SchedulerKind::Sharded { shards: 4 });
+    /// let session =
+    ///     Session::on(&graph).scheduler(SchedulerKind::Sharded { shards: 4, workers: 2 });
     /// ```
     #[must_use]
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {

@@ -1,4 +1,4 @@
-//! Seeded violation: thread creation outside the sharded engine.
+//! Seeded violation: thread creation outside the worker pool.
 
 fn run() {
     std::thread::spawn(|| {}).join().unwrap();

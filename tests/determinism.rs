@@ -65,40 +65,46 @@ fn sharded_runs_are_deterministic_and_shard_count_independent() {
     // SyncKind × adversary (the outage model included — its multi-τ delays park
     // events in the per-shard overflow heaps), reports are byte-identical
     // across shard counts (1, 2, 4, 7 — including counts that split the graph
-    // unevenly) *and* across repeat runs. On multi-core hosts the shards run on
-    // worker threads, so this also pins freedom from thread-interleaving
+    // unevenly), across worker-pool sizes (1, 2, 4 — including pools smaller
+    // than, equal to and larger than the shard count) *and* across repeat
+    // runs. On multi-core hosts the shards round-robin over real worker
+    // threads, so this also pins freedom from thread-interleaving
     // nondeterminism.
     let graph = Graph::grid(5, 5);
     let mut adversaries = DelayModel::standard_suite(17);
     adversaries.push(DelayModel::outage(17, 5, 2));
     for kind in SyncKind::standard_suite() {
         for delay in &adversaries {
-            let run = |shards: usize| {
+            let run = |shards: usize, workers: usize| {
                 Session::on(&graph)
                     .delay(delay.clone())
                     .synchronizer(kind.clone())
-                    .scheduler(SchedulerKind::Sharded { shards })
+                    .scheduler(SchedulerKind::Sharded { shards, workers })
                     .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0), NodeId(13)]))
-                    .unwrap_or_else(|e| panic!("{}/shards={shards}: {e}", kind.label()))
+                    .unwrap_or_else(|e| {
+                        panic!("{}/shards={shards}/workers={workers}: {e}", kind.label())
+                    })
             };
-            let reference = run(1);
+            let reference = run(1, 0);
             for shards in [2usize, 4, 7] {
-                let got = run(shards);
-                assert_eq!(
-                    reference.outputs,
-                    got.outputs,
-                    "{}: outputs depend on the shard count ({shards}) under {delay:?}",
-                    kind.label()
-                );
-                assert_eq!(
-                    reference.metrics,
-                    got.metrics,
-                    "{}: metrics depend on the shard count ({shards}) under {delay:?}",
-                    kind.label()
-                );
-                assert_eq!(reference.ordering_violations, got.ordering_violations);
+                for workers in [1usize, 2, 4] {
+                    let got = run(shards, workers);
+                    assert_eq!(
+                        reference.outputs,
+                        got.outputs,
+                        "{}: outputs depend on shards={shards}/workers={workers} under {delay:?}",
+                        kind.label()
+                    );
+                    assert_eq!(
+                        reference.metrics,
+                        got.metrics,
+                        "{}: metrics depend on shards={shards}/workers={workers} under {delay:?}",
+                        kind.label()
+                    );
+                    assert_eq!(reference.ordering_violations, got.ordering_violations);
+                }
             }
-            let repeat = run(4);
+            let repeat = run(4, 2);
             assert_eq!(reference.outputs, repeat.outputs, "{}: repeat drift", kind.label());
             assert_eq!(reference.metrics, repeat.metrics, "{}: repeat drift", kind.label());
         }

@@ -18,12 +18,14 @@ use det_synchronizer::netsim::{run_async_traced, run_async_with, MessageClass, S
 use det_synchronizer::prelude::*;
 use ds_verify::{check_equivalence, check_trace};
 
-/// The sharded challengers: degenerate single shard, plus real cross-shard
-/// layouts.
-const SHARDED: [SchedulerKind; 3] = [
-    SchedulerKind::Sharded { shards: 1 },
-    SchedulerKind::Sharded { shards: 2 },
-    SchedulerKind::Sharded { shards: 4 },
+/// The sharded challengers: degenerate single shard, real cross-shard
+/// layouts, and a non-dividing shard/worker split (`workers: 0` means one
+/// pool worker per shard).
+const SHARDED: [SchedulerKind; 4] = [
+    SchedulerKind::Sharded { shards: 1, workers: 0 },
+    SchedulerKind::Sharded { shards: 2, workers: 1 },
+    SchedulerKind::Sharded { shards: 4, workers: 4 },
+    SchedulerKind::Sharded { shards: 7, workers: 2 },
 ];
 
 /// Chatty flood keeping several waves of traffic flowing with mixed per-link
@@ -209,6 +211,8 @@ fn tracing_is_zero_overhead_when_off() {
         .expect("traced run");
         assert_eq!(traced.metrics, untraced.metrics, "{scheduler:?} metrics diverged");
         assert_eq!(traced.overflow_events, untraced.overflow_events);
+        assert_eq!(traced.batched_ticks, untraced.batched_ticks);
+        assert_eq!(traced.pool_dispatches, untraced.pool_dispatches);
         let arrivals =
             |r: &det_synchronizer::netsim::AsyncReport<Chatter<'_>>| -> Vec<Vec<(NodeId, u64)>> {
                 r.nodes.iter().map(|n| n.arrivals.clone()).collect()

@@ -30,11 +30,13 @@ use std::rc::Rc;
 
 /// The sharded challengers, each compared against the wheel reference run.
 /// `shards: 1` pins the degenerate single-shard layout; 2 and 4 exercise
-/// cross-shard links on every test graph.
-const SHARDED: [SchedulerKind; 3] = [
-    SchedulerKind::Sharded { shards: 1 },
-    SchedulerKind::Sharded { shards: 2 },
-    SchedulerKind::Sharded { shards: 4 },
+/// cross-shard links on every test graph; 7 shards over 2 pool workers pins a
+/// non-dividing shard/worker split (`workers: 0` means one worker per shard).
+const SHARDED: [SchedulerKind; 4] = [
+    SchedulerKind::Sharded { shards: 1, workers: 0 },
+    SchedulerKind::Sharded { shards: 2, workers: 1 },
+    SchedulerKind::Sharded { shards: 4, workers: 4 },
+    SchedulerKind::Sharded { shards: 7, workers: 2 },
 ];
 
 /// A shared log of every delivery, in engine order: `(from, to, payload)`.

@@ -1,10 +1,12 @@
 //! Threaded sharded engine vs. the serial wheel, with worker threads forced
 //! on. This is the ThreadSanitizer target of the `analysis` CI job (DESIGN.md
 //! §8): the grid workloads here put well over `PARALLEL_TICK_THRESHOLD` due
-//! events into each tick, so phase 1 genuinely crosses the scoped-thread
-//! hand-off, and TSan watches every access while the assertions pin that the
-//! threads changed nothing — schedules, metrics and delivery traces all
-//! bit-identical to the serial reference.
+//! events into each barrier, so phase 1 genuinely crosses the worker-pool
+//! channel hand-off — including pools smaller than the shard count, where
+//! one worker serves several shards per barrier — and TSan watches every
+//! access while the assertions pin that the threads changed nothing —
+//! schedules, metrics and delivery traces all bit-identical to the serial
+//! reference.
 
 use det_synchronizer::netsim::protocol::{Ctx, Protocol};
 use det_synchronizer::netsim::{
@@ -72,49 +74,73 @@ fn forced_worker_threads_reproduce_the_serial_schedule() {
         check_trace(&wheel_trace).expect("wheel trace violates HB");
 
         for shards in [2usize, 4] {
-            let (threaded_report, threaded_trace) = run_async_sharded_traced_with(
-                &graph,
-                delay.clone(),
-                |v| Flood::new(&graph, v),
-                SimLimits::default(),
-                ShardedOptions { shards, threads: ThreadMode::ForceOn },
-            )
-            .expect("threaded run");
-            assert_eq!(
-                threaded_report.metrics, wheel_report.metrics,
-                "metrics diverged ({shards} shards, {delay:?})"
-            );
-            assert_eq!(
-                arrivals(&threaded_report),
-                arrivals(&wheel_report),
-                "per-node schedules diverged ({shards} shards, {delay:?})"
-            );
-            check_trace(&threaded_trace).expect("threaded trace violates HB");
-            check_equivalence(&wheel_trace, &threaded_trace).expect("threaded trace diverged");
+            for workers in [1usize, 2, 4] {
+                let (threaded_report, threaded_trace) = run_async_sharded_traced_with(
+                    &graph,
+                    delay.clone(),
+                    |v| Flood::new(&graph, v),
+                    SimLimits::default(),
+                    ShardedOptions {
+                        workers,
+                        threads: ThreadMode::ForceOn,
+                        ..ShardedOptions::new(shards)
+                    },
+                )
+                .expect("threaded run");
+                assert_eq!(
+                    threaded_report.metrics, wheel_report.metrics,
+                    "metrics diverged ({shards} shards, {workers} workers, {delay:?})"
+                );
+                assert_eq!(
+                    arrivals(&threaded_report),
+                    arrivals(&wheel_report),
+                    "per-node schedules diverged ({shards} shards, {workers} workers, {delay:?})"
+                );
+                check_trace(&threaded_trace).expect("threaded trace violates HB");
+                check_equivalence(&wheel_trace, &threaded_trace).expect("threaded trace diverged");
+            }
         }
     }
 }
 
 #[test]
 fn forced_and_disabled_threads_trace_identically() {
+    // jitter_at_least keeps a 500-tick delay floor, so the batched-window path
+    // is live here too: batching over the pool must trace identically to the
+    // coordinator-only run.
     let graph = Graph::grid(12, 12);
-    let delay = DelayModel::jitter(19);
+    let delay = DelayModel::jitter_at_least(19, 0.5);
     for shards in [2usize, 4] {
-        let run = |threads: ThreadMode| {
-            run_async_sharded_traced_with(
-                &graph,
-                delay.clone(),
-                |v| Flood::new(&graph, v),
-                SimLimits::default(),
-                ShardedOptions { shards, threads },
-            )
-            .expect("sharded run")
-        };
-        let (off_report, off_trace) = run(ThreadMode::Off);
-        let (on_report, on_trace) = run(ThreadMode::ForceOn);
-        assert_eq!(on_report.metrics, off_report.metrics, "{shards} shards");
-        assert_eq!(arrivals(&on_report), arrivals(&off_report), "{shards} shards");
-        assert_eq!(on_trace, off_trace, "{shards} shards");
-        check_trace(&on_trace).expect("threaded trace violates HB");
+        for batching in [true, false] {
+            let run = |threads: ThreadMode, workers: usize| {
+                run_async_sharded_traced_with(
+                    &graph,
+                    delay.clone(),
+                    |v| Flood::new(&graph, v),
+                    SimLimits::default(),
+                    ShardedOptions { workers, threads, batching, ..ShardedOptions::new(shards) },
+                )
+                .expect("sharded run")
+            };
+            let (off_report, off_trace) = run(ThreadMode::Off, 0);
+            let (on_report, on_trace) = run(ThreadMode::ForceOn, 2);
+            assert_eq!(on_report.metrics, off_report.metrics, "{shards} shards, {batching}");
+            assert_eq!(arrivals(&on_report), arrivals(&off_report), "{shards} shards, {batching}");
+            assert_eq!(on_trace, off_trace, "{shards} shards, batching={batching}");
+            check_trace(&on_trace).expect("threaded trace violates HB");
+            if batching {
+                assert_eq!(
+                    on_report.batched_ticks, off_report.batched_ticks,
+                    "batching must not depend on the thread mode"
+                );
+                assert!(
+                    off_report.batched_ticks > 0,
+                    "the 500-tick delay floor must form real multi-tick windows"
+                );
+            } else {
+                assert_eq!(off_report.batched_ticks, 0);
+                assert_eq!(on_report.batched_ticks, 0);
+            }
+        }
     }
 }
