@@ -10,6 +10,8 @@ use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
+use ds_netsim::FaultPlan;
+use ds_sync::executor::RunHealth;
 use ds_sync::session::{Session, SessionError, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
@@ -78,12 +80,20 @@ impl EventDriven for BfsAlgorithm<'_> {
 }
 
 /// Result of a synchronized asynchronous BFS run.
+///
+/// Under a fault plan the result can be *partial*: nodes the churn starved never
+/// adopt a distance and are simply absent from `outputs`, with `health` naming
+/// them explicitly. Every distance that **is** reported is the length of a real
+/// path the messages traversed — drops can starve a node, never mislead it.
 #[derive(Clone, Debug)]
 pub struct BfsReport {
-    /// Per-node outputs.
+    /// Per-node outputs (nodes that produced no output are absent).
     pub outputs: BTreeMap<NodeId, BfsOutput>,
     /// Metrics of the asynchronous run.
     pub metrics: RunMetrics,
+    /// Degradation status: crashed nodes and nodes with no output (both empty
+    /// on a fault-free run).
+    pub health: RunHealth,
 }
 
 /// Runs a single-source BFS asynchronously via the deterministic synchronizer
@@ -111,16 +121,36 @@ pub fn run_synchronized_multi_bfs(
     sources: &[NodeId],
     delay: DelayModel,
 ) -> Result<BfsReport, SessionError> {
+    run_synchronized_multi_bfs_faulted(graph, sources, delay, None)
+}
+
+/// [`run_synchronized_multi_bfs`] under a dynamic-topology [`FaultPlan`]: link
+/// churn and crash-stop failures drop deliveries mid-run. The run always
+/// terminates; nodes the churn starved are absent from the report's `outputs`
+/// and listed on its `health`. The pulse bound is still sized from the intact
+/// graph — churn can only slow the schedule down, never extend the synchronous
+/// round structure past it.
+///
+/// # Errors
+///
+/// Returns an error if the simulation fails or the graph is disconnected.
+pub fn run_synchronized_multi_bfs_faulted(
+    graph: &Graph,
+    sources: &[NodeId],
+    delay: DelayModel,
+    faults: Option<&FaultPlan>,
+) -> Result<BfsReport, SessionError> {
     let d1 = ds_graph::metrics::max_distance_to_sources(graph, sources)
         .expect("BFS requires a connected graph");
     let cfg = SynchronizerConfig::build(graph, (d1 as u64 + 1).max(1));
-    let run = Session::on(graph)
-        .delay(delay)
-        .synchronizer(SyncKind::Det(cfg))
-        .run(|v| BfsAlgorithm::new(graph, v, sources))?;
+    let mut session = Session::on(graph).delay(delay).synchronizer(SyncKind::Det(cfg));
+    if let Some(plan) = faults {
+        session = session.faults(plan.clone());
+    }
+    let run = session.run(|v| BfsAlgorithm::new(graph, v, sources))?;
     let outputs =
         run.outputs.iter().enumerate().filter_map(|(i, o)| o.map(|o| (NodeId(i), o))).collect();
-    Ok(BfsReport { outputs, metrics: run.metrics })
+    Ok(BfsReport { outputs, metrics: run.metrics, health: run.health })
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@ use ds_graph::{Graph, NodeId};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::{EventDriven, PulseCtx};
 use ds_netsim::metrics::RunMetrics;
+use ds_netsim::FaultPlan;
+use ds_sync::executor::RunHealth;
 use ds_sync::session::{Session, SessionError, SyncKind};
 use ds_sync::synchronizer::SynchronizerConfig;
 use std::collections::BTreeMap;
@@ -139,12 +141,18 @@ impl EventDriven for LeaderElection {
 /// Result of a synchronized leader-election run.
 #[derive(Clone, Debug)]
 pub struct LeaderReport {
-    /// The elected leader (identical at every node).
-    pub leader: NodeId,
-    /// Per-node outputs (for completeness; all equal to `leader`).
+    /// The elected leader: identical at every node that produced an output. On
+    /// a fault-free connected run every node elects it; under a fault plan it
+    /// is `None` exactly when *no* node finished the election (the broadcast
+    /// was fully starved).
+    pub leader: Option<NodeId>,
+    /// Per-node outputs (`None` for nodes the churn starved).
     pub outputs: Vec<Option<NodeId>>,
     /// Metrics of the asynchronous run.
     pub metrics: RunMetrics,
+    /// Degradation status: crashed nodes and nodes with no output (both empty
+    /// on a fault-free run).
+    pub health: RunHealth,
 }
 
 /// Elects a leader asynchronously and deterministically (Corollary 1.3): every node
@@ -161,18 +169,42 @@ pub fn run_synchronized_leader_election(
     graph: &Graph,
     delay: DelayModel,
 ) -> Result<LeaderReport, SessionError> {
+    run_synchronized_leader_election_faulted(graph, delay, None)
+}
+
+/// [`run_synchronized_leader_election`] under a dynamic-topology [`FaultPlan`].
+/// The election runs its convergecast/broadcast over the cover of the *intact*
+/// graph while churn drops deliveries; nodes the broadcast never reached output
+/// `None` and are listed on the report's `health`. Nodes that do output agree:
+/// every output descends from the single root's minimum. The run terminates
+/// regardless of the plan (dropped messages starve the schedule, they never
+/// wedge it).
+///
+/// # Errors
+///
+/// Returns an error if the simulation fails.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or disconnected.
+pub fn run_synchronized_leader_election_faulted(
+    graph: &Graph,
+    delay: DelayModel,
+    faults: Option<&FaultPlan>,
+) -> Result<LeaderReport, SessionError> {
     let diameter =
         ds_graph::metrics::diameter(graph).expect("leader election requires connectivity");
     let cover = Arc::new(ds_covers::builder::build_sparse_cover(graph, diameter.max(1)));
     // The convergecast+broadcast takes at most 2 · (tree height) + 1 pulses.
     let t_bound = (2 * cover.max_height() as u64 + 2).max(1);
     let cfg = SynchronizerConfig::build(graph, t_bound);
-    let run = Session::on(graph)
-        .delay(delay)
-        .synchronizer(SyncKind::Det(cfg))
-        .run(|v| LeaderElection::new(v, cover.clone()))?;
-    let leader = run.outputs.iter().flatten().copied().next().expect("every node elects a leader");
-    Ok(LeaderReport { leader, outputs: run.outputs, metrics: run.metrics })
+    let mut session = Session::on(graph).delay(delay).synchronizer(SyncKind::Det(cfg));
+    if let Some(plan) = faults {
+        session = session.faults(plan.clone());
+    }
+    let run = session.run(|v| LeaderElection::new(v, cover.clone()))?;
+    let leader = run.outputs.iter().flatten().copied().next();
+    Ok(LeaderReport { leader, outputs: run.outputs, metrics: run.metrics, health: run.health })
 }
 
 #[cfg(test)]
@@ -210,7 +242,7 @@ mod tests {
     fn asynchronous_leader_election_matches_corollary() {
         let graph = Graph::clustered_ring(3, 3);
         let report = run_synchronized_leader_election(&graph, DelayModel::jitter(8)).unwrap();
-        assert_eq!(report.leader, NodeId(0));
+        assert_eq!(report.leader, Some(NodeId(0)));
         assert!(report.outputs.iter().all(|o| *o == Some(NodeId(0))));
     }
 }

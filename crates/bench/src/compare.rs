@@ -261,7 +261,9 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Parses a `det-synchronizer-bench/v4` artifact, or an older one: v3 (no
+    /// Parses a `det-synchronizer-bench/v5` artifact, or an older one: v4 (no
+    /// `dropped_events`/`fault_transitions` fault counters — the engine
+    /// predates fault injection), v3 (additionally no
     /// `workers`/`batched_ticks` fields — the engine predates the worker
     /// pool), v2 (additionally no `threads` field — every scenario was
     /// serial) and v1 (records `setup_seconds`, converted to `setup_ms`)
@@ -272,7 +274,8 @@ impl Baseline {
     ///
     /// Returns a description of the first syntax or schema problem.
     pub fn parse(text: &str) -> Result<Baseline, String> {
-        const SUPPORTED: [&str; 4] = [
+        const SUPPORTED: [&str; 5] = [
+            "det-synchronizer-bench/v5",
             "det-synchronizer-bench/v4",
             "det-synchronizer-bench/v3",
             "det-synchronizer-bench/v2",
@@ -538,6 +541,8 @@ mod tests {
             wall_seconds: events as f64 / eps,
             events,
             batched_ticks: 0,
+            dropped_events: 0,
+            fault_transitions: 0,
             events_per_sec: eps,
             messages: 10,
             algorithm_messages: 10,
@@ -664,6 +669,26 @@ mod tests {
         let new = vec![with_setup(record("grid/4096/det/uniform", 1000, 1e6), 60.0)];
         let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
         assert!(report.passed());
+    }
+
+    #[test]
+    fn parses_v4_baselines_without_fault_counters() {
+        // The committed artifact regenerates as v5 mid-PR; the gate must keep
+        // reading the previous release's v4 artifact until then.
+        let v4 = r#"{
+            "schema": "det-synchronizer-bench/v4",
+            "mode": "full",
+            "scenarios": [
+                {"scenario": "grid/16/det/uniform", "events": 7, "threads": 2,
+                 "workers": 2, "batched_ticks": 3,
+                 "events_per_sec": 1000.0, "setup_ms": 12.5}
+            ]
+        }"#;
+        let baseline = Baseline::parse(v4).expect("v4 parses");
+        assert_eq!(
+            baseline.scenarios["grid/16/det/uniform"],
+            BaselineScenario { events: 7, events_per_sec: 1000.0, setup_ms: 12.5 }
+        );
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //! `batched_ticks`, the extra ticks processed inside batched causality-free
 //! windows (0 for serial runs and whenever batching is inapplicable). Both are
 //! engine knobs/internals: `events` never depends on either.
+//!
+//! Schema v5 adds `dropped_events` and `fault_transitions` — the fault-injection
+//! counters every engine reports (DESIGN.md §9). The fixed perf matrix runs
+//! fault-free, so both are 0 in committed artifacts; they are recorded anyway so
+//! a future faulted scenario tier needs no schema bump and so `--compare` can
+//! flag a matrix that silently started dropping deliveries.
 
 use crate::json::Json;
 use crate::table::Row;
@@ -110,6 +116,13 @@ pub struct PerfRecord {
     /// serial runs and whenever the delay model rules batching out). An engine
     /// internal like `threads`; `events` never depends on it. New in schema v4.
     pub batched_ticks: u64,
+    /// Deliveries suppressed by the fault adversary (0: the perf matrix runs
+    /// fault-free, and a non-zero value here means the scenario silently
+    /// degraded). New in schema v5.
+    pub dropped_events: u64,
+    /// Fault-plan transitions applied during the run (0 for the fault-free
+    /// matrix). New in schema v5.
+    pub fault_transitions: u64,
     /// Events per wall-clock second — the engine throughput number.
     pub events_per_sec: f64,
     /// Total messages sent (algorithm + control, acks excluded).
@@ -145,6 +158,8 @@ impl PerfRecord {
             ("wall_seconds", Json::Num(self.wall_seconds)),
             ("events", Json::Int(self.events)),
             ("batched_ticks", Json::Int(self.batched_ticks)),
+            ("dropped_events", Json::Int(self.dropped_events)),
+            ("fault_transitions", Json::Int(self.fault_transitions)),
             ("events_per_sec", Json::Num(self.events_per_sec)),
             ("messages", Json::Int(self.messages)),
             ("algorithm_messages", Json::Int(self.algorithm_messages)),
@@ -179,7 +194,7 @@ impl PerfRecord {
 /// Renders the full artifact written to `BENCH_synchronizer.json`.
 pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     Json::Obj(vec![
-        ("schema", Json::Str("det-synchronizer-bench/v4".into())),
+        ("schema", Json::Str("det-synchronizer-bench/v5".into())),
         ("suite", Json::Str("synchronizer".into())),
         ("mode", Json::Str(mode.into())),
         ("workload", Json::Str("single-source BFS from node 0".into())),
@@ -339,6 +354,8 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 wall_seconds: direct_wall,
                 events: direct.metrics.events,
                 batched_ticks: 0,
+                dropped_events: 0,
+                fault_transitions: 0,
                 events_per_sec: direct.metrics.events as f64 / direct_wall.max(1e-9),
                 messages: m_a,
                 algorithm_messages: direct.metrics.class_messages(MessageClass::Algorithm),
@@ -409,6 +426,8 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 wall_seconds: wall,
                 events: metrics.events,
                 batched_ticks: run.batched_ticks,
+                dropped_events: run.dropped_events,
+                fault_transitions: run.fault_transitions,
                 events_per_sec: metrics.events as f64 / wall.max(1e-9),
                 messages: metrics.total_messages(),
                 algorithm_messages: metrics.class_messages(MessageClass::Algorithm),
@@ -463,14 +482,14 @@ mod tests {
     }
 
     #[test]
-    fn artifact_is_valid_schema_v4() {
+    fn artifact_is_valid_schema_v5() {
         let records = experiment_perf(&PerfOptions {
             smoke: true,
             filter: Some("cycle/256/beta/uniform".into()),
             ..PerfOptions::default()
         });
         let text = render_artifact("smoke", &records);
-        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v4\""));
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v5\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("\"scenario\": \"cycle/256/beta/uniform\""));
         assert!(text.contains("\"events_per_sec\""));
@@ -478,6 +497,8 @@ mod tests {
         assert!(text.contains("\"threads\": 1"));
         assert!(text.contains("\"workers\": 1"));
         assert!(text.contains("\"batched_ticks\""));
+        assert!(text.contains("\"dropped_events\": 0"));
+        assert!(text.contains("\"fault_transitions\": 0"));
     }
 
     #[test]

@@ -25,18 +25,19 @@ use crate::scratch::{BfsScratch, MarkSet};
 use crate::{Cluster, ClusterId, LayeredSparseCover, SparseCover};
 use ds_graph::{Graph, NodeId};
 
-/// Scratch buffers shared by every ball, cluster and layer of one build.
-struct CoverScratch {
+/// Scratch buffers shared by every ball, cluster and layer of one build (and by
+/// the incremental repair in [`crate::repair`]).
+pub(crate) struct CoverScratch {
     /// Ball growing (decomposition) and `d`-expansion of carved clusters.
-    ball: BfsScratch,
+    pub(crate) ball: BfsScratch,
     /// Bounded BFS tree from each cluster center.
-    tree: BfsScratch,
+    pub(crate) tree: BfsScratch,
     /// Nodes already added to the cluster tree under construction.
     in_tree: MarkSet,
 }
 
 impl CoverScratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         CoverScratch {
             ball: BfsScratch::new(n),
             tree: BfsScratch::new(n),
@@ -62,45 +63,54 @@ fn build_sparse_cover_with(graph: &Graph, d: usize, scratch: &mut CoverScratch) 
     let mut clusters = Vec::new();
 
     for (_color, dc) in decomposition.clusters() {
-        // Expand the carved cluster by its d-neighborhood (bounded multi-source BFS).
-        scratch.ball.start(&dc.members);
-        while scratch.ball.depth_reached() < d as u32 && scratch.ball.expand_level(graph).is_some()
-        {
-        }
-        let mut members: Vec<NodeId> = scratch.ball.order().to_vec();
-        members.sort_unstable();
-
-        // Cluster tree: union of BFS-tree paths from every member to the center.
-        // Every member is within `weak_radius + d` of the center, so the BFS tree
-        // only needs that depth; a bounded BFS assigns the same parents as the
-        // full-graph one (first discoverer wins, same traversal order).
-        let tree_depth = (dc.weak_radius + d) as u32;
-        scratch.tree.start(std::slice::from_ref(&dc.center));
-        while scratch.tree.depth_reached() < tree_depth
-            && scratch.tree.expand_level(graph).is_some()
-        {}
-        scratch.in_tree.clear();
-        scratch.in_tree.insert(dc.center);
-        let mut pairs: Vec<(NodeId, Option<NodeId>)> = vec![(dc.center, None)];
-        for &member in &members {
-            let mut v = member;
-            while !scratch.in_tree.contains(v) {
-                scratch.in_tree.insert(v);
-                debug_assert!(
-                    scratch.tree.visited(v),
-                    "members are connected to the center in a connected graph"
-                );
-                let p = scratch.tree.parent(v);
-                pairs.push((v, Some(p)));
-                v = p;
-            }
-        }
-
         let id = ClusterId(clusters.len());
-        clusters.push(Cluster::from_parents(id, dc.center, members, pairs));
+        clusters.push(realize_cluster(graph, d, dc, scratch, id));
     }
 
     SparseCover::new(d, clusters, graph.node_count())
+}
+
+/// Turns one carved decomposition cluster into a cover cluster: `d`-expansion of
+/// the carved members plus the rooted cluster tree. Shared between the
+/// from-scratch build and the incremental repair in [`crate::repair`].
+pub(crate) fn realize_cluster(
+    graph: &Graph,
+    d: usize,
+    dc: &crate::decomposition::DecompCluster,
+    scratch: &mut CoverScratch,
+    id: ClusterId,
+) -> Cluster {
+    // Expand the carved cluster by its d-neighborhood (bounded multi-source BFS).
+    scratch.ball.start(&dc.members);
+    while scratch.ball.depth_reached() < d as u32 && scratch.ball.expand_level(graph).is_some() {}
+    let mut members: Vec<NodeId> = scratch.ball.order().to_vec();
+    members.sort_unstable();
+
+    // Cluster tree: union of BFS-tree paths from every member to the center.
+    // Every member is within `weak_radius + d` of the center, so the BFS tree
+    // only needs that depth; a bounded BFS assigns the same parents as the
+    // full-graph one (first discoverer wins, same traversal order).
+    let tree_depth = (dc.weak_radius + d) as u32;
+    scratch.tree.start(std::slice::from_ref(&dc.center));
+    while scratch.tree.depth_reached() < tree_depth && scratch.tree.expand_level(graph).is_some() {}
+    scratch.in_tree.clear();
+    scratch.in_tree.insert(dc.center);
+    let mut pairs: Vec<(NodeId, Option<NodeId>)> = vec![(dc.center, None)];
+    for &member in &members {
+        let mut v = member;
+        while !scratch.in_tree.contains(v) {
+            scratch.in_tree.insert(v);
+            debug_assert!(
+                scratch.tree.visited(v),
+                "members are connected to the center in the carved component"
+            );
+            let p = scratch.tree.parent(v);
+            pairs.push((v, Some(p)));
+            v = p;
+        }
+    }
+
+    Cluster::from_parents(id, dc.center, members, pairs)
 }
 
 /// Builds a layered sparse cover: sparse `2^j`-covers for `j ∈ {0, …, ⌈log₂ max_radius⌉}`.

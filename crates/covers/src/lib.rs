@@ -30,6 +30,9 @@
 //!   (Theorem 4.21 interface).
 //! * [`partition`] — low-diameter *partitions* (disjoint clusters covering all
 //!   nodes) used by the γ-synchronizer baseline.
+//! * [`repair`] — incremental maintenance under dynamic topology: on a link or
+//!   node event, only the clusters the event touches are re-carved, with a
+//!   documented additive membership degradation (DESIGN.md §9).
 //! * [`stats`] — quality statistics (membership, stretch, edge load) used by the
 //!   cover-quality experiment (E6).
 //!
@@ -44,6 +47,7 @@
 pub mod builder;
 pub mod decomposition;
 pub mod partition;
+pub mod repair;
 pub(crate) mod scratch;
 pub mod stats;
 

@@ -1,0 +1,393 @@
+//! Incremental maintenance of sparse covers under dynamic topology.
+//!
+//! The fault layer of `ds-netsim` makes the network dynamic: links go down and
+//! come back, nodes crash and recover. A synchronizer that keeps running across
+//! such an event needs its cover to keep satisfying Definition 2.1 *for the new
+//! graph* — but rebuilding every layer from scratch on every event is
+//! `O(log n)` full carvings per flap. This module repairs a cover in place of a
+//! rebuild: only the clusters the event actually touches are replaced, and the
+//! replacement work is proportional to the damaged region, not to `n`.
+//!
+//! # What an event can break
+//!
+//! * **Edge removal** (including every edge of a crashed node). Distances only
+//!   grow, so `B_new(v, d) ⊆ B_old(v, d)`: the *coverage* of every intact
+//!   cluster survives verbatim. What breaks is cluster **trees**: a cluster
+//!   whose tree uses a removed edge no longer validates. Such clusters are
+//!   dropped and their members become *orphans*.
+//! * **Edge addition**. Every tree edge still exists, but balls can grow. A
+//!   node `w` whose ball gained a new node must have a shortest path through an
+//!   added edge, so `w` is within `d − 1` of one of its endpoints. Only those
+//!   nodes are rechecked (one bounded BFS each); the ones whose intact clusters
+//!   no longer contain their grown ball join the orphans.
+//!
+//! # Repair
+//!
+//! The orphan set is re-carved by the same deterministic ball carving as the
+//! from-scratch build ([`crate::decomposition`]), restricted so that doubling
+//! counts and center selection see only orphans while balls grow through the
+//! full new graph. Every orphan lands in the *carved* (inner) set of some new
+//! cluster, whose `d`-expansion therefore contains its whole new ball — the
+//! exact argument of the from-scratch construction. New cluster trees are built
+//! by bounded BFS in the new graph, so `SparseCover::validate` holds again.
+//!
+//! # What degrades (gracefully)
+//!
+//! Patch clusters are carved without reference to the kept ones, so the
+//! same-color separation between old and new clusters is lost. Membership
+//! therefore degrades *additively*: at most `⌈log₂ n⌉ + 1` from the kept cover
+//! plus `⌈log₂ |orphans|⌉ + 1` from each repair — still `O(log n)` per event,
+//! but repeated churn accumulates. Callers that care about sparsity after heavy
+//! churn should rebuild once [`RepairStats`] shows the accumulated patchwork
+//! exceeding their budget; the property tests in this module and
+//! `tests/cover_scale.rs` pin the per-event bound against a from-scratch
+//! rebuild. DESIGN.md §9 documents the trade.
+
+use crate::builder::{realize_cluster, CoverScratch};
+use crate::decomposition::carve_decomposition_over;
+use crate::{Cluster, ClusterId, LayeredSparseCover, SparseCover};
+use ds_graph::{Graph, NodeId};
+
+/// Accounting of one [`repair_sparse_cover`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Clusters of the old cover kept verbatim (their trees survive in the new graph).
+    pub kept: usize,
+    /// Clusters dropped because their tree used a removed edge.
+    pub dropped: usize,
+    /// Fresh clusters carved over the orphan set.
+    pub recarved: usize,
+    /// Nodes near an added edge whose ball coverage was rechecked.
+    pub rechecked: usize,
+    /// Nodes that lost coverage and were re-carved.
+    pub orphans: usize,
+}
+
+impl RepairStats {
+    /// Whether the event required any structural change at all.
+    pub fn is_noop(&self) -> bool {
+        self.dropped == 0 && self.orphans == 0
+    }
+}
+
+/// Repairs `cover` (a valid `d`-cover of `old_graph`) into a valid `d`-cover of
+/// `new_graph`, replacing only the clusters the topology change touches.
+///
+/// The two graphs must have the same node count; any combination of edge
+/// removals and additions between them is handled in one call. A crashed node
+/// is expressed as `new_graph` lacking all of its edges (see [`without_node`]);
+/// the isolated node keeps a singleton cluster so its (empty-ball) coverage
+/// stays well-defined.
+///
+/// # Panics
+///
+/// Panics if the node counts differ or `cover.radius == 0`.
+pub fn repair_sparse_cover(
+    cover: &SparseCover,
+    old_graph: &Graph,
+    new_graph: &Graph,
+) -> (SparseCover, RepairStats) {
+    let n = new_graph.node_count();
+    assert_eq!(old_graph.node_count(), n, "repair requires a fixed node set");
+    let d = cover.radius;
+    assert!(d >= 1, "cover radius must be at least 1");
+    let mut scratch = CoverScratch::new(n);
+
+    // Clusters whose tree uses an edge missing from the new graph are broken;
+    // their members lose their coverage certificate and become orphans.
+    let mut broken = vec![false; cover.cluster_count()];
+    let mut orphan = vec![false; n];
+    let mut orphan_count = 0usize;
+    for (i, c) in cover.clusters.iter().enumerate() {
+        if c.tree_parents().any(|(v, p)| p.is_some_and(|p| !new_graph.has_edge(v, p))) {
+            broken[i] = true;
+            for &v in &c.members {
+                if !orphan[v.index()] {
+                    orphan[v.index()] = true;
+                    orphan_count += 1;
+                }
+            }
+        }
+    }
+    let dropped = broken.iter().filter(|&&b| b).count();
+
+    // Added edges can only grow the balls of nodes within d − 1 of an endpoint
+    // (a grown ball's witness path crosses an added edge). Recheck exactly those
+    // against their surviving clusters.
+    let mut endpoints: Vec<NodeId> = new_graph
+        .edges()
+        .filter(|&(_, u, v)| !old_graph.has_edge(u, v))
+        .flat_map(|(_, u, v)| [u, v])
+        .collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    let mut rechecked = 0usize;
+    if !endpoints.is_empty() {
+        scratch.ball.start(&endpoints);
+        while scratch.ball.depth_reached() < (d - 1) as u32
+            && scratch.ball.expand_level(new_graph).is_some()
+        {}
+        let mut affected: Vec<NodeId> = scratch.ball.order().to_vec();
+        affected.sort_unstable();
+        for w in affected {
+            if orphan[w.index()] {
+                continue;
+            }
+            rechecked += 1;
+            scratch.tree.start(std::slice::from_ref(&w));
+            while scratch.tree.depth_reached() < d as u32
+                && scratch.tree.expand_level(new_graph).is_some()
+            {}
+            let covered = cover.clusters_of(w).iter().any(|&cid| {
+                !broken[cid.index()]
+                    && scratch.tree.order().iter().all(|&x| cover.cluster(cid).contains_member(x))
+            });
+            if !covered {
+                orphan[w.index()] = true;
+                orphan_count += 1;
+            }
+        }
+    }
+
+    // Keep the intact clusters (renumbered densely), then carve fresh clusters
+    // over the orphan set in the new graph.
+    let mut clusters: Vec<Cluster> = Vec::with_capacity(cover.cluster_count());
+    for (i, c) in cover.clusters.iter().enumerate() {
+        if broken[i] {
+            continue;
+        }
+        let mut kept = c.clone();
+        kept.id = ClusterId(clusters.len());
+        clusters.push(kept);
+    }
+    let kept = clusters.len();
+
+    let mut recarved = 0usize;
+    if orphan_count > 0 {
+        let patch =
+            carve_decomposition_over(new_graph, 2 * d, &mut scratch.ball, orphan, orphan_count);
+        for (_color, dc) in patch.clusters() {
+            let id = ClusterId(clusters.len());
+            clusters.push(realize_cluster(new_graph, d, dc, &mut scratch, id));
+            recarved += 1;
+        }
+    }
+
+    let stats = RepairStats { kept, dropped, recarved, rechecked, orphans: orphan_count };
+    (SparseCover::new(d, clusters, n), stats)
+}
+
+/// Repairs every layer of a layered cover for the same topology change,
+/// returning the per-layer [`RepairStats`].
+///
+/// # Panics
+///
+/// Panics if the node counts differ.
+pub fn repair_layered_sparse_cover(
+    layered: &LayeredSparseCover,
+    old_graph: &Graph,
+    new_graph: &Graph,
+) -> (LayeredSparseCover, Vec<RepairStats>) {
+    let mut covers = Vec::with_capacity(layered.layers());
+    let mut stats = Vec::with_capacity(layered.layers());
+    for cover in layered.iter() {
+        let (repaired, s) = repair_sparse_cover(cover, old_graph, new_graph);
+        covers.push(repaired);
+        stats.push(s);
+    }
+    (LayeredSparseCover::new(covers), stats)
+}
+
+/// The graph with one edge removed — the topology after a `LinkDown` fault.
+///
+/// # Panics
+///
+/// Panics if the edge does not exist.
+pub fn without_edge(graph: &Graph, u: NodeId, v: NodeId) -> Graph {
+    assert!(graph.has_edge(u, v), "cannot remove a missing edge ({u}, {v})");
+    Graph::from_edges(
+        graph.node_count(),
+        graph.edges().map(|(_, a, b)| (a, b)).filter(|&(a, b)| (a, b) != (u.min(v), u.max(v))),
+    )
+    .expect("removing an edge keeps the edge list valid")
+}
+
+/// The graph with one edge added — the topology after a `LinkUp` fault.
+///
+/// # Panics
+///
+/// Panics if the edge already exists, is a self-loop, or is out of range.
+pub fn with_edge(graph: &Graph, u: NodeId, v: NodeId) -> Graph {
+    let mut g = graph.clone();
+    g.add_edge(u, v).expect("new edge must be valid");
+    g
+}
+
+/// The graph with every edge incident to `v` removed — the topology after a
+/// crash-stop `NodeCrash` fault. The node itself stays (node sets are fixed);
+/// it becomes isolated and a repair gives it a singleton cluster.
+pub fn without_node(graph: &Graph, v: NodeId) -> Graph {
+    Graph::from_edges(
+        graph.node_count(),
+        graph.edges().map(|(_, a, b)| (a, b)).filter(|&(a, b)| a != v && b != v),
+    )
+    .expect("removing a node's edges keeps the edge list valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_layered_sparse_cover, build_sparse_cover};
+
+    /// Membership after one repair is at most the kept cover's log-bound plus
+    /// the patch carving's log-bound (the documented additive degradation).
+    fn membership_budget(n: usize) -> usize {
+        let log_n = (n as f64).log2().ceil() as usize;
+        2 * (log_n + 1)
+    }
+
+    #[test]
+    fn identical_graphs_repair_to_a_noop() {
+        let graph = Graph::grid(6, 6);
+        let cover = build_sparse_cover(&graph, 2);
+        let (repaired, stats) = repair_sparse_cover(&cover, &graph, &graph);
+        assert!(stats.is_noop());
+        assert_eq!(stats.kept, cover.cluster_count());
+        assert_eq!(stats.dropped + stats.recarved + stats.orphans, 0);
+        assert_eq!(repaired, cover, "no-op repair returns the cover unchanged");
+    }
+
+    #[test]
+    fn edge_removal_repairs_to_a_valid_cover() {
+        for (graph, d) in [
+            (Graph::grid(6, 6), 2),
+            (Graph::torus(5, 5), 2),
+            (Graph::random_connected(40, 0.12, 7), 3),
+        ] {
+            let cover = build_sparse_cover(&graph, d);
+            // Remove the middle edge of the edge list: deterministic, and on these
+            // graphs guaranteed to sit inside at least one cluster tree or ball.
+            let (_, u, v) = graph.edges().nth(graph.edge_count() / 2).unwrap();
+            let new_graph = without_edge(&graph, u, v);
+            let (repaired, stats) = repair_sparse_cover(&cover, &graph, &new_graph);
+            repaired.validate(&new_graph).expect("repaired cover satisfies Definition 2.1");
+            assert_eq!(stats.kept + stats.dropped, cover.cluster_count());
+            assert!(
+                repaired.max_membership() <= membership_budget(graph.node_count()),
+                "membership {} exceeds the additive budget",
+                repaired.max_membership()
+            );
+        }
+    }
+
+    #[test]
+    fn edge_addition_repairs_to_a_valid_cover() {
+        // A long cycle plus a chord: the chord shrinks distances across the ring,
+        // so balls near its endpoints grow and must be rechecked.
+        let graph = Graph::cycle(24);
+        let cover = build_sparse_cover(&graph, 2);
+        let new_graph = with_edge(&graph, NodeId(0), NodeId(12));
+        let (repaired, stats) = repair_sparse_cover(&cover, &graph, &new_graph);
+        repaired.validate(&new_graph).expect("repaired cover covers the grown balls");
+        assert_eq!(stats.dropped, 0, "additions never break cluster trees");
+        assert!(stats.rechecked > 0, "nodes near the chord must be rechecked");
+    }
+
+    #[test]
+    fn node_crash_isolates_into_a_singleton_cluster() {
+        let graph = Graph::grid(5, 5);
+        let cover = build_sparse_cover(&graph, 2);
+        let crashed = NodeId(12); // grid center: degree 4, interior
+        let new_graph = without_node(&graph, crashed);
+        let (repaired, stats) = repair_sparse_cover(&cover, &graph, &new_graph);
+        repaired.validate(&new_graph).expect("repaired cover valid on the disconnected graph");
+        assert!(stats.dropped > 0, "the crashed node's tree edges break clusters");
+        let singleton = repaired
+            .clusters_of(crashed)
+            .iter()
+            .any(|&cid| repaired.cluster(cid).contains_member(crashed));
+        assert!(singleton, "the isolated node keeps a covering cluster");
+    }
+
+    #[test]
+    fn crash_then_recover_round_trips_through_two_repairs() {
+        let graph = Graph::torus(4, 6);
+        let cover = build_sparse_cover(&graph, 2);
+        let crashed = NodeId(7);
+        let down = without_node(&graph, crashed);
+        let (after_crash, _) = repair_sparse_cover(&cover, &graph, &down);
+        after_crash.validate(&down).expect("valid after the crash");
+        // Recovery restores every removed edge: repair the repaired cover back up.
+        let (after_recover, stats) = repair_sparse_cover(&after_crash, &down, &graph);
+        after_recover.validate(&graph).expect("valid after the recovery");
+        assert!(stats.rechecked > 0, "restored edges grow balls near the node");
+    }
+
+    #[test]
+    fn repair_matches_a_from_scratch_rebuild_on_the_cover_contract() {
+        // The equivalence the repair owes its callers: on the same new graph,
+        // repaired and rebuilt covers validate identically and cover the same
+        // balls; membership stays within the documented additive budget of the
+        // rebuilt optimum.
+        let graph = Graph::random_connected(48, 0.1, 3);
+        let d = 2;
+        let cover = build_sparse_cover(&graph, d);
+        let (_, u, v) = graph.edges().nth(5).unwrap();
+        let new_graph = without_edge(&graph, u, v);
+
+        let (repaired, _) = repair_sparse_cover(&cover, &graph, &new_graph);
+        let rebuilt = build_sparse_cover(&new_graph, d);
+        repaired.validate(&new_graph).expect("repaired validates");
+        rebuilt.validate(&new_graph).expect("rebuilt validates");
+        assert_eq!(repaired.radius, rebuilt.radius);
+        for w in new_graph.nodes() {
+            assert!(!repaired.clusters_of(w).is_empty(), "{w} uncovered after repair");
+            assert!(!rebuilt.clusters_of(w).is_empty(), "{w} uncovered after rebuild");
+        }
+        assert!(
+            repaired.max_membership() <= membership_budget(graph.node_count()),
+            "repair membership {} vs rebuilt {}",
+            repaired.max_membership(),
+            rebuilt.max_membership()
+        );
+    }
+
+    #[test]
+    fn layered_repair_keeps_every_layer_valid() {
+        let graph = Graph::random_connected(30, 0.14, 11);
+        let layered = build_layered_sparse_cover(&graph, 8);
+        let (_, u, v) = graph.edges().nth(3).unwrap();
+        let new_graph = without_edge(&graph, u, v);
+        let (repaired, stats) = repair_layered_sparse_cover(&layered, &graph, &new_graph);
+        assert_eq!(stats.len(), layered.layers());
+        for (j, cover) in repaired.iter().enumerate() {
+            assert_eq!(cover.radius, 1 << j);
+            cover.validate(&new_graph).unwrap_or_else(|e| panic!("layer {j}: {e}"));
+        }
+    }
+
+    #[test]
+    fn a_churn_sequence_of_mixed_events_stays_valid_throughout() {
+        // Apply a deterministic sequence of link-down / crash / link-up events,
+        // repairing incrementally after each; every intermediate cover must
+        // validate against its graph.
+        let mut graph = Graph::grid(5, 6);
+        let d = 2;
+        let mut cover = build_sparse_cover(&graph, d);
+        type Step = Box<dyn Fn(&Graph) -> Graph>;
+        let steps: Vec<Step> = vec![
+            Box::new(|g| without_edge(g, NodeId(0), NodeId(1))),
+            Box::new(|g| without_node(g, NodeId(14))),
+            Box::new(|g| with_edge(g, NodeId(0), NodeId(1))),
+            Box::new(|g| without_edge(g, NodeId(7), NodeId(8))),
+            Box::new(|g| with_edge(g, NodeId(14), NodeId(13))),
+        ];
+        for (i, step) in steps.iter().enumerate() {
+            let new_graph = step(&graph);
+            let (repaired, _) = repair_sparse_cover(&cover, &graph, &new_graph);
+            repaired.validate(&new_graph).unwrap_or_else(|e| panic!("step {i}: {e}"));
+            graph = new_graph;
+            cover = repaired;
+        }
+    }
+}

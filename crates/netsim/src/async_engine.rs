@@ -36,6 +36,7 @@
 //!   `(tick, seq)` order, so the schedule is unchanged.
 
 use crate::delay::DelayModel;
+use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::RunMetrics;
 use crate::protocol::{Ctx, Outgoing, Protocol};
 use crate::scheduler::{EventScheduler, HeapScheduler, TimingWheel};
@@ -104,10 +105,11 @@ pub struct AsyncReport<P> {
     /// not the simulated execution, and so may differ between schedulers whose
     /// runs are otherwise bit-identical.
     pub overflow_events: u64,
-    /// Extra ticks the sharded engine processed inside batched causality-free
-    /// windows (window length minus one, summed over all barriers; 0 for the
-    /// serial engines, when batching is off, or when the delay model's
-    /// 1-tick lower bound makes it inapplicable). Like
+    /// Extra ticks the sharded engine processed inside batched windows (window
+    /// length minus one, summed over all barriers; 0 for the serial engines,
+    /// when batching is off, or when every occupied tick already sits on the
+    /// delay grid — e.g. the uniform model, whose events all land `τ` apart, so
+    /// each window holds a single tick). Like
     /// [`overflow_events`](AsyncReport::overflow_events), this describes the
     /// engine's internals, not the simulated execution, so it lives outside
     /// [`RunMetrics`].
@@ -116,6 +118,17 @@ pub struct AsyncReport<P> {
     /// (0 for the serial engines and for runs without worker threads). Also an
     /// engine internal, kept outside [`RunMetrics`] for the same reason.
     pub pool_dispatches: u64,
+    /// Messages dropped by the fault adversary ([`crate::fault`]): deliveries
+    /// whose tick found the link down or an endpoint crashed, plus queued
+    /// messages drained when injecting onto a dead link. Always 0 without a
+    /// [`FaultPlan`]. Unlike the scheduler internals above this *does*
+    /// describe the simulated execution, and is identical across engines,
+    /// shard counts and batching modes.
+    pub dropped_events: u64,
+    /// Fault-plan transitions applied during the run (one per link/node flip
+    /// whose tick was reached; identical across engines). Always 0 without a
+    /// [`FaultPlan`].
+    pub fault_transitions: u64,
 }
 
 /// Per-directed-edge link state, indexed flat by [`DirectedEdgeId`] (shared with
@@ -205,6 +218,11 @@ struct Engine<'a, P: Protocol, S> {
     /// `None` (the default) makes every hook a dead branch: schedules are
     /// bit-identical with tracing on or off.
     trace: Option<TraceState>,
+    /// The compiled fault adversary, advanced to `now` before events of a tick
+    /// are processed. `None` (the default) makes every check a dead branch.
+    faults: Option<FaultState>,
+    /// Messages dropped by the fault adversary ([`AsyncReport::dropped_events`]).
+    dropped: u64,
 }
 
 impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
@@ -227,9 +245,22 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
         if state.in_flight {
             return;
         }
+        let (from, to) = (state.from, state.to);
+        if self.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
+            // The link is dead right now: everything queued behind it is lost.
+            // The drain draws no sequence numbers, so the schedule of live
+            // traffic is untouched by how many messages die here.
+            let state = &mut self.links[link.index()];
+            let mut lost = 0;
+            while state.pop().is_some() {
+                lost += 1;
+            }
+            self.dropped += lost;
+            return;
+        }
+        let state = &mut self.links[link.index()];
         let Some((msg_seq, msg)) = state.pop() else { return };
         state.in_flight = true;
-        let (from, to) = (state.from, state.to);
         let delay = self.delay.delay_ticks_at(from, to, msg_seq, self.now);
         let at = self.now + delay;
         self.schedule(at, link, EventKind::Deliver { msg });
@@ -348,18 +379,43 @@ where
     P: Protocol,
     F: FnMut(NodeId) -> P,
 {
+    run_async_faulted(graph, delay, None, make, limits, scheduler)
+}
+
+/// [`run_async_with`] under a [`FaultPlan`]: the engine consults the compiled
+/// fault state at dispatch and delivery time (drop semantics in
+/// [`crate::fault`]). `None` behaves exactly like [`run_async_with`]. Like it,
+/// [`SchedulerKind::Sharded`] runs sequentially here; use
+/// [`crate::sharded::run_async_sharded_faulted_with`] for worker threads.
+///
+/// # Errors
+///
+/// Same as [`run_async`].
+pub fn run_async_faulted<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    faults: Option<&FaultPlan>,
+    make: F,
+    limits: SimLimits,
+    scheduler: SchedulerKind,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let state = faults.map(|plan| FaultState::new(graph, plan));
     match scheduler {
         SchedulerKind::TimingWheel => {
             let horizon = delay.max_delay_ticks();
-            run_engine(graph, delay, make, limits, TimingWheel::new(horizon), None)
+            run_engine(graph, delay, make, limits, TimingWheel::new(horizon), None, state)
                 .map(|(report, _)| report)
         }
         SchedulerKind::BinaryHeap => {
-            run_engine(graph, delay, make, limits, HeapScheduler::new(), None)
+            run_engine(graph, delay, make, limits, HeapScheduler::new(), None, state)
                 .map(|(report, _)| report)
         }
         SchedulerKind::Sharded { shards, workers: _ } => {
-            crate::sharded::run_sequential(graph, delay, make, limits, shards)
+            crate::sharded::run_sequential_faulted(graph, delay, faults, make, limits, shards)
         }
     }
 }
@@ -387,17 +443,42 @@ where
     P: Protocol,
     F: FnMut(NodeId) -> P,
 {
+    run_async_faulted_traced(graph, delay, None, make, limits, scheduler)
+}
+
+/// [`run_async_faulted`] with delivery tracing enabled. Dropped deliveries
+/// leave no trace record (they never happened, causally), so the
+/// happens-before checker works unchanged under churn.
+///
+/// # Errors
+///
+/// Same as [`run_async`].
+pub fn run_async_faulted_traced<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    faults: Option<&FaultPlan>,
+    make: F,
+    limits: SimLimits,
+    scheduler: SchedulerKind,
+) -> Result<(AsyncReport<P>, DeliveryTrace), SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let state = faults.map(|plan| FaultState::new(graph, plan));
     let trace = Some(TraceState::new(1));
     let (report, trace) = match scheduler {
         SchedulerKind::TimingWheel => {
             let horizon = delay.max_delay_ticks();
-            run_engine(graph, delay, make, limits, TimingWheel::new(horizon), trace)?
+            run_engine(graph, delay, make, limits, TimingWheel::new(horizon), trace, state)?
         }
         SchedulerKind::BinaryHeap => {
-            run_engine(graph, delay, make, limits, HeapScheduler::new(), trace)?
+            run_engine(graph, delay, make, limits, HeapScheduler::new(), trace, state)?
         }
         SchedulerKind::Sharded { shards, workers: _ } => {
-            return crate::sharded::run_sequential_traced(graph, delay, make, limits, shards);
+            return crate::sharded::run_sequential_faulted_traced(
+                graph, delay, faults, make, limits, shards,
+            );
         }
     };
     Ok((report, trace.expect("tracing was enabled")))
@@ -410,6 +491,7 @@ fn run_engine<P, F, S>(
     limits: SimLimits,
     sched: S,
     trace: Option<TraceState>,
+    faults: Option<FaultState>,
 ) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
     P: Protocol,
@@ -439,10 +521,21 @@ where
         outbox_pool: Vec::new(),
         touched: Vec::new(),
         trace,
+        faults,
+        dropped: 0,
     };
 
-    // Time 0: start every node.
+    // Time 0: start every node. A node crashed at tick 0 misses its `on_start`
+    // (crash-stop: it emits nothing) but still gets the done-check, so "never
+    // participated" nodes count as done only if their protocol says so.
+    if let Some(f) = engine.faults.as_mut() {
+        f.advance_to(0);
+    }
     for v in graph.nodes() {
+        if engine.faults.as_ref().is_some_and(|f| f.is_crashed(v)) {
+            engine.update_done(v);
+            continue;
+        }
         let mut ctx = Ctx::with_buffer(v, std::mem::take(&mut engine.outbox_pool));
         engine.nodes[v.index()].on_start(&mut ctx);
         engine.dispatch_outbox(v, &mut ctx)?;
@@ -456,12 +549,25 @@ where
     let mut due: Vec<(u64, Pending<P::Message>)> = Vec::new();
     while let Some(t) = engine.sched.take_due(&mut due) {
         engine.now = t;
+        if let Some(f) = engine.faults.as_mut() {
+            f.advance_to(t);
+        }
         let mut events = due.drain(..).peekable();
         while let Some((seq, Pending { link, kind })) = events.next() {
             match kind {
                 EventKind::Deliver { msg } => {
                     let state = &engine.links[link.index()];
                     let (from, to) = (state.from, state.to);
+                    if engine.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
+                        // The fault adversary eats this delivery: no activation,
+                        // no ack, no trace record, no sequence draws — the link
+                        // is simply freed for whatever is queued behind it.
+                        drop(msg);
+                        engine.dropped += 1;
+                        engine.links[link.index()].in_flight = false;
+                        engine.try_inject(link);
+                        continue;
+                    }
                     // Batched delivery: this node activates once for the whole
                     // run of consecutive same-tick deliveries addressed to it —
                     // one borrowed outbox buffer, one done-check — while each
@@ -477,6 +583,15 @@ where
                         let next_state = &engine.links[next_link.index()];
                         let (next_from, next_to) = (next_state.from, next_state.to);
                         if next_to != to {
+                            break;
+                        }
+                        // A blocked delivery ends the batch: the outer loop
+                        // picks it up and runs the drop path instead.
+                        if engine
+                            .faults
+                            .as_ref()
+                            .is_some_and(|f| f.blocks(*next_link, next_from, next_to))
+                        {
                             break;
                         }
                         let Some((next_seq, Pending { link: l, kind: EventKind::Deliver { msg } })) =
@@ -511,6 +626,8 @@ where
             overflow_events: engine.sched.overflow_scheduled(),
             batched_ticks: 0,
             pool_dispatches: 0,
+            dropped_events: engine.dropped,
+            fault_transitions: engine.faults.as_ref().map_or(0, FaultState::transitions),
         },
         trace,
     ))
@@ -748,6 +865,96 @@ mod tests {
             .unwrap();
             assert_eq!(report.batched_ticks, 0, "{scheduler:?}");
             assert_eq!(report.pool_dispatches, 0, "{scheduler:?}");
+            assert_eq!(report.dropped_events, 0, "{scheduler:?}: no fault plan, no drops");
+            assert_eq!(report.fault_transitions, 0, "{scheduler:?}");
+        }
+    }
+
+    #[test]
+    fn a_severed_link_drops_in_flight_messages_and_recovery_readmits() {
+        use crate::fault::FaultPlan;
+        // Node 0 floods a path of 3. Cutting link {0,1} just after start kills
+        // the first hop mid-flight, so nodes 1 and 2 never learn anything ...
+        let g = Graph::path(3);
+        let cut = FaultPlan::new().link_down(1, NodeId(0), NodeId(1));
+        let report = run_async_faulted(
+            &g,
+            DelayModel::uniform(),
+            Some(&cut),
+            |v| Flood::new(&g, v),
+            SimLimits::default(),
+            SchedulerKind::TimingWheel,
+        )
+        .unwrap();
+        assert_eq!(report.nodes[1].hops, None);
+        assert_eq!(report.nodes[2].hops, None);
+        assert!(report.dropped_events > 0);
+        assert_eq!(report.fault_transitions, 1);
+        assert!(report.metrics.time_to_output.is_none(), "partial run has no completion time");
+        // ... while a cut that heals within the first hop's flight time only
+        // delays nothing: uniform delay is a full τ, the link is back at half
+        // of it, and retransmission is not modeled — the dropped copy is lost
+        // for good, but traffic injected after recovery flows again.
+        let heal =
+            FaultPlan::new().link_down(1, NodeId(1), NodeId(2)).link_up(2500, NodeId(1), NodeId(2));
+        let report = run_async_faulted(
+            &g,
+            DelayModel::uniform(),
+            Some(&heal),
+            |v| Flood::new(&g, v),
+            SimLimits::default(),
+            SchedulerKind::TimingWheel,
+        )
+        .unwrap();
+        // Node 1 still hears from node 0 (that link was never cut)...
+        assert_eq!(report.nodes[1].hops, Some(1));
+        // ...but its relay died on the severed link, and Flood never resends.
+        assert_eq!(report.nodes[2].hops, None);
+        assert_eq!(report.fault_transitions, 2);
+    }
+
+    #[test]
+    fn a_node_crashed_at_tick_zero_never_starts() {
+        use crate::fault::FaultPlan;
+        let g = Graph::path(3);
+        let plan = FaultPlan::new().node_crash(0, NodeId(0));
+        let report = run_async_faulted(
+            &g,
+            DelayModel::uniform(),
+            Some(&plan),
+            |v| Flood::new(&g, v),
+            SimLimits::default(),
+            SchedulerKind::TimingWheel,
+        )
+        .unwrap();
+        // The source never ran `on_start`: nothing was ever sent.
+        assert!(report.nodes.iter().all(|n| n.hops.is_none()));
+        assert_eq!(report.metrics.total_messages(), 0);
+        assert_eq!(report.dropped_events, 0);
+    }
+
+    #[test]
+    fn an_empty_fault_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let g = Graph::grid(4, 4);
+        for delay in DelayModel::standard_suite(9) {
+            let plain =
+                run_async(&g, delay.clone(), |v| Flood::new(&g, v), SimLimits::default()).unwrap();
+            let empty = FaultPlan::new();
+            let faulted = run_async_faulted(
+                &g,
+                delay.clone(),
+                Some(&empty),
+                |v| Flood::new(&g, v),
+                SimLimits::default(),
+                SchedulerKind::TimingWheel,
+            )
+            .unwrap();
+            let plain_hops: Vec<_> = plain.nodes.iter().map(|n| n.hops).collect();
+            let faulted_hops: Vec<_> = faulted.nodes.iter().map(|n| n.hops).collect();
+            assert_eq!(plain_hops, faulted_hops, "{delay:?}");
+            assert_eq!(plain.metrics, faulted.metrics, "{delay:?}");
+            assert_eq!(faulted.dropped_events, 0);
         }
     }
 

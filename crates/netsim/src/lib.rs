@@ -21,6 +21,9 @@
 //!   [`delay::DelayModel`], enforcing the acknowledgment discipline of Appendix B
 //!   (one un-acknowledged message per link) and the lowest-stage-first scheduling of
 //!   Lemma 2.5 / Corollary 2.3,
+//! * [`fault`] makes the topology dynamic: a deterministic, tick-stamped
+//!   [`FaultPlan`] of link churn and crash-stop node failures that every engine
+//!   consults at dispatch and delivery time,
 //! * [`scheduler`] holds the engine's event schedulers — the bounded-horizon
 //!   timing wheel the model's one-time-unit delay bound makes possible, and the
 //!   binary-heap reference it is tested against ([`SchedulerKind`] selects),
@@ -43,6 +46,7 @@ pub mod async_engine;
 mod bitset;
 pub mod delay;
 pub mod event_driven;
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -53,16 +57,18 @@ pub mod sync_engine;
 pub mod trace;
 
 pub use async_engine::{
-    run_async, run_async_traced, run_async_with, AsyncReport, SimError, SimLimits,
+    run_async, run_async_faulted, run_async_faulted_traced, run_async_traced, run_async_with,
+    AsyncReport, SimError, SimLimits,
 };
 pub use delay::DelayModel;
 pub use event_driven::{EventDriven, PulseCtx};
+pub use fault::{FaultEvent, FaultPlan, FaultState};
 pub use metrics::{MessageClass, RunMetrics};
 pub use protocol::{Ctx, Protocol};
 pub use scheduler::SchedulerKind;
 pub use sharded::{
-    run_async_sharded, run_async_sharded_traced_with, run_async_sharded_with, ShardedOptions,
-    ThreadMode,
+    run_async_sharded, run_async_sharded_faulted_traced_with, run_async_sharded_faulted_with,
+    run_async_sharded_traced_with, run_async_sharded_with, ShardedOptions, ThreadMode,
 };
 pub use sync_engine::{run_sync, SyncReport};
 pub use trace::{DeliveryRecord, DeliveryTrace};

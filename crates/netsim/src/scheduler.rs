@@ -289,10 +289,21 @@ impl<T> TimingWheel<T> {
     }
 }
 
-impl<T> EventScheduler<T> for TimingWheel<T> {
-    fn schedule(&mut self, at: u64, seq: u64, payload: T) {
+impl<T> TimingWheel<T> {
+    /// [`EventScheduler::schedule`] with the slot-or-overflow decision taken
+    /// against an explicit logical origin `from ≤ self.now` instead of the
+    /// wheel clock. The sharded engine advances its wheels to a batched
+    /// window's last tick *before* the merge replays the window's events, so
+    /// a merge-time schedule must classify overflow exactly as the serial
+    /// wheel did at the event's own tick, or `overflow_scheduled` (and the
+    /// window cap) would depend on the batching mode. Parking a would-fit
+    /// entry in the overflow heap is harmless: seq draws are monotone in
+    /// logical time, so overflow entries of a tick still sort before any slot
+    /// entry of the same tick.
+    pub(crate) fn schedule_from(&mut self, from: u64, at: u64, seq: u64, payload: T) {
         debug_assert!(at > self.now, "events must be scheduled in the strict future");
-        if at - self.now <= self.horizon {
+        debug_assert!(from <= self.now, "the logical origin cannot trail the wheel clock");
+        if at - from <= self.horizon {
             let idx = (at % self.slots.len() as u64) as usize;
             if self.slots[idx].is_empty() {
                 if self.slots[idx].capacity() == 0 {
@@ -312,6 +323,13 @@ impl<T> EventScheduler<T> for TimingWheel<T> {
             self.overflow_scheduled += 1;
             self.overflow.push(MinEntry { at, seq, payload });
         }
+    }
+}
+
+impl<T> EventScheduler<T> for TimingWheel<T> {
+    fn schedule(&mut self, at: u64, seq: u64, payload: T) {
+        let now = self.now;
+        self.schedule_from(now, at, seq, payload);
     }
 
     fn take_due(&mut self, due: &mut Vec<(u64, T)>) -> Option<u64> {
@@ -558,6 +576,93 @@ mod tests {
         let mut out = Vec::new();
         w.occupied_ticks_within(w.window_cap(5000), &mut out);
         assert!(out.is_empty(), "the overflow entry must not appear as an occupied tick");
+    }
+
+    #[test]
+    fn window_probe_is_exhaustive_up_to_the_exact_horizon_boundary() {
+        // Slots span exactly (now, now + horizon]; the probe must see an event
+        // sitting on the last representable tick, and the cap must refuse to
+        // reach one tick further. Runs under Miri via the `scheduler::` filter.
+        let mut w = TimingWheel::new(100);
+        let mut due = Vec::new();
+        w.schedule(40, 0, 0u32);
+        assert_eq!(w.take_due(&mut due), Some(40)); // now = 40
+        due.clear();
+        w.schedule(140, 1, 1); // exactly now + horizon: last slot tick
+        w.schedule(141, 2, 2); // one past it: must park in overflow
+        assert_eq!(w.overflow_scheduled(), 1);
+        // The overflow entry at 141 pins the cap to 140 — which here equals
+        // the horizon cap, so the boundary tick itself stays probeable.
+        assert_eq!(w.window_cap(u64::MAX), 140);
+        let mut out = Vec::new();
+        w.occupied_ticks_within(w.window_cap(u64::MAX), &mut out);
+        assert_eq!(out, vec![140], "the boundary slot tick must be enumerated");
+        // Draining both shows the overflow entry was adjacent, not lost.
+        assert_eq!(w.take_due(&mut due), Some(140));
+        due.clear();
+        assert_eq!(w.take_due(&mut due), Some(141));
+        assert_eq!(due, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn overflow_entries_adjacent_to_a_window_clip_its_cap() {
+        // An overflow entry one tick past a probed window's last occupied tick
+        // must not widen or shift the window; one tick *inside* it must clip
+        // the cap below that occupied tick. Runs under Miri.
+        let mut w = TimingWheel::new(1000);
+        let mut due = Vec::new();
+        w.schedule(1, 0, 0u32);
+        assert_eq!(w.take_due(&mut due), Some(1)); // now = 1
+        due.clear();
+        w.schedule(300, 1, 1);
+        w.schedule(500, 2, 2);
+        // Adjacent overflow: an entry at 1002 parks (beyond the horizon from
+        // its origin) one tick past the largest probeable tick, 1001.
+        w.schedule_from(0, 1002, 3, 3);
+        assert_eq!(w.overflow_scheduled(), 1);
+        assert_eq!(w.window_cap(u64::MAX), 1001);
+        let mut out = Vec::new();
+        w.occupied_ticks_within(w.window_cap(u64::MAX), &mut out);
+        assert_eq!(out, vec![300, 500]);
+        // An overflow entry *between* two occupied ticks (parked long before
+        // the wheel advanced into its range) clips the cap below the later
+        // tick: the probe must stop at the earlier one.
+        let mut w2 = TimingWheel::new(1000);
+        w2.schedule(600, 0, 0u32);
+        w2.schedule(1400, 1, 1); // beyond-horizon from time 0: overflow
+        assert_eq!(w2.overflow_scheduled(), 1);
+        assert_eq!(w2.take_due(&mut due), Some(600)); // now = 600
+        due.clear();
+        w2.schedule(800, 2, 2);
+        w2.schedule(1500, 3, 3); // in-horizon slot past the overflow entry
+        assert_eq!(w2.window_cap(u64::MAX), 1399);
+        out.clear();
+        w2.occupied_ticks_within(w2.window_cap(u64::MAX), &mut out);
+        assert_eq!(out, vec![800], "the cap must hide ticks past the overflow entry");
+    }
+
+    #[test]
+    fn schedule_from_classifies_overflow_by_the_logical_origin() {
+        // The sharded merge schedules with wheels already advanced to the
+        // window's last tick; the overflow decision must follow the logical
+        // origin or the count would depend on the batching mode. A would-fit
+        // entry parked in overflow still drains at its tick, before any slot
+        // entry of that tick (its seq is necessarily smaller).
+        let mut w = TimingWheel::new(1000);
+        let mut due = Vec::new();
+        w.schedule(5, 0, 0u32);
+        assert_eq!(w.take_due(&mut due), Some(5));
+        due.clear();
+        w.advance_to(600); // the coordinator moved past a batched window
+                           // Target 1200 fits from the wheel clock (600 + 1000) but not from the
+                           // logical origin 150 the serial engine would have used.
+        w.schedule_from(150, 1200, 1, 7);
+        assert_eq!(w.overflow_scheduled(), 1, "classification follows the origin");
+        w.schedule_from(600, 1200, 2, 8); // fits from its origin: slot entry
+        assert_eq!(w.overflow_scheduled(), 1);
+        assert_eq!(w.next_tick(), Some(1200));
+        assert_eq!(w.take_due(&mut due), Some(1200));
+        assert_eq!(due, vec![(1, 7), (2, 8)], "overflow drains before the slot at its tick");
     }
 
     #[test]

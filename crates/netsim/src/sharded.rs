@@ -68,22 +68,36 @@
 //!
 //! # Batched windows
 //!
-//! When the delay model's lower bound `min = DelayModel::min_delay_ticks()`
-//! exceeds one tick (uniform delays, floored jitter), a *window* of
-//! consecutive ticks `[t0, t_last]` with `t_last ≤ t0 + min − 1` is provably
-//! causality-free: an event processed at tick `t ≥ t0` schedules its effects
-//! at `t + d ≥ t0 + min > t_last`, so nothing processed inside the window can
-//! land inside it. The coordinator therefore widens the barrier — it drains
-//! *every* tick the wheels' occupancy bitsets report in the window (capped by
-//! [`TimingWheel::window_cap`]: the horizon, and the earliest overflow entry,
-//! which the bitsets cannot see) and runs one phase 1 over all of them. The
-//! merge then replays the events in `(tick, seq)` order, which is exactly the
-//! serial processing order, restoring `Globals::now` per event so every delay
-//! draw and schedule target matches the serial engine tick for tick. Batching
-//! widens phase 1 on jitter-spread schedules (where each tick alone is too
-//! sparse to amortize a thread hand-off) without changing a single sequence
-//! draw; models that can draw 1-tick delays get `min = 1` and fall back to
-//! the plain one-tick barrier.
+//! A barrier's *window* `[t0, t_last]` is every occupied tick the wheels'
+//! occupancy bitsets report from the earliest pending tick `t0` up to a cap:
+//! the wheels' shared horizon, the earliest overflow entry (invisible to the
+//! bitsets, [`TimingWheel::window_cap`]), and — under a fault plan — the tick
+//! before the next fault transition, so the fault flags are constant across
+//! the whole window. The window splits at the **static boundary**
+//! `t0 + min − 1`, where `min = DelayModel::min_delay_ticks()`:
+//!
+//! * Ticks up to the boundary are provably causality-free — an event processed
+//!   at tick `t ≥ t0` schedules its effects at `t + d ≥ t0 + min`, strictly
+//!   past the boundary — so their activations all run in one wide **phase 1**
+//!   (parallel across shards).
+//! * Ticks past the boundary drain directly into a coordinator-local
+//!   **in-window heap** ordered by `(tick, seq)`. The merge processes them
+//!   inline, exactly as the serial engine would at that tick, and any effect
+//!   they schedule at or before `t_last` re-enters the same heap (the wheels
+//!   are already advanced past it). Because these land strictly after the
+//!   static boundary, every phase-1 activation of a node still precedes all
+//!   of its inline activations — per-node order, and the global `(tick, seq)`
+//!   replay order, are exactly serial.
+//!
+//! The merge therefore replays ready-list events and heap events in one
+//! `(tick, seq)` order, restoring `Globals::now` per event, so every delay
+//! draw and schedule target matches the serial engine tick for tick. The
+//! split gate is **dynamic**: models with a 1-tick floor (`jitter`, the
+//! composite `outage`) get a one-tick static part but still batch whatever
+//! occupied ticks the probe finds — the old static `min > 1` gate is gone
+//! (`delay.rs` documents the floor's remaining role). Uniform-style models
+//! whose events all land on τ-multiples produce singleton windows and report
+//! `batched_ticks = 0`, exactly as before.
 //!
 //! # Threads and cost
 //!
@@ -107,6 +121,7 @@
 
 use crate::async_engine::{AsyncReport, LinkState, SimError, SimLimits};
 use crate::delay::DelayModel;
+use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::RunMetrics;
 use crate::pool::{PanicPayload, WorkerPool};
 use crate::protocol::{Ctx, Outgoing, Protocol};
@@ -114,7 +129,8 @@ use crate::scheduler::{EventScheduler, TimingWheel};
 use crate::trace::{DeliveryTrace, TraceState};
 use crate::TICKS_PER_UNIT;
 use ds_graph::{DirectedEdgeId, Graph, NodeId};
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Minimum number of due events in a barrier (one tick, or one batched window)
 /// before phase 1 is shipped to the worker pool; sparser barriers are
@@ -154,10 +170,11 @@ pub struct ShardedOptions {
     pub workers: usize,
     /// Worker-thread policy.
     pub threads: ThreadMode,
-    /// Whether to batch causality-free windows of consecutive ticks into one
-    /// wide phase 1 (see the module docs; on by default). Only effective when
-    /// the delay model's [`DelayModel::min_delay_ticks`] exceeds 1; schedules
-    /// are bit-identical either way.
+    /// Whether to batch windows of consecutive occupied ticks into one wide
+    /// phase (see the module docs; on by default). The window splits at
+    /// `t0 + min_delay − 1`: ticks at or below run as causality-free phase 1,
+    /// later occupied ticks drain through the coordinator's in-window heap.
+    /// Schedules are bit-identical either way.
     pub batching: bool,
 }
 
@@ -241,8 +258,63 @@ impl ShardLayout {
 /// own the link state (that lives with the source shard).
 #[derive(Debug)]
 enum ShardEvent<M> {
-    Deliver { link: DirectedEdgeId, from: NodeId, to: NodeId, msg: M },
-    Ack { link: DirectedEdgeId },
+    Deliver {
+        link: DirectedEdgeId,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Ack {
+        link: DirectedEdgeId,
+    },
+    /// A delivery the fault adversary ate at drain time (link down or endpoint
+    /// crashed; the message is already gone). Phase 1 must not activate it;
+    /// the merge frees the link at the event's exact `(tick, seq)` slot.
+    Dropped {
+        link: DirectedEdgeId,
+    },
+}
+
+/// Entry of the coordinator's in-window event heap: a min-heap on
+/// `(at, seq)`, holding window ticks past the static boundary and every
+/// merge-time effect scheduled at or before the window's last tick.
+#[derive(Debug)]
+struct WindowEntry<M> {
+    at: u64,
+    seq: u64,
+    ev: ShardEvent<M>,
+}
+
+impl<M> PartialEq for WindowEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<M> Eq for WindowEntry<M> {}
+
+impl<M> PartialOrd for WindowEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for WindowEntry<M> {
+    /// Reversed, so `BinaryHeap`'s max-heap pops the minimum `(at, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The coordinator's in-window event queue (see the module docs §Batched
+/// windows). Merge-time schedule targets at or before `t_last` land here —
+/// the wheels are already advanced past them — and are processed inline in
+/// `(tick, seq)` order; everything later goes to the destination wheel.
+struct InWindow<M> {
+    heap: BinaryHeap<WindowEntry<M>>,
+    /// Last tick of the current window (0 outside a barrier: every target is
+    /// strictly later, so routing degenerates to the wheels).
+    t_last: u64,
 }
 
 /// Phase-1 output for one event, consumed by the merge in `(tick, seq)`
@@ -266,6 +338,9 @@ enum ReadyKind {
     Delivered { from: NodeId, to: NodeId, outbox: u32 },
     /// A link acknowledgment (no activation; processed entirely in the merge).
     Ack,
+    /// A delivery the fault adversary dropped (no activation; the merge counts
+    /// it and frees the link at the event's `(tick, seq)` slot).
+    Dropped,
 }
 
 /// The shard state a worker thread needs: nodes, due events, phase-1 outputs.
@@ -337,6 +412,9 @@ fn phase1<P: Protocol>(w: &mut ShardWork<P>) {
             ShardEvent::Ack { link } => {
                 w.ready.push(Ready { tick, seq, link, kind: ReadyKind::Ack });
             }
+            ShardEvent::Dropped { link } => {
+                w.ready.push(Ready { tick, seq, link, kind: ReadyKind::Dropped });
+            }
         }
     }
     if newly > 0 {
@@ -375,6 +453,12 @@ struct Globals {
     /// `None` (the default) makes every hook a dead branch: schedules are
     /// bit-identical with tracing on or off.
     trace: Option<TraceState>,
+    /// Compiled fault adversary ([`crate::fault`]); `None` (the default) makes
+    /// every fault check a dead branch.
+    faults: Option<FaultState>,
+    /// Deliveries eaten by the fault adversary (mirrors the serial engine's
+    /// counter; identical across engines and shard counts).
+    dropped: u64,
 }
 
 impl Globals {
@@ -406,11 +490,15 @@ fn push_message<M>(
 
 /// Serial-order injection: if the link is idle and has a queued message, pop
 /// the lowest-stage one and schedule its delivery into the destination shard's
-/// wheel — the cross-shard hand-off of the merge step.
+/// wheel — the cross-shard hand-off of the merge step. On a fault-blocked link
+/// the whole queue is drained and dropped (no seq draws), exactly like the
+/// serial engine. Targets at or before the current window's last tick go to
+/// the in-window heap instead of a wheel (the wheels are already past them).
 fn try_inject<M>(
     g: &mut Globals,
     sh: &mut ShardTables<M>,
     delay: &DelayModel,
+    win: &mut InWindow<M>,
     link: DirectedEdgeId,
 ) {
     let (s, slot) = sh.layout.link_home(link);
@@ -418,16 +506,29 @@ fn try_inject<M>(
     if state.in_flight {
         return;
     }
+    let (from, to) = (state.from, state.to);
+    if g.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
+        let mut lost = 0;
+        while state.pop().is_some() {
+            lost += 1;
+        }
+        g.dropped += lost;
+        return;
+    }
     let Some((msg_seq, msg)) = state.pop() else { return };
     state.in_flight = true;
-    let (from, to) = (state.from, state.to);
     let d = delay.delay_ticks_at(from, to, msg_seq, g.now);
+    let at = g.now + d;
     let seq = g.next_seq();
     if let Some(tr) = g.trace.as_mut() {
         tr.on_scheduled(seq);
     }
-    let dest = sh.layout.shard_of(to);
-    sh.wheels[dest].schedule(g.now + d, seq, ShardEvent::Deliver { link, from, to, msg });
+    let ev = ShardEvent::Deliver { link, from, to, msg };
+    if at <= win.t_last {
+        win.heap.push(WindowEntry { at, seq, ev });
+    } else {
+        sh.wheels[sh.layout.shard_of(to)].schedule_from(g.now, at, seq, ev);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -474,7 +575,32 @@ where
     P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
-    run_sharded_inner(graph, delay, make, limits, opts, false).map(|(report, _)| report)
+    run_sharded_inner(graph, delay, None, make, limits, opts, false).map(|(report, _)| report)
+}
+
+/// [`run_async_sharded_with`] under a [`FaultPlan`]: the adversary's link and
+/// node events apply at the exact same ticks as on the serial engines, so the
+/// execution — schedule, outputs, drop counts — stays bit-identical to
+/// [`run_async_faulted`](crate::async_engine::run_async_faulted) for every
+/// shard count, worker count, and batching mode.
+///
+/// # Errors
+///
+/// Same as [`run_async`](crate::async_engine::run_async).
+pub fn run_async_sharded_faulted_with<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    faults: Option<&FaultPlan>,
+    make: F,
+    limits: SimLimits,
+    opts: ShardedOptions,
+) -> Result<AsyncReport<P>, SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
+    run_sharded_inner(graph, delay, faults, make, limits, opts, false).map(|(report, _)| report)
 }
 
 /// [`run_async_sharded_with`] with delivery tracing enabled: returns the
@@ -498,13 +624,38 @@ where
     P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
-    let (report, trace) = run_sharded_inner(graph, delay, make, limits, opts, true)?;
+    let (report, trace) = run_sharded_inner(graph, delay, None, make, limits, opts, true)?;
+    Ok((report, trace.expect("tracing was enabled")))
+}
+
+/// [`run_async_sharded_faulted_with`] with delivery tracing enabled. Dropped
+/// deliveries leave no trace record — only the schedule draw of the doomed
+/// delivery appears, exactly as on the serial engine.
+///
+/// # Errors
+///
+/// Same as [`run_async`](crate::async_engine::run_async).
+pub fn run_async_sharded_faulted_traced_with<P, F>(
+    graph: &Graph,
+    delay: DelayModel,
+    faults: Option<&FaultPlan>,
+    make: F,
+    limits: SimLimits,
+    opts: ShardedOptions,
+) -> Result<(AsyncReport<P>, DeliveryTrace), SimError>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: FnMut(NodeId) -> P,
+{
+    let (report, trace) = run_sharded_inner(graph, delay, faults, make, limits, opts, true)?;
     Ok((report, trace.expect("tracing was enabled")))
 }
 
 fn run_sharded_inner<P, F>(
     graph: &Graph,
     delay: DelayModel,
+    faults: Option<&FaultPlan>,
     make: F,
     limits: SimLimits,
     opts: ShardedOptions,
@@ -541,23 +692,25 @@ where
             }
         }
     };
+    let fstate = faults.map(|plan| FaultState::new(graph, plan));
     if workers == 0 {
-        return run_core(graph, delay, make, limits, k, opts.batching, None, trace);
+        return run_core(graph, delay, make, limits, k, opts.batching, None, trace, fstate);
     }
     WorkerPool::run(
         workers,
         |w: &mut ShardWork<P>| phase1(w),
-        |pool| run_core(graph, delay, make, limits, k, opts.batching, Some(pool), trace),
+        |pool| run_core(graph, delay, make, limits, k, opts.batching, Some(pool), trace, fstate),
     )
 }
 
 /// Sequential sharded run, used by
-/// [`run_async_with`](crate::async_engine::run_async_with) for
+/// [`run_async_faulted`](crate::async_engine::run_async_faulted) for
 /// [`crate::SchedulerKind::Sharded`]: no `Send` bound, no threads, identical
 /// execution.
-pub(crate) fn run_sequential<P, F>(
+pub(crate) fn run_sequential_faulted<P, F>(
     graph: &Graph,
     delay: DelayModel,
+    faults: Option<&FaultPlan>,
     make: F,
     limits: SimLimits,
     shards: usize,
@@ -567,15 +720,17 @@ where
     F: FnMut(NodeId) -> P,
 {
     let k = shards.clamp(1, graph.node_count().max(1));
-    run_core(graph, delay, make, limits, k, true, None, None).map(|(report, _)| report)
+    let fstate = faults.map(|plan| FaultState::new(graph, plan));
+    run_core(graph, delay, make, limits, k, true, None, None, fstate).map(|(report, _)| report)
 }
 
 /// Sequential sharded run with tracing, used by
-/// [`run_async_traced`](crate::async_engine::run_async_traced) for
-/// [`crate::SchedulerKind::Sharded`].
-pub(crate) fn run_sequential_traced<P, F>(
+/// [`run_async_faulted_traced`](crate::async_engine::run_async_faulted_traced)
+/// for [`crate::SchedulerKind::Sharded`].
+pub(crate) fn run_sequential_faulted_traced<P, F>(
     graph: &Graph,
     delay: DelayModel,
+    faults: Option<&FaultPlan>,
     make: F,
     limits: SimLimits,
     shards: usize,
@@ -585,8 +740,18 @@ where
     F: FnMut(NodeId) -> P,
 {
     let k = shards.clamp(1, graph.node_count().max(1));
-    let (report, trace) =
-        run_core(graph, delay, make, limits, k, true, None, Some(TraceState::new(k as u32)))?;
+    let fstate = faults.map(|plan| FaultState::new(graph, plan));
+    let (report, trace) = run_core(
+        graph,
+        delay,
+        make,
+        limits,
+        k,
+        true,
+        None,
+        Some(TraceState::new(k as u32)),
+        fstate,
+    )?;
     Ok((report, trace.expect("tracing was enabled")))
 }
 
@@ -606,6 +771,7 @@ fn run_core<P, F>(
     batching: bool,
     mut pool: Option<&mut WorkerPool<ShardWork<P>>>,
     trace: Option<TraceState>,
+    faults: Option<FaultState>,
 ) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
     P: Protocol,
@@ -652,18 +818,36 @@ where
         pool_dispatches: 0,
         touched: Vec::new(),
         trace,
+        faults,
+        dropped: 0,
     };
-    // Windows only ever batch when no delay can be shorter than the window:
-    // `min_delay > 1` is the soundness gate (see the module docs).
+    // The static part of a window is bounded by the delay floor (see the
+    // module docs §Batched windows); ticks past it batch through the
+    // in-window heap, so no `min_delay > 1` gate remains.
     let min_delay = delay.min_delay_ticks();
-    let batching = batching && min_delay > 1;
+    let mut win: InWindow<P::Message> = InWindow { heap: BinaryHeap::new(), t_last: 0 };
 
     // Time 0: start every node in global node order — the serial engine's
-    // init order, so the initial seq draws match exactly.
+    // init order, so the initial seq draws match exactly. Nodes the fault
+    // plan crashes at tick 0 never start (but still take the done check, like
+    // the serial engine).
+    if let Some(f) = g.faults.as_mut() {
+        f.advance_to(0);
+    }
     for v in graph.nodes() {
         let s = sh.layout.shard_of(v);
         let w = works[s].as_mut().expect("shard at home");
         let local = v.index() - w.lo;
+        if g.faults.as_ref().is_some_and(|f| f.is_crashed(v)) {
+            if !w.done[local] && w.nodes[local].is_done() {
+                w.done[local] = true;
+                g.done_count += 1;
+                if g.done_count == n && g.time_all_done.is_none() {
+                    g.time_all_done = Some(0);
+                }
+            }
+            continue;
+        }
         let mut ctx = Ctx::with_buffer(v, std::mem::take(&mut w.outbox_buf));
         w.nodes[local].on_start(&mut ctx);
         let mut touched = std::mem::take(&mut g.touched);
@@ -671,7 +855,7 @@ where
             touched.push(push_message(&mut g, &mut sh, graph, v, out)?);
         }
         for link in touched.drain(..) {
-            try_inject(&mut g, &mut sh, &delay, link);
+            try_inject(&mut g, &mut sh, &delay, &mut win, link);
         }
         g.touched = touched;
         let w = works[s].as_mut().expect("shard at home");
@@ -692,17 +876,27 @@ where
     let mut pos = vec![0usize; k];
     let mut window: Vec<u64> = Vec::new();
     let mut done_scratch: Vec<(u64, u64)> = Vec::new();
+    let mut ext_scratch: Vec<(u64, ShardEvent<P::Message>)> = Vec::new();
     while let Some(t0) = sh.wheels.iter().filter_map(TimingWheel::next_tick).min() {
-        // The window [t0, end]: every tick the occupancy bitsets report, up
-        // to the soundness bound t0 + min_delay - 1, capped per wheel by the
-        // horizon and the earliest overflow entry (invisible to the bitsets).
-        // t0 itself is pushed explicitly — it may be overflow-only.
+        // Apply fault transitions due by t0. The window cap below keeps the
+        // flags constant through t_last, so drain-time fault checks see the
+        // same state the serial engine sees at each window tick.
+        if let Some(f) = g.faults.as_mut() {
+            f.advance_to(t0);
+        }
+        // The window [t0, end]: every tick the occupancy bitsets report,
+        // capped per wheel by the horizon and the earliest overflow entry
+        // (invisible to the bitsets), and by the next fault transition. t0
+        // itself is pushed explicitly — it may be overflow-only.
         window.clear();
         window.push(t0);
         if batching {
-            let mut end = t0 + (min_delay - 1);
+            let mut end = u64::MAX;
             for wheel in &sh.wheels {
                 end = wheel.window_cap(end);
+            }
+            if let Some(next) = g.faults.as_ref().and_then(|f| f.next_transition_after(t0)) {
+                end = end.min(next - 1);
             }
             if end > t0 {
                 for wheel in &sh.wheels {
@@ -715,25 +909,54 @@ where
         let t_last = *window.last().expect("window holds t0");
         g.batched_ticks += window.len() as u64 - 1;
 
+        // Drain the window. Ticks up to the static boundary feed phase 1
+        // (fault-blocked deliveries are defused to `Dropped` in place — the
+        // flags cannot change before t_last, so this equals the serial
+        // at-tick check); later ticks bypass phase 1 entirely and go to the
+        // in-window heap for inline processing during the merge.
+        let static_end = t0 + (min_delay - 1);
         let mut total_due = 0usize;
         for &t in &window {
-            for (wheel, work) in sh.wheels.iter_mut().zip(&mut works) {
-                if wheel.next_tick() == Some(t) {
-                    let w = work.as_mut().expect("shard at home");
-                    let before = w.due.len();
-                    let drained = wheel.take_due(&mut w.due);
-                    debug_assert_eq!(drained, Some(t));
-                    w.tick_runs.push((t, w.due.len()));
-                    total_due += w.due.len() - before;
+            if t <= static_end {
+                for (wheel, work) in sh.wheels.iter_mut().zip(&mut works) {
+                    if wheel.next_tick() == Some(t) {
+                        let w = work.as_mut().expect("shard at home");
+                        let before = w.due.len();
+                        let drained = wheel.take_due(&mut w.due);
+                        debug_assert_eq!(drained, Some(t));
+                        if let Some(f) = g.faults.as_ref() {
+                            for (_, ev) in &mut w.due[before..] {
+                                if let ShardEvent::Deliver { link, from, to, .. } = *ev {
+                                    if f.blocks(link, from, to) {
+                                        *ev = ShardEvent::Dropped { link };
+                                    }
+                                }
+                            }
+                        }
+                        w.tick_runs.push((t, w.due.len()));
+                        total_due += w.due.len() - before;
+                    }
+                }
+            } else {
+                for wheel in sh.wheels.iter_mut() {
+                    if wheel.next_tick() == Some(t) {
+                        let drained = wheel.take_due(&mut ext_scratch);
+                        debug_assert_eq!(drained, Some(t));
+                        for (seq, ev) in ext_scratch.drain(..) {
+                            win.heap.push(WindowEntry { at: t, seq, ev });
+                        }
+                    }
                 }
             }
         }
         // Advance every wheel to the window's end before any merge effect
-        // schedules into it: the clocks stay in lock-step, and soundness
-        // guarantees every new event lands strictly after `t_last`.
+        // schedules into it: the clocks stay in lock-step, and anything the
+        // merge schedules at or before `t_last` is routed to the in-window
+        // heap instead.
         for wheel in sh.wheels.iter_mut() {
             wheel.advance_to(t_last);
         }
+        win.t_last = t_last;
 
         // Phase 1.
         match pool.as_deref_mut() {
@@ -780,10 +1003,13 @@ where
             }
         }
 
-        // Phase 2: k-way merge of the shards' ready lists by global
-        // `(tick, seq)` — the serial processing order (each list is already
-        // ascending in it). `g.now` is restored per event, so every delay
-        // draw and schedule target matches the serial engine's exactly.
+        // Phase 2: merge of the shards' ready lists AND the in-window heap by
+        // global `(tick, seq)` — the serial processing order (each ready list
+        // is already ascending in it; the heap pops in it). `g.now` is
+        // restored per event, so every delay draw and schedule target matches
+        // the serial engine's exactly. Heap deliveries run their activation
+        // inline here — they sit strictly past the static boundary, so every
+        // phase-1 activation of the same node already happened.
         pos.iter_mut().for_each(|p| *p = 0);
         loop {
             let mut best: Option<((u64, u64), usize)> = None;
@@ -794,6 +1020,91 @@ where
                         best = Some(((item.tick, item.seq), s));
                     }
                 }
+            }
+            let from_heap =
+                win.heap.peek().is_some_and(|e| best.is_none_or(|(key, _)| (e.at, e.seq) < key));
+            if from_heap {
+                let entry = win.heap.pop().expect("peeked above");
+                g.now = entry.at;
+                match entry.ev {
+                    ShardEvent::Deliver { link, from, to, msg } => {
+                        if g.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
+                            drop(msg);
+                            g.dropped += 1;
+                            let (home, slot) = sh.layout.link_home(link);
+                            sh.links[home][slot].in_flight = false;
+                            try_inject(&mut g, &mut sh, &delay, &mut win, link);
+                            continue;
+                        }
+                        if let Some(tr) = g.trace.as_mut() {
+                            tr.on_delivery(
+                                entry.seq,
+                                g.now,
+                                sh.layout.shard_of(to) as u32,
+                                from,
+                                to,
+                            );
+                        }
+                        g.deliveries += 1;
+                        if g.deliveries > g.max_events {
+                            return Err(SimError::EventLimitExceeded { limit: g.max_events });
+                        }
+                        g.metrics.events += 1;
+                        // Activate inline on the coordinator and dispatch the
+                        // outbox — the serial engine's deliver + dispatch_outbox,
+                        // verbatim.
+                        let s_to = sh.layout.shard_of(to);
+                        let w = works[s_to].as_mut().expect("shard at home");
+                        let local = to.index() - w.lo;
+                        let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut w.outbox_buf));
+                        w.nodes[local].on_message(from, msg, &mut ctx);
+                        let mut touched = std::mem::take(&mut g.touched);
+                        for out in ctx.drain_outbox() {
+                            touched.push(push_message(&mut g, &mut sh, graph, to, out)?);
+                        }
+                        for l in touched.drain(..) {
+                            try_inject(&mut g, &mut sh, &delay, &mut win, l);
+                        }
+                        g.touched = touched;
+                        // Acknowledge back to the sender (two seq draws, like
+                        // the serial engine).
+                        g.metrics.acks += 1;
+                        let ack_seq = g.next_seq();
+                        let ack_delay = delay.delay_ticks_at(to, from, ack_seq, g.now);
+                        let at = g.now + ack_delay;
+                        let seq = g.next_seq();
+                        if let Some(tr) = g.trace.as_mut() {
+                            tr.on_scheduled(seq);
+                        }
+                        if at <= win.t_last {
+                            win.heap.push(WindowEntry { at, seq, ev: ShardEvent::Ack { link } });
+                        } else {
+                            let (home, _) = sh.layout.link_home(link);
+                            sh.wheels[home].schedule_from(g.now, at, seq, ShardEvent::Ack { link });
+                        }
+                        let w = works[s_to].as_mut().expect("shard at home");
+                        w.outbox_buf = ctx.into_buffer();
+                        if !w.done[local] && w.nodes[local].is_done() {
+                            w.done[local] = true;
+                            g.done_count += 1;
+                            if g.done_count == n && g.time_all_done.is_none() {
+                                g.time_all_done = Some(g.now);
+                            }
+                        }
+                    }
+                    ShardEvent::Ack { link } => {
+                        if let Some(tr) = g.trace.as_mut() {
+                            tr.on_ack(entry.seq);
+                        }
+                        let (home, slot) = sh.layout.link_home(link);
+                        sh.links[home][slot].in_flight = false;
+                        try_inject(&mut g, &mut sh, &delay, &mut win, link);
+                    }
+                    ShardEvent::Dropped { .. } => {
+                        unreachable!("drops are decided at drain or processing time")
+                    }
+                }
+                continue;
             }
             let Some((_, s)) = best else { break };
             let item = works[s].as_ref().expect("shard at home").ready[pos[s]];
@@ -823,7 +1134,7 @@ where
                         touched.push(push_message(&mut g, &mut sh, graph, to, out)?);
                     }
                     for link in touched.drain(..) {
-                        try_inject(&mut g, &mut sh, &delay, link);
+                        try_inject(&mut g, &mut sh, &delay, &mut win, link);
                     }
                     g.touched = touched;
                     // Acknowledge back to the sender (two seq draws, exactly
@@ -832,16 +1143,26 @@ where
                     g.metrics.acks += 1;
                     let ack_seq = g.next_seq();
                     let ack_delay = delay.delay_ticks_at(to, from, ack_seq, g.now);
+                    let at = g.now + ack_delay;
                     let (home, _) = sh.layout.link_home(item.link);
                     let seq = g.next_seq();
                     if let Some(tr) = g.trace.as_mut() {
                         tr.on_scheduled(seq);
                     }
-                    sh.wheels[home].schedule(
-                        g.now + ack_delay,
-                        seq,
-                        ShardEvent::Ack { link: item.link },
-                    );
+                    if at <= win.t_last {
+                        win.heap.push(WindowEntry {
+                            at,
+                            seq,
+                            ev: ShardEvent::Ack { link: item.link },
+                        });
+                    } else {
+                        sh.wheels[home].schedule_from(
+                            g.now,
+                            at,
+                            seq,
+                            ShardEvent::Ack { link: item.link },
+                        );
+                    }
                 }
                 ReadyKind::Ack => {
                     if let Some(tr) = g.trace.as_mut() {
@@ -849,7 +1170,13 @@ where
                     }
                     let (home, slot) = sh.layout.link_home(item.link);
                     sh.links[home][slot].in_flight = false;
-                    try_inject(&mut g, &mut sh, &delay, item.link);
+                    try_inject(&mut g, &mut sh, &delay, &mut win, item.link);
+                }
+                ReadyKind::Dropped => {
+                    g.dropped += 1;
+                    let (home, slot) = sh.layout.link_home(item.link);
+                    sh.links[home][slot].in_flight = false;
+                    try_inject(&mut g, &mut sh, &delay, &mut win, item.link);
                 }
             }
         }
@@ -858,6 +1185,8 @@ where
             w.ready.clear();
             debug_assert!(w.arena.is_empty(), "merge consumed every captured message");
         }
+        debug_assert!(win.heap.is_empty(), "merge drained the in-window heap");
+        win.t_last = 0;
     }
 
     g.metrics.time_to_output = g.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
@@ -870,6 +1199,8 @@ where
             overflow_events,
             batched_ticks: g.batched_ticks,
             pool_dispatches: g.pool_dispatches,
+            dropped_events: g.dropped,
+            fault_transitions: g.faults.as_ref().map_or(0, FaultState::transitions),
         },
         g.trace.map(TraceState::finish),
     ))
@@ -990,6 +1321,72 @@ mod tests {
     }
 
     #[test]
+    fn faulted_sharded_runs_match_the_serial_wheel() {
+        // Under a churn plan — link episodes plus a mid-run crash/recovery —
+        // the sharded engine must reproduce the serial wheel's arrival
+        // streams, drop counts and transition counts for every shard count
+        // and batching mode; batching windows must stop at fault transitions.
+        let graph = Graph::random_connected(26, 0.14, 11);
+        let mut plan = FaultPlan::random_churn(&graph, 42, 6, 2, 5 * TICKS_PER_UNIT);
+        plan = plan
+            .node_crash(TICKS_PER_UNIT / 2, NodeId(5))
+            .node_recover(3 * TICKS_PER_UNIT, NodeId(5));
+        for delay in [DelayModel::uniform(), DelayModel::jitter(3), DelayModel::outage(7, 5, 2)] {
+            let reference = crate::async_engine::run_async_faulted(
+                &graph,
+                delay.clone(),
+                Some(&plan),
+                |v| Chatter::new(&graph, v),
+                SimLimits::default(),
+                SchedulerKind::TimingWheel,
+            )
+            .expect("faulted wheel run");
+            assert!(reference.fault_transitions > 0, "the plan must actually fire");
+            let (ref_dropped, ref_transitions) =
+                (reference.dropped_events, reference.fault_transitions);
+            let reference_view: NodeView = (
+                reference.nodes.into_iter().map(|n| n.arrivals).collect(),
+                reference.metrics,
+                reference.overflow_events,
+            );
+            for shards in [1, 2, 4, 7] {
+                for batching in [true, false] {
+                    let report = run_async_sharded_faulted_with(
+                        &graph,
+                        delay.clone(),
+                        Some(&plan),
+                        |v| Chatter::new(&graph, v),
+                        SimLimits::default(),
+                        ShardedOptions {
+                            threads: ThreadMode::Off,
+                            batching,
+                            ..ShardedOptions::new(shards)
+                        },
+                    )
+                    .expect("faulted sharded run");
+                    assert_eq!(
+                        report.dropped_events, ref_dropped,
+                        "shards={shards} batching={batching} drop count diverged under {delay:?}"
+                    );
+                    assert_eq!(
+                        report.fault_transitions, ref_transitions,
+                        "shards={shards} batching={batching} transitions diverged under {delay:?}"
+                    );
+                    let got: NodeView = (
+                        report.nodes.into_iter().map(|n| n.arrivals).collect(),
+                        report.metrics,
+                        report.overflow_events,
+                    );
+                    assert_eq!(
+                        got, reference_view,
+                        "shards={shards} batching={batching} diverged under {delay:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn worker_threads_produce_the_same_execution() {
         // ForceOn exercises the cross-thread hand-off even on single-core
         // hosts; a uniform-delay start wave on a 12×12 grid puts well over
@@ -1041,8 +1438,10 @@ mod tests {
         // A floored-jitter adversary (min delay 500 ticks) spreads deliveries
         // across ticks, so causality-free windows really form; the engine must
         // report them via `batched_ticks` — and report exactly zero whenever
-        // batching is off or the model can draw 1-tick delays. The coordinator
-        // path never ships a barrier to the pool.
+        // batching is off. The coordinator path never ships a barrier to the
+        // pool. Under the dynamic gate, 1-tick-floor models batch too: their
+        // static part is a single tick, but the window probe still folds every
+        // occupied tick it can see into the in-window heap.
         let graph = Graph::random_connected(26, 0.14, 11);
         let run = |delay: &DelayModel, batching: bool| {
             run_async_sharded_with(
@@ -1059,10 +1458,19 @@ mod tests {
         assert!(batched.batched_ticks > 0, "floored jitter must form multi-tick windows");
         assert_eq!(batched.pool_dispatches, 0, "ThreadMode::Off must never touch the pool");
         assert_eq!(run(&floored, false).batched_ticks, 0, "batching off must report zero");
-        for gated in [DelayModel::jitter(5), DelayModel::outage(7, 5, 2)] {
-            let report = run(&gated, true);
-            assert_eq!(report.batched_ticks, 0, "{gated:?} can draw 1-tick delays");
+        for ungated in [DelayModel::jitter(5), DelayModel::outage(7, 5, 2)] {
+            let report = run(&ungated, true);
+            assert!(
+                report.batched_ticks > 0,
+                "{ungated:?} must batch under the dynamic occupancy gate"
+            );
         }
+        // Uniform delays land every event on the τ grid: each barrier's
+        // occupancy probe finds nothing past t0, so windows stay singletons.
+        // `bursty(1)` realizes the same all-τ schedule while advertising a
+        // 1-tick floor — batching is decided by occupancy, not the floor.
+        assert_eq!(run(&DelayModel::uniform(), true).batched_ticks, 0);
+        assert_eq!(run(&DelayModel::bursty(1), true).batched_ticks, 0);
     }
 
     #[test]

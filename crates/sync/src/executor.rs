@@ -16,14 +16,16 @@ use crate::alpha::AlphaSynchronizer;
 use crate::beta::{BetaSynchronizer, SpanningTree};
 use crate::synchronizer::{collect_outputs, DetSynchronizer, SynchronizerConfig};
 use ds_graph::{Graph, NodeId};
-use ds_netsim::async_engine::{run_async_traced, run_async_with, SimError, SimLimits};
+use ds_netsim::async_engine::{run_async_faulted, run_async_faulted_traced, SimError, SimLimits};
 use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::protocol::Protocol;
-use ds_netsim::sharded::{run_async_sharded_traced_with, run_async_sharded_with, ShardedOptions};
+use ds_netsim::sharded::{
+    run_async_sharded_faulted_traced_with, run_async_sharded_faulted_with, ShardedOptions,
+};
 use ds_netsim::sync_engine::run_sync;
-use ds_netsim::{AsyncReport, DeliveryTrace, SchedulerKind, ThreadMode};
+use ds_netsim::{AsyncReport, DeliveryTrace, FaultPlan, SchedulerKind, ThreadMode};
 use std::sync::Arc;
 
 /// The environment an executor runs in: the network, the delay adversary and the
@@ -43,6 +45,11 @@ pub struct ExecutionEnv<'g> {
     /// Off by default; the traced execution is bit-identical to the untraced
     /// one. The lock-step executor ignores this (no deliveries to trace).
     pub trace: bool,
+    /// Dynamic-topology fault plan (link churn, crash-stop failures) the
+    /// asynchronous engines consult at dispatch and delivery time. `None` runs
+    /// on the intact topology. The lock-step executor **ignores** faults — it
+    /// is the fault-free ground truth degraded runs are compared against.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Runs a synchronizer protocol on the engine the environment selects:
@@ -60,27 +67,78 @@ where
     P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
+    let faults = env.faults.as_ref();
     match (env.scheduler, env.trace) {
-        (SchedulerKind::Sharded { shards, workers }, false) => run_async_sharded_with(
+        (SchedulerKind::Sharded { shards, workers }, false) => run_async_sharded_faulted_with(
             env.graph,
             env.delay.clone(),
+            faults,
             make,
             env.limits,
             ShardedOptions { workers, threads: ThreadMode::Auto, ..ShardedOptions::new(shards) },
         )
         .map(|report| (report, None)),
-        (SchedulerKind::Sharded { shards, workers }, true) => run_async_sharded_traced_with(
-            env.graph,
-            env.delay.clone(),
-            make,
-            env.limits,
-            ShardedOptions { workers, threads: ThreadMode::Auto, ..ShardedOptions::new(shards) },
-        )
-        .map(|(report, trace)| (report, Some(trace))),
-        (kind, false) => run_async_with(env.graph, env.delay.clone(), make, env.limits, kind)
-            .map(|report| (report, None)),
-        (kind, true) => run_async_traced(env.graph, env.delay.clone(), make, env.limits, kind)
-            .map(|(report, trace)| (report, Some(trace))),
+        (SchedulerKind::Sharded { shards, workers }, true) => {
+            run_async_sharded_faulted_traced_with(
+                env.graph,
+                env.delay.clone(),
+                faults,
+                make,
+                env.limits,
+                ShardedOptions {
+                    workers,
+                    threads: ThreadMode::Auto,
+                    ..ShardedOptions::new(shards)
+                },
+            )
+            .map(|(report, trace)| (report, Some(trace)))
+        }
+        (kind, false) => {
+            run_async_faulted(env.graph, env.delay.clone(), faults, make, env.limits, kind)
+                .map(|report| (report, None))
+        }
+        (kind, true) => {
+            run_async_faulted_traced(env.graph, env.delay.clone(), faults, make, env.limits, kind)
+                .map(|(report, trace)| (report, Some(trace)))
+        }
+    }
+}
+
+/// Degradation status of a run under a fault plan: which nodes were lost and
+/// which produced no output. A fault-free run on a connected graph has both
+/// lists empty; under churn a workload still terminates (dropped messages
+/// starve the schedule instead of wedging it) and this records exactly how
+/// partial the result is.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Nodes left crashed when the fault plan ran out
+    /// ([`FaultPlan::crashed_at_end`]): their outputs are unreliable by
+    /// definition — the node stopped participating.
+    pub crashed: Vec<NodeId>,
+    /// Nodes that produced no output (`None`), crashed or not: partitioned
+    /// nodes starve and land here without ever having crashed themselves.
+    pub missing: Vec<NodeId>,
+}
+
+impl RunHealth {
+    /// Whether the run degraded at all: some node crashed or produced no output.
+    pub fn is_partial(&self) -> bool {
+        !self.crashed.is_empty() || !self.missing.is_empty()
+    }
+
+    /// Health of a finished run: crash status from the environment's fault plan
+    /// (the lock-step executor passes no plan — it ignores faults), missing
+    /// nodes from the collected outputs.
+    fn of<O>(faults: Option<&FaultPlan>, outputs: &[Option<O>]) -> Self {
+        RunHealth {
+            crashed: faults.map(|p| p.crashed_at_end(outputs.len())).unwrap_or_default(),
+            missing: outputs
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.is_none())
+                .map(|(i, _)| NodeId(i))
+                .collect(),
+        }
     }
 }
 
@@ -102,6 +160,16 @@ pub struct SynchronizedRun<O> {
     /// serial engines). An engine internal surfaced for the bench artifact —
     /// it never differs between runs that differ only in scheduler.
     pub batched_ticks: u64,
+    /// Deliveries dropped by the fault plan ([`AsyncReport::dropped_events`];
+    /// 0 without faults and for the lock-step executor).
+    pub dropped_events: u64,
+    /// Fault-plan operations applied by the engine
+    /// ([`AsyncReport::fault_transitions`]; 0 for the lock-step executor).
+    pub fault_transitions: u64,
+    /// Degradation status: crashed nodes and nodes with no output. A run under
+    /// faults never hangs — it terminates with this explicit partial-result
+    /// status instead.
+    pub health: RunHealth,
 }
 
 /// An execution strategy for event-driven algorithms: wraps per-node algorithm
@@ -144,12 +212,17 @@ impl<A: EventDriven> Synchronizer<A> for DirectExecutor {
         make_alg: &mut dyn FnMut(NodeId) -> A,
     ) -> Result<SynchronizedRun<A::Output>, SimError> {
         let report = run_sync(env.graph, make_alg, env.limits.max_rounds)?;
+        let outputs = report.outputs();
+        let health = RunHealth::of(None, &outputs);
         Ok(SynchronizedRun {
-            outputs: report.outputs(),
+            outputs,
             metrics: report.metrics,
             ordering_violations: 0,
             trace: None,
             batched_ticks: 0,
+            dropped_events: 0,
+            fault_transitions: 0,
+            health,
         })
     }
 }
@@ -174,12 +247,17 @@ impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
         let max_pulse = self.max_pulse;
         let (report, trace) =
             run_env_async(env, |v| AlphaSynchronizer::new(env.graph, v, make_alg(v), max_pulse))?;
+        let outputs: Vec<_> = report.nodes.iter().map(|n| n.algorithm().output()).collect();
+        let health = RunHealth::of(env.faults.as_ref(), &outputs);
         Ok(SynchronizedRun {
-            outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
+            outputs,
             metrics: report.metrics,
             ordering_violations: 0,
             trace,
             batched_ticks: report.batched_ticks,
+            dropped_events: report.dropped_events,
+            fault_transitions: report.fault_transitions,
+            health,
         })
     }
 }
@@ -208,12 +286,17 @@ impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
         let tree = Arc::clone(&self.tree);
         let (report, trace) =
             run_env_async(env, |v| BetaSynchronizer::new(tree.clone(), v, make_alg(v), max_pulse))?;
+        let outputs: Vec<_> = report.nodes.iter().map(|n| n.algorithm().output()).collect();
+        let health = RunHealth::of(env.faults.as_ref(), &outputs);
         Ok(SynchronizedRun {
-            outputs: report.nodes.iter().map(|n| n.algorithm().output()).collect(),
+            outputs,
             metrics: report.metrics,
             ordering_violations: 0,
             trace,
             batched_ticks: report.batched_ticks,
+            dropped_events: report.dropped_events,
+            fault_transitions: report.fault_transitions,
+            health,
         })
     }
 }
@@ -240,12 +323,16 @@ impl<A: EventDriven> Synchronizer<A> for DetExecutor {
         let (report, trace) =
             run_env_async(env, |v| DetSynchronizer::new(v, make_alg(v), cfg.clone()))?;
         let outputs = collect_outputs(&report.nodes);
+        let health = RunHealth::of(env.faults.as_ref(), &outputs.outputs);
         Ok(SynchronizedRun {
             outputs: outputs.outputs,
             metrics: report.metrics,
             ordering_violations: outputs.ordering_violations,
             trace,
             batched_ticks: report.batched_ticks,
+            dropped_events: report.dropped_events,
+            fault_transitions: report.fault_transitions,
+            health,
         })
     }
 }
@@ -307,6 +394,7 @@ mod tests {
             limits: SimLimits::default(),
             scheduler: SchedulerKind::default(),
             trace: false,
+            faults: None,
         };
         let direct =
             DirectExecutor.execute(&env, &mut |v| Flood::new(&graph, v)).expect("direct run");

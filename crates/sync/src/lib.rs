@@ -39,8 +39,8 @@ pub mod event_driven {
 }
 
 pub use executor::{
-    AlphaExecutor, BetaExecutor, DetExecutor, DirectExecutor, ExecutionEnv, SynchronizedRun,
-    Synchronizer,
+    AlphaExecutor, BetaExecutor, DetExecutor, DirectExecutor, ExecutionEnv, RunHealth,
+    SynchronizedRun, Synchronizer,
 };
 pub use session::{ComparisonReport, Session, SessionError, SyncKind};
 pub use synchronizer::{collect_outputs, DetSynchronizer, SyncMsg, SynchronizerConfig};

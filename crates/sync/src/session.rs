@@ -59,7 +59,7 @@ use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::sync_engine::run_sync;
-use ds_netsim::SchedulerKind;
+use ds_netsim::{FaultPlan, SchedulerKind};
 use std::fmt;
 use std::sync::Arc;
 
@@ -220,6 +220,7 @@ pub struct Session<'g> {
     pulse_bound: Option<u64>,
     scheduler: SchedulerKind,
     trace: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl<'g> Session<'g> {
@@ -236,7 +237,28 @@ impl<'g> Session<'g> {
             pulse_bound: None,
             scheduler: SchedulerKind::default(),
             trace: false,
+            faults: None,
         }
+    }
+
+    /// Injects a dynamic-topology [`FaultPlan`] (link churn, crash-stop node
+    /// failures): the asynchronous engines consult it at dispatch and delivery
+    /// time, dropping deliveries over downed links and crashed nodes. The run
+    /// still terminates — dropped messages starve the schedule — and reports
+    /// how partial it was on
+    /// [`SynchronizedRun::health`](crate::executor::SynchronizedRun), along
+    /// with [`dropped_events`](crate::executor::SynchronizedRun::dropped_events)
+    /// and [`fault_transitions`](crate::executor::SynchronizedRun::fault_transitions)
+    /// counters. Ignored by [`SyncKind::Direct`] (the fault-free ground truth)
+    /// — and note that [`Session::compare`] against a faulted run will report
+    /// mismatched outputs for exactly the nodes `health.missing` lists. When a
+    /// plan is set, pair it with an explicit [`Session::pulse_bound`] if the
+    /// synchronous ground truth would be too optimistic about `T(A)` on the
+    /// intact graph.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Records a per-delivery [`trace`](ds_netsim::DeliveryTrace) during the
@@ -327,6 +349,7 @@ impl<'g> Session<'g> {
             limits: self.limits,
             scheduler: self.scheduler,
             trace: self.trace,
+            faults: self.faults.clone(),
         }
     }
 
@@ -535,6 +558,38 @@ mod tests {
             .run(|v| Flood::new(&graph, v))
             .expect("direct run");
         assert!(direct.trace.is_none());
+    }
+
+    #[test]
+    fn faulted_session_terminates_with_explicit_partial_status() {
+        // Crash the flood source at time 0 and never recover it: nothing can
+        // flood, yet the run must terminate (dropped deliveries starve the
+        // schedule) and say exactly how partial the result is.
+        let graph = Graph::grid(3, 3);
+        let plan = ds_netsim::FaultPlan::new().node_crash(0, NodeId(0));
+        for kind in [SyncKind::Alpha, SyncKind::DetAuto] {
+            let run = Session::on(&graph)
+                .delay(DelayModel::jitter(4))
+                .synchronizer(kind.clone())
+                .pulse_bound(10)
+                .faults(plan.clone())
+                .run(|v| Flood::new(&graph, v))
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            assert!(run.health.is_partial(), "{}", kind.label());
+            assert_eq!(run.health.crashed, vec![NodeId(0)], "{}", kind.label());
+            assert!(run.health.missing.contains(&NodeId(0)), "{}", kind.label());
+            assert!(run.outputs.iter().all(Option::is_none), "{}: no node can learn", kind.label());
+            assert!(run.fault_transitions >= 1, "{}", kind.label());
+        }
+        // The same session without the plan is healthy and complete.
+        let clean = Session::on(&graph)
+            .delay(DelayModel::jitter(4))
+            .synchronizer(SyncKind::DetAuto)
+            .run(|v| Flood::new(&graph, v))
+            .expect("clean run");
+        assert!(!clean.health.is_partial());
+        assert_eq!(clean.dropped_events, 0);
+        assert_eq!(clean.fault_transitions, 0);
     }
 
     #[test]

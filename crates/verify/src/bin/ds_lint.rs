@@ -17,8 +17,13 @@ use std::process::ExitCode;
 /// The crates the determinism rules govern, relative to the workspace root:
 /// everything that can influence an engine schedule. (`bench` drives wall
 /// clocks by design; `verify` hosts the seeded-violation fixtures.)
-const DEFAULT_SCAN: [&str; 4] =
-    ["crates/netsim/src", "crates/sync/src", "crates/covers/src", "crates/graph/src"];
+const DEFAULT_SCAN: [&str; 5] = [
+    "crates/netsim/src",
+    "crates/sync/src",
+    "crates/covers/src",
+    "crates/graph/src",
+    "crates/algos/src",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -62,17 +62,22 @@ pub use ds_sync as sync;
 
 pub mod prelude {
     //! Convenient re-exports for examples and downstream users.
-    pub use ds_algos::bfs::{run_synchronized_bfs, run_synchronized_multi_bfs, BfsOutput};
-    pub use ds_algos::leader::run_synchronized_leader_election;
+    pub use ds_algos::bfs::{
+        run_synchronized_bfs, run_synchronized_multi_bfs, run_synchronized_multi_bfs_faulted,
+        BfsOutput,
+    };
+    pub use ds_algos::leader::{
+        run_synchronized_leader_election, run_synchronized_leader_election_faulted,
+    };
     pub use ds_algos::mst::run_synchronized_mst;
     pub use ds_covers::{LayeredSparseCover, SparseCover};
     pub use ds_graph::{Graph, NodeId};
     pub use ds_netsim::async_engine::SimLimits;
     pub use ds_netsim::delay::DelayModel;
     pub use ds_netsim::metrics::RunMetrics;
-    pub use ds_netsim::SchedulerKind;
+    pub use ds_netsim::{FaultPlan, SchedulerKind};
     pub use ds_sync::event_driven::EventDriven;
-    pub use ds_sync::executor::{SynchronizedRun, Synchronizer};
+    pub use ds_sync::executor::{RunHealth, SynchronizedRun, Synchronizer};
     pub use ds_sync::session::{ComparisonReport, Session, SessionError, SyncKind};
     pub use ds_sync::synchronizer::{DetSynchronizer, SynchronizerConfig};
 }

@@ -70,7 +70,7 @@ fn leader_election_elects_global_minimum_on_all_workloads() {
     for (name, graph) in workloads() {
         let report = run_synchronized_leader_election(&graph, DelayModel::bursty(2))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(report.leader, NodeId(0), "{name}");
+        assert_eq!(report.leader, Some(NodeId(0)), "{name}");
         assert!(report.outputs.iter().all(|o| *o == Some(NodeId(0))), "{name}");
     }
 }

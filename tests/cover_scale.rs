@@ -70,3 +70,50 @@ fn layered_cover_layers_validate_on_a_tier_graph() {
         cover.validate(&graph).unwrap_or_else(|e| panic!("layer {j}: {e}"));
     }
 }
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-mode scale test; debug builds are too slow")]
+fn incremental_repair_matches_a_rebuild_on_4096_node_tier_graphs() {
+    // Acceptance pin for the dynamic-topology repair (DESIGN.md §9): on every
+    // tier graph, knock out one interior node and one extra edge, repair the
+    // cover incrementally, rebuild it from scratch, and check the two agree on
+    // the cover contract — both validate on the new graph, both cover every
+    // node, and the repaired membership stays within the documented additive
+    // budget (kept log-bound + patch log-bound) of the rebuilt optimum.
+    use det_synchronizer::covers::builder::build_sparse_cover;
+    use det_synchronizer::covers::repair::{repair_sparse_cover, without_edge, without_node};
+    use det_synchronizer::graph::NodeId;
+
+    for (label, graph) in tier_graphs() {
+        let d = 2;
+        let log_n = (graph.node_count() as f64).log2().ceil() as usize;
+        let cover = build_sparse_cover(&graph, d);
+
+        let crashed = NodeId(graph.node_count() / 2 + 3);
+        let step1 = without_node(&graph, crashed);
+        let (_, u, v) = step1.edges().nth(step1.edge_count() / 3).unwrap();
+        let step2 = without_edge(&step1, u, v);
+
+        let (mid, stats1) = repair_sparse_cover(&cover, &graph, &step1);
+        let (repaired, stats2) = repair_sparse_cover(&mid, &step1, &step2);
+        assert!(stats1.dropped > 0, "{label}: the crash must break clusters");
+        assert!(stats1.kept > 0, "{label}: most clusters must survive untouched");
+        assert!(stats1.kept + stats2.kept > 0, "{label}");
+
+        let rebuilt = build_sparse_cover(&step2, d);
+        repaired.validate(&step2).unwrap_or_else(|e| panic!("{label} repaired: {e}"));
+        rebuilt.validate(&step2).unwrap_or_else(|e| panic!("{label} rebuilt: {e}"));
+        for w in step2.nodes() {
+            assert!(!repaired.clusters_of(w).is_empty(), "{label}: {w} uncovered after repair");
+            assert!(!rebuilt.clusters_of(w).is_empty(), "{label}: {w} uncovered after rebuild");
+        }
+        // Two repairs stack at most two patch carvings on the kept cover.
+        assert!(
+            repaired.max_membership() <= 3 * (log_n + 1),
+            "{label}: repaired membership {} vs rebuilt {} exceeds the additive budget",
+            repaired.max_membership(),
+            rebuilt.max_membership()
+        );
+        assert!(rebuilt.max_membership() <= log_n + 1, "{label}: rebuilt membership out of bound");
+    }
+}
