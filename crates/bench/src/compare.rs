@@ -261,9 +261,12 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Parses a `det-synchronizer-bench/v5` artifact, or an older one: v4 (no
+    /// Parses a `det-synchronizer-bench/v6` artifact, or an older one: v5 (no
+    /// `peak_live_handles`/`arena_bytes`/`max_batch` event-arena counters —
+    /// the engine predates the recycled arena), v4 (additionally no
     /// `dropped_events`/`fault_transitions` fault counters — the engine
-    /// predates fault injection), v3 (additionally no
+    /// predates fault injection; a checked-in fixture under
+    /// `crates/bench/fixtures/` pins this reader), v3 (additionally no
     /// `workers`/`batched_ticks` fields — the engine predates the worker
     /// pool), v2 (additionally no `threads` field — every scenario was
     /// serial) and v1 (records `setup_seconds`, converted to `setup_ms`)
@@ -274,7 +277,8 @@ impl Baseline {
     ///
     /// Returns a description of the first syntax or schema problem.
     pub fn parse(text: &str) -> Result<Baseline, String> {
-        const SUPPORTED: [&str; 5] = [
+        const SUPPORTED: [&str; 6] = [
+            "det-synchronizer-bench/v6",
             "det-synchronizer-bench/v5",
             "det-synchronizer-bench/v4",
             "det-synchronizer-bench/v3",
@@ -543,6 +547,9 @@ mod tests {
             batched_ticks: 0,
             dropped_events: 0,
             fault_transitions: 0,
+            peak_live_handles: 0,
+            arena_bytes: 0,
+            max_batch: 0,
             events_per_sec: eps,
             messages: 10,
             algorithm_messages: 10,
@@ -672,23 +679,33 @@ mod tests {
     }
 
     #[test]
-    fn parses_v4_baselines_without_fault_counters() {
-        // The committed artifact regenerates as v5 mid-PR; the gate must keep
-        // reading the previous release's v4 artifact until then.
-        let v4 = r#"{
-            "schema": "det-synchronizer-bench/v4",
-            "mode": "full",
-            "scenarios": [
-                {"scenario": "grid/16/det/uniform", "events": 7, "threads": 2,
-                 "workers": 2, "batched_ticks": 3,
-                 "events_per_sec": 1000.0, "setup_ms": 12.5}
-            ]
-        }"#;
-        let baseline = Baseline::parse(v4).expect("v4 parses");
+    fn parses_the_checked_in_v4_fixture() {
+        // `fixtures/baseline_v4.json` is a verbatim excerpt of the last v4
+        // artifact this repo committed (no fault or arena counters). Reading a
+        // real on-disk artifact — not a hand-written literal — pins the reader
+        // against the exact bytes older checkouts compare against.
+        let v4 = include_str!("../fixtures/baseline_v4.json");
+        let baseline = Baseline::parse(v4).expect("v4 fixture parses");
+        assert_eq!(baseline.mode, "full");
+        assert_eq!(baseline.scenarios.len(), 3);
         assert_eq!(
-            baseline.scenarios["grid/16/det/uniform"],
-            BaselineScenario { events: 7, events_per_sec: 1000.0, setup_ms: 12.5 }
+            baseline.scenarios["grid/4096/det/uniform"],
+            BaselineScenario {
+                events: 1_119_962,
+                events_per_sec: 1_424_173.071_404_047_8,
+                setup_ms: 18.311_127,
+            }
         );
+        assert_eq!(baseline.scenarios["grid/256/direct/none"].events, 705);
+        assert_eq!(baseline.scenarios["torus/16384/det/jitter"].events, 5_245_927);
+        // The v4 fixture must gate a v6 run exactly like a fresh baseline:
+        // identical events pass, a changed schedule fails.
+        let new = vec![record("grid/256/direct/none", 705, 1e6)];
+        let report = compare_against_baseline(&new, &baseline, DEFAULT_TOLERANCE);
+        assert!(report.schedule_ok(), "identical event counts must pass the v4 gate");
+        let drifted = vec![record("grid/256/direct/none", 706, 1e6)];
+        let report = compare_against_baseline(&drifted, &baseline, DEFAULT_TOLERANCE);
+        assert!(!report.schedule_ok(), "a drifted schedule must fail the v4 gate");
     }
 
     #[test]

@@ -34,6 +34,13 @@
 //! fault-free, so both are 0 in committed artifacts; they are recorded anyway so
 //! a future faulted scenario tier needs no schema bump and so `--compare` can
 //! flag a matrix that silently started dropping deliveries.
+//!
+//! Schema v6 adds the event-arena counters (DESIGN.md §10): `peak_live_handles`
+//! (the high-water mark of simultaneously in-flight payload handles, summed
+//! over shards), `arena_bytes` (payload-slab capacity at the end of the run)
+//! and `max_batch` (the largest one-tick due batch the engine drained). All
+//! three are engine internals like `batched_ticks`: `events` never depends on
+//! them, and the lock-step `direct` scenarios record 0.
 
 use crate::json::Json;
 use crate::table::Row;
@@ -123,6 +130,16 @@ pub struct PerfRecord {
     /// Fault-plan transitions applied during the run (0 for the fault-free
     /// matrix). New in schema v5.
     pub fault_transitions: u64,
+    /// Peak number of simultaneously live payload handles in the engine's
+    /// event arena(s) (summed over shards; 0 for the lock-step engine). An
+    /// engine internal: `events` never depends on it. New in schema v6.
+    pub peak_live_handles: u64,
+    /// Bytes held by the payload-arena slabs at the end of the run (summed
+    /// over shards; 0 for the lock-step engine). New in schema v6.
+    pub arena_bytes: u64,
+    /// Largest one-tick due batch the engine drained (0 for the lock-step
+    /// engine). New in schema v6.
+    pub max_batch: u64,
     /// Events per wall-clock second — the engine throughput number.
     pub events_per_sec: f64,
     /// Total messages sent (algorithm + control, acks excluded).
@@ -160,6 +177,9 @@ impl PerfRecord {
             ("batched_ticks", Json::Int(self.batched_ticks)),
             ("dropped_events", Json::Int(self.dropped_events)),
             ("fault_transitions", Json::Int(self.fault_transitions)),
+            ("peak_live_handles", Json::Int(self.peak_live_handles)),
+            ("arena_bytes", Json::Int(self.arena_bytes)),
+            ("max_batch", Json::Int(self.max_batch)),
             ("events_per_sec", Json::Num(self.events_per_sec)),
             ("messages", Json::Int(self.messages)),
             ("algorithm_messages", Json::Int(self.algorithm_messages)),
@@ -194,7 +214,7 @@ impl PerfRecord {
 /// Renders the full artifact written to `BENCH_synchronizer.json`.
 pub fn render_artifact(mode: &str, records: &[PerfRecord]) -> String {
     Json::Obj(vec![
-        ("schema", Json::Str("det-synchronizer-bench/v5".into())),
+        ("schema", Json::Str("det-synchronizer-bench/v6".into())),
         ("suite", Json::Str("synchronizer".into())),
         ("mode", Json::Str(mode.into())),
         ("workload", Json::Str("single-source BFS from node 0".into())),
@@ -356,6 +376,9 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 batched_ticks: 0,
                 dropped_events: 0,
                 fault_transitions: 0,
+                peak_live_handles: 0,
+                arena_bytes: 0,
+                max_batch: 0,
                 events_per_sec: direct.metrics.events as f64 / direct_wall.max(1e-9),
                 messages: m_a,
                 algorithm_messages: direct.metrics.class_messages(MessageClass::Algorithm),
@@ -428,6 +451,9 @@ pub fn experiment_perf(opts: &PerfOptions) -> Vec<PerfRecord> {
                 batched_ticks: run.batched_ticks,
                 dropped_events: run.dropped_events,
                 fault_transitions: run.fault_transitions,
+                peak_live_handles: run.peak_live_handles,
+                arena_bytes: run.arena_bytes,
+                max_batch: run.max_batch,
                 events_per_sec: metrics.events as f64 / wall.max(1e-9),
                 messages: metrics.total_messages(),
                 algorithm_messages: metrics.class_messages(MessageClass::Algorithm),
@@ -482,14 +508,14 @@ mod tests {
     }
 
     #[test]
-    fn artifact_is_valid_schema_v5() {
+    fn artifact_is_valid_schema_v6() {
         let records = experiment_perf(&PerfOptions {
             smoke: true,
             filter: Some("cycle/256/beta/uniform".into()),
             ..PerfOptions::default()
         });
         let text = render_artifact("smoke", &records);
-        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v5\""));
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v6\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("\"scenario\": \"cycle/256/beta/uniform\""));
         assert!(text.contains("\"events_per_sec\""));
@@ -499,6 +525,15 @@ mod tests {
         assert!(text.contains("\"batched_ticks\""));
         assert!(text.contains("\"dropped_events\": 0"));
         assert!(text.contains("\"fault_transitions\": 0"));
+        assert!(text.contains("\"peak_live_handles\""));
+        assert!(text.contains("\"arena_bytes\""));
+        assert!(text.contains("\"max_batch\""));
+        // The asynchronous beta scenario runs through the event arena: the new
+        // counters must be live measurements, not zeros.
+        let beta = records.iter().find(|r| r.synchronizer == "beta").expect("beta record");
+        assert!(beta.peak_live_handles > 0, "arena high-water mark not recorded");
+        assert!(beta.arena_bytes > 0, "payload-slab bytes not recorded");
+        assert!(beta.max_batch > 0, "max due-batch size not recorded");
     }
 
     #[test]

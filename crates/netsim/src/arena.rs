@@ -1,0 +1,487 @@
+//! Recycled event arena: payload slots behind `u32` handles, and the SoA
+//! batch the engines group one tick's due events into.
+//!
+//! The delivery hot path used to move an owned `Pending<M>` struct — link id
+//! plus an inline message — through wheel slot, link queue and outbox, one
+//! event at a time. The arena splits that into two cheap parts:
+//!
+//! * [`PayloadArena`]: a free-list slab owning every in-flight message.
+//!   `alloc` hands out a `u32` handle (recycling freed slots, so steady state
+//!   never allocates), `take` moves the message back out. Everything else —
+//!   wheel slots, `StageQueue` buckets, captured outboxes — stores the 4-byte
+//!   handle instead of the message. A live-handle counter makes leaks
+//!   checkable: after a drained batch, `live()` must return to the number of
+//!   messages still genuinely in flight.
+//! * [`EventBatch`]: struct-of-arrays columns (`(seq, link, payload, tag)`)
+//!   holding one tick's classified due events in ascending `seq` order, plus
+//!   a grouping of the live deliveries by destination node in first-seen
+//!   order. The engines activate each destination **once** over its group
+//!   (arrivals stay in `seq` order within a group, because the columns are
+//!   filled in `seq` order and the grouping is a stable counting sort), then
+//!   replay delivery effects in exact global `seq` order via
+//!   [`EventBatch::slot`] — so batch-at-a-time processing draws sequence
+//!   numbers in precisely the order the one-at-a-time engine did, keeping
+//!   schedules bit-identical (the argument mirrors the sharded engine's
+//!   phase-1/phase-2 contract, DESIGN.md §6.2 and §10).
+//!
+//! Handles are engine-local: the sharded engine keeps one arena per shard and
+//! never ships a handle across a shard boundary — only the serial merge, which
+//! owns every shard's tables between barriers, moves payloads between arenas.
+
+/// Reserved handle meaning "no payload" (acknowledgment events carry none).
+pub const NONE: u32 = u32::MAX;
+
+/// A scheduled event as the event schedulers store it: the directed link the
+/// event travels on and the payload handle ([`NONE`] for acknowledgments,
+/// which carry no message). Two packed `u32`s — the `(tick, seq)` columns are
+/// supplied by the scheduler itself — so a wheel slot entry is 16 bytes
+/// regardless of the protocol's message type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvRef {
+    /// Directed-edge index of the link the event belongs to.
+    pub link: u32,
+    /// Payload handle into the engine's [`PayloadArena`], or [`NONE`].
+    pub payload: u32,
+}
+
+impl EvRef {
+    /// A delivery event carrying the message behind `payload`.
+    pub fn deliver(link: u32, payload: u32) -> Self {
+        debug_assert_ne!(payload, NONE, "deliveries carry a payload");
+        EvRef { link, payload }
+    }
+
+    /// An acknowledgment event (no payload).
+    pub fn ack(link: u32) -> Self {
+        EvRef { link, payload: NONE }
+    }
+
+    /// Whether this is an acknowledgment (no payload handle).
+    pub fn is_ack(&self) -> bool {
+        self.payload == NONE
+    }
+}
+
+/// One slot of the payload arena: either a live message or a link in the
+/// free list.
+#[derive(Debug)]
+enum Slot<M> {
+    Occupied(M),
+    /// Next free slot index, or [`NONE`] for the list tail.
+    Free(u32),
+}
+
+/// Free-list slab of in-flight message payloads, indexed by `u32` handles.
+///
+/// `alloc` pops the free list (growing the slot vector only when it is
+/// empty), `take` pushes the freed slot back, so a steady-state run allocates
+/// exactly once per distinct high-water mark of simultaneously in-flight
+/// messages. The `live`/`peak_live` counters feed both the leak assertions in
+/// the test suite (a drained batch must return every handle) and the bench
+/// artifact's arena statistics.
+#[derive(Debug)]
+pub struct PayloadArena<M> {
+    slots: Vec<Slot<M>>,
+    /// Head of the free list ([`NONE`] when every slot is occupied).
+    free_head: u32,
+    /// Currently outstanding handles.
+    live: usize,
+    /// High-water mark of `live` over the arena's lifetime.
+    peak_live: usize,
+}
+
+impl<M> PayloadArena<M> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PayloadArena { slots: Vec::new(), free_head: NONE, live: 0, peak_live: 0 }
+    }
+
+    /// Stores `msg` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` payloads are simultaneously live.
+    pub fn alloc(&mut self, msg: M) -> u32 {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        if self.free_head != NONE {
+            let h = self.free_head;
+            let slot = &mut self.slots[h as usize];
+            let Slot::Free(next) = *slot else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next;
+            *slot = Slot::Occupied(msg);
+            h
+        } else {
+            let h = u32::try_from(self.slots.len()).expect("fewer than u32::MAX live payloads");
+            assert_ne!(h, NONE, "arena handle space exhausted");
+            self.slots.push(Slot::Occupied(msg));
+            h
+        }
+    }
+
+    /// Moves the message behind `handle` out, freeing the slot for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is not a live handle from this arena (stale, freed,
+    /// or foreign handles are a bug in the caller).
+    pub fn take(&mut self, handle: u32) -> M {
+        let slot = &mut self.slots[handle as usize];
+        let prev = std::mem::replace(slot, Slot::Free(self.free_head));
+        let Slot::Occupied(msg) = prev else {
+            panic!("double free or stale arena handle {handle}");
+        };
+        self.free_head = handle;
+        self.live -= 1;
+        msg
+    }
+
+    /// Currently outstanding handles.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of simultaneously live handles.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Bytes backing the slot vector (capacity, not just live slots) — the
+    /// arena's memory footprint as reported in the bench artifact.
+    pub fn bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<M>>()
+    }
+}
+
+impl<M> Default for PayloadArena<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Classification of one due event within an [`EventBatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tag {
+    /// A live delivery: activates its destination, then replays effects.
+    Deliver,
+    /// A link-level acknowledgment (no payload, no activation).
+    Ack,
+    /// A delivery the fault adversary eats: frees the link and the payload
+    /// handle, draws no activation.
+    Drop,
+}
+
+/// Struct-of-arrays batch of one tick's classified due events, with the live
+/// deliveries grouped by destination node.
+///
+/// Events are pushed in ascending `seq` order (the order `take_due` hands
+/// them over). [`EventBatch::seal`] then builds a stable counting sort of the
+/// deliveries by destination: groups appear in first-seen order, members of a
+/// group stay in `seq` order, and [`EventBatch::slot`] maps an event index
+/// back to its position in that activation order so the effects pass can find
+/// each delivery's captured outbox range.
+#[derive(Debug, Default)]
+pub struct EventBatch {
+    // Columns, one entry per classified event, in ascending seq order.
+    seqs: Vec<u64>,
+    links: Vec<u32>,
+    payloads: Vec<u32>,
+    tags: Vec<Tag>,
+    /// Per event: the delivery's group index, or `NONE` for acks/drops.
+    group_of: Vec<u32>,
+    // Per group, in first-seen order.
+    group_dst: Vec<u32>,
+    group_count: Vec<u32>,
+    group_start: Vec<u32>,
+    /// Delivery event indices laid out contiguously by group (activation
+    /// order): group `g` owns `perm[group_start[g]..group_start[g] + group_count[g]]`.
+    perm: Vec<u32>,
+    /// Per event: its activation-order slot (index into `perm`), or `NONE`.
+    slot_of: Vec<u32>,
+    // Destination-node scratch for the grouping: `node_group[v]` is valid iff
+    // `stamp[v] == epoch`. Grown on demand, never cleared — the epoch bump in
+    // `begin` invalidates every stale entry at once.
+    stamp: Vec<u64>,
+    node_group: Vec<u32>,
+    epoch: u64,
+    /// Per-group write cursors, reused across ticks by `seal`.
+    cursor: Vec<u32>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the batch for a new tick. Buffers are retained.
+    pub fn begin(&mut self) {
+        self.seqs.clear();
+        self.links.clear();
+        self.payloads.clear();
+        self.tags.clear();
+        self.group_of.clear();
+        self.group_dst.clear();
+        self.group_count.clear();
+        self.group_start.clear();
+        self.perm.clear();
+        self.slot_of.clear();
+        self.epoch += 1;
+    }
+
+    fn push(&mut self, seq: u64, link: u32, payload: u32, tag: Tag, group: u32) {
+        self.seqs.push(seq);
+        self.links.push(link);
+        self.payloads.push(payload);
+        self.tags.push(tag);
+        self.group_of.push(group);
+        self.slot_of.push(NONE);
+    }
+
+    /// Appends an acknowledgment event.
+    pub fn push_ack(&mut self, seq: u64, link: u32) {
+        self.push(seq, link, NONE, Tag::Ack, NONE);
+    }
+
+    /// Appends a delivery the fault adversary will eat (its payload handle
+    /// still needs freeing in the effects pass).
+    pub fn push_drop(&mut self, seq: u64, link: u32, payload: u32) {
+        self.push(seq, link, payload, Tag::Drop, NONE);
+    }
+
+    /// Appends a live delivery addressed to node `dst`, assigning it to
+    /// `dst`'s group (created in first-seen order).
+    pub fn push_deliver(&mut self, seq: u64, link: u32, payload: u32, dst: u32) {
+        let v = dst as usize;
+        if v >= self.stamp.len() {
+            self.stamp.resize(v + 1, 0);
+            self.node_group.resize(v + 1, NONE);
+        }
+        let g = if self.stamp[v] == self.epoch {
+            self.node_group[v]
+        } else {
+            let g = u32::try_from(self.group_dst.len()).expect("group count fits u32");
+            self.stamp[v] = self.epoch;
+            self.node_group[v] = g;
+            self.group_dst.push(dst);
+            self.group_count.push(0);
+            g
+        };
+        self.group_count[g as usize] += 1;
+        self.push(seq, link, payload, Tag::Deliver, g);
+    }
+
+    /// Finalizes the grouping: computes group offsets and the stable
+    /// activation-order permutation. Call once, after the last push.
+    pub fn seal(&mut self) {
+        let mut start = 0u32;
+        self.group_start.reserve(self.group_count.len());
+        for &c in &self.group_count {
+            self.group_start.push(start);
+            start += c;
+        }
+        self.perm.resize(start as usize, NONE);
+        // Scatter delivery indices to their group's span; walking events in
+        // index (= seq) order keeps each group's members in seq order.
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.group_start);
+        for (i, &g) in self.group_of.iter().enumerate() {
+            if g == NONE {
+                continue;
+            }
+            let k = self.cursor[g as usize];
+            self.cursor[g as usize] += 1;
+            self.perm[k as usize] = i as u32;
+            self.slot_of[i] = k;
+        }
+    }
+
+    /// Number of classified events.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// The event at index `i` as `(seq, tag, link, payload)`.
+    pub fn event(&self, i: usize) -> (u64, Tag, u32, u32) {
+        (self.seqs[i], self.tags[i], self.links[i], self.payloads[i])
+    }
+
+    /// Number of destination groups (node activations this tick).
+    pub fn groups(&self) -> usize {
+        self.group_dst.len()
+    }
+
+    /// Group `g` as `(destination node, event indices in seq order)`. Only
+    /// valid after [`EventBatch::seal`].
+    pub fn group(&self, g: usize) -> (u32, &[u32]) {
+        let start = self.group_start[g] as usize;
+        let count = self.group_count[g] as usize;
+        (self.group_dst[g], &self.perm[start..start + count])
+    }
+
+    /// The activation-order slot of delivery event `i` (its index within the
+    /// concatenated group spans). Only valid after [`EventBatch::seal`] and
+    /// only for `Tag::Deliver` events.
+    pub fn slot(&self, i: usize) -> usize {
+        debug_assert_ne!(self.slot_of[i], NONE, "only deliveries have activation slots");
+        self.slot_of[i] as usize
+    }
+
+    /// Size of the largest destination group in this batch.
+    pub fn max_group(&self) -> usize {
+        self.group_count.iter().copied().max().unwrap_or(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_roundtrips_and_recycles_slots() {
+        let mut a: PayloadArena<String> = PayloadArena::new();
+        let h1 = a.alloc("one".into());
+        let h2 = a.alloc("two".into());
+        assert_ne!(h1, h2);
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.take(h1), "one");
+        assert_eq!(a.live(), 1);
+        // The freed slot is reused before the slab grows.
+        let h3 = a.alloc("three".into());
+        assert_eq!(h3, h1, "freed slot must be recycled");
+        assert_eq!(a.take(h3), "three");
+        assert_eq!(a.take(h2), "two");
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.peak_live(), 2);
+    }
+
+    #[test]
+    fn arena_free_list_is_lifo_across_many_handles() {
+        let mut a: PayloadArena<u64> = PayloadArena::new();
+        let handles: Vec<u32> = (0..100).map(|i| a.alloc(i)).collect();
+        assert_eq!(a.live(), 100);
+        for &h in handles.iter().rev() {
+            a.take(h);
+        }
+        assert_eq!(a.live(), 0);
+        // Refilling reuses all 100 slots without growing the slab.
+        let bytes = a.bytes();
+        let again: Vec<u32> = (0..100).map(|i| a.alloc(i + 1000)).collect();
+        assert_eq!(a.bytes(), bytes, "steady-state alloc must not grow the slab");
+        let mut seen: Vec<u32> = again.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100, "handles must be distinct");
+        for &h in &again {
+            a.take(h);
+        }
+        assert_eq!(a.peak_live(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn taking_a_freed_handle_panics() {
+        let mut a: PayloadArena<u8> = PayloadArena::new();
+        let h = a.alloc(1);
+        a.take(h);
+        let _ = a.take(h);
+    }
+
+    #[test]
+    fn batch_groups_by_destination_in_first_seen_order() {
+        let mut b = EventBatch::new();
+        b.begin();
+        // seq order: deliver to 7, ack, deliver to 3, deliver to 7, drop.
+        b.push_deliver(10, 0, 100, 7);
+        b.push_ack(11, 1);
+        b.push_deliver(12, 2, 101, 3);
+        b.push_deliver(13, 3, 102, 7);
+        b.push_drop(14, 4, 103);
+        b.seal();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.groups(), 2);
+        let (dst0, members0) = b.group(0);
+        assert_eq!(dst0, 7, "groups appear in first-seen order");
+        assert_eq!(members0, &[0, 3], "members stay in seq order");
+        let (dst1, members1) = b.group(1);
+        assert_eq!((dst1, members1), (3, &[2u32][..]));
+        // Activation slots: group 7 owns slots 0..2, group 3 owns slot 2.
+        assert_eq!(b.slot(0), 0);
+        assert_eq!(b.slot(3), 1);
+        assert_eq!(b.slot(2), 2);
+        assert_eq!(b.max_group(), 2);
+        assert_eq!(b.event(1), (11, Tag::Ack, 1, NONE));
+        assert_eq!(b.event(4), (14, Tag::Drop, 4, 103));
+    }
+
+    #[test]
+    fn batch_reuse_across_ticks_resets_the_grouping() {
+        let mut b = EventBatch::new();
+        b.begin();
+        b.push_deliver(0, 0, 0, 5);
+        b.seal();
+        assert_eq!(b.groups(), 1);
+        // Next tick: the epoch bump must invalidate node 5's stale group.
+        b.begin();
+        b.push_deliver(1, 0, 1, 9);
+        b.push_deliver(2, 1, 2, 5);
+        b.seal();
+        assert_eq!(b.groups(), 2);
+        assert_eq!(b.group(0).0, 9);
+        assert_eq!(b.group(1).0, 5);
+        assert_eq!(b.group(1).1, &[1]);
+    }
+
+    #[test]
+    fn a_drained_batch_returns_every_handle() {
+        // The leak invariant the engines rely on: allocate a tick's worth of
+        // payloads, classify them into a batch, drain every group plus the
+        // drop lane, and the live-handle counter must return to zero.
+        let mut arena: PayloadArena<Vec<u8>> = PayloadArena::new();
+        let mut b = EventBatch::new();
+        b.begin();
+        for i in 0..50u64 {
+            let h = arena.alloc(vec![i as u8; 3]);
+            if i % 7 == 0 {
+                b.push_drop(i, i as u32, h);
+            } else {
+                b.push_deliver(i, i as u32, h, (i % 5) as u32);
+            }
+        }
+        b.seal();
+        assert_eq!(arena.live(), 50);
+        for g in 0..b.groups() {
+            let (_, members) = b.group(g);
+            for &i in members {
+                let (_, tag, _, payload) = b.event(i as usize);
+                assert_eq!(tag, Tag::Deliver);
+                arena.take(payload);
+            }
+        }
+        for i in 0..b.len() {
+            let (_, tag, _, payload) = b.event(i);
+            if tag == Tag::Drop {
+                arena.take(payload);
+            }
+        }
+        assert_eq!(arena.live(), 0, "drained batch leaked handles");
+        assert_eq!(arena.peak_live(), 50);
+    }
+
+    #[test]
+    fn evref_packs_acks_without_a_payload() {
+        let d = EvRef::deliver(4, 9);
+        assert!(!d.is_ack());
+        let a = EvRef::ack(4);
+        assert!(a.is_ack());
+        assert_eq!(a.link, 4);
+        assert_eq!(std::mem::size_of::<EvRef>(), 8, "scheduler payloads stay two packed u32s");
+    }
+}

@@ -17,27 +17,35 @@
 //!
 //! The engine's bookkeeping is flat and dense: per-link state lives in a `Vec`
 //! indexed by [`DirectedEdgeId`] (every send resolves `(from, to)` through the
-//! graph's directed-edge index), events carry payloads inline, and one outbox
-//! buffer is recycled across activations — there are no map lookups or per-event
-//! allocations on the hot path.
+//! graph's directed-edge index), message payloads live in a recycled
+//! [`PayloadArena`] — wheel slots, link queues and captured outboxes all move
+//! 4-byte handles, never the messages — and one outbox buffer is recycled
+//! across activations, so there are no map lookups or per-event allocations on
+//! the hot path.
 //!
 //! Scheduling exploits the bounded delay horizon twice (see
 //! [`crate::scheduler`] and [`crate::stage_queue`] for the data structures and
 //! the determinism argument):
 //!
-//! * the global event queue is a bounded-horizon **timing wheel** — `O(1)` per
-//!   event instead of the `O(log n)` of the reference binary heap (selectable via
-//!   [`SchedulerKind`]; both produce bit-identical schedules),
+//! * the global event queue is a bounded-horizon **hierarchical timing
+//!   wheel** — `O(1)` per event instead of the `O(log n)` of the reference
+//!   binary heap, with beyond-horizon events staged through coarser tiers
+//!   instead of a heap (selectable via [`SchedulerKind`]; both produce
+//!   bit-identical schedules),
 //! * per-link queues are **per-stage FIFO buckets** keyed by the small stage
 //!   priorities of Lemma 2.5, with a dense occupancy bitset,
-//! * all deliveries of one tick to the same node are **batched**: the node
-//!   activates once with one borrowed outbox buffer, and its arrivals, outbox
-//!   dispatches and acknowledgment scheduling are processed in exact global
-//!   `(tick, seq)` order, so the schedule is unchanged.
+//! * each tick is processed **batch-at-a-time** over an [`EventBatch`]: one
+//!   pass classifies the tick's due events into struct-of-arrays columns
+//!   grouped by destination, each destination then activates *once* over its
+//!   arrivals (capturing outgoings as arena handles), and a final pass replays
+//!   every delivery's effects — sends, acknowledgments, drops — in exact
+//!   global `(tick, seq)` order, so the schedule equals the one-at-a-time
+//!   engine's bit for bit (the determinism argument is DESIGN.md §10).
 
+use crate::arena::{EvRef, EventBatch, PayloadArena, Tag};
 use crate::delay::DelayModel;
 use crate::fault::{FaultPlan, FaultState};
-use crate::metrics::RunMetrics;
+use crate::metrics::{MessageClass, RunMetrics};
 use crate::protocol::{Ctx, Outgoing, Protocol};
 use crate::scheduler::{EventScheduler, HeapScheduler, TimingWheel};
 use crate::stage_queue::StageQueue;
@@ -99,12 +107,24 @@ pub struct AsyncReport<P> {
     pub metrics: RunMetrics,
     /// The per-node protocol instances after the run (holding outputs and state).
     pub nodes: Vec<P>,
-    /// Events scheduled beyond the timing wheel's horizon (0 for single-`τ`
-    /// delay models and for the heap scheduler, which has no horizon). Kept out
-    /// of [`RunMetrics`] deliberately: it describes the scheduler's internals,
-    /// not the simulated execution, and so may differ between schedulers whose
-    /// runs are otherwise bit-identical.
+    /// Events scheduled beyond the timing wheel's horizon and staged through
+    /// its coarser overflow tiers (0 for single-`τ` delay models and for the
+    /// heap scheduler, which has no horizon). Kept out of [`RunMetrics`]
+    /// deliberately: it describes the scheduler's internals, not the simulated
+    /// execution, and so may differ between schedulers whose runs are
+    /// otherwise bit-identical.
     pub overflow_events: u64,
+    /// High-water mark of simultaneously live payload-arena handles (summed
+    /// over the per-shard arenas for the sharded engine). An engine internal
+    /// like [`overflow_events`](AsyncReport::overflow_events): the arena's
+    /// footprint, not the simulated execution.
+    pub peak_live_handles: u64,
+    /// Bytes backing the payload arena's slot storage at the end of the run
+    /// (capacity, summed over shards). An engine internal.
+    pub arena_bytes: u64,
+    /// Size of the largest one-tick due batch the engine processed. An engine
+    /// internal (the sharded engine reports the largest per-shard batch).
+    pub max_batch: u64,
     /// Extra ticks the sharded engine processed inside batched windows (window
     /// length minus one, summed over all barriers; 0 for the serial engines,
     /// when batching is off, or when every occupied tick already sits on the
@@ -180,25 +200,16 @@ impl<M> LinkState<M> {
     }
 }
 
-#[derive(Debug)]
-enum EventKind<M> {
-    Deliver { msg: M },
-    Ack,
-}
-
-/// The inline payload of a scheduled event; the scheduler supplies `(at, seq)`.
-#[derive(Debug)]
-struct Pending<M> {
-    link: DirectedEdgeId,
-    kind: EventKind<M>,
-}
-
 struct Engine<'a, P: Protocol, S> {
     graph: &'a Graph,
     delay: DelayModel,
     nodes: Vec<P>,
-    /// Link state per directed edge, indexed by [`DirectedEdgeId`].
-    links: Vec<LinkState<P::Message>>,
+    /// Link state per directed edge, indexed by [`DirectedEdgeId`]. The
+    /// queued entries are payload-arena handles, not messages.
+    links: Vec<LinkState<u32>>,
+    /// Every in-flight message payload, behind the `u32` handles the link
+    /// queues and the scheduler's [`EvRef`]s carry.
+    arena: PayloadArena<P::Message>,
     sched: S,
     now: u64,
     seq: u64,
@@ -223,15 +234,18 @@ struct Engine<'a, P: Protocol, S> {
     faults: Option<FaultState>,
     /// Messages dropped by the fault adversary ([`AsyncReport::dropped_events`]).
     dropped: u64,
+    /// Size of the largest one-tick due batch ([`AsyncReport::max_batch`]).
+    max_batch: u64,
 }
 
-impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
-    fn schedule(&mut self, at: u64, link: DirectedEdgeId, kind: EventKind<P::Message>) {
+impl<'a, P: Protocol, S: EventScheduler<EvRef>> Engine<'a, P, S> {
+    // ds-lint: hot-path (per-delivery: no owned-container allocation tokens)
+    fn schedule(&mut self, at: u64, ev: EvRef) {
         let seq = self.next_seq();
         if let Some(tr) = self.trace.as_mut() {
             tr.on_scheduled(seq);
         }
-        self.sched.schedule(at, seq, Pending { link, kind });
+        self.sched.schedule(at, seq, ev);
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -240,6 +254,7 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
         seq
     }
 
+    // ds-lint: hot-path (per-delivery: no owned-container allocation tokens)
     fn try_inject(&mut self, link: DirectedEdgeId) {
         let state = &mut self.links[link.index()];
         if state.in_flight {
@@ -248,24 +263,27 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
         let (from, to) = (state.from, state.to);
         if self.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
             // The link is dead right now: everything queued behind it is lost.
-            // The drain draws no sequence numbers, so the schedule of live
-            // traffic is untouched by how many messages die here.
-            let state = &mut self.links[link.index()];
-            let mut lost = 0;
-            while state.pop().is_some() {
-                lost += 1;
+            // The drain draws no sequence numbers — so the schedule of live
+            // traffic is untouched by how many messages die here — but every
+            // drained handle is freed back into the arena.
+            while let Some((_, handle)) = self.links[link.index()].pop() {
+                self.arena.take(handle);
+                self.dropped += 1;
             }
-            self.dropped += lost;
             return;
         }
         let state = &mut self.links[link.index()];
-        let Some((msg_seq, msg)) = state.pop() else { return };
+        let Some((msg_seq, handle)) = state.pop() else { return };
         state.in_flight = true;
         let delay = self.delay.delay_ticks_at(from, to, msg_seq, self.now);
         let at = self.now + delay;
-        self.schedule(at, link, EventKind::Deliver { msg });
+        self.schedule(at, EvRef::deliver(link.0, handle));
     }
 
+    /// Dispatches a start-wave activation's outbox: each message moves into
+    /// the payload arena and its handle queues on the link, then injection is
+    /// attempted. Tick-time deliveries use the capture/replay split of the
+    /// batch passes instead; this direct path serves only `on_start`.
     fn dispatch_outbox(&mut self, from: NodeId, ctx: &mut Ctx<P::Message>) -> Result<(), SimError> {
         if ctx.queued() == 0 {
             return Ok(());
@@ -278,7 +296,8 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
             self.metrics.record_message(out.class);
             let seq = self.seq;
             self.seq += 1;
-            self.links[link.index()].push(out.priority, seq, out.msg);
+            let handle = self.arena.alloc(out.msg);
+            self.links[link.index()].push(out.priority, seq, handle);
             touched.push(link);
         }
         for link in touched.drain(..) {
@@ -288,18 +307,23 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
         Ok(())
     }
 
-    /// Processes one delivery: the protocol activation, its outbox dispatch, and
-    /// the acknowledgment back to the sender — in exact global `seq` order, so
-    /// batched and unbatched processing yield identical schedules.
-    fn deliver(
+    /// Replays one delivery's effects — trace record, event accounting, the
+    /// sends its activation captured (each drawing its seq here, in exact
+    /// global `seq` order), and the acknowledgment back to the sender. The
+    /// protocol activation itself already ran in the batch's activation pass;
+    /// splitting the two keeps the seq stream identical to the historical
+    /// one-at-a-time engine's (the ack draws one seq for its delay and a
+    /// second inside `schedule`, mirroring it exactly — the seq stream feeds
+    /// the delay adversary).
+    // ds-lint: hot-path (per-delivery: no owned-container allocation tokens)
+    fn delivery_effects(
         &mut self,
         seq: u64,
-        from: NodeId,
-        to: NodeId,
         link: DirectedEdgeId,
-        msg: P::Message,
-        ctx: &mut Ctx<P::Message>,
+        rows: &[(NodeId, u64, MessageClass, u32)],
     ) -> Result<(), SimError> {
+        let state = &self.links[link.index()];
+        let (from, to) = (state.from, state.to);
         if let Some(tr) = self.trace.as_mut() {
             tr.on_delivery(seq, self.now, 0, from, to);
         }
@@ -308,16 +332,26 @@ impl<'a, P: Protocol, S: EventScheduler<Pending<P::Message>>> Engine<'a, P, S> {
             return Err(SimError::EventLimitExceeded { limit: self.max_events });
         }
         self.metrics.events += 1;
-        self.nodes[to.index()].on_message(from, msg, ctx);
-        self.dispatch_outbox(to, ctx)?;
-        // Send the link-level acknowledgment back to the sender. (The ack draws
-        // one seq for its delay and a second inside `schedule`, mirroring the
-        // historical engine exactly — the seq stream feeds the delay adversary.)
+        let mut touched = std::mem::take(&mut self.touched);
+        for &(out_to, priority, class, handle) in rows {
+            let Some(l) = self.graph.edge_id(to, out_to) else {
+                return Err(SimError::NotNeighbor { from: to, to: out_to });
+            };
+            self.metrics.record_message(class);
+            let mseq = self.seq;
+            self.seq += 1;
+            self.links[l.index()].push(priority, mseq, handle);
+            touched.push(l);
+        }
+        for l in touched.drain(..) {
+            self.try_inject(l);
+        }
+        self.touched = touched;
         self.metrics.acks += 1;
         let ack_seq = self.next_seq();
         let ack_delay = self.delay.delay_ticks_at(to, from, ack_seq, self.now);
         let at = self.now + ack_delay;
-        self.schedule(at, link, EventKind::Ack);
+        self.schedule(at, EvRef::ack(link.0));
         Ok(())
     }
 
@@ -496,7 +530,7 @@ fn run_engine<P, F, S>(
 where
     P: Protocol,
     F: FnMut(NodeId) -> P,
-    S: EventScheduler<Pending<P::Message>>,
+    S: EventScheduler<EvRef>,
 {
     let n = graph.node_count();
     let mut engine = Engine {
@@ -509,6 +543,7 @@ where
                 LinkState::new(from, to)
             })
             .collect(),
+        arena: PayloadArena::new(),
         sched,
         now: 0,
         seq: 0,
@@ -523,6 +558,7 @@ where
         trace,
         faults,
         dropped: 0,
+        max_batch: 0,
     };
 
     // Time 0: start every node. A node crashed at tick 0 misses its `on_start`
@@ -545,75 +581,160 @@ where
 
     // One tick per iteration: `take_due` hands over every event of the earliest
     // pending tick in ascending seq order (events scheduled while processing the
-    // tick land strictly later, so the batch is complete).
-    let mut due: Vec<(u64, Pending<P::Message>)> = Vec::new();
+    // tick land strictly later, so the batch is complete). Ticks with at most
+    // `SMALL_TICK` events are processed one at a time; larger ticks run three
+    // passes over the batch (DESIGN.md §10): classify, activate by destination
+    // group, replay effects in seq order. Both orders produce the identical
+    // schedule.
+    const SMALL_TICK: usize = 32;
+    let mut due: Vec<(u64, EvRef)> = Vec::new();
+    let mut batch = EventBatch::new();
+    // Outgoings captured by the activation pass, and each delivery's span in
+    // that row buffer (`out_span[i]` is `(start, count)` for batch event `i`).
+    let mut out_rows: Vec<(NodeId, u64, MessageClass, u32)> = Vec::new();
+    let mut out_span: Vec<(u32, u32)> = Vec::new();
     while let Some(t) = engine.sched.take_due(&mut due) {
         engine.now = t;
         if let Some(f) = engine.faults.as_mut() {
             f.advance_to(t);
         }
-        let mut events = due.drain(..).peekable();
-        while let Some((seq, Pending { link, kind })) = events.next() {
-            match kind {
-                EventKind::Deliver { msg } => {
-                    let state = &engine.links[link.index()];
-                    let (from, to) = (state.from, state.to);
-                    if engine.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
-                        // The fault adversary eats this delivery: no activation,
-                        // no ack, no trace record, no sequence draws — the link
-                        // is simply freed for whatever is queued behind it.
-                        drop(msg);
-                        engine.dropped += 1;
-                        engine.links[link.index()].in_flight = false;
-                        engine.try_inject(link);
-                        continue;
-                    }
-                    // Batched delivery: this node activates once for the whole
-                    // run of consecutive same-tick deliveries addressed to it —
-                    // one borrowed outbox buffer, one done-check — while each
-                    // arrival's outbox dispatch and ack keep their exact place
-                    // in the global seq order.
-                    let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut engine.outbox_pool));
-                    engine.deliver(seq, from, to, link, msg, &mut ctx)?;
-                    while let Some((
-                        _,
-                        Pending { link: next_link, kind: EventKind::Deliver { .. } },
-                    )) = events.peek()
-                    {
-                        let next_state = &engine.links[next_link.index()];
-                        let (next_from, next_to) = (next_state.from, next_state.to);
-                        if next_to != to {
-                            break;
-                        }
-                        // A blocked delivery ends the batch: the outer loop
-                        // picks it up and runs the drop path instead.
-                        if engine
-                            .faults
-                            .as_ref()
-                            .is_some_and(|f| f.blocks(*next_link, next_from, next_to))
-                        {
-                            break;
-                        }
-                        let Some((next_seq, Pending { link: l, kind: EventKind::Deliver { msg } })) =
-                            events.next()
-                        else {
-                            unreachable!("peeked a delivery");
-                        };
-                        engine.deliver(next_seq, next_from, to, l, msg, &mut ctx)?;
-                    }
-                    engine.outbox_pool = ctx.into_buffer();
-                    engine.update_done(to);
-                }
-                EventKind::Ack => {
+        engine.max_batch = engine.max_batch.max(due.len() as u64);
+
+        // Small ticks skip the batch machinery: spread-delay adversaries
+        // (jitter) make most ticks carry a handful of events to distinct
+        // destinations, where grouping cannot amortize its classify/seal
+        // cost. Processing them one event at a time in ascending seq order
+        // interleaves each event's activation with its effects — which is
+        // exactly the three-pass order collapsed per event: activations draw
+        // no seqs, effects of event `i` all precede effects of event `i+1`,
+        // and nothing an effect mutates (link state, scheduler) feeds the
+        // fault classification or a later activation's input. The schedule
+        // is bit-identical either way (pinned by `tests/scheduler_equiv.rs`).
+        if due.len() <= SMALL_TICK {
+            for &(seq, ev) in &due {
+                let edge = DirectedEdgeId(ev.link);
+                let state = &engine.links[ev.link as usize];
+                let (from, to) = (state.from, state.to);
+                if ev.is_ack() {
                     if let Some(tr) = engine.trace.as_mut() {
                         tr.on_ack(seq);
                     }
-                    engine.links[link.index()].in_flight = false;
-                    engine.try_inject(link);
+                    engine.links[ev.link as usize].in_flight = false;
+                    engine.try_inject(edge);
+                } else if engine.faults.as_ref().is_some_and(|f| f.blocks(edge, from, to)) {
+                    engine.arena.take(ev.payload);
+                    engine.dropped += 1;
+                    engine.links[ev.link as usize].in_flight = false;
+                    engine.try_inject(edge);
+                } else {
+                    let msg = engine.arena.take(ev.payload);
+                    let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut engine.outbox_pool));
+                    engine.nodes[to.index()].on_message(from, msg, &mut ctx);
+                    out_rows.clear();
+                    for out in ctx.drain_outbox() {
+                        out_rows.push((
+                            out.to,
+                            out.priority,
+                            out.class,
+                            engine.arena.alloc(out.msg),
+                        ));
+                    }
+                    engine.outbox_pool = ctx.into_buffer();
+                    engine.update_done(to);
+                    engine.delivery_effects(seq, edge, &out_rows)?;
+                }
+            }
+            due.clear();
+            continue;
+        }
+
+        // Pass 1 — classify: acks, fault-blocked deliveries (the adversary
+        // eats them: no activation, no ack, no trace record, no sequence
+        // draws — but their payload handle still needs freeing, which pass 3
+        // does), and live deliveries grouped by destination.
+        batch.begin();
+        for &(seq, ev) in &due {
+            if ev.is_ack() {
+                batch.push_ack(seq, ev.link);
+            } else {
+                let state = &engine.links[ev.link as usize];
+                let (from, to) = (state.from, state.to);
+                if engine
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.blocks(DirectedEdgeId(ev.link), from, to))
+                {
+                    batch.push_drop(seq, ev.link, ev.payload);
+                } else {
+                    batch.push_deliver(seq, ev.link, ev.payload, to.0 as u32);
+                }
+            }
+        }
+        due.clear();
+        batch.seal();
+
+        // Pass 2 — activate: each destination node runs once over all its
+        // arrivals this tick (in seq order within the group), with one
+        // borrowed outbox buffer and one done-check. Outgoings move straight
+        // into the arena; no sequence numbers are drawn here, so the
+        // activation order (group order, not seq order) cannot leak into the
+        // schedule.
+        out_rows.clear();
+        out_span.clear();
+        out_span.resize(batch.len(), (0, 0));
+        for g in 0..batch.groups() {
+            let (dst, members) = batch.group(g);
+            let dst = NodeId(dst as usize);
+            let mut ctx = Ctx::with_buffer(dst, std::mem::take(&mut engine.outbox_pool));
+            for &i in members {
+                let i = i as usize;
+                let (_, _, link, payload) = batch.event(i);
+                let from = engine.links[link as usize].from;
+                let msg = engine.arena.take(payload);
+                engine.nodes[dst.index()].on_message(from, msg, &mut ctx);
+                let start = out_rows.len() as u32;
+                for out in ctx.drain_outbox() {
+                    out_rows.push((out.to, out.priority, out.class, engine.arena.alloc(out.msg)));
+                }
+                out_span[i] = (start, out_rows.len() as u32 - start);
+            }
+            engine.outbox_pool = ctx.into_buffer();
+            engine.update_done(dst);
+        }
+
+        // Pass 3 — effects, in exact global seq order: every send and ack
+        // draws its seq at precisely the position the one-at-a-time engine
+        // drew it, so the schedule is bit-identical.
+        for (i, &(start, count)) in out_span.iter().enumerate() {
+            let (seq, tag, link, payload) = batch.event(i);
+            let edge = DirectedEdgeId(link);
+            match tag {
+                Tag::Deliver => {
+                    let rows = &out_rows[start as usize..(start + count) as usize];
+                    engine.delivery_effects(seq, edge, rows)?;
+                }
+                Tag::Ack => {
+                    if let Some(tr) = engine.trace.as_mut() {
+                        tr.on_ack(seq);
+                    }
+                    engine.links[link as usize].in_flight = false;
+                    engine.try_inject(edge);
+                }
+                Tag::Drop => {
+                    engine.arena.take(payload);
+                    engine.dropped += 1;
+                    engine.links[link as usize].in_flight = false;
+                    engine.try_inject(edge);
                 }
             }
         }
     }
+
+    // Quiescence means no event is scheduled and no link queue is non-empty
+    // (a queued message always has an ack or drop pending to release it), so
+    // every arena handle must have been taken back — the engine-level leak
+    // check behind the unit-level one in `arena::tests`.
+    debug_assert_eq!(engine.arena.live(), 0, "a finished run must return every arena handle");
 
     engine.metrics.time_to_output = engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     engine.metrics.time_to_quiescence = engine.now as f64 / TICKS_PER_UNIT as f64;
@@ -624,6 +745,9 @@ where
             metrics: engine.metrics,
             nodes: engine.nodes,
             overflow_events: engine.sched.overflow_scheduled(),
+            peak_live_handles: engine.arena.peak_live() as u64,
+            arena_bytes: engine.arena.bytes() as u64,
+            max_batch: engine.max_batch,
             batched_ticks: 0,
             pool_dispatches: 0,
             dropped_events: engine.dropped,

@@ -17,6 +17,10 @@
 //! * [`sync_engine`] runs such an algorithm in lock-step rounds and reports its
 //!   synchronous time and message complexities `T(A)` and `M(A)`,
 //! * [`protocol`] defines the interface of asynchronous protocols,
+//! * [`arena`] holds the recycled event arena the delivery hot path runs on:
+//!   a free-list payload slab behind `u32` handles plus the struct-of-arrays
+//!   batch one tick's due events are grouped into for batch-at-a-time
+//!   delivery,
 //! * [`async_engine`] runs an asynchronous protocol under a configurable
 //!   [`delay::DelayModel`], enforcing the acknowledgment discipline of Appendix B
 //!   (one un-acknowledged message per link) and the lowest-stage-first scheduling of
@@ -42,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod async_engine;
 mod bitset;
 pub mod delay;

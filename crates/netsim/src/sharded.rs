@@ -119,6 +119,7 @@
 //! [`AsyncReport::batched_ticks`] / [`AsyncReport::pool_dispatches`] make the
 //! batching and hand-off rates observable per run.
 
+use crate::arena::PayloadArena;
 use crate::async_engine::{AsyncReport, LinkState, SimError, SimLimits};
 use crate::delay::DelayModel;
 use crate::fault::{FaultPlan, FaultState};
@@ -255,21 +256,28 @@ impl ShardLayout {
 
 /// Scheduled event. Unlike the serial engine's payload, deliveries carry their
 /// endpoints inline: phase 1 runs in the *destination* shard, which does not
-/// own the link state (that lives with the source shard).
-#[derive(Debug)]
-enum ShardEvent<M> {
+/// own the link state (that lives with the source shard). The message itself
+/// lives in the destination shard's [`PayloadArena`] — `msg` is its handle, so
+/// events are small `Copy` structs and **handles never cross shards**: a
+/// handle is allocated into the destination's arena at `push_message` time
+/// (coordinator-side, between barriers) and taken back out by that shard's
+/// own phase 1 (or by the merge, which owns every shard's tables).
+#[derive(Clone, Copy, Debug)]
+enum ShardEvent {
     Deliver {
         link: DirectedEdgeId,
         from: NodeId,
         to: NodeId,
-        msg: M,
+        /// Handle into the destination shard's payload arena.
+        msg: u32,
     },
     Ack {
         link: DirectedEdgeId,
     },
     /// A delivery the fault adversary ate at drain time (link down or endpoint
-    /// crashed; the message is already gone). Phase 1 must not activate it;
-    /// the merge frees the link at the event's exact `(tick, seq)` slot.
+    /// crashed; the payload handle was freed at defuse time). Phase 1 must not
+    /// activate it; the merge frees the link at the event's exact
+    /// `(tick, seq)` slot.
     Dropped {
         link: DirectedEdgeId,
     },
@@ -279,27 +287,27 @@ enum ShardEvent<M> {
 /// `(at, seq)`, holding window ticks past the static boundary and every
 /// merge-time effect scheduled at or before the window's last tick.
 #[derive(Debug)]
-struct WindowEntry<M> {
+struct WindowEntry {
     at: u64,
     seq: u64,
-    ev: ShardEvent<M>,
+    ev: ShardEvent,
 }
 
-impl<M> PartialEq for WindowEntry<M> {
+impl PartialEq for WindowEntry {
     fn eq(&self, other: &Self) -> bool {
         (self.at, self.seq) == (other.at, other.seq)
     }
 }
 
-impl<M> Eq for WindowEntry<M> {}
+impl Eq for WindowEntry {}
 
-impl<M> PartialOrd for WindowEntry<M> {
+impl PartialOrd for WindowEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for WindowEntry<M> {
+impl Ord for WindowEntry {
     /// Reversed, so `BinaryHeap`'s max-heap pops the minimum `(at, seq)`.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
@@ -310,8 +318,8 @@ impl<M> Ord for WindowEntry<M> {
 /// windows). Merge-time schedule targets at or before `t_last` land here —
 /// the wheels are already advanced past them — and are processed inline in
 /// `(tick, seq)` order; everything later goes to the destination wheel.
-struct InWindow<M> {
-    heap: BinaryHeap<WindowEntry<M>>,
+struct InWindow {
+    heap: BinaryHeap<WindowEntry>,
     /// Last tick of the current window (0 outside a barrier: every target is
     /// strictly later, so routing degenerates to the wheels).
     t_last: u64,
@@ -334,7 +342,7 @@ struct Ready {
 #[derive(Clone, Copy, Debug)]
 enum ReadyKind {
     /// A delivery whose activation ran in phase 1, leaving `outbox` captured
-    /// messages at the front of the shard's arena.
+    /// messages at the front of the shard's captured-outbox queue.
     Delivered { from: NodeId, to: NodeId, outbox: u32 },
     /// A link acknowledgment (no activation; processed entirely in the merge).
     Ack,
@@ -353,16 +361,21 @@ struct ShardWork<P: Protocol> {
     done: Vec<bool>,
     /// Events due in the current barrier, tick run by tick run (ascending
     /// tick; ascending shard-local `seq` within a run).
-    due: Vec<(u64, ShardEvent<P::Message>)>,
+    due: Vec<(u64, ShardEvent)>,
     /// Tick-run boundaries of `due`: `(tick, end)` marks that `due[..end]`
     /// covers all runs up to and including `tick`. One entry per tick the
     /// shard has events at; a plain unbatched barrier records exactly one.
     tick_runs: Vec<(u64, usize)>,
     /// Phase-1 outputs, ascending `(tick, seq)`.
     ready: Vec<Ready>,
+    /// Payloads of every in-flight message addressed to this shard's nodes,
+    /// behind the `u32` handles the events and link queues carry. Travels
+    /// with the shard to its worker, so phase 1 takes payloads out without
+    /// touching any other shard's state.
+    payloads: PayloadArena<P::Message>,
     /// Captured outbox messages of this barrier's activations, in event order;
     /// the merge pops from the front as it replays the events.
-    arena: VecDeque<Outgoing<P::Message>>,
+    captured: VecDeque<Outgoing<P::Message>>,
     /// Recycled activation outbox buffer.
     outbox_buf: Vec<Outgoing<P::Message>>,
     /// Per-tick counts of this shard's nodes that became done during the
@@ -394,9 +407,10 @@ fn phase1<P: Protocol>(w: &mut ShardWork<P>) {
             ShardEvent::Deliver { link, from, to, msg } => {
                 let local = to.index() - w.lo;
                 let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut w.outbox_buf));
+                let msg = w.payloads.take(msg);
                 w.nodes[local].on_message(from, msg, &mut ctx);
                 let outbox = ctx.queued() as u32;
-                w.arena.extend(ctx.drain_outbox());
+                w.captured.extend(ctx.drain_outbox());
                 w.outbox_buf = ctx.into_buffer();
                 w.ready.push(Ready {
                     tick,
@@ -426,11 +440,13 @@ fn phase1<P: Protocol>(w: &mut ShardWork<P>) {
 
 /// Coordinator-owned per-shard structures: one wheel and one link table per
 /// shard. Kept apart from [`ShardWork`] so the merge can hold these mutably
-/// while popping captured messages from the works' arenas.
-struct ShardTables<M> {
+/// while popping captured messages and payloads from the works. The link
+/// queues hold `u32` payload handles (into the destination shard's arena),
+/// never messages.
+struct ShardTables {
     layout: ShardLayout,
-    wheels: Vec<TimingWheel<ShardEvent<M>>>,
-    links: Vec<Vec<LinkState<M>>>,
+    wheels: Vec<TimingWheel<ShardEvent>>,
+    links: Vec<Vec<LinkState<u32>>>,
 }
 
 /// Engine-global bookkeeping mirroring the serial engine's fields.
@@ -447,6 +463,9 @@ struct Globals {
     batched_ticks: u64,
     /// Barriers whose phase 1 was shipped to the worker pool (0 without one).
     pool_dispatches: u64,
+    /// Size of the largest per-shard due batch handed to phase 1
+    /// ([`AsyncReport::max_batch`]).
+    max_batch: u64,
     /// Recycled list of links touched by one outbox dispatch.
     touched: Vec<DirectedEdgeId>,
     /// Delivery tracing for the happens-before checker ([`crate::trace`]).
@@ -470,13 +489,17 @@ impl Globals {
 }
 
 /// Pushes one outgoing message onto its link queue, drawing its message `seq`
-/// exactly as the serial engine's `dispatch_outbox` does.
-fn push_message<M>(
+/// exactly as the serial engine's `dispatch_outbox` does. The payload moves
+/// into the *destination* shard's arena — the shard whose phase 1 will
+/// eventually take it back out — and only its handle queues on the link.
+/// Runs coordinator-side (start wave or merge), when every shard is home.
+fn push_message<P: Protocol>(
     g: &mut Globals,
-    sh: &mut ShardTables<M>,
+    sh: &mut ShardTables,
+    works: &mut [Option<ShardWork<P>>],
     graph: &Graph,
     from: NodeId,
-    out: Outgoing<M>,
+    out: Outgoing<P::Message>,
 ) -> Result<DirectedEdgeId, SimError> {
     let Some(link) = graph.edge_id(from, out.to) else {
         return Err(SimError::NotNeighbor { from, to: out.to });
@@ -484,7 +507,9 @@ fn push_message<M>(
     g.metrics.record_message(out.class);
     let seq = g.next_seq();
     let (s, slot) = sh.layout.link_home(link);
-    sh.links[s][slot].push(out.priority, seq, out.msg);
+    let dst = sh.layout.shard_of(out.to);
+    let handle = works[dst].as_mut().expect("shard at home").payloads.alloc(out.msg);
+    sh.links[s][slot].push(out.priority, seq, handle);
     Ok(link)
 }
 
@@ -494,11 +519,12 @@ fn push_message<M>(
 /// the whole queue is drained and dropped (no seq draws), exactly like the
 /// serial engine. Targets at or before the current window's last tick go to
 /// the in-window heap instead of a wheel (the wheels are already past them).
-fn try_inject<M>(
+fn try_inject<P: Protocol>(
     g: &mut Globals,
-    sh: &mut ShardTables<M>,
+    sh: &mut ShardTables,
+    works: &mut [Option<ShardWork<P>>],
     delay: &DelayModel,
-    win: &mut InWindow<M>,
+    win: &mut InWindow,
     link: DirectedEdgeId,
 ) {
     let (s, slot) = sh.layout.link_home(link);
@@ -508,11 +534,13 @@ fn try_inject<M>(
     }
     let (from, to) = (state.from, state.to);
     if g.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
-        let mut lost = 0;
-        while state.pop().is_some() {
-            lost += 1;
+        // Drain-drop draws no seqs; each drained handle is freed back into
+        // the destination shard's arena.
+        let payloads = &mut works[sh.layout.shard_of(to)].as_mut().expect("shard at home").payloads;
+        while let Some((_, handle)) = sh.links[s][slot].pop() {
+            payloads.take(handle);
+            g.dropped += 1;
         }
-        g.dropped += lost;
         return;
     }
     let Some((msg_seq, msg)) = state.pop() else { return };
@@ -782,7 +810,7 @@ where
     let k = layout.k;
     let horizon = delay.max_delay_ticks();
 
-    let mut links: Vec<Vec<LinkState<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
+    let mut links: Vec<Vec<LinkState<u32>>> = (0..k).map(|_| Vec::new()).collect();
     for e in 0..graph.directed_edge_count() {
         let id = DirectedEdgeId(e as u32);
         let (from, to) = graph.directed_endpoints(id);
@@ -798,7 +826,8 @@ where
                 due: Vec::new(),
                 tick_runs: Vec::new(),
                 ready: Vec::new(),
-                arena: VecDeque::new(),
+                payloads: PayloadArena::new(),
+                captured: VecDeque::new(),
                 outbox_buf: Vec::new(),
                 newly_done: Vec::new(),
             })
@@ -816,6 +845,7 @@ where
         time_all_done: None,
         batched_ticks: 0,
         pool_dispatches: 0,
+        max_batch: 0,
         touched: Vec::new(),
         trace,
         faults,
@@ -825,7 +855,7 @@ where
     // module docs §Batched windows); ticks past it batch through the
     // in-window heap, so no `min_delay > 1` gate remains.
     let min_delay = delay.min_delay_ticks();
-    let mut win: InWindow<P::Message> = InWindow { heap: BinaryHeap::new(), t_last: 0 };
+    let mut win = InWindow { heap: BinaryHeap::new(), t_last: 0 };
 
     // Time 0: start every node in global node order — the serial engine's
     // init order, so the initial seq draws match exactly. Nodes the fault
@@ -852,10 +882,10 @@ where
         w.nodes[local].on_start(&mut ctx);
         let mut touched = std::mem::take(&mut g.touched);
         for out in ctx.drain_outbox() {
-            touched.push(push_message(&mut g, &mut sh, graph, v, out)?);
+            touched.push(push_message(&mut g, &mut sh, &mut works, graph, v, out)?);
         }
         for link in touched.drain(..) {
-            try_inject(&mut g, &mut sh, &delay, &mut win, link);
+            try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, link);
         }
         g.touched = touched;
         let w = works[s].as_mut().expect("shard at home");
@@ -876,7 +906,7 @@ where
     let mut pos = vec![0usize; k];
     let mut window: Vec<u64> = Vec::new();
     let mut done_scratch: Vec<(u64, u64)> = Vec::new();
-    let mut ext_scratch: Vec<(u64, ShardEvent<P::Message>)> = Vec::new();
+    let mut ext_scratch: Vec<(u64, ShardEvent)> = Vec::new();
     while let Some(t0) = sh.wheels.iter().filter_map(TimingWheel::next_tick).min() {
         // Apply fault transitions due by t0. The window cap below keeps the
         // flags constant through t_last, so drain-time fault checks see the
@@ -925,9 +955,15 @@ where
                         let drained = wheel.take_due(&mut w.due);
                         debug_assert_eq!(drained, Some(t));
                         if let Some(f) = g.faults.as_ref() {
-                            for (_, ev) in &mut w.due[before..] {
-                                if let ShardEvent::Deliver { link, from, to, .. } = *ev {
+                            let (due, payloads) = (&mut w.due, &mut w.payloads);
+                            for (_, ev) in &mut due[before..] {
+                                if let ShardEvent::Deliver { link, from, to, msg } = *ev {
                                     if f.blocks(link, from, to) {
+                                        // Defused in place: the payload handle is
+                                        // freed now (this shard is the destination,
+                                        // so the handle is local); the drop COUNT
+                                        // stays in the merge's `ReadyKind::Dropped`.
+                                        payloads.take(msg);
                                         *ev = ShardEvent::Dropped { link };
                                     }
                                 }
@@ -957,6 +993,9 @@ where
             wheel.advance_to(t_last);
         }
         win.t_last = t_last;
+        for w in &works {
+            g.max_batch = g.max_batch.max(w.as_ref().expect("shard at home").due.len() as u64);
+        }
 
         // Phase 1.
         match pool.as_deref_mut() {
@@ -1029,11 +1068,12 @@ where
                 match entry.ev {
                     ShardEvent::Deliver { link, from, to, msg } => {
                         if g.faults.as_ref().is_some_and(|f| f.blocks(link, from, to)) {
-                            drop(msg);
+                            let s_to = sh.layout.shard_of(to);
+                            works[s_to].as_mut().expect("shard at home").payloads.take(msg);
                             g.dropped += 1;
                             let (home, slot) = sh.layout.link_home(link);
                             sh.links[home][slot].in_flight = false;
-                            try_inject(&mut g, &mut sh, &delay, &mut win, link);
+                            try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, link);
                             continue;
                         }
                         if let Some(tr) = g.trace.as_mut() {
@@ -1057,13 +1097,15 @@ where
                         let w = works[s_to].as_mut().expect("shard at home");
                         let local = to.index() - w.lo;
                         let mut ctx = Ctx::with_buffer(to, std::mem::take(&mut w.outbox_buf));
+                        let msg = w.payloads.take(msg);
                         w.nodes[local].on_message(from, msg, &mut ctx);
                         let mut touched = std::mem::take(&mut g.touched);
                         for out in ctx.drain_outbox() {
-                            touched.push(push_message(&mut g, &mut sh, graph, to, out)?);
+                            touched
+                                .push(push_message(&mut g, &mut sh, &mut works, graph, to, out)?);
                         }
                         for l in touched.drain(..) {
-                            try_inject(&mut g, &mut sh, &delay, &mut win, l);
+                            try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, l);
                         }
                         g.touched = touched;
                         // Acknowledge back to the sender (two seq draws, like
@@ -1098,7 +1140,7 @@ where
                         }
                         let (home, slot) = sh.layout.link_home(link);
                         sh.links[home][slot].in_flight = false;
-                        try_inject(&mut g, &mut sh, &delay, &mut win, link);
+                        try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, link);
                     }
                     ShardEvent::Dropped { .. } => {
                         unreachable!("drops are decided at drain or processing time")
@@ -1128,13 +1170,13 @@ where
                         let out = works[s]
                             .as_mut()
                             .expect("shard at home")
-                            .arena
+                            .captured
                             .pop_front()
-                            .expect("arena holds each captured outbox");
-                        touched.push(push_message(&mut g, &mut sh, graph, to, out)?);
+                            .expect("the capture buffer holds each outbox");
+                        touched.push(push_message(&mut g, &mut sh, &mut works, graph, to, out)?);
                     }
                     for link in touched.drain(..) {
-                        try_inject(&mut g, &mut sh, &delay, &mut win, link);
+                        try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, link);
                     }
                     g.touched = touched;
                     // Acknowledge back to the sender (two seq draws, exactly
@@ -1170,20 +1212,20 @@ where
                     }
                     let (home, slot) = sh.layout.link_home(item.link);
                     sh.links[home][slot].in_flight = false;
-                    try_inject(&mut g, &mut sh, &delay, &mut win, item.link);
+                    try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, item.link);
                 }
                 ReadyKind::Dropped => {
                     g.dropped += 1;
                     let (home, slot) = sh.layout.link_home(item.link);
                     sh.links[home][slot].in_flight = false;
-                    try_inject(&mut g, &mut sh, &delay, &mut win, item.link);
+                    try_inject(&mut g, &mut sh, &mut works, &delay, &mut win, item.link);
                 }
             }
         }
         for w in &mut works {
             let w = w.as_mut().expect("shard at home");
             w.ready.clear();
-            debug_assert!(w.arena.is_empty(), "merge consumed every captured message");
+            debug_assert!(w.captured.is_empty(), "merge consumed every captured message");
         }
         debug_assert!(win.heap.is_empty(), "merge drained the in-window heap");
         win.t_last = 0;
@@ -1192,11 +1234,22 @@ where
     g.metrics.time_to_output = g.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     g.metrics.time_to_quiescence = g.now as f64 / TICKS_PER_UNIT as f64;
     let overflow_events = sh.wheels.iter().map(|w| w.overflow_scheduled()).sum();
+    let mut peak_live_handles = 0u64;
+    let mut arena_bytes = 0u64;
+    for w in &works {
+        let w = w.as_ref().expect("shard at home");
+        debug_assert_eq!(w.payloads.live(), 0, "a finished run must return every arena handle");
+        peak_live_handles += w.payloads.peak_live() as u64;
+        arena_bytes += w.payloads.bytes() as u64;
+    }
     Ok((
         AsyncReport {
             metrics: g.metrics,
             nodes: works.into_iter().flat_map(|w| w.expect("shard at home").nodes).collect(),
             overflow_events,
+            peak_live_handles,
+            arena_bytes,
+            max_batch: g.max_batch,
             batched_ticks: g.batched_ticks,
             pool_dispatches: g.pool_dispatches,
             dropped_events: g.dropped,

@@ -17,6 +17,14 @@
 //! Pathological priorities far from the base (more than `MAX_SPREAD` = 1024 apart,
 //! which no shipped protocol produces) fall back to a small sorted overflow vector
 //! so the bucket window stays dense and bounded.
+//!
+//! Since the event arena (DESIGN.md §10) the engines instantiate the queue with
+//! `M = u32` **payload handles** into a [`crate::arena::PayloadArena`] rather than
+//! owned message structs: a queued entry is one fixed-size `(seq, handle)` pair
+//! regardless of the protocol's message type, window shifts move plain integers,
+//! and defusing a
+//! queued message (fault drop, crash-stop drain) frees the handle instead of
+//! dropping a struct. The queue itself is payload-agnostic and unchanged.
 
 use crate::bitset;
 use std::collections::VecDeque;

@@ -166,6 +166,16 @@ pub struct SynchronizedRun<O> {
     /// Fault-plan operations applied by the engine
     /// ([`AsyncReport::fault_transitions`]; 0 for the lock-step executor).
     pub fault_transitions: u64,
+    /// Peak number of simultaneously live payload handles in the engine's
+    /// event arena(s) ([`AsyncReport::peak_live_handles`]; 0 for the
+    /// lock-step executor). New in bench schema v6.
+    pub peak_live_handles: u64,
+    /// Bytes held by the payload-arena slabs at the end of the run
+    /// ([`AsyncReport::arena_bytes`]; 0 for the lock-step executor).
+    pub arena_bytes: u64,
+    /// Largest one-tick due batch the engine drained
+    /// ([`AsyncReport::max_batch`]; 0 for the lock-step executor).
+    pub max_batch: u64,
     /// Degradation status: crashed nodes and nodes with no output. A run under
     /// faults never hangs — it terminates with this explicit partial-result
     /// status instead.
@@ -222,6 +232,9 @@ impl<A: EventDriven> Synchronizer<A> for DirectExecutor {
             batched_ticks: 0,
             dropped_events: 0,
             fault_transitions: 0,
+            peak_live_handles: 0,
+            arena_bytes: 0,
+            max_batch: 0,
             health,
         })
     }
@@ -257,6 +270,9 @@ impl<A: EventDriven> Synchronizer<A> for AlphaExecutor {
             batched_ticks: report.batched_ticks,
             dropped_events: report.dropped_events,
             fault_transitions: report.fault_transitions,
+            peak_live_handles: report.peak_live_handles,
+            arena_bytes: report.arena_bytes,
+            max_batch: report.max_batch,
             health,
         })
     }
@@ -296,6 +312,9 @@ impl<A: EventDriven> Synchronizer<A> for BetaExecutor {
             batched_ticks: report.batched_ticks,
             dropped_events: report.dropped_events,
             fault_transitions: report.fault_transitions,
+            peak_live_handles: report.peak_live_handles,
+            arena_bytes: report.arena_bytes,
+            max_batch: report.max_batch,
             health,
         })
     }
@@ -332,6 +351,9 @@ impl<A: EventDriven> Synchronizer<A> for DetExecutor {
             batched_ticks: report.batched_ticks,
             dropped_events: report.dropped_events,
             fault_transitions: report.fault_transitions,
+            peak_live_handles: report.peak_live_handles,
+            arena_bytes: report.arena_bytes,
+            max_batch: report.max_batch,
             health,
         })
     }

@@ -23,3 +23,9 @@ fn sketchy(p: &u8) -> u8 {
     // ds-lint: allow(missing-safety-comment) — fixture: waiver under test
     unsafe { std::ptr::read(p) }
 }
+
+// ds-lint: hot-path (per-delivery: no owned-container allocation tokens)
+fn hot_but_waived() -> Vec<u64> {
+    // ds-lint: allow(hot-path-alloc) — fixture: waiver under test
+    Vec::new()
+}

@@ -1,0 +1,19 @@
+//! Seeded violation: an owned-container allocation inside a function marked
+//! `ds-lint: hot-path`. Per-delivery code must run on recycled buffers and
+//! arena handles (DESIGN.md §10); a fresh `Vec` per event is exactly the
+//! allocation churn the event arena removes.
+
+// ds-lint: hot-path (per-delivery: no owned-container allocation tokens)
+fn deliver(payloads: &mut [u64], handle: usize) -> u64 {
+    let scratch: Vec<u64> = Vec::new();
+    drop(scratch);
+    payloads[handle]
+}
+
+/// Outside the marked function the same tokens are fine — cold paths may
+/// allocate freely.
+fn setup() -> Vec<u64> {
+    let mut v = Vec::new();
+    v.push(0);
+    v
+}

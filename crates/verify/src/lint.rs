@@ -27,6 +27,7 @@
 //! | `thread-spawn` | `thread::spawn`/`thread::scope` outside the worker-pool allowlist |
 //! | `missing-safety-comment` | an `unsafe` token with no `SAFETY:` comment nearby |
 //! | `missing-forbid-unsafe` | a crate root (`lib.rs`) with neither `#![forbid(unsafe_code)]` nor `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | `hot-path-alloc` | owned-container allocation tokens (`Box::new`, `Vec::new`, `vec![`, …) inside a function whose preceding comment block carries the `ds-lint: hot-path` marker — per-delivery code must run on recycled buffers and arena handles |
 
 use crate::source::{has_token, scan, SourceFile};
 
@@ -47,11 +48,14 @@ pub enum Rule {
     MissingSafetyComment,
     /// Crate root without an unsafe-code lint gate.
     MissingForbidUnsafe,
+    /// Owned-container allocation inside a `ds-lint: hot-path` marked
+    /// function.
+    HotPathAlloc,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::UnorderedCollections,
         Rule::UnorderedIteration,
         Rule::WallClock,
@@ -59,6 +63,7 @@ impl Rule {
         Rule::ThreadSpawn,
         Rule::MissingSafetyComment,
         Rule::MissingForbidUnsafe,
+        Rule::HotPathAlloc,
     ];
 
     /// The rule's name, as used in `// ds-lint: allow(<name>)` pragmas.
@@ -71,6 +76,7 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::MissingSafetyComment => "missing-safety-comment",
             Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 }
@@ -124,6 +130,19 @@ fn thread_spawn_allowlisted(path: &str) -> bool {
 fn is_crate_root(path: &str) -> bool {
     path.ends_with("lib.rs") || path.ends_with("main.rs")
 }
+
+/// Owned-container allocation tokens the `hot-path-alloc` rule rejects. Each
+/// constructs (or clones into) a fresh heap allocation per call — per-delivery
+/// code must reuse recycled buffers and arena handles instead.
+const ALLOC_TOKENS: [&str; 7] = [
+    "Box::new",
+    "Vec::new",
+    "VecDeque::new",
+    "String::new",
+    "vec![",
+    ".to_vec()",
+    "with_capacity(",
+];
 
 /// Extracts the identifiers bound to `HashMap`/`HashSet` values on this line:
 /// `let [mut] NAME: …Hash(Map|Set)…`, `NAME: Hash(Map|Set)<…>` (struct
@@ -213,8 +232,51 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Finding> {
     unordered.sort();
     unordered.dedup();
 
+    // Hot-path tracking for `hot-path-alloc`: a `ds-lint: hot-path` marker in
+    // a comment arms the rule for the next `fn`; the function's extent is the
+    // brace span opened after its signature. Tracking is textual (brace
+    // counting on comment-stripped code), which the seeded fixture pins.
+    let mut depth = 0i64;
+    let mut armed = false;
+    let mut hot_base: Option<i64> = None;
+    let mut hot_entered = false;
+
     for (idx, line) in file.lines.iter().enumerate() {
         let code = &line.code;
+        if line.comment.contains("ds-lint: hot-path") {
+            armed = true;
+        }
+        if armed && has_token(code, "fn") {
+            hot_base = Some(depth);
+            hot_entered = false;
+            armed = false;
+        }
+        if hot_base.is_some() {
+            for marker in ALLOC_TOKENS {
+                if code.contains(marker) {
+                    push(
+                        idx,
+                        Rule::HotPathAlloc,
+                        format!(
+                            "`{marker}` allocates inside a `ds-lint: hot-path` function: \
+                             per-delivery code must run on recycled buffers and arena handles"
+                        ),
+                    );
+                }
+            }
+        }
+        depth += code.matches('{').count() as i64;
+        if let Some(base) = hot_base {
+            if depth > base {
+                hot_entered = true;
+            }
+        }
+        depth -= code.matches('}').count() as i64;
+        if let Some(base) = hot_base {
+            if hot_entered && depth <= base {
+                hot_base = None;
+            }
+        }
         for marker in ["HashMap", "HashSet"] {
             if has_token(code, marker) {
                 push(
@@ -378,6 +440,11 @@ pub fn fixtures() -> Vec<(&'static str, &'static str, Rule)> {
             include_str!("../fixtures/missing_forbid_unsafe.rs"),
             Rule::MissingForbidUnsafe,
         ),
+        (
+            "fixtures/hot_path_alloc.rs",
+            include_str!("../fixtures/hot_path_alloc.rs"),
+            Rule::HotPathAlloc,
+        ),
     ]
 }
 
@@ -465,6 +532,46 @@ fn f() -> &'static str {
     fn safety_comment_satisfies_the_unsafe_rule() {
         let src = "#![deny(unsafe_op_in_unsafe_fn)]\n// SAFETY: len checked above.\nlet x = unsafe { p.read() };\n";
         assert_eq!(lint_source("y/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_inside_the_marked_function() {
+        let src = "\
+// ds-lint: hot-path
+fn hot(buf: &mut Vec<u8>) {
+    let v = vec![1, 2];
+    buf.push(v[0]);
+}
+fn cold() -> Vec<u8> {
+    Vec::new()
+}
+";
+        let findings = lint_source("x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::HotPathAlloc);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn hot_path_alloc_scope_ends_with_the_function_body() {
+        // Nested braces inside the hot function stay hot; the sibling after
+        // its closing brace is cold again.
+        let src = "\
+// ds-lint: hot-path
+fn hot(n: usize) {
+    if n > 0 {
+        let b = Box::new(n);
+        drop(b);
+    }
+}
+fn sibling() {
+    let s = String::new();
+    drop(s);
+}
+";
+        let findings = lint_source("x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
     }
 
     #[test]

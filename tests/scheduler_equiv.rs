@@ -23,7 +23,9 @@
 
 use det_synchronizer::algos::bfs::BfsAlgorithm;
 use det_synchronizer::netsim::protocol::{Ctx, Protocol};
-use det_synchronizer::netsim::{run_async_with, MessageClass, SimLimits};
+use det_synchronizer::netsim::{
+    run_async_sharded_with, run_async_with, MessageClass, ShardedOptions, SimLimits, ThreadMode,
+};
 use det_synchronizer::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -172,6 +174,92 @@ fn all_schedulers_agree_under_every_standard_adversary() {
         for scheduler in [SchedulerKind::BinaryHeap].into_iter().chain(SHARDED) {
             let got = run_recorder(&graph, delay.clone(), scheduler);
             assert_schedule_eq(&wheel, &got, scheduler, &|| format!("{scheduler:?}, {delay:?}"));
+        }
+    }
+}
+
+/// Like [`Recorder`] but without the shared `Rc` log, so it is `Send` and can
+/// go through [`run_async_sharded_with`] — the only public surface that
+/// exposes the batching knob. The per-node arrival streams plus byte-identical
+/// `RunMetrics` are exactly what the sharded contract promises.
+#[derive(Debug)]
+struct SendRecorder<'g> {
+    me: NodeId,
+    neighbors: &'g [NodeId],
+    arrivals: Vec<(NodeId, u64)>,
+    waves_left: u64,
+}
+
+impl Protocol for SendRecorder<'_> {
+    type Message = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+        if self.me.index().is_multiple_of(7) {
+            for (i, &u) in self.neighbors.iter().enumerate() {
+                ctx.send_with(u, 1, (i % 3) as u64, MessageClass::Algorithm);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+        self.arrivals.push((from, msg));
+        if self.waves_left > 0 {
+            self.waves_left -= 1;
+            for (i, &u) in self.neighbors.iter().enumerate() {
+                ctx.send_with(u, msg + 1, (msg + i as u64) % 4, MessageClass::Algorithm);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn batching_on_and_off_produce_bit_identical_schedules() {
+    // The dynamic batching gate only widens barriers over causally independent
+    // ticks, so flipping it must not move a single event: per-node arrival
+    // streams and RunMetrics are pinned against the serial wheel reference for
+    // both settings, across shard counts and adversaries (including the outage
+    // model, whose multi-τ delays exercise the hierarchical wheel's coarse
+    // tier inside the window-cap computation).
+    let graph = Graph::random_connected(26, 0.14, 11);
+    let mut adversaries = vec![DelayModel::jitter(7), DelayModel::uniform()];
+    adversaries.push(DelayModel::outage(7, 5, 2));
+    let run_sharded = |delay: &DelayModel, shards: usize, batching: bool| {
+        let report = run_async_sharded_with(
+            &graph,
+            delay.clone(),
+            |v| SendRecorder {
+                me: v,
+                neighbors: graph.neighbors(v),
+                arrivals: Vec::new(),
+                waves_left: 3,
+            },
+            SimLimits::default(),
+            ShardedOptions { batching, threads: ThreadMode::Off, ..ShardedOptions::new(shards) },
+        )
+        .expect("sharded recorder run");
+        let metrics = report.metrics;
+        let arrivals: Vec<Vec<(NodeId, u64)>> =
+            report.nodes.into_iter().map(|n| n.arrivals).collect();
+        (arrivals, metrics)
+    };
+    for delay in &adversaries {
+        let wheel = run_recorder(&graph, delay.clone(), SchedulerKind::TimingWheel);
+        for shards in [1usize, 2, 4, 7] {
+            let on = run_sharded(delay, shards, true);
+            let off = run_sharded(delay, shards, false);
+            assert_eq!(on, off, "batching flipped the schedule (shards={shards}, {delay:?})");
+            assert_eq!(
+                wheel.1, on.0,
+                "per-node arrivals diverged from the wheel (shards={shards}, {delay:?})"
+            );
+            assert_eq!(
+                wheel.2, on.1,
+                "metrics diverged from the wheel (shards={shards}, {delay:?})"
+            );
         }
     }
 }
