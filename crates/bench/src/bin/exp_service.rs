@@ -1,0 +1,96 @@
+//! E11 — simulation-as-a-service matrix (tier × worker count), written to
+//! `BENCH_service.json` (same `det-synchronizer-bench/v6` schema as E9, with
+//! `suite: "service"`).
+//!
+//! Usage: `exp_service [--smoke] [--filter SUBSTR] [--out PATH]
+//!                     [--compare BASELINE.json] [--compare-out PATH]
+//!                     [--tolerance PCT] [--events-only]`
+//!
+//! Each scenario runs a fixed batch of independent requests through a
+//! `SessionPool` and reports requests/sec at that worker count, next to the
+//! cold-vs-cache-hit setup cost (`setup_cold_ms` / `setup_warm_ms` /
+//! `setup_speedup`). Every pooled run is asserted bit-identical to its
+//! standalone `Session` run before any number is recorded, so the artifact
+//! only ever describes provably unchanged schedules.
+//!
+//! `--compare` diffs against a committed artifact through the same pipeline as
+//! `exp_perf`; `--events-only` restricts the non-zero-exit conditions to
+//! event-count mismatches (per-batch totals are deterministic), which is the
+//! machine-independent gate CI uses.
+
+use ds_bench::compare::{compare_against_baseline, Baseline, DEFAULT_TOLERANCE};
+use ds_bench::service::{experiment_service, render_artifact, ServiceOptions, ServiceRecord};
+
+fn main() {
+    let mut opts = ServiceOptions::default();
+    let mut out_path = String::from("BENCH_service.json");
+    let mut compare_path: Option<String> = None;
+    let mut compare_out = String::from("BENCH_service_compare.txt");
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut events_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--filter" => {
+                opts.filter = Some(args.next().expect("--filter requires a substring"));
+            }
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--compare" => {
+                compare_path = Some(args.next().expect("--compare requires a baseline path"));
+            }
+            "--compare-out" => compare_out = args.next().expect("--compare-out requires a path"),
+            "--events-only" => events_only = true,
+            "--tolerance" => {
+                let pct: f64 = args
+                    .next()
+                    .expect("--tolerance requires a percentage")
+                    .parse()
+                    .expect("--tolerance must be a number (percent)");
+                tolerance = pct / 100.0;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --smoke, --filter, --out, --compare, \
+                 --compare-out, --tolerance, --events-only)"
+            ),
+        }
+    }
+
+    // Load the baseline up front: `--out` may overwrite the file being
+    // compared against (the CI job reuses the committed artifact's path).
+    let baseline = compare_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        Baseline::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"))
+    });
+
+    let records = experiment_service(&opts);
+    let rows: Vec<_> = records.iter().map(ServiceRecord::to_row).collect();
+    ds_bench::print_table("E11: service throughput (batched BFS via SessionPool)", &rows);
+
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    let artifact = render_artifact(mode, &records);
+    std::fs::write(&out_path, artifact).expect("write benchmark artifact");
+    println!("wrote {} scenarios to {out_path}", records.len());
+
+    if let Some(baseline) = baseline {
+        let perf_records: Vec<_> = records.iter().map(ServiceRecord::to_perf_record).collect();
+        let report = compare_against_baseline(&perf_records, &baseline, tolerance);
+        let text = report.render();
+        print!("{text}");
+        std::fs::write(&compare_out, &text).expect("write comparison report");
+        println!("wrote comparison report to {compare_out}");
+        let ok = if events_only {
+            println!(
+                "events-only mode: wall-clock and setup deltas are informational, \
+                 event counts gate"
+            );
+            report.schedule_ok()
+        } else {
+            report.passed()
+        };
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 pub mod compare;
 pub mod json;
 pub mod perf;
+pub mod service;
 pub mod table;
 
 pub use table::{print_table, render_table, Row};

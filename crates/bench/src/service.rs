@@ -1,0 +1,401 @@
+//! E11 — simulation-as-a-service throughput and setup amortization.
+//!
+//! Where E9 measures one engine running one scenario, this experiment measures
+//! the *service layer* (`ds-sync::service`): batches of independent simulation
+//! requests running concurrently over a [`SessionPool`], sharing a cover cache
+//! and a recycled engine-state bank. Two quantities matter:
+//!
+//! * **requests/sec at N concurrent sessions** — one row per worker count on a
+//!   fixed per-tier batch, so the committed artifact records how service
+//!   throughput scales with concurrency;
+//! * **per-run setup cost, cold vs. cache-hit** — `setup_cold_ms` is one full
+//!   `SynchronizerConfig::build`, `setup_warm_ms` the mean cache-hit lookup
+//!   (hash + graph-equality verify + `Arc` clone). Their ratio
+//!   (`setup_speedup`) is the amortization the cover cache buys; the
+//!   experiment asserts it is at least 5× on the 4096-node tiers.
+//!
+//! Every pooled run is asserted bit-identical to the same request run through
+//! a standalone `Session` — outputs, metrics and engine counters (except
+//! `arena_bytes`, which recycled capacity may legitimately exceed) — so the
+//! throughput numbers are for provably unchanged schedules.
+//!
+//! The artifact (`BENCH_service.json`) uses the same `det-synchronizer-bench/v6`
+//! schema as E9 with `suite: "service"`; `events` is the per-batch total and is
+//! deterministic, so `exp_service --compare --events-only` gates schedule
+//! identity in CI exactly like `exp_perf`.
+
+use crate::json::Json;
+use crate::perf::PerfRecord;
+use crate::table::Row;
+use ds_algos::bfs::BfsAlgorithm;
+use ds_graph::{Graph, NodeId};
+use ds_netsim::delay::DelayModel;
+use ds_sync::service::{ServiceRequest, SessionPool, SynchronizerParams};
+use ds_sync::session::{Session, SyncKind};
+use ds_sync::synchronizer::SynchronizerConfig;
+use std::time::Instant;
+
+/// Options for the service sweep.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceOptions {
+    /// Smoke mode: small tiers and a short worker sweep (used by CI).
+    pub smoke: bool,
+    /// Only run scenarios whose id contains this substring.
+    pub filter: Option<String>,
+}
+
+/// One measured `(tier, worker count)` point.
+#[derive(Clone, Debug)]
+pub struct ServiceRecord {
+    /// Scenario id, e.g. `service/grid/4096/w4`.
+    pub scenario: String,
+    /// Graph family.
+    pub family: String,
+    /// Node count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Worker threads the pool dispatched over (1 = one worker).
+    pub workers: usize,
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Pulse bound shared by every request of the batch.
+    pub pulse_bound: u64,
+    /// One cold `SynchronizerConfig::build`, milliseconds.
+    pub setup_cold_ms: f64,
+    /// Mean cache-hit lookup, milliseconds.
+    pub setup_warm_ms: f64,
+    /// `setup_cold_ms / setup_warm_ms` — the per-run setup amortization.
+    pub setup_speedup: f64,
+    /// Batch wall time, seconds.
+    pub wall_seconds: f64,
+    /// Requests per wall-clock second — the service throughput number.
+    pub requests_per_sec: f64,
+    /// Delivery events processed, summed over the batch (deterministic).
+    pub events: u64,
+    /// Events per wall-clock second across the whole batch.
+    pub events_per_sec: f64,
+    /// Cover-cache hits during the batch.
+    pub cache_hits: u64,
+    /// Cover-cache misses (prewarm included).
+    pub cache_misses: u64,
+    /// Engine slabs checked out of the recycling bank.
+    pub slab_checkouts: u64,
+    /// Checkouts served by a recycled slab instead of a cold allocation.
+    pub slab_reuses: u64,
+}
+
+impl ServiceRecord {
+    /// The record as a JSON object (one element of the `scenarios` array).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("family", Json::Str(self.family.clone())),
+            ("n", Json::Int(self.n as u64)),
+            ("m", Json::Int(self.m as u64)),
+            ("workers", Json::Int(self.workers as u64)),
+            ("requests", Json::Int(self.requests as u64)),
+            ("pulse_bound", Json::Int(self.pulse_bound)),
+            // `setup_ms` is the warm (steady-state) per-run setup cost: the
+            // baseline comparison gates it like E9's cover-build time.
+            ("setup_ms", Json::Num(self.setup_warm_ms)),
+            ("setup_cold_ms", Json::Num(self.setup_cold_ms)),
+            ("setup_warm_ms", Json::Num(self.setup_warm_ms)),
+            ("setup_speedup", Json::Num(self.setup_speedup)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("requests_per_sec", Json::Num(self.requests_per_sec)),
+            ("events", Json::Int(self.events)),
+            ("events_per_sec", Json::Num(self.events_per_sec)),
+            ("cache_hits", Json::Int(self.cache_hits)),
+            ("cache_misses", Json::Int(self.cache_misses)),
+            ("slab_checkouts", Json::Int(self.slab_checkouts)),
+            ("slab_reuses", Json::Int(self.slab_reuses)),
+        ])
+    }
+
+    /// The record as a text-table row.
+    pub fn to_row(&self) -> Row {
+        Row {
+            label: self.scenario.clone(),
+            values: vec![
+                ("n", self.n as f64),
+                ("wrk", self.workers as f64),
+                ("reqs", self.requests as f64),
+                ("cold_ms", self.setup_cold_ms),
+                ("warm_ms", self.setup_warm_ms),
+                ("speedup", self.setup_speedup),
+                ("wall_s", self.wall_seconds),
+                ("req/s", self.requests_per_sec),
+                ("events", self.events as f64),
+                ("ev/s", self.events_per_sec),
+                ("reuse", self.slab_reuses as f64),
+            ],
+        }
+    }
+
+    /// The record as a [`PerfRecord`] carrying the fields the baseline
+    /// comparison reads (`scenario`, `events`, `events_per_sec`, `setup_ms`),
+    /// so `exp_service --compare` reuses the E9 comparison pipeline.
+    pub fn to_perf_record(&self) -> PerfRecord {
+        PerfRecord {
+            scenario: self.scenario.clone(),
+            family: self.family.clone(),
+            n: self.n,
+            m: self.m,
+            synchronizer: "det".into(),
+            adversary: "jitter".into(),
+            threads: self.workers,
+            workers: self.workers,
+            pulse_bound: self.pulse_bound,
+            sync_rounds: self.pulse_bound,
+            sync_messages: 0,
+            setup_ms: self.setup_warm_ms,
+            wall_seconds: self.wall_seconds,
+            events: self.events,
+            batched_ticks: 0,
+            dropped_events: 0,
+            fault_transitions: 0,
+            peak_live_handles: 0,
+            arena_bytes: 0,
+            max_batch: 0,
+            events_per_sec: self.events_per_sec,
+            messages: 0,
+            algorithm_messages: 0,
+            control_messages: 0,
+            acks: 0,
+            time_overhead: 0.0,
+            message_overhead: 0.0,
+        }
+    }
+}
+
+/// Renders the full artifact written to `BENCH_service.json`.
+pub fn render_artifact(mode: &str, records: &[ServiceRecord]) -> String {
+    Json::Obj(vec![
+        ("schema", Json::Str("det-synchronizer-bench/v6".into())),
+        ("suite", Json::Str("service".into())),
+        ("mode", Json::Str(mode.into())),
+        ("workload", Json::Str("batched single-source BFS via SessionPool".into())),
+        ("scenarios", Json::Arr(records.iter().map(ServiceRecord::to_json).collect())),
+    ])
+    .render()
+}
+
+/// The fixed service tiers. The 4096-node tiers are the ones the ≥5× setup
+/// amortization claim is asserted on; smoke stays CI-sized. The smoke tiers
+/// are a strict subset of the full matrix (same ids, same batches), so
+/// `exp_service --smoke --compare BENCH_service.json` always has matching
+/// baseline rows — `schedule_ok` treats an empty match set as failure.
+fn service_graphs(smoke: bool) -> Vec<(String, String, Graph)> {
+    let tier = |family: &str, n: usize, graph: Graph| (family.to_string(), format!("{n}"), graph);
+    let mut tiers = vec![
+        tier("grid", 256, Graph::grid(16, 16)),
+        tier("random-regular", 256, Graph::random_regular(256, 4, 256)),
+    ];
+    if !smoke {
+        tiers.extend([
+            tier("grid", 1024, Graph::grid(32, 32)),
+            tier("torus", 1024, Graph::torus(32, 32)),
+            tier("grid", 4096, Graph::grid(64, 64)),
+            tier("random-regular", 4096, Graph::random_regular(4096, 4, 4096)),
+        ]);
+    }
+    tiers
+}
+
+fn matches(filter: &Option<String>, id: &str) -> bool {
+    filter.as_ref().is_none_or(|f| id.contains(f))
+}
+
+/// E11 — runs the service matrix and returns one record per `(tier, workers)`.
+///
+/// # Panics
+///
+/// Panics if any request fails, any pooled run differs from its standalone
+/// session run (schedule identity is the service's headline guarantee), or a
+/// 4096-node tier amortizes setup by less than 5×.
+pub fn experiment_service(opts: &ServiceOptions) -> Vec<ServiceRecord> {
+    // Smoke sweeps a subset of the full worker counts; the batch itself is
+    // identical in both modes so a smoke scenario's `events` equals the
+    // committed full-run row and `--compare --events-only` can gate on it.
+    let worker_counts: &[usize] = if opts.smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let batch_size: usize = 8;
+    let warm_probes: u32 = 16;
+    let mut records = Vec::new();
+
+    for (family, size, graph) in service_graphs(opts.smoke) {
+        let tier_id = format!("service/{family}/{size}");
+        if worker_counts.iter().all(|w| !matches(&opts.filter, &format!("{tier_id}/w{w}"))) {
+            continue;
+        }
+
+        // Ground truth: defines the pulse bound and the reference outputs.
+        let direct = Session::on(&graph)
+            .synchronizer(SyncKind::Direct)
+            .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+            .expect("ground truth run");
+        let t = direct.metrics.time_to_quiescence.max(1.0) as u64;
+
+        // Setup amortization: one cold build vs. the mean cache-hit lookup.
+        let start = Instant::now();
+        let cold_cfg = SynchronizerConfig::build(&graph, t);
+        let setup_cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        let probe_cache = ds_sync::service::CoverCache::new();
+        let params = SynchronizerParams { max_pulse: t };
+        let first = probe_cache.get_or_build(&graph, params);
+        assert_eq!(*first, *cold_cfg, "cache-hit config must equal the cold build");
+        let start = Instant::now();
+        for _ in 0..warm_probes {
+            let hit = probe_cache.get_or_build(&graph, params);
+            assert!(std::sync::Arc::ptr_eq(&hit, &first), "warm probes must hit");
+        }
+        let setup_warm_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(warm_probes);
+        let setup_speedup = setup_cold_ms / setup_warm_ms.max(1e-6);
+        if graph.node_count() >= 4096 {
+            assert!(
+                setup_speedup >= 5.0,
+                "{tier_id}: cache-hit setup must amortize ≥5× (cold {setup_cold_ms:.3} ms, \
+                 warm {setup_warm_ms:.6} ms)"
+            );
+        }
+
+        // The fixed batch: same topology, mixed delay adversaries, all DetAuto
+        // with an explicit shared pulse bound (the cacheable configuration).
+        let requests: Vec<ServiceRequest<'_>> = (0..batch_size)
+            .map(|i| {
+                ServiceRequest::on(&graph).delay(DelayModel::jitter(3 + i as u64)).pulse_bound(t)
+            })
+            .collect();
+
+        // Standalone reference runs: what every pooled result must equal.
+        let standalone: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                Session::on(&graph)
+                    .delay(req.delay.clone())
+                    .synchronizer(SyncKind::DetAuto)
+                    .pulse_bound(t)
+                    .run(|v| BfsAlgorithm::new(&graph, v, &[NodeId(0)]))
+                    .expect("standalone run")
+            })
+            .collect();
+        for run in &standalone {
+            assert_eq!(run.outputs, direct.outputs, "{tier_id} diverged from ground truth");
+        }
+
+        for &workers in worker_counts {
+            let scenario = format!("{tier_id}/w{workers}");
+            if !matches(&opts.filter, &scenario) {
+                continue;
+            }
+            let pool = SessionPool::new(workers);
+            // Prewarm the pool's cache so the timed batch measures the
+            // steady-state service, not one cover build.
+            pool.cache().get_or_build(&graph, params);
+            let start = Instant::now();
+            let results = pool
+                .run_batch::<BfsAlgorithm, _>(&requests, |_, v| {
+                    BfsAlgorithm::new(&graph, v, &[NodeId(0)])
+                })
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| panic!("{scenario}: {e}")))
+                .collect::<Vec<_>>();
+            let wall = start.elapsed().as_secs_f64();
+            let mut events = 0u64;
+            for (i, (pooled, solo)) in results.iter().zip(&standalone).enumerate() {
+                assert_eq!(pooled.outputs, solo.outputs, "{scenario} req {i}: outputs");
+                assert_eq!(pooled.metrics, solo.metrics, "{scenario} req {i}: metrics");
+                assert_eq!(pooled.ordering_violations, solo.ordering_violations, "{scenario}");
+                assert_eq!(pooled.batched_ticks, solo.batched_ticks, "{scenario} req {i}");
+                assert_eq!(pooled.dropped_events, solo.dropped_events, "{scenario} req {i}");
+                assert_eq!(
+                    pooled.peak_live_handles, solo.peak_live_handles,
+                    "{scenario} req {i}: arena high-water mark"
+                );
+                assert_eq!(pooled.max_batch, solo.max_batch, "{scenario} req {i}");
+                // `arena_bytes` is deliberately NOT compared: a recycled arena
+                // may carry more capacity than a cold run ever allocated.
+                events += pooled.metrics.events;
+            }
+            records.push(ServiceRecord {
+                scenario,
+                family: family.clone(),
+                n: graph.node_count(),
+                m: graph.edge_count(),
+                workers,
+                requests: requests.len(),
+                pulse_bound: t,
+                setup_cold_ms,
+                setup_warm_ms,
+                setup_speedup,
+                wall_seconds: wall,
+                requests_per_sec: requests.len() as f64 / wall.max(1e-9),
+                events,
+                events_per_sec: events as f64 / wall.max(1e-9),
+                cache_hits: pool.cache().hits(),
+                cache_misses: pool.cache().misses(),
+                slab_checkouts: pool.bank().checkouts(),
+                slab_reuses: pool.bank().reuses(),
+            });
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_covers_every_tier_and_worker_count() {
+        let records = experiment_service(&ServiceOptions { smoke: true, filter: None });
+        // 2 tiers × 2 worker counts.
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert!(r.events > 0, "{}: no events", r.scenario);
+            assert!(r.requests_per_sec > 0.0, "{}", r.scenario);
+            // Every batch request after the prewarm hits the cache…
+            assert_eq!(r.cache_hits, r.requests as u64, "{}", r.scenario);
+            assert_eq!(r.cache_misses, 1, "{}", r.scenario);
+            // …and the bank recycles once requests outnumber workers.
+            assert_eq!(r.slab_checkouts, r.requests as u64, "{}", r.scenario);
+            assert!(
+                r.slab_reuses >= (r.requests - r.workers.min(r.requests)) as u64,
+                "{}: {} reuses",
+                r.scenario,
+                r.slab_reuses
+            );
+        }
+        // Schedule identity across worker counts: the same batch processes the
+        // same events no matter how it is dispatched.
+        assert_eq!(records[0].events, records[1].events);
+    }
+
+    #[test]
+    fn filter_restricts_the_matrix() {
+        let records =
+            experiment_service(&ServiceOptions { smoke: true, filter: Some("grid/256/w1".into()) });
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].scenario, "service/grid/256/w1");
+    }
+
+    #[test]
+    fn artifact_is_valid_schema_v6_service_suite() {
+        let records =
+            experiment_service(&ServiceOptions { smoke: true, filter: Some("grid/256/w4".into()) });
+        let text = render_artifact("smoke", &records);
+        assert!(text.contains("\"schema\": \"det-synchronizer-bench/v6\""));
+        assert!(text.contains("\"suite\": \"service\""));
+        assert!(text.contains("\"scenario\": \"service/grid/256/w4\""));
+        assert!(text.contains("\"events_per_sec\""));
+        assert!(text.contains("\"setup_ms\""));
+        assert!(text.contains("\"setup_speedup\""));
+        assert!(text.contains("\"requests_per_sec\""));
+        assert!(text.contains("\"slab_reuses\""));
+        // The conversion the --compare path uses must preserve the gated fields.
+        let perf = records[0].to_perf_record();
+        assert_eq!(perf.scenario, records[0].scenario);
+        assert_eq!(perf.events, records[0].events);
+        assert_eq!(perf.setup_ms, records[0].setup_warm_ms);
+    }
+}

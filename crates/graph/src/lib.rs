@@ -308,6 +308,35 @@ impl Graph {
     fn directed_id(e: EdgeId, from: NodeId, to: NodeId) -> DirectedEdgeId {
         DirectedEdgeId(2 * e.index() as u32 + u32::from(from > to))
     }
+
+    /// A stable structural hash: node count plus the ordered edge list, folded
+    /// through a splitmix64-style mixer (the same dependency-free mixer the
+    /// delay models use). The adjacency lists — whose insertion order the
+    /// engines observe through [`Graph::neighbor_links`] — are derived from
+    /// the edge sequence by `add_edge`, so the ordered edge list determines
+    /// the full structure and two graphs built by the same edge sequence hash
+    /// identically across processes and runs.
+    ///
+    /// This is a cache *discriminator*, not a proof of equality: callers that
+    /// key caches by it must verify hits with full `==` (`Graph` is `Eq`) so a
+    /// 64-bit collision can never alias two topologies.
+    pub fn structural_hash(&self) -> u64 {
+        fn mix(state: &mut u64, value: u64) {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(value);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *state = z ^ (z >> 31);
+        }
+        let mut h = 0x5d5_70de_7e97_0a6d_u64;
+        mix(&mut h, self.node_count() as u64);
+        mix(&mut h, self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            mix(&mut h, u.index() as u64);
+            mix(&mut h, v.index() as u64);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +410,38 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "directed ids cover 0..2m");
         assert_eq!(g.edge_id(NodeId(0), NodeId(8)), None);
         assert_eq!(g.edge_id(NodeId(42), NodeId(0)), None);
+    }
+
+    #[test]
+    fn structural_hash_discriminates_topologies() {
+        // Same construction → same hash, across independent builds.
+        assert_eq!(Graph::grid(4, 4).structural_hash(), Graph::grid(4, 4).structural_hash());
+        // Different families and different sizes diverge.
+        let hashes = [
+            Graph::path(4).structural_hash(),
+            Graph::cycle(4).structural_hash(),
+            Graph::grid(2, 2).structural_hash(),
+            Graph::grid(4, 4).structural_hash(),
+            Graph::path(5).structural_hash(),
+        ];
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Dropping a single edge changes the hash (the repair-path case).
+        let full = Graph::cycle(6);
+        let trimmed =
+            Graph::from_edges(6, full.edges().take(full.edge_count() - 1).map(|(_, u, v)| (u, v)))
+                .unwrap();
+        assert_ne!(full.structural_hash(), trimmed.structural_hash());
+        // Edge *insertion order* is structural: the engines observe adjacency
+        // order, so a reordered edge list must not alias.
+        let ab_first =
+            Graph::from_edges(3, [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]).unwrap();
+        let bc_first =
+            Graph::from_edges(3, [(NodeId(1), NodeId(2)), (NodeId(0), NodeId(1))]).unwrap();
+        assert_ne!(ab_first.structural_hash(), bc_first.structural_hash());
     }
 
     #[test]

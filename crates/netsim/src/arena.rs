@@ -148,6 +148,13 @@ impl<M> PayloadArena<M> {
         self.peak_live
     }
 
+    /// Resets the high-water mark to the current live count. Engine recycling
+    /// calls this between runs so `peak_live` reports a per-run watermark —
+    /// identical to a cold arena's — rather than a lifetime one.
+    pub fn reset_peak(&mut self) {
+        self.peak_live = self.live;
+    }
+
     /// Bytes backing the slot vector (capacity, not just live slots) — the
     /// arena's memory footprint as reported in the bench artifact.
     pub fn bytes(&self) -> usize {

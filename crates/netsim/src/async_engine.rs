@@ -175,6 +175,14 @@ impl<M> LinkState<M> {
         LinkState { from, to, in_flight: false, head: None, queue: StageQueue::new() }
     }
 
+    /// Whether the link holds no transient state: nothing in flight, nothing
+    /// queued. At quiescence every link is idle (a queued message always has
+    /// an ack or drop pending to release it), which is what lets a finished
+    /// run's link table be recycled into the next run ([`crate::recycle`]).
+    pub(crate) fn is_idle(&self) -> bool {
+        !self.in_flight && self.head.is_none() && self.queue.is_empty()
+    }
+
     pub(crate) fn push(&mut self, priority: u64, seq: u64, msg: M) {
         if self.head.is_none() {
             self.head = Some((priority, seq, msg));
@@ -197,6 +205,79 @@ impl<M> LinkState<M> {
             },
             None => self.queue.pop(),
         }
+    }
+}
+
+/// The reusable, allocation-heavy halves of a serial engine: everything
+/// `run_engine` builds per run except the protocol instances and the event
+/// scheduler. [`crate::recycle::EngineSlab`] keeps one of these (plus a
+/// [`TimingWheel`]) across runs so link tables, stage queues, the payload
+/// arena and the outbox buffer are reshaped rather than reallocated.
+///
+/// None of the retained state can influence a schedule: between runs the
+/// queues are empty, the arena holds no live handles (capacity and free-list
+/// shape are invisible — handles are opaque and never feed a scheduling
+/// decision), and [`EngineParts::adopt`] rewrites every field the next run
+/// reads (link endpoints, done flags, the peak-live watermark) to exactly its
+/// cold-start value.
+pub(crate) struct EngineParts<M> {
+    pub(crate) links: Vec<LinkState<u32>>,
+    pub(crate) arena: PayloadArena<M>,
+    pub(crate) done_flags: Vec<bool>,
+    pub(crate) outbox_pool: Vec<Outgoing<M>>,
+    pub(crate) touched: Vec<DirectedEdgeId>,
+}
+
+// Manual impl: `derive` would demand `M: Default`, but empty parts need no
+// message value.
+impl<M> Default for EngineParts<M> {
+    fn default() -> Self {
+        EngineParts {
+            links: Vec::new(),
+            arena: PayloadArena::new(),
+            done_flags: Vec::new(),
+            outbox_pool: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+}
+
+impl<M> EngineParts<M> {
+    /// Reshapes the parts for a run on `graph`, asserting the previous run
+    /// left them clean. Endpoints are rewritten unconditionally — adoption
+    /// never trusts a hash to decide the link table still matches the
+    /// topology — and the arena's watermark restarts at zero, so every field
+    /// the engine reads equals a cold build's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous run left transient state behind (a non-idle
+    /// link or a live arena handle).
+    pub(crate) fn adopt(&mut self, graph: &Graph) {
+        assert_eq!(self.arena.live(), 0, "recycled parts must hold no live arena handles");
+        self.arena.reset_peak();
+        let m = graph.directed_edge_count();
+        self.links.truncate(m);
+        for (e, link) in self.links.iter_mut().enumerate() {
+            assert!(link.is_idle(), "recycled parts must hold no queued or in-flight messages");
+            let (from, to) = graph.directed_endpoints(DirectedEdgeId(e as u32));
+            link.from = from;
+            link.to = to;
+        }
+        for e in self.links.len()..m {
+            let (from, to) = graph.directed_endpoints(DirectedEdgeId(e as u32));
+            self.links.push(LinkState::new(from, to));
+        }
+        self.done_flags.clear();
+        self.done_flags.resize(graph.node_count(), false);
+        self.touched.clear();
+    }
+
+    /// Whether the parts hold no transient state — the recycling hygiene
+    /// invariant ([`crate::recycle::EngineSlab::is_clean`]): every link idle,
+    /// every arena handle returned.
+    pub(crate) fn is_clean(&self) -> bool {
+        self.arena.live() == 0 && self.links.iter().all(LinkState::is_idle)
     }
 }
 
@@ -521,7 +602,7 @@ where
 fn run_engine<P, F, S>(
     graph: &Graph,
     delay: DelayModel,
-    mut make: F,
+    make: F,
     limits: SimLimits,
     sched: S,
     trace: Option<TraceState>,
@@ -532,29 +613,55 @@ where
     F: FnMut(NodeId) -> P,
     S: EventScheduler<EvRef>,
 {
-    let n = graph.node_count();
+    let mut parts = EngineParts::default();
+    parts.adopt(graph);
+    run_engine_parts(graph, delay, make, limits, sched, trace, faults, &mut parts)
+        .map(|(report, trace, _sched)| (report, trace))
+}
+
+/// [`run_engine`] over caller-owned [`EngineParts`]: the engine's recyclable
+/// state is moved out of `parts` for the run and moved back on success (with
+/// the scheduler returned for the same reason). On error the parts are left
+/// in their default (empty) state — a failed run's transient state is
+/// discarded wholesale rather than cleaned, so recycling degrades to cold
+/// allocation instead of risking a poisoned slab.
+///
+/// The caller must have called [`EngineParts::adopt`] for `graph` first.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_engine_parts<P, F, S>(
+    graph: &Graph,
+    delay: DelayModel,
+    mut make: F,
+    limits: SimLimits,
+    sched: S,
+    trace: Option<TraceState>,
+    faults: Option<FaultState>,
+    parts: &mut EngineParts<P::Message>,
+) -> Result<(AsyncReport<P>, Option<DeliveryTrace>, S), SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+    S: EventScheduler<EvRef>,
+{
+    debug_assert_eq!(parts.links.len(), graph.directed_edge_count(), "adopt() must run first");
+    debug_assert_eq!(parts.done_flags.len(), graph.node_count(), "adopt() must run first");
     let mut engine = Engine {
         graph,
         delay,
         nodes: graph.nodes().map(&mut make).collect(),
-        links: (0..graph.directed_edge_count())
-            .map(|e| {
-                let (from, to) = graph.directed_endpoints(ds_graph::DirectedEdgeId(e as u32));
-                LinkState::new(from, to)
-            })
-            .collect(),
-        arena: PayloadArena::new(),
+        links: std::mem::take(&mut parts.links),
+        arena: std::mem::take(&mut parts.arena),
         sched,
         now: 0,
         seq: 0,
         deliveries: 0,
         max_events: limits.max_events,
         metrics: RunMetrics::default(),
-        done_flags: vec![false; n],
+        done_flags: std::mem::take(&mut parts.done_flags),
         done_count: 0,
         time_all_done: None,
-        outbox_pool: Vec::new(),
-        touched: Vec::new(),
+        outbox_pool: std::mem::take(&mut parts.outbox_pool),
+        touched: std::mem::take(&mut parts.touched),
         trace,
         faults,
         dropped: 0,
@@ -733,28 +840,34 @@ where
     // Quiescence means no event is scheduled and no link queue is non-empty
     // (a queued message always has an ack or drop pending to release it), so
     // every arena handle must have been taken back — the engine-level leak
-    // check behind the unit-level one in `arena::tests`.
+    // check behind the unit-level one in `arena::tests`. The recycled entry
+    // point promotes this into a hard assertion on every run
+    // ([`crate::recycle::run_async_recycled`]).
     debug_assert_eq!(engine.arena.live(), 0, "a finished run must return every arena handle");
 
     engine.metrics.time_to_output = engine.time_all_done.map(|t| t as f64 / TICKS_PER_UNIT as f64);
     engine.metrics.time_to_quiescence = engine.now as f64 / TICKS_PER_UNIT as f64;
 
     let trace = engine.trace.map(TraceState::finish);
-    Ok((
-        AsyncReport {
-            metrics: engine.metrics,
-            nodes: engine.nodes,
-            overflow_events: engine.sched.overflow_scheduled(),
-            peak_live_handles: engine.arena.peak_live() as u64,
-            arena_bytes: engine.arena.bytes() as u64,
-            max_batch: engine.max_batch,
-            batched_ticks: 0,
-            pool_dispatches: 0,
-            dropped_events: engine.dropped,
-            fault_transitions: engine.faults.as_ref().map_or(0, FaultState::transitions),
-        },
-        trace,
-    ))
+    let report = AsyncReport {
+        metrics: engine.metrics,
+        nodes: engine.nodes,
+        overflow_events: engine.sched.overflow_scheduled(),
+        peak_live_handles: engine.arena.peak_live() as u64,
+        arena_bytes: engine.arena.bytes() as u64,
+        max_batch: engine.max_batch,
+        batched_ticks: 0,
+        pool_dispatches: 0,
+        dropped_events: engine.dropped,
+        fault_transitions: engine.faults.as_ref().map_or(0, FaultState::transitions),
+    };
+    // Hand the recyclable halves back for the next run.
+    parts.links = engine.links;
+    parts.arena = engine.arena;
+    parts.done_flags = engine.done_flags;
+    parts.outbox_pool = engine.outbox_pool;
+    parts.touched = engine.touched;
+    Ok((report, trace, engine.sched))
 }
 
 #[cfg(test)]

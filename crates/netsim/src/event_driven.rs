@@ -80,8 +80,13 @@ impl<M> PulseCtx<M> {
 /// state to shard worker threads. Node-local state is naturally `Send`; the
 /// bound only rules out thread-bound handles like `Rc`.
 pub trait EventDriven: Send {
-    /// Message type exchanged between nodes.
-    type Msg: Clone + fmt::Debug + Send;
+    /// Message type exchanged between nodes. `'static` because messages are
+    /// owned values the engines may pool across runs: the service layer's
+    /// recycled engine state (`ds-netsim::recycle`) keys its free pools by
+    /// the message's `TypeId`. Message *values* never outlive a run; the
+    /// bound only rules out borrowed message types, which no algorithm uses
+    /// (a message crosses a simulated link, so it owns its payload).
+    type Msg: Clone + fmt::Debug + Send + 'static;
     /// Per-node output type; outputs are compared between the synchronous ground
     /// truth and synchronized asynchronous runs.
     type Output: Clone + fmt::Debug + PartialEq;

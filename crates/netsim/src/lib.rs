@@ -39,6 +39,9 @@
 //! * [`pool`] holds the persistent worker pool the sharded engine round-robins
 //!   its shards over (the only module in the workspace allowed to create
 //!   threads),
+//! * [`recycle`] checks engine state (wheel, link table, arena, outbox) out
+//!   of a free pool and reuses it across runs — bit-identical to cold runs
+//!   under an asserted reset contract,
 //! * [`stage_queue`] holds the per-link queues as per-stage FIFO buckets,
 //! * [`metrics`] collects time and message accounting for both engines,
 //! * [`trace`] records per-delivery causality on demand — the raw material the
@@ -55,6 +58,7 @@ pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod recycle;
 pub mod scheduler;
 pub mod sharded;
 pub mod stage_queue;
@@ -70,6 +74,7 @@ pub use event_driven::{EventDriven, PulseCtx};
 pub use fault::{FaultEvent, FaultPlan, FaultState};
 pub use metrics::{MessageClass, RunMetrics};
 pub use protocol::{Ctx, Protocol};
+pub use recycle::{run_async_recycled, EngineSlab, SlabBank};
 pub use scheduler::SchedulerKind;
 pub use sharded::{
     run_async_sharded, run_async_sharded_faulted_traced_with, run_async_sharded_faulted_with,

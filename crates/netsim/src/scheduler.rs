@@ -335,6 +335,28 @@ impl<T> TimingWheel<T> {
         self.promote();
     }
 
+    /// Resets an *empty* wheel to absolute tick 0, keeping every allocation
+    /// (slot vectors, recycled drain buffers, heap capacity) for the next
+    /// run. This is the engine-recycling reset contract (DESIGN.md §11):
+    /// every field that can influence a schedule is restored to exactly its
+    /// `new()` value, while capacity — which no scheduling decision ever
+    /// observes — is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is still pending: a recycled wheel must start
+    /// provably empty.
+    pub fn reset(&mut self) {
+        assert!(self.is_empty(), "only an empty wheel can be reset for reuse");
+        self.now = 0;
+        self.occupied.fill(0);
+        self.promoted_occupied.fill(0);
+        self.coarse_mask = 0;
+        self.coarse_min = u64::MAX;
+        self.far_parked = 0;
+        self.overflow_scheduled = 0;
+    }
+
     /// The largest window end tick (inclusive) up to which this wheel's
     /// occupancy bitset alone describes every pending event, capped by `end`.
     /// Two caps apply: ticks beyond `now + horizon` cannot hold wheel entries

@@ -74,20 +74,27 @@
 //! bitsets, [`TimingWheel::window_cap`]), and — under a fault plan — the tick
 //! before the next fault transition, so the fault flags are constant across
 //! the whole window. The window splits at the **static boundary**
-//! `t0 + min − 1`, where `min = DelayModel::min_delay_ticks()`:
+//! `t0 + min`, where `min = DelayModel::min_delay_ticks()`:
 //!
-//! * Ticks up to the boundary are provably causality-free — an event processed
-//!   at tick `t ≥ t0` schedules its effects at `t + d ≥ t0 + min`, strictly
-//!   past the boundary — so their activations all run in one wide **phase 1**
-//!   (parallel across shards).
+//! * Ticks up to the boundary are causality-free among *drained* events —
+//!   everything drained was scheduled before the barrier began — so their
+//!   activations all run in one wide **phase 1** (parallel across shards).
+//!   An event processed at tick `t ≥ t0` schedules its effects at
+//!   `t + d ≥ t0 + min`: at or past the boundary, but always during the
+//!   merge, after the boundary tick was drained — such an effect routes to
+//!   the in-window heap with a merge-time seq larger than every seq drained
+//!   at its tick, so the `(tick, seq)` replay still processes it in exactly
+//!   the serial position (widening the boundary any further would be
+//!   unsound: a drained tick past `t0 + min` could causally depend on
+//!   another drained tick of the same window).
 //! * Ticks past the boundary drain directly into a coordinator-local
 //!   **in-window heap** ordered by `(tick, seq)`. The merge processes them
 //!   inline, exactly as the serial engine would at that tick, and any effect
 //!   they schedule at or before `t_last` re-enters the same heap (the wheels
-//!   are already advanced past it). Because these land strictly after the
-//!   static boundary, every phase-1 activation of a node still precedes all
-//!   of its inline activations — per-node order, and the global `(tick, seq)`
-//!   replay order, are exactly serial.
+//!   are already advanced past it). Because these land at or after the
+//!   static boundary with post-drain seqs, every phase-1 activation of a
+//!   node still precedes all of its inline activations — per-node order, and
+//!   the global `(tick, seq)` replay order, are exactly serial.
 //!
 //! The merge therefore replays ready-list events and heap events in one
 //! `(tick, seq)` order, restoring `Globals::now` per event, so every delay
@@ -173,7 +180,7 @@ pub struct ShardedOptions {
     pub threads: ThreadMode,
     /// Whether to batch windows of consecutive occupied ticks into one wide
     /// phase (see the module docs; on by default). The window splits at
-    /// `t0 + min_delay − 1`: ticks at or below run as causality-free phase 1,
+    /// `t0 + min_delay`: ticks at or below run as causality-free phase 1,
     /// later occupied ticks drain through the coordinator's in-window heap.
     /// Schedules are bit-identical either way.
     pub batching: bool,
@@ -944,7 +951,20 @@ where
         // flags cannot change before t_last, so this equals the serial
         // at-tick check); later ticks bypass phase 1 entirely and go to the
         // in-window heap for inline processing during the merge.
-        let static_end = t0 + (min_delay - 1);
+        //
+        // The boundary sits at `t0 + min_delay` — one tick *wider* than the
+        // "effects land strictly past the boundary" rule needs — because a
+        // merge effect that lands exactly on the boundary is still serial-
+        // exact: it is scheduled during phase 2, after the boundary tick was
+        // drained and the wheels advanced, so it routes to the in-window heap
+        // with a seq drawn later than every seq drained at that tick, and the
+        // `(tick, seq)` merge processes it after all of them — while every
+        // phase-1 activation of the boundary tick precedes the whole merge.
+        // Widening past `t0 + min_delay` would be unsound: a tick that can
+        // receive an effect of another *drained* tick of the same window must
+        // not activate in the same parallel phase. With `min_delay == 1`
+        // (jitter's per-draw floor) the static part is two ticks, not one.
+        let static_end = t0 + min_delay;
         let mut total_due = 0usize;
         for &t in &window {
             if t <= static_end {

@@ -21,6 +21,7 @@ use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::protocol::Protocol;
+use ds_netsim::recycle::{run_async_recycled, SlabBank};
 use ds_netsim::sharded::{
     run_async_sharded_faulted_traced_with, run_async_sharded_faulted_with, ShardedOptions,
 };
@@ -50,6 +51,14 @@ pub struct ExecutionEnv<'g> {
     /// on the intact topology. The lock-step executor **ignores** faults — it
     /// is the fault-free ground truth degraded runs are compared against.
     pub faults: Option<FaultPlan>,
+    /// Engine-state recycling pool ([`ds_netsim::recycle`]). When set, serial
+    /// [`SchedulerKind::TimingWheel`] runs check their engine state (wheel,
+    /// link table, payload arena) out of this shared bank and return it after
+    /// the run, instead of allocating cold. Schedules are bit-identical with
+    /// or without a bank (the reset contract, DESIGN.md §11); other
+    /// scheduler kinds and traced runs ignore it. `None` (the default) always
+    /// allocates cold.
+    pub recycle: Option<SlabBank>,
 }
 
 /// Runs a synchronizer protocol on the engine the environment selects:
@@ -64,10 +73,26 @@ fn run_env_async<P, F>(
 ) -> Result<(AsyncReport<P>, Option<DeliveryTrace>), SimError>
 where
     P: Protocol + Send,
-    P::Message: Send,
+    P::Message: Send + 'static,
     F: FnMut(NodeId) -> P,
 {
     let faults = env.faults.as_ref();
+    // Recycled path: serial wheel runs draw their engine state from the
+    // environment's slab bank. Bit-identical to the cold path below — the
+    // recycling reset contract is asserted by the engine itself — and scoped
+    // to exactly the configuration the slabs fit (the sharded engine owns
+    // per-shard state, and traced runs are rare one-off verification runs).
+    // An error run drops its slab instead of checking it back in: the bank
+    // only ever pools provably clean state.
+    if let (SchedulerKind::TimingWheel, false, Some(bank)) =
+        (env.scheduler, env.trace, env.recycle.as_ref())
+    {
+        let mut slab = bank.checkout::<P::Message>();
+        let report =
+            run_async_recycled(env.graph, env.delay.clone(), faults, make, env.limits, &mut slab)?;
+        bank.check_in(slab);
+        return Ok((report, None));
+    }
     match (env.scheduler, env.trace) {
         (SchedulerKind::Sharded { shards, workers }, false) => run_async_sharded_faulted_with(
             env.graph,
@@ -417,6 +442,7 @@ mod tests {
             scheduler: SchedulerKind::default(),
             trace: false,
             faults: None,
+            recycle: None,
         };
         let direct =
             DirectExecutor.execute(&env, &mut |v| Flood::new(&graph, v)).expect("direct run");

@@ -13,6 +13,11 @@
 //!   baselines and the lock-step ground truth all execute.
 //! * [`session`] — the [`session::Session`] builder, the single entry
 //!   point for running and comparing event-driven algorithms.
+//! * [`service`] — simulation-as-a-service: [`service::SessionPool`] runs
+//!   batches of independent requests concurrently, amortizing cover
+//!   construction (a [`service::CoverCache`]) and engine allocations (a
+//!   recycling bank) across them, with every pooled run bit-identical to its
+//!   standalone session.
 //! * [`event_driven`] — re-export of the event-driven algorithm interface from
 //!   `ds-netsim`, so downstream crates only need this crate.
 //!
@@ -30,6 +35,7 @@ pub mod executor;
 pub mod flat;
 pub mod pulse;
 pub mod registration;
+pub mod service;
 pub mod session;
 pub mod synchronizer;
 
@@ -42,5 +48,6 @@ pub use executor::{
     AlphaExecutor, BetaExecutor, DetExecutor, DirectExecutor, ExecutionEnv, RunHealth,
     SynchronizedRun, Synchronizer,
 };
+pub use service::{CoverCache, ServiceRequest, SessionPool, SynchronizerParams};
 pub use session::{ComparisonReport, Session, SessionError, SyncKind};
 pub use synchronizer::{collect_outputs, DetSynchronizer, SyncMsg, SynchronizerConfig};

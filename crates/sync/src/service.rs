@@ -1,0 +1,684 @@
+//! Simulation-as-a-service: run many independent simulation requests
+//! concurrently, amortizing per-topology and per-run setup across them.
+//!
+//! A standalone [`Session`] pays full setup on every
+//! run: the synchronizer cover construction (`SynchronizerConfig::build`, by
+//! far the dominant cost at scale) and the engine's allocations. The paper's
+//! synchronizer is explicitly a *reusable overlay* — the cover/layer
+//! structure of Ghaffari–Trygub depends only on the topology and the pulse
+//! bound, never on the workload — so a service can build it once per
+//! `(topology, parameters)` and share it, via `Arc`, across every session
+//! that runs on it. This module provides the three pieces:
+//!
+//! * [`CoverCache`] — a bounded, thread-safe cache of built
+//!   [`SynchronizerConfig`]s keyed by `(graph structural hash, n, m,
+//!   SynchronizerParams)`, with **verify-on-hit**: a hit is returned only
+//!   after a full `Graph` equality check, so a 64-bit hash collision can
+//!   never alias two topologies (they coexist under one key instead).
+//! * [`ServiceRequest`] — one simulation request: a graph, a delay
+//!   adversary, a [`SyncKind`], scheduler, limits, and an optional fault
+//!   plan. A plain-data description, deliberately mirroring the `Session`
+//!   builder.
+//! * [`SessionPool`] — runs a batch of requests concurrently over the
+//!   `ds-netsim::pool` worker threads (the workspace's single thread-spawn
+//!   site), resolving `DetAuto` through the shared cover cache and drawing
+//!   engine state from a shared recycling [`SlabBank`].
+//!
+//! # Pooled determinism
+//!
+//! Every pooled run is **bit-identical** to the same request run through a
+//! standalone `Session` (pinned by `tests/service_determinism.rs`),
+//! regardless of cache hits, recycled engine state, worker count, or
+//! interleaving with other requests. The argument is by construction:
+//!
+//! 1. Requests never share mutable state: each job owns its protocol
+//!    instances, engine state, and result slot; the only shared structures
+//!    are the cover cache (returning `Arc`s of immutable configs) and the
+//!    slab bank (handing out exclusively-owned state).
+//! 2. A cache-hit `SynchronizerConfig` is the output of the same
+//!    deterministic `build(graph, max_pulse)` the standalone session would
+//!    have run — verified equal-keyed *and* equal-graphed — so `Det(hit)`
+//!    and `DetAuto` instantiate identical executors.
+//! 3. Recycled engine state is bit-identical to cold state by the reset
+//!    contract of `ds-netsim::recycle` (asserted by the engine every run).
+//! 4. Completion order is irrelevant: results are reassembled by submission
+//!    index, and no request reads another's output.
+//!
+//! The only field recycling may legitimately change is
+//! [`SynchronizedRun::arena_bytes`] — a recycled arena may carry more
+//! *capacity* than a cold run ever needed. It is an engine internal
+//! (explicitly excluded from run identity, like `overflow_events`); every
+//! other field, including `peak_live_handles`, is identical.
+
+use crate::executor::SynchronizedRun;
+use crate::session::{Session, SessionError, SyncKind};
+use crate::synchronizer::SynchronizerConfig;
+use ds_graph::{Graph, NodeId};
+use ds_netsim::async_engine::SimLimits;
+use ds_netsim::delay::DelayModel;
+use ds_netsim::event_driven::EventDriven;
+use ds_netsim::pool::WorkerPool;
+use ds_netsim::sync_engine::run_sync;
+use ds_netsim::{FaultPlan, SchedulerKind, SlabBank};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The synchronizer parameters a cover construction depends on (besides the
+/// topology itself): the pulse bound `max_pulse` handed to
+/// [`SynchronizerConfig::build`]. Two requests on the same graph share a
+/// cached config iff their resolved parameters are equal — a changed bound
+/// changes the config, so it must miss, never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SynchronizerParams {
+    /// Upper bound on simulated pulses (`T(A)`), as resolved by the session.
+    pub max_pulse: u64,
+}
+
+/// Cache key: structural hash plus the two cheap exact discriminators, then
+/// the build parameters. The hash is a discriminator, not a proof — entries
+/// under one key are disambiguated by full graph equality.
+type CacheKey = (u64, usize, usize, SynchronizerParams);
+
+struct CacheEntry {
+    /// The exact topology this config was built for (verify-on-hit: a hit
+    /// must compare equal to the requesting graph, not just hash-equal).
+    graph: Graph,
+    cfg: Arc<SynchronizerConfig>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: BTreeMap<CacheKey, Vec<CacheEntry>>,
+    len: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe cache of built [`SynchronizerConfig`]s, keyed by
+/// `(Graph::structural_hash, node count, edge count, SynchronizerParams)`.
+///
+/// * **Soundness**: a hit is returned only after full `Graph` equality
+///   against the stored topology (`Graph: Eq`), so a hash collision
+///   coexists under one key rather than aliasing. Any structural change —
+///   a removed edge, a repaired graph, a different edge insertion order —
+///   changes the key or fails the equality check and misses.
+/// * **Build outside the lock**: a miss releases the lock, builds, then
+///   re-checks under the lock (first writer wins), so concurrent sessions
+///   on *different* topologies never serialize behind a build.
+/// * **LRU eviction**: at capacity, the least-recently-used entry is
+///   evicted; an evicted topology simply rebuilds on next use (bit-identical
+///   — the build is deterministic).
+pub struct CoverCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl CoverCache {
+    /// Default capacity of [`CoverCache::new`]: plenty for an experiment
+    /// sweep's distinct topologies while bounding memory.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a cache with the default capacity.
+    pub fn new() -> Self {
+        CoverCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache holding at most `capacity` configs (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CoverCache {
+            inner: Mutex::new(CacheInner {
+                entries: BTreeMap::new(),
+                len: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached config for `(graph, params)`, building (and
+    /// caching) it on a miss. The returned `Arc` is shared by every session
+    /// on this topology; the config itself is immutable.
+    pub fn get_or_build(
+        &self,
+        graph: &Graph,
+        params: SynchronizerParams,
+    ) -> Arc<SynchronizerConfig> {
+        let key = (graph.structural_hash(), graph.node_count(), graph.edge_count(), params);
+        {
+            let mut inner = self.inner.lock().expect("cover cache poisoned");
+            let clock = inner.clock;
+            if let Some(slot) = inner.entries.get_mut(&key) {
+                if let Some(entry) = slot.iter_mut().find(|e| e.graph == *graph) {
+                    entry.last_used = clock;
+                    let cfg = Arc::clone(&entry.cfg);
+                    inner.clock += 1;
+                    inner.hits += 1;
+                    return cfg;
+                }
+            }
+            inner.misses += 1;
+        }
+        // Build outside the lock: concurrent misses on different topologies
+        // proceed in parallel (two racing builds of the *same* topology both
+        // produce the identical config — the build is deterministic — and
+        // the first writer's entry wins below).
+        let cfg = SynchronizerConfig::build(graph, params.max_pulse);
+        let mut inner = self.inner.lock().expect("cover cache poisoned");
+        if let Some(slot) = inner.entries.get(&key) {
+            if let Some(entry) = slot.iter().find(|e| e.graph == *graph) {
+                return Arc::clone(&entry.cfg);
+            }
+        }
+        while inner.len >= self.capacity {
+            inner.evict_lru();
+        }
+        let clock = inner.clock;
+        inner.clock += 1;
+        inner.len += 1;
+        inner.entries.entry(key).or_default().push(CacheEntry {
+            graph: graph.clone(),
+            cfg: Arc::clone(&cfg),
+            last_used: clock,
+        });
+        cfg
+    }
+
+    /// Configs currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cover cache poisoned").len
+    }
+
+    /// Whether the cache holds no configs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached configs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served from the cache (after graph-equality verification).
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("cover cache poisoned").hits
+    }
+
+    /// Lookups that had to build (no entry, or an entry whose stored graph
+    /// failed the equality check).
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("cover cache poisoned").misses
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("cover cache poisoned").evictions
+    }
+}
+
+impl Default for CoverCache {
+    fn default() -> Self {
+        CoverCache::new()
+    }
+}
+
+impl fmt::Debug for CoverCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("cover cache poisoned");
+        f.debug_struct("CoverCache")
+            .field("len", &inner.len)
+            .field("capacity", &self.capacity)
+            .field("hits", &inner.hits)
+            .field("misses", &inner.misses)
+            .field("evictions", &inner.evictions)
+            .finish()
+    }
+}
+
+impl CacheInner {
+    fn evict_lru(&mut self) {
+        let Some((&key, oldest)) = self
+            .entries
+            .iter()
+            .filter_map(|(k, slot)| slot.iter().map(|e| e.last_used).min().map(|t| (k, t)))
+            .min_by_key(|&(_, t)| t)
+        else {
+            return;
+        };
+        let slot = self.entries.get_mut(&key).expect("key just found");
+        let pos = slot
+            .iter()
+            .position(|e| e.last_used == oldest)
+            .expect("entry with the minimum stamp exists");
+        slot.remove(pos);
+        if slot.is_empty() {
+            self.entries.remove(&key);
+        }
+        self.len -= 1;
+        self.evictions += 1;
+    }
+}
+
+/// One simulation request for a [`SessionPool`]: the per-request half of a
+/// [`Session`], as plain data. Construct with [`ServiceRequest::on`] and the
+/// builder methods (same names and defaults as `Session`'s).
+#[derive(Clone, Debug)]
+pub struct ServiceRequest<'g> {
+    /// The network graph.
+    pub graph: &'g Graph,
+    /// The delay adversary.
+    pub delay: DelayModel,
+    /// Which synchronizer to drive the algorithm with.
+    pub kind: SyncKind,
+    /// The event scheduler.
+    pub scheduler: SchedulerKind,
+    /// Simulation budgets.
+    pub limits: SimLimits,
+    /// Explicit pulse bound `T(A)`, or `None` to resolve it from a
+    /// synchronous ground-truth run (exactly like a standalone session).
+    pub pulse_bound: Option<u64>,
+    /// Optional dynamic-topology fault plan.
+    pub faults: Option<FaultPlan>,
+}
+
+impl<'g> ServiceRequest<'g> {
+    /// Starts a request on `graph` with the [`Session`] defaults: uniform
+    /// delays, default limits, timing-wheel scheduler, deterministic
+    /// synchronizer with auto-built config ([`SyncKind::DetAuto`] — the kind
+    /// the cover cache serves).
+    pub fn on(graph: &'g Graph) -> Self {
+        ServiceRequest {
+            graph,
+            delay: DelayModel::uniform(),
+            kind: SyncKind::DetAuto,
+            scheduler: SchedulerKind::default(),
+            limits: SimLimits::default(),
+            pulse_bound: None,
+            faults: None,
+        }
+    }
+
+    /// Sets the delay adversary.
+    #[must_use]
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Chooses the synchronizer.
+    #[must_use]
+    pub fn synchronizer(mut self, kind: SyncKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Selects the event scheduler.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the simulation budgets.
+    #[must_use]
+    pub fn limits(mut self, limits: SimLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Fixes the pulse bound explicitly.
+    #[must_use]
+    pub fn pulse_bound(mut self, bound: u64) -> Self {
+        self.pulse_bound = Some(bound);
+        self
+    }
+
+    /// Injects a fault plan.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Runs this request standalone through an equivalent [`Session`] — the
+    /// reference execution the pooled run is bit-identical to. `extras`
+    /// applies pool-independent session options (the pool's own path adds
+    /// the recycle bank here).
+    fn run_via_session<A, F>(
+        &self,
+        make: &mut F,
+        extras: impl FnOnce(Session<'g>) -> Session<'g>,
+        cfg: Option<Arc<SynchronizerConfig>>,
+        bound: u64,
+    ) -> Result<SynchronizedRun<A::Output>, SessionError>
+    where
+        A: EventDriven,
+        F: FnMut(NodeId) -> A,
+    {
+        let kind = match cfg {
+            Some(cfg) => SyncKind::Det(cfg),
+            None => self.kind.clone(),
+        };
+        let mut session = Session::on(self.graph)
+            .delay(self.delay.clone())
+            .limits(self.limits)
+            .scheduler(self.scheduler)
+            .synchronizer(kind)
+            .pulse_bound(bound);
+        if let Some(plan) = &self.faults {
+            session = session.faults(plan.clone());
+        }
+        extras(session).run(make)
+    }
+
+    /// Resolves the pulse bound exactly as [`Session::run`] would: the
+    /// explicit bound (clamped ≥ 1) if set; `1` if the kind needs none;
+    /// otherwise `T(A)` from a synchronous ground-truth run.
+    fn resolve_pulse_bound<A, F>(&self, make: &mut F) -> Result<u64, SessionError>
+    where
+        A: EventDriven,
+        F: FnMut(NodeId) -> A,
+    {
+        if let Some(bound) = self.pulse_bound {
+            return Ok(bound.max(1));
+        }
+        if !self.kind.needs_pulse_bound() {
+            return Ok(1);
+        }
+        let sync = run_sync(self.graph, make, self.limits.max_rounds)?;
+        Ok(sync.rounds_to_quiescence.max(1))
+    }
+
+    fn validate(&self) -> Result<(), SessionError> {
+        if self.limits.max_events == 0 {
+            return Err(SessionError::InvalidLimits { what: "max_events" });
+        }
+        if self.limits.max_rounds == 0 {
+            return Err(SessionError::InvalidLimits { what: "max_rounds" });
+        }
+        Ok(())
+    }
+}
+
+/// Runs one request through the service path: validate, resolve the pulse
+/// bound, serve `DetAuto` from the cover cache, run with recycled engine
+/// state. Used by the pool's workers; also callable inline (worker count 0
+/// routes here) — the execution is identical either way.
+fn run_one<A, F>(
+    req: &ServiceRequest<'_>,
+    cache: &CoverCache,
+    bank: &SlabBank,
+    make: &mut F,
+) -> Result<SynchronizedRun<A::Output>, SessionError>
+where
+    A: EventDriven,
+    F: FnMut(NodeId) -> A,
+{
+    req.validate()?;
+    let bound = req.resolve_pulse_bound(make)?;
+    // DetAuto is the cacheable kind: its config is a pure function of
+    // (graph, bound), which is exactly the cache key. Everything else
+    // passes through unchanged.
+    let cfg = match &req.kind {
+        SyncKind::DetAuto => {
+            Some(cache.get_or_build(req.graph, SynchronizerParams { max_pulse: bound }))
+        }
+        _ => None,
+    };
+    req.run_via_session(make, |s| s.recycle(bank.clone()), cfg, bound)
+}
+
+/// One queued unit of pool work: a request, the shared cache/bank handles,
+/// its own clone of the algorithm factory, and a result slot the worker
+/// fills. Reassembled by `index` after out-of-order completion.
+struct Job<'r, 'g, A: EventDriven, F> {
+    index: usize,
+    req: &'r ServiceRequest<'g>,
+    cache: &'r CoverCache,
+    bank: SlabBank,
+    make: F,
+    result: Option<Result<SynchronizedRun<A::Output>, SessionError>>,
+}
+
+/// Runs batches of independent simulation requests concurrently over the
+/// `ds-netsim::pool` worker threads, sharing a [`CoverCache`] and a
+/// recycling [`SlabBank`] across all of them.
+///
+/// The pool is a *scheduler*, not a session: it holds no per-run state, and
+/// a single pool can serve any number of `run_batch` calls (each call spins
+/// the worker threads up and down; the cache and bank persist across
+/// calls). Results come back in submission order whatever the completion
+/// order. See the module docs for the pooled-determinism argument.
+pub struct SessionPool {
+    workers: usize,
+    cache: CoverCache,
+    bank: SlabBank,
+}
+
+impl SessionPool {
+    /// Creates a pool dispatching over `workers` worker threads (0 runs
+    /// every request inline on the caller's thread — same execution, no
+    /// concurrency), with a default-capacity [`CoverCache`].
+    pub fn new(workers: usize) -> Self {
+        SessionPool::with_cache(workers, CoverCache::new())
+    }
+
+    /// Creates a pool with an explicitly configured cover cache (e.g. a
+    /// smaller capacity for eviction testing).
+    pub fn with_cache(workers: usize, cache: CoverCache) -> Self {
+        SessionPool { workers, cache, bank: SlabBank::new() }
+    }
+
+    /// The shared cover cache (hit/miss/eviction counters for observability).
+    pub fn cache(&self) -> &CoverCache {
+        &self.cache
+    }
+
+    /// The shared engine-state recycling bank.
+    pub fn bank(&self) -> &SlabBank {
+        &self.bank
+    }
+
+    /// Runs every request of a batch, concurrently over the pool's workers,
+    /// and returns one result per request **in submission order**.
+    ///
+    /// `make(i, v)` builds the algorithm instance of node `v` for request
+    /// `i` — it is cloned per job, and must not observe shared mutable
+    /// state (the usual determinism contract for factories).
+    ///
+    /// Requests are independent: one failing (its `Err` is returned in its
+    /// slot) never affects another. A panicking protocol propagates after
+    /// the whole batch drained, like the sharded engine's worker barrier.
+    pub fn run_batch<'g, A, F>(
+        &self,
+        requests: &[ServiceRequest<'g>],
+        make: F,
+    ) -> Vec<Result<SynchronizedRun<A::Output>, SessionError>>
+    where
+        A: EventDriven,
+        A::Output: Send,
+        F: FnMut(usize, NodeId) -> A + Clone + Send,
+    {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        if self.workers == 0 {
+            return requests
+                .iter()
+                .enumerate()
+                .map(|(i, req)| {
+                    let mut make = make.clone();
+                    run_one(req, &self.cache, &self.bank, &mut |v| make(i, v))
+                })
+                .collect();
+        }
+        let workers = self.workers.min(requests.len());
+        let work = |job: &mut Job<'_, 'g, A, F>| {
+            let (index, mut make) = (job.index, job.make.clone());
+            job.result = Some(run_one(job.req, job.cache, &job.bank, &mut |v| make(index, v)));
+        };
+        WorkerPool::run(workers, work, |pool| {
+            for (index, req) in requests.iter().enumerate() {
+                pool.dispatch(
+                    index,
+                    Job {
+                        index,
+                        req,
+                        cache: &self.cache,
+                        bank: self.bank.clone(),
+                        make: make.clone(),
+                        result: None,
+                    },
+                );
+            }
+            let mut results: Vec<_> = (0..requests.len()).map(|_| None).collect();
+            let mut panicked = None;
+            for _ in 0..requests.len() {
+                let (_, job, panic) = pool.collect();
+                panicked = panicked.or(panic);
+                results[job.index] = job.result;
+            }
+            // Resume only after every job answered, so no worker is left
+            // sending into a dropped channel (same discipline as the sharded
+            // engine's barrier).
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
+            }
+            results.into_iter().map(|r| r.expect("every job ran")).collect()
+        })
+    }
+}
+
+impl fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionPool")
+            .field("workers", &self.workers)
+            .field("cache", &self.cache)
+            .field("bank", &self.bank)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_netsim::event_driven::PulseCtx;
+
+    #[derive(Debug)]
+    struct Flood {
+        me: NodeId,
+        neighbors: Vec<NodeId>,
+        hops: Option<u64>,
+    }
+
+    impl Flood {
+        fn new(graph: &Graph, me: NodeId) -> Self {
+            Flood { me, neighbors: graph.neighbors(me).to_vec(), hops: None }
+        }
+    }
+
+    impl EventDriven for Flood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_init(&mut self, ctx: &mut PulseCtx<u64>) {
+            if self.me == NodeId(0) {
+                self.hops = Some(0);
+                for &u in &self.neighbors {
+                    ctx.send(u, 1);
+                }
+            }
+        }
+
+        fn on_pulse(&mut self, received: &[(NodeId, u64)], ctx: &mut PulseCtx<u64>) {
+            if self.hops.is_none() {
+                if let Some(&(_, h)) = received.first() {
+                    self.hops = Some(h);
+                    for &u in &self.neighbors {
+                        ctx.send(u, h + 1);
+                    }
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.hops
+        }
+    }
+
+    #[test]
+    fn cache_hits_share_one_config_and_count() {
+        let cache = CoverCache::new();
+        let graph = Graph::grid(3, 3);
+        let params = SynchronizerParams { max_pulse: 8 };
+        let a = cache.get_or_build(&graph, params);
+        let b = cache.get_or_build(&graph, params);
+        assert!(Arc::ptr_eq(&a, &b), "a hit returns the cached Arc, not a rebuild");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        // A different bound is a different config: must miss, never alias.
+        let c = cache.get_or_build(&graph, SynchronizerParams { max_pulse: 9 });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn cache_eviction_is_lru_and_rebuilds_identically() {
+        let cache = CoverCache::with_capacity(2);
+        let g1 = Graph::path(5);
+        let g2 = Graph::cycle(5);
+        let g3 = Graph::grid(2, 3);
+        let params = SynchronizerParams { max_pulse: 6 };
+        let first = cache.get_or_build(&g1, params);
+        cache.get_or_build(&g2, params);
+        cache.get_or_build(&g1, params); // g1 now more recent than g2
+        cache.get_or_build(&g3, params); // evicts g2
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        let again = cache.get_or_build(&g1, params);
+        assert!(Arc::ptr_eq(&first, &again), "g1 survived the eviction");
+        // g2 rebuilds (a miss), bit-identical to its first build.
+        let rebuilt = cache.get_or_build(&g2, params);
+        assert_eq!(*rebuilt, *SynchronizerConfig::build(&g2, params.max_pulse));
+    }
+
+    #[test]
+    fn pooled_batch_matches_inline_and_keeps_submission_order() {
+        let graphs = [Graph::grid(3, 3), Graph::path(7), Graph::cycle(6)];
+        let requests: Vec<ServiceRequest<'_>> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| ServiceRequest::on(g).delay(DelayModel::jitter(3 + i as u64)))
+            .collect();
+        let make = |i: usize, v: NodeId| Flood::new(requests[i].graph, v);
+        let inline = SessionPool::new(0).run_batch::<Flood, _>(&requests, make);
+        let pooled = SessionPool::new(2).run_batch::<Flood, _>(&requests, make);
+        for (i, (a, b)) in inline.iter().zip(&pooled).enumerate() {
+            let (a, b) = (a.as_ref().expect("inline"), b.as_ref().expect("pooled"));
+            assert_eq!(a.outputs, b.outputs, "request {i}");
+            assert_eq!(a.metrics, b.metrics, "request {i}");
+        }
+    }
+
+    #[test]
+    fn invalid_requests_fail_in_their_slot_without_poisoning_the_batch() {
+        let graph = Graph::path(4);
+        let requests = vec![
+            ServiceRequest::on(&graph),
+            ServiceRequest::on(&graph).limits(SimLimits { max_events: 0, ..SimLimits::default() }),
+            ServiceRequest::on(&graph),
+        ];
+        let results =
+            SessionPool::new(2).run_batch::<Flood, _>(&requests, |_, v| Flood::new(&graph, v));
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &SessionError::InvalidLimits { what: "max_events" }
+        );
+        assert!(results[2].is_ok());
+    }
+}

@@ -59,7 +59,7 @@ use ds_netsim::delay::DelayModel;
 use ds_netsim::event_driven::EventDriven;
 use ds_netsim::metrics::RunMetrics;
 use ds_netsim::sync_engine::run_sync;
-use ds_netsim::{FaultPlan, SchedulerKind};
+use ds_netsim::{FaultPlan, SchedulerKind, SlabBank};
 use std::fmt;
 use std::sync::Arc;
 
@@ -107,8 +107,10 @@ impl SyncKind {
         }
     }
 
-    /// Whether resolving this kind requires a pulse bound `T(A)`.
-    fn needs_pulse_bound(&self) -> bool {
+    /// Whether resolving this kind requires a pulse bound `T(A)` (also used by
+    /// [`crate::service`], whose requests resolve bounds exactly like a
+    /// standalone session).
+    pub(crate) fn needs_pulse_bound(&self) -> bool {
         matches!(self, SyncKind::Alpha | SyncKind::Beta { .. } | SyncKind::DetAuto)
     }
 
@@ -221,6 +223,7 @@ pub struct Session<'g> {
     scheduler: SchedulerKind,
     trace: bool,
     faults: Option<FaultPlan>,
+    recycle: Option<SlabBank>,
 }
 
 impl<'g> Session<'g> {
@@ -238,7 +241,23 @@ impl<'g> Session<'g> {
             scheduler: SchedulerKind::default(),
             trace: false,
             faults: None,
+            recycle: None,
         }
+    }
+
+    /// Draws the asynchronous engine's allocation-heavy state (timing wheel,
+    /// link table, payload arena) from a shared recycling [`SlabBank`]
+    /// instead of allocating it cold, returning it after the run. Hand the
+    /// same bank to many sessions — e.g. every request of a
+    /// [`crate::service::SessionPool`] — to amortize engine setup across
+    /// them. The schedule is bit-identical with or without a bank (the reset
+    /// contract of `ds-netsim::recycle`, asserted by the engine on every
+    /// run); only serial [`SchedulerKind::TimingWheel`] runs without tracing
+    /// use the bank, all other configurations silently allocate cold.
+    #[must_use]
+    pub fn recycle(mut self, bank: SlabBank) -> Self {
+        self.recycle = Some(bank);
+        self
     }
 
     /// Injects a dynamic-topology [`FaultPlan`] (link churn, crash-stop node
@@ -350,6 +369,7 @@ impl<'g> Session<'g> {
             scheduler: self.scheduler,
             trace: self.trace,
             faults: self.faults.clone(),
+            recycle: self.recycle.clone(),
         }
     }
 

@@ -91,7 +91,7 @@ pub enum SyncMsg<M> {
 }
 
 /// Precomputed per-stage data.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct StageInfo {
     prev: u64,
     prev_prev: u64,
@@ -105,7 +105,7 @@ struct StageInfo {
 /// (`stages_tracked`, `stages_with_prev`, `base_stages`)
 /// are precomputed here once and served as slices — total table size is
 /// `O(T log T)` by Lemma 4.14.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SynchronizerConfig {
     /// Upper bound on the wrapped algorithm's synchronous time complexity `T(A)`.
     pub max_pulse: u64,

@@ -1,0 +1,151 @@
+//! Cover-cache correctness: a cache hit must be *bit-identical* to a cold
+//! `SynchronizerConfig::build`, and any change to the topology or the build
+//! parameters — including graphs produced by dynamic-topology repair — must
+//! miss rather than alias a stale entry.
+//!
+//! `SynchronizerConfig` derives full structural equality exactly for these
+//! assertions: `*cached == *cold` compares the pulse bound, every cover layer,
+//! every cluster tree and every precomputed stage table.
+
+use det_synchronizer::algos::bfs::BfsAlgorithm;
+use det_synchronizer::covers::builder::build_layered_sparse_cover;
+use det_synchronizer::covers::repair::{repair_sparse_cover, without_edge};
+use det_synchronizer::prelude::*;
+use det_synchronizer::sync::service::{
+    CoverCache, ServiceRequest, SessionPool, SynchronizerParams,
+};
+use std::sync::Arc;
+
+#[test]
+fn cache_hit_is_bit_identical_to_a_cold_build_across_families() {
+    let cache = CoverCache::new();
+    for (label, graph) in [
+        ("grid", Graph::grid(6, 6)),
+        ("torus", Graph::torus(4, 5)),
+        ("random-regular", Graph::random_regular(40, 4, 11)),
+    ] {
+        for max_pulse in [4u64, 9] {
+            let params = SynchronizerParams { max_pulse };
+            let cold = SynchronizerConfig::build(&graph, max_pulse);
+            let first = cache.get_or_build(&graph, params);
+            let hit = cache.get_or_build(&graph, params);
+            assert!(Arc::ptr_eq(&first, &hit), "{label}/{max_pulse}: second lookup must hit");
+            assert_eq!(*hit, *cold, "{label}/{max_pulse}: cached config differs from cold build");
+        }
+    }
+    // 3 families × 2 bounds: every (graph, params) pair is its own entry.
+    assert_eq!(cache.len(), 6);
+    assert_eq!(cache.misses(), 6);
+    assert_eq!(cache.hits(), 6);
+}
+
+#[test]
+fn parameter_changes_miss_instead_of_aliasing() {
+    let cache = CoverCache::new();
+    let graph = Graph::grid(5, 5);
+    let a = cache.get_or_build(&graph, SynchronizerParams { max_pulse: 6 });
+    let b = cache.get_or_build(&graph, SynchronizerParams { max_pulse: 7 });
+    assert!(!Arc::ptr_eq(&a, &b), "a changed bound must not serve the old config");
+    assert_ne!(*a, *b);
+    assert_eq!((a.max_pulse, b.max_pulse), (6, 7));
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(cache.hits(), 0);
+}
+
+#[test]
+fn topology_changes_including_repaired_graphs_miss() {
+    // The dynamic-topology pipeline repairs covers across edge removals; the
+    // post-repair graph is a distinct topology and must get a distinct config.
+    let graph = Graph::grid(5, 5);
+    let repaired_graph = without_edge(&graph, NodeId(6), NodeId(7));
+    // Sanity: the repair machinery itself accepts this topology change (the
+    // repaired cover stays valid), so caching it is a realistic workload.
+    let layered = build_layered_sparse_cover(&graph, 8);
+    let (repaired_cover, _) = repair_sparse_cover(layered.level(1), &graph, &repaired_graph);
+    repaired_cover.validate(&repaired_graph).expect("repaired cover stays valid");
+
+    let cache = CoverCache::new();
+    let params = SynchronizerParams { max_pulse: 8 };
+    let before = cache.get_or_build(&graph, params);
+    let after = cache.get_or_build(&repaired_graph, params);
+    assert!(!Arc::ptr_eq(&before, &after), "the repaired topology must not alias");
+    assert_ne!(*before, *after, "a removed edge must change the built config");
+    assert_eq!(cache.misses(), 2, "both topologies built");
+    assert_eq!(cache.len(), 2, "both topologies cached side by side");
+    // Each topology keeps serving its own config.
+    assert!(Arc::ptr_eq(&before, &cache.get_or_build(&graph, params)));
+    assert!(Arc::ptr_eq(&after, &cache.get_or_build(&repaired_graph, params)));
+    // And the cached post-repair config equals its cold build.
+    assert_eq!(*after, *SynchronizerConfig::build(&repaired_graph, 8));
+}
+
+#[test]
+fn same_size_different_structure_graphs_never_alias() {
+    // Equal node and edge counts, different wiring: the structural hash keys
+    // them apart, and even under a hypothetical hash collision the cache's
+    // verify-on-hit (full graph equality) would keep them separate.
+    let path = Graph::path(6); // 6 nodes, 5 edges, a line
+    let mut star = Graph::new(6); // 6 nodes, 5 edges, a hub
+    for i in 1..6 {
+        star.add_edge(NodeId(0), NodeId(i)).expect("star edge");
+    }
+    assert_eq!(path.edge_count(), star.edge_count());
+    assert_ne!(path.structural_hash(), star.structural_hash());
+
+    let cache = CoverCache::new();
+    let params = SynchronizerParams { max_pulse: 5 };
+    let on_path = cache.get_or_build(&path, params);
+    let on_star = cache.get_or_build(&star, params);
+    assert_ne!(*on_path, *on_star);
+    assert!(Arc::ptr_eq(&on_path, &cache.get_or_build(&path, params)));
+    assert!(Arc::ptr_eq(&on_star, &cache.get_or_build(&star, params)));
+}
+
+#[test]
+fn eviction_then_rebuild_matches_the_original_build() {
+    let g1 = Graph::grid(4, 4);
+    let g2 = Graph::cycle(12);
+    let cache = CoverCache::with_capacity(1);
+    let params = SynchronizerParams { max_pulse: 7 };
+
+    let first = cache.get_or_build(&g1, params);
+    cache.get_or_build(&g2, params); // capacity 1: evicts g1
+    assert_eq!(cache.evictions(), 1);
+    assert_eq!(cache.len(), 1);
+    let rebuilt = cache.get_or_build(&g1, params); // miss again, rebuild
+    assert_eq!(cache.evictions(), 2, "g2 evicted in turn");
+    assert!(!Arc::ptr_eq(&first, &rebuilt), "the evicted entry is gone; this is a fresh build");
+    assert_eq!(*first, *rebuilt, "a rebuild after eviction must be bit-identical");
+    assert_eq!(*rebuilt, *SynchronizerConfig::build(&g1, 7));
+}
+
+#[test]
+fn capacity_one_pool_still_runs_every_request_correctly() {
+    // End to end: a pool whose cache thrashes (capacity 1, two alternating
+    // topologies) must still produce bit-identical runs — eviction costs
+    // rebuild time, never correctness.
+    let g1 = Graph::grid(4, 4);
+    let g2 = Graph::cycle(10);
+    let requests = vec![
+        ServiceRequest::on(&g1).delay(DelayModel::jitter(3)),
+        ServiceRequest::on(&g2).delay(DelayModel::jitter(4)),
+        ServiceRequest::on(&g1).delay(DelayModel::jitter(5)),
+        ServiceRequest::on(&g2).delay(DelayModel::jitter(6)),
+    ];
+    let pool = SessionPool::with_cache(1, CoverCache::with_capacity(1));
+    let results = pool.run_batch::<BfsAlgorithm, _>(&requests, |i, v| {
+        BfsAlgorithm::new(requests[i].graph, v, &[NodeId(0)])
+    });
+    for (i, (req, result)) in requests.iter().zip(&results).enumerate() {
+        let pooled = result.as_ref().unwrap_or_else(|e| panic!("req {i}: {e}"));
+        let solo = Session::on(req.graph)
+            .delay(req.delay.clone())
+            .synchronizer(SyncKind::DetAuto)
+            .run(|v| BfsAlgorithm::new(req.graph, v, &[NodeId(0)]))
+            .expect("standalone");
+        assert_eq!(pooled.outputs, solo.outputs, "req {i}");
+        assert_eq!(pooled.metrics, solo.metrics, "req {i}");
+    }
+    assert_eq!(pool.cache().capacity(), 1);
+    assert!(pool.cache().evictions() > 0, "alternating topologies must thrash a capacity-1 cache");
+}

@@ -1,0 +1,191 @@
+//! Pooled determinism: every run dispatched through a
+//! [`SessionPool`] is bit-identical to the same request run through a
+//! standalone [`Session`] — the service layer's headline guarantee.
+//!
+//! The matrix mixes graphs, delay adversaries, synchronizer kinds (direct, α,
+//! β, det with and without a shared config), schedulers (serial wheel and
+//! sharded with batching live) and fault plans, and checks every comparable
+//! field of [`SynchronizedRun`]. The single deliberate exclusion is
+//! `arena_bytes`: a recycled payload arena may carry more *capacity* than a
+//! cold run ever allocated, and capacity is an engine internal that never
+//! influences a schedule (like `AsyncReport::overflow_events`).
+
+use det_synchronizer::algos::bfs::BfsAlgorithm;
+use det_synchronizer::prelude::*;
+use det_synchronizer::sync::service::{ServiceRequest, SessionPool};
+
+/// Runs one request through a standalone `Session` — the reference execution.
+fn run_standalone(
+    req: &ServiceRequest<'_>,
+) -> SynchronizedRun<det_synchronizer::algos::bfs::BfsOutput> {
+    let mut session = Session::on(req.graph)
+        .delay(req.delay.clone())
+        .limits(req.limits)
+        .scheduler(req.scheduler)
+        .synchronizer(req.kind.clone());
+    if let Some(bound) = req.pulse_bound {
+        session = session.pulse_bound(bound);
+    }
+    if let Some(plan) = &req.faults {
+        session = session.faults(plan.clone());
+    }
+    session.run(|v| BfsAlgorithm::new(req.graph, v, &[NodeId(0)])).expect("standalone run")
+}
+
+/// Asserts a pooled result equals its standalone reference on every field a
+/// schedule determines. `arena_bytes` is excluded — see the module docs.
+fn assert_bit_identical<O: std::fmt::Debug + PartialEq>(
+    pooled: &SynchronizedRun<O>,
+    solo: &SynchronizedRun<O>,
+    what: &str,
+) {
+    assert_eq!(pooled.outputs, solo.outputs, "{what}: outputs");
+    assert_eq!(pooled.metrics, solo.metrics, "{what}: metrics");
+    assert_eq!(pooled.ordering_violations, solo.ordering_violations, "{what}: violations");
+    assert_eq!(pooled.dropped_events, solo.dropped_events, "{what}: dropped events");
+    assert_eq!(pooled.fault_transitions, solo.fault_transitions, "{what}: fault transitions");
+    assert_eq!(pooled.health, solo.health, "{what}: health");
+    assert_eq!(pooled.batched_ticks, solo.batched_ticks, "{what}: batched ticks");
+    assert_eq!(pooled.peak_live_handles, solo.peak_live_handles, "{what}: arena high-water");
+    assert_eq!(pooled.max_batch, solo.max_batch, "{what}: max due batch");
+}
+
+#[test]
+fn mixed_matrix_is_bit_identical_across_worker_counts() {
+    let grid = Graph::grid(6, 6);
+    let torus = Graph::torus(4, 4);
+    let rr = Graph::random_regular(48, 4, 9);
+    let path = Graph::path(12);
+    let shared_cfg = SynchronizerConfig::build(&grid, 12);
+    let crash_plan = FaultPlan::new().node_crash(0, NodeId(0));
+    let churn_plan =
+        FaultPlan::new().link_down(0, NodeId(3), NodeId(4)).link_up(4000, NodeId(3), NodeId(4));
+
+    let requests: Vec<ServiceRequest<'_>> = vec![
+        // 0: the cacheable default — DetAuto, auto-resolved bound.
+        ServiceRequest::on(&grid).delay(DelayModel::jitter(3)),
+        // 1: α with the bound resolved from the ground truth inside the pool.
+        ServiceRequest::on(&torus).delay(DelayModel::jitter(5)).synchronizer(SyncKind::Alpha),
+        // 2: β on an irregular topology, uniform delays.
+        ServiceRequest::on(&rr).synchronizer(SyncKind::Beta { root: NodeId(0) }),
+        // 3: det under a crash fault plan with an explicit bound.
+        ServiceRequest::on(&path).delay(DelayModel::jitter(7)).pulse_bound(10).faults(crash_plan),
+        // 4: an explicitly shared config (the Theorem 5.3 setting) — bypasses
+        // the cache entirely.
+        ServiceRequest::on(&grid)
+            .delay(DelayModel::slow_cut(2))
+            .synchronizer(SyncKind::Det(shared_cfg))
+            .pulse_bound(12),
+        // 5: request 0 repeated verbatim — must reproduce it exactly.
+        ServiceRequest::on(&grid).delay(DelayModel::jitter(3)),
+        // 6: the lock-step ground truth itself, pooled.
+        ServiceRequest::on(&torus).synchronizer(SyncKind::Direct),
+        // 7: the sharded engine inside a pooled request, link churn live.
+        ServiceRequest::on(&rr)
+            .delay(DelayModel::jitter(11))
+            .scheduler(SchedulerKind::Sharded { shards: 2, workers: 2 })
+            .pulse_bound(14)
+            .faults(churn_plan),
+    ];
+
+    let standalone: Vec<_> = requests.iter().map(run_standalone).collect();
+    let make = |i: usize, v: NodeId| BfsAlgorithm::new(requests[i].graph, v, &[NodeId(0)]);
+    for workers in [0usize, 1, 2, 4] {
+        let pool = SessionPool::new(workers);
+        let results = pool.run_batch::<BfsAlgorithm, _>(&requests, make);
+        assert_eq!(results.len(), requests.len());
+        for (i, (pooled, solo)) in results.iter().zip(&standalone).enumerate() {
+            let pooled = pooled.as_ref().unwrap_or_else(|e| panic!("req {i}: {e}"));
+            assert_bit_identical(pooled, solo, &format!("workers={workers}, req {i}"));
+        }
+        // The repeated request reproduced the original inside the same batch.
+        let (a, b) = (results[0].as_ref().unwrap(), results[5].as_ref().unwrap());
+        assert_eq!(a.outputs, b.outputs, "repeat submission diverged");
+        assert_eq!(a.metrics, b.metrics, "repeat submission diverged");
+    }
+}
+
+#[test]
+fn resubmitting_a_batch_to_a_warm_pool_is_identical() {
+    // Second submission runs against a warm cover cache and recycled engine
+    // slabs — both must be invisible to the schedules.
+    let grid = Graph::grid(5, 5);
+    let cycle = Graph::cycle(14);
+    let requests = vec![
+        ServiceRequest::on(&grid).delay(DelayModel::jitter(3)),
+        ServiceRequest::on(&cycle).delay(DelayModel::jitter(5)),
+        ServiceRequest::on(&grid).delay(DelayModel::jitter(8)),
+    ];
+    let make = |i: usize, v: NodeId| BfsAlgorithm::new(requests[i].graph, v, &[NodeId(0)]);
+    let pool = SessionPool::new(2);
+    let first = pool.run_batch::<BfsAlgorithm, _>(&requests, make);
+    // Both grid requests land on the same worker (dispatch is by submission
+    // index), so the grid config is built exactly once; the cycle topology is
+    // the second build.
+    assert_eq!(pool.cache().misses(), 2, "one build per distinct topology");
+    let misses_after_first = pool.cache().misses();
+    let second = pool.run_batch::<BfsAlgorithm, _>(&requests, make);
+    assert_eq!(
+        pool.cache().misses(),
+        misses_after_first,
+        "the resubmitted batch must be served entirely from the cache"
+    );
+    assert!(pool.bank().reuses() > 0, "the second batch must recycle engine slabs");
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        let (a, b) = (a.as_ref().expect("first"), b.as_ref().expect("second"));
+        assert_bit_identical(b, a, &format!("resubmission req {i}"));
+    }
+}
+
+#[test]
+fn out_of_order_completion_reassembles_by_submission_index() {
+    // Request 0 is far larger than the rest: with several workers the small
+    // requests complete long before it, so results genuinely arrive out of
+    // submission order — and must still come back reassembled by index.
+    let big = Graph::grid(10, 10);
+    let tiny: Vec<Graph> = (0..6).map(|i| Graph::path(3 + i)).collect();
+    let mut requests = vec![ServiceRequest::on(&big).delay(DelayModel::jitter(2))];
+    for g in &tiny {
+        requests.push(ServiceRequest::on(g).delay(DelayModel::jitter(4)));
+    }
+    let standalone: Vec<_> = requests.iter().map(run_standalone).collect();
+    let make = |i: usize, v: NodeId| BfsAlgorithm::new(requests[i].graph, v, &[NodeId(0)]);
+    let results = SessionPool::new(3).run_batch::<BfsAlgorithm, _>(&requests, make);
+    for (i, (pooled, solo)) in results.iter().zip(&standalone).enumerate() {
+        let pooled = pooled.as_ref().unwrap_or_else(|e| panic!("req {i}: {e}"));
+        // Output lengths differ per request (distinct graphs), so a single
+        // misrouted slot would fail loudly here.
+        assert_eq!(pooled.outputs.len(), requests[i].graph.node_count(), "req {i} misrouted");
+        assert_bit_identical(pooled, solo, &format!("req {i}"));
+    }
+}
+
+#[test]
+fn mixed_success_and_failure_slots_stay_independent() {
+    let grid = Graph::grid(4, 4);
+    let requests = vec![
+        ServiceRequest::on(&grid).delay(DelayModel::jitter(3)),
+        // An unusable event budget: fails validation in its own slot.
+        ServiceRequest::on(&grid).limits(SimLimits { max_events: 0, ..SimLimits::default() }),
+        // A starved event budget: fails inside the simulation.
+        ServiceRequest::on(&grid)
+            .delay(DelayModel::jitter(3))
+            .pulse_bound(8)
+            .limits(SimLimits { max_events: 5, ..SimLimits::default() }),
+        ServiceRequest::on(&grid).delay(DelayModel::jitter(3)),
+    ];
+    let standalone = run_standalone(&requests[0]);
+    let results = SessionPool::new(2).run_batch::<BfsAlgorithm, _>(&requests, |i, v| {
+        BfsAlgorithm::new(requests[i].graph, v, &[NodeId(0)])
+    });
+    assert_bit_identical(results[0].as_ref().expect("req 0"), &standalone, "req 0");
+    assert!(
+        matches!(results[1], Err(SessionError::InvalidLimits { what: "max_events" })),
+        "{:?}",
+        results[1].as_ref().err()
+    );
+    assert!(matches!(results[2], Err(SessionError::Sim(_))), "{:?}", results[2].as_ref().err());
+    // The failing slots must not have disturbed the succeeding ones — nor can
+    // a failed run's engine state ever re-enter the recycling bank.
+    assert_bit_identical(results[3].as_ref().expect("req 3"), &standalone, "req 3");
+}
